@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Ablations of the attack-pipeline design choices:
+ *
+ *  A1  schedule repair (Gallager bit-flipping + word agreement) on
+ *      vs off, across decay rates - recovery success of the key
+ *      table search;
+ *  A2  the per-check litmus cap - wrong-placement acceptance rate on
+ *      decayed schedule blocks;
+ *  A3  the entropy guard - fraction of descramble attempts that the
+ *      guard spares from the (more expensive) litmus test;
+ *  A4  candidate key-pool size - scan cost scaling from a DDR3-sized
+ *      pool (16) to a DDR4-sized pool (4096).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "attack/aes_search.hh"
+#include "attack/litmus.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "crypto/aes.hh"
+#include "memctrl/scrambler.hh"
+#include "platform/memory_image.hh"
+#include "platform/workload.hh"
+
+using namespace coldboot;
+using namespace coldboot::attack;
+
+namespace
+{
+
+struct MiniDump
+{
+    platform::MemoryImage dump{KiB(64)};
+    std::vector<MinedKey> keys;
+    std::vector<uint8_t> master;
+};
+
+/** 64 KiB scrambled dump, one AES-256 schedule, pool-limited keys. */
+MiniDump
+makeMiniDump(uint64_t seed, unsigned pool_keys, double flip_rate)
+{
+    MiniDump m;
+    memctrl::Ddr4Scrambler scr(seed, 0);
+    Xoshiro256StarStar rng(seed + 1);
+
+    std::vector<uint8_t> plain(m.dump.size());
+    rng.fillBytes(plain);
+    m.master.resize(32);
+    rng.fillBytes(m.master);
+    auto sched = crypto::aesExpandKey(m.master);
+    uint64_t table_addr = KiB(32) + 16;
+    std::memcpy(&plain[table_addr], sched.data(), sched.size());
+
+    auto bytes = m.dump.bytesMutable();
+    for (uint64_t off = 0; off < plain.size(); off += 64)
+        scr.apply(off, {&plain[off], 64}, bytes.subspan(off, 64));
+
+    // Decay.
+    uint64_t flips = static_cast<uint64_t>(
+        flip_rate * static_cast<double>(m.dump.size()) * 8);
+    for (uint64_t f = 0; f < flips; ++f) {
+        uint64_t bit = rng.nextBelow(m.dump.size() * 8);
+        bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    }
+
+    // Candidate pool: the keys the dump actually uses (64 KiB covers
+    // indices 0..1023) truncated/extended to pool_keys entries.
+    for (unsigned idx = 0; idx < pool_keys; ++idx) {
+        MinedKey mk;
+        scr.poolKey(idx, mk.key.data());
+        mk.occurrences = 2;
+        mk.first_offset = 0;
+        m.keys.push_back(mk);
+    }
+    return m;
+}
+
+void
+ablateRepair()
+{
+    std::printf("A1: schedule repair on/off - recovery success over "
+                "10 trials per point\n");
+    std::printf("%12s %14s %14s\n", "flip rate", "repair on",
+                "repair off");
+    for (double rate : {0.005, 0.01, 0.02, 0.03, 0.04}) {
+        int ok_on = 0, ok_off = 0;
+        for (int trial = 0; trial < 10; ++trial) {
+            auto m = makeMiniDump(1000 + trial, 1024, rate);
+            for (bool repair : {true, false}) {
+                SearchParams params;
+                params.repair_iterations = repair ? 8 : 0;
+                auto found =
+                    searchAesKeyTables(m.dump, m.keys, params);
+                bool ok = !found.empty() &&
+                          found[0].master == m.master;
+                (repair ? ok_on : ok_off) += ok;
+            }
+        }
+        std::printf("%11.1f%% %13d/10 %13d/10\n", rate * 100, ok_on,
+                    ok_off);
+    }
+    std::printf("Expected: repair extends recovery to realistic "
+                "cooled-transfer decay rates\n(~2%%); without it, "
+                "recovery needs a nearly clean dump.\n\n");
+}
+
+void
+ablatePerCheckCap()
+{
+    std::printf("A2: per-check litmus cap - placement accuracy on "
+                "decayed schedule blocks\n");
+    Xoshiro256StarStar rng(77);
+    std::vector<uint8_t> key(32);
+    rng.fillBytes(key);
+    auto sched = crypto::aesExpandKey(key);
+
+    for (unsigned cap : {12u, 32u, 512u}) {
+        int correct = 0, congruent = 0, incongruent = 0, missed = 0;
+        const int trials = 2000;
+        for (int t = 0; t < trials; ++t) {
+            unsigned placement = static_cast<unsigned>(
+                rng.nextBelow(12));
+            uint8_t block[64];
+            std::memcpy(block, &sched[16 * placement], 64);
+            for (int f = 0; f < 10; ++f) { // ~2% decay
+                unsigned bit =
+                    static_cast<unsigned>(rng.nextBelow(512));
+                block[bit / 8] ^=
+                    static_cast<uint8_t>(1u << (bit % 8));
+            }
+            auto hit = aesKeyLitmus({block, 64},
+                                    crypto::AesKeySize::Aes256, 64,
+                                    cap);
+            if (!hit)
+                ++missed;
+            else if (hit->start_word == placement * 4)
+                ++correct;
+            else if (hit->start_word % 8 == (placement * 4) % 8)
+                ++congruent;
+            else
+                ++incongruent;
+        }
+        std::printf("  cap=%3u: correct %4d  wrong-congruent %4d  "
+                    "wrong-incongruent %4d  missed %4d\n",
+                    cap, correct, congruent, incongruent, missed);
+    }
+    std::printf(
+        "Expected: wrong placements are almost entirely mod-8"
+        " CONGRUENT (round\nconstants differ by 1-2 bits - no cap can"
+        " separate them, which is why the\nsearch retries every"
+        " congruent placement). The cap's job is keeping\nincongruent"
+        " placements at zero even under a generous total budget,\n"
+        "and with the cap removed (512) they stay suppressed only"
+        " because the\nSubWord checks fail loudly.\n\n");
+}
+
+void
+ablateEntropyGuard()
+{
+    std::printf("A3: entropy guard - how much plaintext it filters "
+                "before the litmus\n");
+    platform::WorkloadParams wp;
+    std::vector<uint8_t> page(wp.page_bytes);
+    uint64_t guarded = 0, total = 0;
+    for (unsigned p = 0; p < 512; ++p) {
+        platform::generatePage(wp, 900, p, page);
+        for (size_t off = 0; off + 64 <= page.size(); off += 64) {
+            ++total;
+            guarded += !plausibleScheduleEntropy({&page[off], 64});
+        }
+    }
+    std::printf("  workload blocks rejected before litmus: %llu of "
+                "%llu (%.1f%%)\n",
+                static_cast<unsigned long long>(guarded),
+                static_cast<unsigned long long>(total),
+                100.0 * static_cast<double>(guarded) /
+                    static_cast<double>(total));
+
+    // And it never rejects real schedule material:
+    Xoshiro256StarStar rng(901);
+    int rejected_real = 0;
+    for (int t = 0; t < 500; ++t) {
+        std::vector<uint8_t> key(32);
+        rng.fillBytes(key);
+        auto sched = crypto::aesExpandKey(key);
+        for (size_t off = 0; off + 64 <= sched.size(); off += 16)
+            rejected_real +=
+                !plausibleScheduleEntropy({&sched[off], 64});
+    }
+    std::printf("  real schedule windows rejected: %d\n\n",
+                rejected_real);
+}
+
+void
+ablatePoolSize()
+{
+    std::printf("A4: candidate-pool size vs scan cost (64 KiB dump)\n");
+    std::printf("%12s %12s %14s\n", "pool keys", "seconds",
+                "rel. cost");
+    double base = 0;
+    for (unsigned pool : {16u, 256u, 1024u, 4096u}) {
+        auto m = makeMiniDump(1234, std::min(pool, 1024u), 0.0);
+        // Pad the pool with keys from other seeds to reach `pool`.
+        memctrl::Ddr4Scrambler other(4321, 1);
+        unsigned idx = 0;
+        while (m.keys.size() < pool) {
+            MinedKey mk;
+            other.poolKey(idx++ % 4096, mk.key.data());
+            mk.occurrences = 2;
+            mk.first_offset = 0;
+            m.keys.push_back(mk);
+        }
+        m.keys.resize(pool);
+        auto t0 = std::chrono::steady_clock::now();
+        SearchStats stats;
+        searchAesKeyTables(m.dump, m.keys, {}, &stats);
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        if (base == 0)
+            base = secs;
+        std::printf("%12u %12.3f %13.1fx\n", pool, secs,
+                    secs / base);
+    }
+    std::printf("Expected: cost scales linearly with the pool - the "
+                "256x larger DDR4 pool\nis exactly why the paper's "
+                "DDR4 attack is so much more expensive than the\n"
+                "16-key DDR3 case.\n");
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Ablations of attack design choices\n\n");
+    ablateRepair();
+    ablatePerCheckCap();
+    ablateEntropyGuard();
+    ablatePoolSize();
+    return 0;
+}

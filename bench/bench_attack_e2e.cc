@@ -1,0 +1,132 @@
+/**
+ * @file
+ * E4 - the full Section III-C attack, end to end, with a full-dump
+ * scan (no windowing): freeze a loaded Skylake DDR4 machine with a
+ * mounted VeraCrypt-style volume, transfer the DIMM, dump it on a
+ * scrambler-enabled attacker machine, mine keys, search the whole
+ * dump for AES-256 key tables, pair the XTS keys and decrypt the
+ * captured volume.
+ *
+ * Also reproduces the attack-performance paragraph (scan throughput;
+ * the paper reports 100 MB in 2 h on one AES-NI core) and the
+ * temperature sensitivity (a warm transfer destroys too much data).
+ *
+ * Usage: bench_attack_e2e [capacity_mib]   (default 4 MiB)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "attack/attack_pipeline.hh"
+#include "common/units.hh"
+#include "crypto/xts.hh"
+#include "dram/dram_module.hh"
+#include "platform/coldboot.hh"
+#include "platform/machine.hh"
+#include "platform/workload.hh"
+#include "volume/veracrypt_volume.hh"
+
+using namespace coldboot;
+using namespace coldboot::platform;
+using namespace coldboot::attack;
+
+namespace
+{
+
+struct Scenario
+{
+    bool cooled;
+    uint64_t capacity;
+    uint64_t seed;
+};
+
+void
+runScenario(const Scenario &sc)
+{
+    Machine victim(cpuModelByName("i5-6400"), BiosConfig{}, 1,
+                   sc.seed);
+    victim.installDimm(0, std::make_shared<dram::DramModule>(
+                              dram::Generation::DDR4, sc.capacity,
+                              dram::DecayParams{}, sc.seed + 1));
+    victim.boot();
+    fillWorkload(victim, {}, sc.seed + 2);
+
+    auto vf = volume::VolumeFile::create("hunter2", 16, sc.seed + 3);
+    uint64_t keytable_addr = sc.capacity * 3 / 4 + 16;
+    auto mounted = volume::MountedVolume::mount(victim, vf, "hunter2",
+                                                keytable_addr);
+    std::vector<uint8_t> secret(volume::sectorBytes, 0);
+    const char *msg = "the secret plans";
+    std::memcpy(secret.data(), msg, std::strlen(msg));
+    mounted->writeSector(3, secret);
+    std::vector<uint8_t> expected(mounted->masterKeys().begin(),
+                                  mounted->masterKeys().end());
+
+    BiosConfig attacker_bios;
+    attacker_bios.boot_pollution_bytes = KiB(64);
+    Machine attacker(cpuModelByName("i5-6600K"), attacker_bios, 1,
+                     sc.seed + 4);
+    ColdBootParams cold_params;
+    cold_params.cool_first = sc.cooled;
+    auto cold = coldBootTransfer(victim, attacker, 0, cold_params);
+
+    double decay_pct =
+        100.0 * static_cast<double>(cold.bits_flipped) /
+        (static_cast<double>(cold.dump.size()) * 8);
+    std::printf("--- %s transfer: %.2f%% bits flipped\n",
+                sc.cooled ? "cooled (-25C)" : "warm (20C)",
+                decay_pct);
+
+    PipelineReport report = runColdBootAttack(cold.dump, {});
+    std::printf("    mined keys: %zu, AES tables: %zu, XTS pairs: "
+                "%zu, scan %.2f MiB/s (litmus hits %llu)\n",
+                report.mined_keys.size(), report.recovered.size(),
+                report.xts_pairs.size(), report.mib_per_second,
+                static_cast<unsigned long long>(
+                    report.search_stats.litmus_hits));
+
+    bool key_match = false, decrypted = false;
+    for (const auto &pair : report.xts_pairs) {
+        if (std::memcmp(pair.data_key.data(), expected.data(), 32) ==
+                0 &&
+            std::memcmp(pair.tweak_key.data(), expected.data() + 32,
+                        32) == 0) {
+            key_match = true;
+            crypto::XtsAes xts({pair.data_key.data(), 32},
+                               {pair.tweak_key.data(), 32});
+            std::vector<uint8_t> plain(volume::sectorBytes);
+            xts.decryptSector(3, vf.sectorCiphertext(3), plain);
+            decrypted = std::memcmp(plain.data(), msg,
+                                    std::strlen(msg)) == 0;
+        }
+    }
+    std::printf("    master keys recovered: %s; volume decrypted: "
+                "%s\n\n",
+                key_match ? "YES" : "no", decrypted ? "YES" : "no");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t capacity_mib = 4;
+    if (argc > 1)
+        capacity_mib = std::strtoull(argv[1], nullptr, 10);
+
+    std::printf("E4: end-to-end DDR4 cold boot attack "
+                "(%llu MiB victim, full-dump scan)\n\n",
+                static_cast<unsigned long long>(capacity_mib));
+
+    runScenario({true, MiB(capacity_mib), 9000});
+    runScenario({false, MiB(capacity_mib), 9100});
+
+    std::printf("Expected shape: the cooled transfer recovers the "
+                "VeraCrypt XTS master keys\nand decrypts the volume; "
+                "the warm transfer decays too much to recover "
+                "anything.\nPaper throughput baseline: ~0.014 MB/s "
+                "per AES-NI core (100 MB in 2 h).\n");
+    return 0;
+}

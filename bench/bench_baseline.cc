@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Baseline comparison: the classic Halderman (2008) sliding-window
+ * key search versus the paper's block-wise litmus attack, across
+ * memory-protection eras:
+ *
+ *   DDR2-era plaintext dump      -> baseline works
+ *   DDR3 dump + universal key    -> baseline works after descramble
+ *   scrambled DDR4 dump          -> baseline fails; the paper's
+ *                                   attack succeeds
+ *
+ * This is the motivating gap of Section III in one table.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "attack/attack_pipeline.hh"
+#include "attack/ddr3_attack.hh"
+#include "attack/halderman_search.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "crypto/aes.hh"
+#include "dram/dram_module.hh"
+#include "platform/coldboot.hh"
+#include "platform/machine.hh"
+#include "platform/workload.hh"
+#include "volume/veracrypt_volume.hh"
+
+using namespace coldboot;
+using namespace coldboot::platform;
+
+namespace
+{
+
+struct Scenario
+{
+    const char *label;
+    const char *cpu;
+    bool descramble_ddr3;
+};
+
+void
+run(const Scenario &sc, uint64_t seed)
+{
+    Machine victim(cpuModelByName(sc.cpu), BiosConfig{}, 1, seed);
+    bool ddr4 = memctrl::cpuUsesDdr4(victim.model().generation);
+    victim.installDimm(0, std::make_shared<dram::DramModule>(
+                              ddr4 ? dram::Generation::DDR4
+                                   : dram::Generation::DDR3,
+                              MiB(4), dram::DecayParams{}, seed + 1));
+    victim.boot();
+    fillWorkload(victim, {}, seed + 2);
+    auto vf = volume::VolumeFile::create("pw", 8, seed + 3);
+    auto mounted =
+        volume::MountedVolume::mount(victim, vf, "pw", MiB(3) + 16);
+    std::vector<uint8_t> expected(mounted->masterKeys().begin(),
+                                  mounted->masterKeys().end());
+
+    Machine attacker(cpuModelByName(sc.cpu), BiosConfig{}, 1,
+                     seed + 4);
+    ColdBootParams quick;
+    quick.transfer_seconds = 0.05; // kindest case for the baseline
+    auto cold = coldBootTransfer(victim, attacker, 0, quick);
+
+    if (sc.descramble_ddr3) {
+        auto universal = attack::recoverDdr3UniversalKey(cold.dump);
+        attack::descrambleWithUniversalKey(cold.dump, universal);
+    }
+
+    // Baseline.
+    attack::BaselineParams bp;
+    bp.max_bit_errors = 160;
+    auto baseline = attack::haldermanSearch(cold.dump, bp);
+    int baseline_hits = 0;
+    for (const auto &k : baseline)
+        baseline_hits +=
+            !memcmp(k.master.data(), expected.data(), 32) ||
+            !memcmp(k.master.data(), expected.data() + 32, 32);
+
+    // Paper attack (only meaningful on the scrambled DDR4 dump, but
+    // run everywhere for completeness).
+    attack::PipelineParams pp;
+    pp.search.scan_start = MiB(3) - KiB(64);
+    pp.search.scan_bytes = KiB(128);
+    auto report = attack::runColdBootAttack(cold.dump, pp);
+    int paper_hits = 0;
+    for (const auto &pair : report.xts_pairs)
+        paper_hits +=
+            !memcmp(pair.data_key.data(), expected.data(), 32) &&
+            !memcmp(pair.tweak_key.data(), expected.data() + 32, 32);
+
+    std::printf("%-34s baseline keys: %d/2   paper attack pairs: "
+                "%d/1\n",
+                sc.label, baseline_hits, paper_hits);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    std::printf("Baseline (Halderman 2008) vs the paper's litmus "
+                "attack\n\n");
+    run({"DDR3 dump, raw (scrambled)", "i5-2540M", false}, 8000);
+    run({"DDR3 dump + universal-key descramble", "i5-2540M", true},
+        8000);
+    run({"DDR4 dump, raw (scrambled)", "i5-6400", false}, 8200);
+
+    std::printf(
+        "\nExpected shape: the baseline finds both XTS keys only on"
+        " the descrambled\nDDR3 image; on scrambled dumps it finds"
+        " nothing. The paper's attack recovers\nthe pair from the"
+        " scrambled DDR4 dump directly - the capability gap the\n"
+        "paper introduces. (On DDR3 the paper attack reports no pair:"
+        " its litmus\ntargets the DDR4 scrambler structure; DDR3 falls"
+        " to the simpler universal-key\npath above.)\n");
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * E2 - Figure 3: visual comparison of DDR3 and DDR4 scramblers.
+ *
+ * A structured image (flat regions, gradients, repeated texture - a
+ * stand-in for the paper's photo) is written through the scrambler
+ * of a DDR3 and a DDR4 machine. Five images are produced, matching
+ * Figure 3 (a)-(e):
+ *   (a) the original;
+ *   (b) raw DDR3 DRAM contents (scrambled);
+ *   (c) DDR3 contents re-read after reboot (descrambled with fresh
+ *       keys - the universal-key factoring leaves visible structure);
+ *   (d) raw DDR4 DRAM contents;
+ *   (e) DDR4 contents re-read after reboot.
+ *
+ * The quantitative proxy for "visible correlations" is the number of
+ * duplicate 64-byte line pairs: structure in the source survives
+ * scrambling when many lines share a scrambler key.
+ * PGM renders are written to /tmp/coldboot_fig3_*.pgm.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common/units.hh"
+#include "dram/dram_module.hh"
+#include "platform/machine.hh"
+
+using namespace coldboot;
+using namespace coldboot::platform;
+
+namespace
+{
+
+constexpr uint64_t imageBytes = MiB(1);
+constexpr size_t imageWidth = 512;
+
+/** A synthetic "photo": flat sky, gradient, repeating texture. */
+MemoryImage
+makeSourceImage()
+{
+    MemoryImage img(imageBytes);
+    auto bytes = img.bytesMutable();
+    size_t height = imageBytes / imageWidth;
+    for (size_t y = 0; y < height; ++y) {
+        for (size_t x = 0; x < imageWidth; ++x) {
+            uint8_t v;
+            if (y < height / 3) {
+                v = 220; // flat sky
+            } else if (y < 2 * height / 3) {
+                v = static_cast<uint8_t>(x / 4); // gradient
+            } else {
+                v = ((x / 16 + y / 16) % 2) ? 40 : 200; // checkers
+            }
+            bytes[y * imageWidth + x] = v;
+        }
+    }
+    return img;
+}
+
+struct Capture
+{
+    MemoryImage scrambled{64};
+    MemoryImage reread{64};
+};
+
+Capture
+captureFor(const char *cpu_name, const MemoryImage &src, uint64_t seed)
+{
+    BiosConfig bios;
+    bios.boot_pollution_bytes = 0;
+    Machine machine(cpuModelByName(cpu_name), bios, 1, seed);
+    bool ddr4 =
+        memctrl::cpuUsesDdr4(machine.model().generation);
+    auto dimm = std::make_shared<dram::DramModule>(
+        ddr4 ? dram::Generation::DDR4 : dram::Generation::DDR3,
+        imageBytes, dram::DecayParams{}, seed + 1);
+    machine.installDimm(0, dimm);
+    machine.boot();
+    machine.writePhys(0, src.bytes());
+
+    Capture cap;
+    // (b)/(d): raw DRAM contents.
+    MemoryImage raw(imageBytes);
+    dimm->read(0, raw.bytesMutable());
+    cap.scrambled = std::move(raw);
+
+    // (c)/(e): re-read after reboot (fresh scrambler seed).
+    machine.reboot();
+    cap.reread = machine.dumpMemory();
+    machine.shutdown();
+    return cap;
+}
+
+void
+report(const char *label, const MemoryImage &img, const char *path)
+{
+    img.savePgm(path, imageWidth);
+    std::printf("%-28s dup-line-pairs=%-10zu ones=%.3f  -> %s\n",
+                label, img.duplicateLinePairs(), img.onesFraction(),
+                path);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("E2: Figure 3 visual comparison (structure proxy: "
+                "duplicate 64-byte line pairs)\n\n");
+    MemoryImage src = makeSourceImage();
+    report("(a) original", src, "/tmp/coldboot_fig3_a_original.pgm");
+
+    Capture ddr3 = captureFor("i5-2540M", src, 1111);
+    report("(b) DDR3 scrambled", ddr3.scrambled,
+           "/tmp/coldboot_fig3_b_ddr3.pgm");
+    report("(c) DDR3 reread after boot", ddr3.reread,
+           "/tmp/coldboot_fig3_c_ddr3_reboot.pgm");
+
+    Capture ddr4 = captureFor("i5-6400", src, 2222);
+    report("(d) DDR4 scrambled", ddr4.scrambled,
+           "/tmp/coldboot_fig3_d_ddr4.pgm");
+    report("(e) DDR4 reread after boot", ddr4.reread,
+           "/tmp/coldboot_fig3_e_ddr4_reboot.pgm");
+
+    std::printf(
+        "\nExpected shape: (a) huge duplicate count (structured"
+        " source);\n(b) large (16-key DDR3 pool preserves repeats);"
+        " (c) large (universal key\nfactoring keeps all structure);"
+        " (d) ~256x smaller than (b) (4096-key pool);\n(e) small"
+        " (no universal key on DDR4).\n");
+    return 0;
+}

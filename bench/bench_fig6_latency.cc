@@ -1,0 +1,103 @@
+/**
+ * @file
+ * E7 - Figure 6: decryption latency vs bandwidth utilization.
+ *
+ * Runs the burst queueing model for each Table II engine over a
+ * utilization sweep on DDR4-2400 and prints the worst keystream
+ * latency plus both exposure accountings (see latency_sim.hh). The
+ * 12.5 ns minimum CAS window is the line every series is judged
+ * against.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/units.hh"
+#include "dram/bank_timing.hh"
+#include "dram/timing.hh"
+#include "engine/latency_sim.hh"
+
+using namespace coldboot;
+using namespace coldboot::engine;
+
+int
+main()
+{
+    const auto &grade = dram::ddr4_2400();
+    std::printf("E7: Figure 6 decryption latency vs utilization "
+                "(%s, CAS %.2f ns, up to 18 back-to-back CAS)\n\n",
+                grade.name.c_str(), psToNs(grade.casLatencyPs()));
+
+    std::vector<double> utils = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                 0.6, 0.7, 0.8, 0.9, 1.0};
+    auto rows = figure6Sweep(grade, utils);
+
+    std::printf("%-10s", "util");
+    for (const auto &spec : tableIIEngines())
+        std::printf("%12s", cipherKindName(spec.kind));
+    std::printf("   (worst keystream latency, ns)\n");
+    for (size_t ui = 0; ui < utils.size(); ++ui) {
+        std::printf("%9.0f%%", utils[ui] * 100);
+        for (size_t e = 0; e < tableIIEngines().size(); ++e) {
+            const auto &row = rows[e * utils.size() + ui];
+            std::printf("%12.2f",
+                        psToNs(row.result.max_keystream_latency_ps));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n%-10s", "util");
+    for (const auto &spec : tableIIEngines())
+        std::printf("%12s", cipherKindName(spec.kind));
+    std::printf("   (worst exposure vs own 12.5 ns window, ns)\n");
+    for (size_t ui = 0; ui < utils.size(); ++ui) {
+        std::printf("%9.0f%%", utils[ui] * 100);
+        for (size_t e = 0; e < tableIIEngines().size(); ++e) {
+            const auto &row = rows[e * utils.size() + ui];
+            std::printf("%12.2f",
+                        psToNs(row.result.max_window_exposure_ps));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n%-10s", "util");
+    for (const auto &spec : tableIIEngines())
+        std::printf("%12s", cipherKindName(spec.kind));
+    std::printf("   (worst exposure vs bus-serialized data, ns)\n");
+    for (size_t ui = 0; ui < utils.size(); ++ui) {
+        std::printf("%9.0f%%", utils[ui] * 100);
+        for (size_t e = 0; e < tableIIEngines().size(); ++e) {
+            const auto &row = rows[e * utils.size() + ui];
+            std::printf("%12.2f",
+                        psToNs(row.result.max_bus_exposure_ps));
+        }
+        std::printf("\n");
+    }
+
+    // Protocol-grounded cross-check: feed each engine the CAS/data
+    // stream of an all-row-hit burst from the bank-level DDR4 timing
+    // simulator (commands at tCCD, data bus saturated).
+    std::printf("\nProtocol-grounded worst exposure (bank-level "
+                "simulator, 64 row-buffer hits):\n");
+    auto params = dram::BankTimingParams::forGrade(grade);
+    dram::BankTimingSimulator bank_sim(params);
+    auto burst = bank_sim.simulateRowHitBurst(64);
+    for (const auto &spec : tableIIEngines()) {
+        Picoseconds exp = dram::engineExposureOverStream(
+            burst, params, spec.periodPs(), spec.depthCycles(),
+            spec.counters_per_line);
+        std::printf("  %-10s %8.2f ns\n", cipherKindName(spec.kind),
+                    psToNs(exp));
+    }
+
+    std::printf(
+        "\nExpected shape: ChaCha8 stays below the 12.5 ns window at"
+        " every load (zero\nexposed latency); AES-128/AES-256 are"
+        " fastest at low load but the 4-counter\nfan-out queues them"
+        " as utilization approaches the back-to-back limit;\nChaCha12"
+        " and ChaCha20 sit above the window at every load. Under the"
+        "\nprotocol-limited command rate (one CAS per tCCD) even AES"
+        " hides fully -\nthe paper's AES queueing penalty needs"
+        " command bursts faster than the\ndata bus can serve.\n");
+    return 0;
+}

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * E10 - microbenchmarks of the crypto and attack kernels
+ * (google-benchmark). These quantify the building blocks behind the
+ * attack-performance paragraph: AES block/expansion throughput, the
+ * litmus tests, ChaCha keystream generation, XTS sector crypto and
+ * the key-mining scan rate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "attack/key_miner.hh"
+#include "attack/litmus.hh"
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "crypto/aes.hh"
+#include "crypto/aes_ttable.hh"
+#include "crypto/chacha.hh"
+#include "crypto/sha256.hh"
+#include "crypto/xts.hh"
+#include "memctrl/scrambler.hh"
+#include "platform/memory_image.hh"
+
+using namespace coldboot;
+
+namespace
+{
+
+void
+BM_AesEncryptBlock(benchmark::State &state)
+{
+    std::vector<uint8_t> key(static_cast<size_t>(state.range(0)));
+    Xoshiro256StarStar rng(1);
+    rng.fillBytes(key);
+    crypto::Aes aes(key);
+    uint8_t block[16] = {};
+    for (auto _ : state) {
+        aes.encryptBlock(block, block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesEncryptBlock)->Arg(16)->Arg(32);
+
+void
+BM_FastAesEncryptBlock(benchmark::State &state)
+{
+    std::vector<uint8_t> key(static_cast<size_t>(state.range(0)));
+    Xoshiro256StarStar rng(1);
+    rng.fillBytes(key);
+    crypto::FastAes aes(key);
+    uint8_t block[16] = {};
+    for (auto _ : state) {
+        aes.encryptBlock(block, block);
+        benchmark::DoNotOptimize(block);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_FastAesEncryptBlock)->Arg(16)->Arg(32);
+
+void
+BM_AesKeyExpansion(benchmark::State &state)
+{
+    std::vector<uint8_t> key(static_cast<size_t>(state.range(0)));
+    Xoshiro256StarStar rng(2);
+    rng.fillBytes(key);
+    for (auto _ : state) {
+        auto sched = crypto::aesExpandKey(key);
+        benchmark::DoNotOptimize(sched);
+    }
+}
+BENCHMARK(BM_AesKeyExpansion)->Arg(16)->Arg(32);
+
+void
+BM_ChaChaKeystream(benchmark::State &state)
+{
+    std::vector<uint8_t> key(32), nonce(8);
+    Xoshiro256StarStar rng(3);
+    rng.fillBytes(key);
+    rng.fillBytes(nonce);
+    crypto::ChaCha chacha(key, nonce,
+                          static_cast<int>(state.range(0)));
+    uint8_t out[64];
+    uint64_t counter = 0;
+    for (auto _ : state) {
+        chacha.keystreamBlock(counter++, out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ChaChaKeystream)->Arg(8)->Arg(12)->Arg(20);
+
+void
+BM_XtsSector(benchmark::State &state)
+{
+    std::vector<uint8_t> k1(32), k2(32);
+    Xoshiro256StarStar rng(4);
+    rng.fillBytes(k1);
+    rng.fillBytes(k2);
+    crypto::XtsAes xts(k1, k2);
+    std::vector<uint8_t> sector(512);
+    rng.fillBytes(sector);
+    uint64_t n = 0;
+    for (auto _ : state) {
+        xts.encryptSector(n++, sector, sector);
+        benchmark::DoNotOptimize(sector.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_XtsSector);
+
+void
+BM_Sha256(benchmark::State &state)
+{
+    std::vector<uint8_t> data(
+        static_cast<size_t>(state.range(0)));
+    Xoshiro256StarStar rng(5);
+    rng.fillBytes(data);
+    for (auto _ : state) {
+        auto digest = crypto::Sha256::digest(data);
+        benchmark::DoNotOptimize(digest);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096);
+
+void
+BM_ScramblerKeyLitmus(benchmark::State &state)
+{
+    memctrl::Ddr4Scrambler scr(42, 0);
+    uint8_t key[64];
+    scr.poolKey(7, key);
+    for (auto _ : state) {
+        bool hit = attack::scramblerKeyLitmus({key, 64}, 32);
+        benchmark::DoNotOptimize(hit);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ScramblerKeyLitmus);
+
+void
+BM_AesKeyLitmusMiss(benchmark::State &state)
+{
+    // The dominant cost of the dump scan: litmus on random blocks.
+    Xoshiro256StarStar rng(6);
+    uint8_t block[64];
+    std::span<uint8_t> span(block, 64);
+    rng.fillBytes(span);
+    for (auto _ : state) {
+        auto hit = attack::aesKeyLitmus(
+            {block, 64}, crypto::AesKeySize::Aes256, 32, 12);
+        benchmark::DoNotOptimize(hit);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_AesKeyLitmusMiss);
+
+void
+BM_AesKeyLitmusHit(benchmark::State &state)
+{
+    Xoshiro256StarStar rng(7);
+    std::vector<uint8_t> key(32);
+    rng.fillBytes(key);
+    auto sched = crypto::aesExpandKey(key);
+    for (auto _ : state) {
+        auto hit = attack::aesKeyLitmus(
+            {&sched[16], 64}, crypto::AesKeySize::Aes256, 32, 12);
+        benchmark::DoNotOptimize(hit);
+    }
+}
+BENCHMARK(BM_AesKeyLitmusHit);
+
+void
+BM_HammingDistance64(benchmark::State &state)
+{
+    uint8_t a[64], b[64];
+    Xoshiro256StarStar rng(8);
+    std::span<uint8_t> sa(a, 64), sb(b, 64);
+    rng.fillBytes(sa);
+    rng.fillBytes(sb);
+    for (auto _ : state) {
+        auto d = hammingDistance(sa, sb);
+        benchmark::DoNotOptimize(d);
+    }
+}
+BENCHMARK(BM_HammingDistance64);
+
+void
+BM_KeyMining(benchmark::State &state)
+{
+    // Scan rate over a synthetic scrambled dump (64 distinct keys
+    // planted in noise).
+    platform::MemoryImage dump(static_cast<size_t>(state.range(0)));
+    Xoshiro256StarStar rng(9);
+    rng.fillBytes(dump.bytesMutable());
+    memctrl::Ddr4Scrambler scr(10, 0);
+    auto bytes = dump.bytesMutable();
+    for (unsigned k = 0; k < 64; ++k) {
+        uint8_t key[64];
+        scr.poolKey(k * 64, key);
+        for (unsigned copy = 0; copy < 4; ++copy)
+            memcpy(&bytes[((k * 4 + copy) * 131 % dump.lines()) * 64],
+                   key, 64);
+    }
+    for (auto _ : state) {
+        auto mined = attack::mineScramblerKeys(dump);
+        benchmark::DoNotOptimize(mined);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_KeyMining)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+void
+BM_Ddr4ScramblerReseed(benchmark::State &state)
+{
+    memctrl::Ddr4Scrambler scr(1, 0);
+    uint64_t seed = 2;
+    for (auto _ : state) {
+        scr.reseed(seed++);
+        benchmark::DoNotOptimize(scr);
+    }
+}
+BENCHMARK(BM_Ddr4ScramblerReseed)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * E5 - Section III-D DRAM retention measurements.
+ *
+ * The seven-module fleet (five DDR3, two DDR4, one deliberately leaky
+ * DDR3 part) is filled with data, unpowered, and sampled for charge
+ * retention over time at room temperature and super-cooled to -25 C.
+ * Paper datapoints: at normal temperature a significant fraction of
+ * data is lost within 3 s; cooled modules retain 90-99% over the ~5 s
+ * transfer; one DDR3 module leaks faster than the DDR4 parts.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "dram/dram_module.hh"
+
+using namespace coldboot;
+using namespace coldboot::dram;
+
+namespace
+{
+
+double
+retentionAfter(const CatalogEntry &entry, double celsius,
+               double seconds, uint64_t seed)
+{
+    auto module = makeCatalogModule(entry, seed);
+    std::vector<uint8_t> data(module->size());
+    Xoshiro256StarStar rng(seed + 7);
+    rng.fillBytes(data);
+    module->write(0, data);
+    module->powerOff();
+    module->coolTo(celsius);
+    module->elapse(seconds);
+    return module->retentionVersus(data);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("E5: DRAM retention vs time and temperature "
+                "(%% bits retained)\n\n");
+
+    const double times[] = {1.0, 3.0, 5.0, 10.0, 30.0, 60.0};
+    for (double celsius : {20.0, -25.0}) {
+        std::printf("Temperature %+.0f C\n", celsius);
+        std::printf("%-18s", "module");
+        for (double t : times)
+            std::printf("%9.0fs", t);
+        std::printf("\n");
+        for (const auto &entry : moduleCatalog()) {
+            std::printf("%-18s", entry.model_name.c_str());
+            for (double t : times) {
+                double r = retentionAfter(entry, celsius, t, 42);
+                std::printf("%9.2f%%", 100.0 * r);
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+
+    std::printf("Expected shape: at +20 C most modules lose a "
+                "significant fraction within\n~3 s; at -25 C all "
+                "retain 90-99%% over a 5 s transfer; the leaky DDR3 "
+                "part\nis visibly worse than the DDR4 modules at "
+                "every point.\n");
+    return 0;
+}

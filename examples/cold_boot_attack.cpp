@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The paper's headline scenario as a narrated walkthrough: a locked
+ * Skylake laptop with a mounted VeraCrypt-style volume is captured,
+ * its DDR4 DIMM frozen and moved to the attacker's machine, and the
+ * XTS master keys are mined out of the scrambled dump and used to
+ * decrypt the volume.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "attack/attack_pipeline.hh"
+#include "common/hex.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "crypto/xts.hh"
+#include "dram/dram_module.hh"
+#include "platform/coldboot.hh"
+#include "platform/machine.hh"
+#include "platform/workload.hh"
+#include "volume/veracrypt_volume.hh"
+
+using namespace coldboot;
+using namespace coldboot::platform;
+using namespace coldboot::attack;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn); // quiet pipeline chatter
+
+    // --- The victim: a busy machine with a mounted encrypted volume.
+    std::printf("[victim] booting i5-6400 (Skylake, DDR4) with 4 MiB "
+                "RAM...\n");
+    Machine victim(cpuModelByName("i5-6400"), BiosConfig{}, 1, 42);
+    victim.installDimm(0, std::make_shared<dram::DramModule>(
+                              dram::Generation::DDR4, MiB(4),
+                              dram::DecayParams{}, 43));
+    victim.boot();
+    fillWorkload(victim, {}, 44);
+
+    auto volume_file =
+        volume::VolumeFile::create("correct horse battery", 32, 45);
+    auto mounted = volume::MountedVolume::mount(
+        victim, volume_file, "correct horse battery", MiB(3) + 16);
+    std::vector<uint8_t> secret(volume::sectorBytes, 0);
+    const char *document = "Q3 acquisition target list: ...";
+    std::memcpy(secret.data(), document, std::strlen(document));
+    mounted->writeSector(11, secret);
+    std::printf("[victim] volume mounted; secret written to sector "
+                "11; machine left locked\n");
+
+    // --- The attack: freeze, pull, transfer, dump.
+    std::printf("[attack] spraying the DIMM to -25 C, pulling it, "
+                "5 s transfer...\n");
+    BiosConfig attacker_bios;
+    attacker_bios.boot_pollution_bytes = KiB(64); // minimal dumper
+    Machine attacker(cpuModelByName("i5-6600K"), attacker_bios, 1,
+                     46);
+    auto cold = coldBootTransfer(victim, attacker, 0);
+    std::printf("[attack] dump captured through the attacker's own "
+                "(enabled) scrambler;\n         %.2f%% of bits "
+                "decayed in transit\n",
+                100.0 * static_cast<double>(cold.bits_flipped) /
+                    (static_cast<double>(cold.dump.size()) * 8));
+
+    // --- Key recovery: mine scrambler keys, find the key tables.
+    std::printf("[attack] mining scrambler keys and scanning for AES "
+                "key schedules...\n");
+    auto report = runColdBootAttack(cold.dump, {});
+    std::printf("[attack] mined %zu candidate scrambler keys; "
+                "recovered %zu AES-256 key table(s)\n",
+                report.mined_keys.size(), report.recovered.size());
+
+    if (report.xts_pairs.empty()) {
+        std::printf("[attack] no XTS master key pair found - attack "
+                    "failed\n");
+        return 1;
+    }
+    const auto &keys = report.xts_pairs[0];
+    std::printf("[attack] XTS master keys:\n  data : %s\n  tweak: "
+                "%s\n",
+                toHex({keys.data_key.data(), 32}).c_str(),
+                toHex({keys.tweak_key.data(), 32}).c_str());
+
+    // --- The endgame: decrypt the captured volume offline.
+    crypto::XtsAes xts({keys.data_key.data(), 32},
+                       {keys.tweak_key.data(), 32});
+    std::vector<uint8_t> plain(volume::sectorBytes);
+    xts.decryptSector(11, volume_file.sectorCiphertext(11), plain);
+    std::printf("[attack] sector 11 decrypts to: \"%.31s\"\n",
+                reinterpret_cast<const char *>(plain.data()));
+    bool ok =
+        std::memcmp(plain.data(), document, std::strlen(document)) ==
+        0;
+    std::printf("\n%s\n", ok ? "Cold boot attack SUCCEEDED."
+                             : "Decryption mismatch.");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The defence (Section IV): swap the scrambler for a ChaCha8
+ * keystream engine and show that (1) software is unaffected, (2) the
+ * cold boot attack collapses, and (3) the engine timing model says
+ * the encryption costs zero exposed read latency.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "attack/attack_pipeline.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "dram/dram_module.hh"
+#include "engine/cipher_engine.hh"
+#include "engine/encrypted_controller.hh"
+#include "engine/latency_sim.hh"
+#include "platform/coldboot.hh"
+#include "platform/machine.hh"
+#include "platform/workload.hh"
+#include "volume/veracrypt_volume.hh"
+
+using namespace coldboot;
+using namespace coldboot::platform;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+
+    // A Skylake machine whose memory interface runs ChaCha8 instead
+    // of the stock scrambler - a one-line change at build time.
+    Machine victim(cpuModelByName("i5-6400"), BiosConfig{}, 1, 77,
+                   engine::chachaEncryptionFactory(8));
+    victim.installDimm(0, std::make_shared<dram::DramModule>(
+                              dram::Generation::DDR4, MiB(4),
+                              dram::DecayParams{}, 78));
+    victim.boot();
+    std::printf("[machine] booted with %s in place of the "
+                "scrambler\n",
+                victim.controller().scrambler(0).name());
+
+    // (1) Functional transparency.
+    fillWorkload(victim, {}, 79);
+    std::vector<uint8_t> probe(64, 0xd1);
+    victim.writePhys(MiB(2), probe);
+    std::vector<uint8_t> back(64);
+    victim.readPhys(MiB(2), back);
+    std::printf("[machine] software read-back intact: %s\n",
+                back == probe ? "yes" : "NO");
+
+    auto vf = volume::VolumeFile::create("pw", 8, 80);
+    auto mounted =
+        volume::MountedVolume::mount(victim, vf, "pw", MiB(3) + 16);
+    std::printf("[machine] encrypted volume mounted (keys cached in "
+                "RAM as usual)\n");
+
+    // (2) The attack collapses.
+    BiosConfig attacker_bios;
+    attacker_bios.boot_pollution_bytes = KiB(64);
+    Machine attacker(cpuModelByName("i5-6600K"), attacker_bios, 1,
+                     81);
+    auto cold = coldBootTransfer(victim, attacker, 0);
+    auto report = attack::runColdBootAttack(cold.dump, {});
+    std::printf("[attack ] litmus-mined key candidates: %zu; AES key "
+                "tables recovered: %zu\n",
+                report.mined_keys.size(), report.recovered.size());
+    std::printf("[attack ] cold boot attack %s\n",
+                report.recovered.empty() ? "DEFEATED" : "succeeded?!");
+
+    // (3) Zero-latency argument from the engine model.
+    const auto &spec = engine::engineSpec(engine::CipherKind::ChaCha8);
+    std::printf("\n[timing ] ChaCha8 engine: %.2f GHz, %d cycles per "
+                "64 B -> %.2f ns pipeline\n",
+                spec.max_freq_ghz, spec.cycles_per_line,
+                psToNs(spec.pipelineDelayPs()));
+    auto worst = engine::simulateBurst(spec, dram::ddr4_2400(),
+                                       {1.0, 18});
+    std::printf("[timing ] worst keystream latency under 18 "
+                "back-to-back CAS: %.2f ns\n",
+                psToNs(worst.max_keystream_latency_ps));
+    std::printf("[timing ] minimum standard DDR4 CAS window: %.2f ns "
+                "-> exposed latency: %.2f ns\n",
+                psToNs(dram::ddr4MinCasPs()),
+                psToNs(worst.max_window_exposure_ps));
+    return report.recovered.empty() ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Memory forensics walkthrough: scan one scrambled DDR4 dump for key
+ * schedules of EVERY AES variant at once (the multi-key-size
+ * pipeline), and contrast with the classic plaintext-only baseline.
+ *
+ * Scenario: besides the VeraCrypt volume (AES-256 XTS), the victim
+ * machine also holds an application's AES-128 session key schedule -
+ * e.g. a TLS record-layer context - somewhere in its heap.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "attack/attack_pipeline.hh"
+#include "attack/halderman_search.hh"
+#include "common/hex.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "crypto/aes.hh"
+#include "dram/dram_module.hh"
+#include "platform/coldboot.hh"
+#include "platform/machine.hh"
+#include "platform/workload.hh"
+#include "volume/veracrypt_volume.hh"
+
+using namespace coldboot;
+using namespace coldboot::platform;
+using crypto::AesKeySize;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+
+    // --- Victim with two different in-memory key artifacts.
+    Machine victim(cpuModelByName("i5-6400"), BiosConfig{}, 1, 314);
+    victim.installDimm(0, std::make_shared<dram::DramModule>(
+                              dram::Generation::DDR4, MiB(4),
+                              dram::DecayParams{}, 315));
+    victim.boot();
+    fillWorkload(victim, {}, 316);
+
+    auto vf = volume::VolumeFile::create("pw", 8, 317);
+    auto mounted =
+        volume::MountedVolume::mount(victim, vf, "pw", MiB(3) + 16);
+
+    std::vector<uint8_t> tls_key(16);
+    for (size_t i = 0; i < tls_key.size(); ++i)
+        tls_key[i] = static_cast<uint8_t>(0xA0 + i);
+    auto tls_sched = crypto::aesExpandKey(tls_key);
+    victim.writePhysBytes(MiB(2) + 512 + 16, tls_sched);
+    std::printf("[victim] volume mounted (AES-256 XTS) and a TLS "
+                "AES-128 schedule cached in heap\n");
+
+    // --- Capture.
+    BiosConfig attacker_bios;
+    attacker_bios.boot_pollution_bytes = KiB(64);
+    Machine attacker(cpuModelByName("i5-6600K"), attacker_bios, 1,
+                     318);
+    auto cold = coldBootTransfer(victim, attacker, 0);
+    std::printf("[dump  ] %zu MiB captured, %.2f%% bits decayed\n",
+                cold.dump.size() >> 20,
+                100.0 * static_cast<double>(cold.bits_flipped) /
+                    (static_cast<double>(cold.dump.size()) * 8));
+
+    // --- Forensic sweep: all three AES variants in one pass.
+    attack::PipelineParams params;
+    params.key_sizes = {AesKeySize::Aes128, AesKeySize::Aes192,
+                        AesKeySize::Aes256};
+    auto report = attack::runColdBootAttack(cold.dump, params);
+
+    std::printf("[attack] recovered %zu key schedule(s):\n",
+                report.recovered.size());
+    for (const auto &rec : report.recovered) {
+        std::printf("  AES-%zu key at dump offset 0x%llx: %s...\n",
+                    static_cast<size_t>(rec.key_size) * 8,
+                    static_cast<unsigned long long>(
+                        rec.table_offset),
+                    toHex({rec.master.data(), 8}).c_str());
+    }
+
+    bool tls_found = false;
+    for (const auto &rec : report.recovered)
+        tls_found = tls_found || rec.master == tls_key;
+    std::printf("[attack] TLS session key recovered: %s\n",
+                tls_found ? "YES" : "no");
+    std::printf("[attack] XTS master pairs: %zu\n",
+                report.xts_pairs.size());
+
+    // --- The baseline for contrast.
+    auto baseline = attack::haldermanSearch(cold.dump);
+    std::printf("[bsline] Halderman-2008 on the scrambled dump: %zu "
+                "key(s) (needs plaintext)\n",
+                baseline.size());
+
+    return tls_found && !report.xts_pairs.empty() ? 0 : 1;
+}

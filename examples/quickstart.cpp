@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Quickstart: build a simulated Skylake machine, watch the DDR4
+ * scrambler at work, and run the two litmus tests that power the
+ * cold boot attack.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "attack/litmus.hh"
+#include "common/hex.hh"
+#include "common/units.hh"
+#include "crypto/aes.hh"
+#include "dram/dram_module.hh"
+#include "platform/machine.hh"
+
+using namespace coldboot;
+using namespace coldboot::platform;
+
+int
+main()
+{
+    // A Skylake desktop with one 1 MiB DDR4 DIMM (tiny, for speed).
+    Machine machine(cpuModelByName("i5-6400"), BiosConfig{}, 1,
+                    /*entropy_seed=*/2026);
+    auto dimm = std::make_shared<dram::DramModule>(
+        dram::Generation::DDR4, MiB(1), dram::DecayParams{}, 7);
+    machine.installDimm(0, dimm);
+    machine.boot();
+    std::printf("booted %s (%s), %llu KiB of DDR4\n",
+                machine.model().name.c_str(),
+                memctrl::cpuGenerationName(
+                    machine.model().generation),
+                static_cast<unsigned long long>(
+                    machine.capacity() >> 10));
+
+    // 1. Software sees what it wrote...
+    std::vector<uint8_t> zeros(64, 0);
+    machine.writePhys(KiB(512), zeros);
+    std::vector<uint8_t> back(64);
+    machine.readPhys(KiB(512), back);
+    std::printf("\nsoftware view of the zero line : %.16s...\n",
+                toHex({back.data(), 8}).c_str());
+
+    // 2. ...but the DRAM itself holds the scrambled version - which,
+    // for a zero block, IS the scrambler key.
+    std::vector<uint8_t> raw(64);
+    dimm->read(KiB(512), raw);
+    std::printf("raw DRAM contents (= the key)  : %s...\n",
+                toHex({raw.data(), 8}).c_str());
+
+    // 3. The scrambler-key litmus test recognizes it instantly.
+    std::printf("scrambler-key litmus test      : %s (score %u)\n",
+                attack::scramblerKeyLitmus(raw, 0) ? "PASS" : "fail",
+                attack::scramblerKeyLitmusScore(raw));
+
+    // 4. The AES key litmus test recognizes schedule fragments. Put
+    // an expanded AES-256 key in memory, as disk encryption would.
+    std::vector<uint8_t> aes_key(32, 0x42);
+    auto schedule = crypto::aesExpandKey(aes_key);
+    machine.writePhysBytes(KiB(256), schedule);
+
+    std::vector<uint8_t> block(64);
+    machine.readPhys(KiB(256) + 64, block); // mid-schedule block
+    auto hit = attack::aesKeyLitmus(block, crypto::AesKeySize::Aes256);
+    if (hit) {
+        std::printf("AES key litmus on a mid-table  : HIT at schedule "
+                    "word %u (errors: %u)\n",
+                    hit->start_word, hit->bit_errors);
+    }
+
+    std::printf("\nNext steps: examples/cold_boot_attack for the full "
+                "attack,\nexamples/scrambler_analysis for the "
+                "reverse-cold-boot framework,\nexamples/"
+                "encrypted_memory for the zero-latency defence.\n");
+    return 0;
+}

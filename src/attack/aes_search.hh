@@ -1,0 +1,122 @@
+/**
+ * @file
+ * AES key-table search over a scrambled dump (attack steps 2-4).
+ *
+ * For every 64-byte block of the dump and every mined candidate
+ * scrambler key, the block is descrambled and fed to the AES key
+ * litmus test. A hit pins the block to an absolute position inside an
+ * expanded key schedule; the recurrence is then run forward and
+ * backward to reconstruct the whole schedule - including words
+ * w[0..Nk), the raw master key - and the reconstruction is verified
+ * against the neighbouring dump blocks. Decay is tolerated throughout
+ * via Hamming-distance comparison, and an iterative repair pass uses
+ * the redundancy of the schedule recurrence (every word is predicted
+ * by both its forward and backward neighbours) to correct flipped
+ * bits before extraction.
+ */
+
+#ifndef COLDBOOT_ATTACK_AES_SEARCH_HH
+#define COLDBOOT_ATTACK_AES_SEARCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/key_miner.hh"
+#include "crypto/aes.hh"
+#include "platform/memory_image.hh"
+
+namespace coldboot::attack
+{
+
+/** One recovered AES key. */
+struct RecoveredAesKey
+{
+    /** The raw master key (16/24/32 bytes). */
+    std::vector<uint8_t> master;
+    /** AES variant. */
+    crypto::AesKeySize key_size;
+    /** Dump byte offset of schedule word 0. */
+    uint64_t table_offset;
+    /** 64-byte blocks of the table that verified within tolerance. */
+    size_t verified_blocks;
+    /** Total Hamming distance between reconstruction and dump. */
+    unsigned total_bit_errors;
+};
+
+/** Key-table search tuning. */
+struct SearchParams
+{
+    /** AES variant to search for. */
+    crypto::AesKeySize key_size = crypto::AesKeySize::Aes256;
+    /** AES litmus total tolerance per block (bits). */
+    unsigned litmus_max_bit_errors = 64;
+    /** AES litmus per-predicted-word tolerance (bits). */
+    unsigned litmus_max_bits_per_check = 12;
+    /** Per-block tolerance when verifying a reconstruction (bits). */
+    unsigned verify_block_max_bit_errors = 48;
+    /** Minimum verified blocks for acceptance. */
+    size_t min_verified_blocks = 3;
+    /**
+     * Maximum total Hamming distance between the reconstruction and
+     * the dump over the whole table; sized for a few percent decay
+     * with margin, it rejects phase-shifted misreconstructions that
+     * agree only locally.
+     */
+    unsigned max_total_bit_errors = 192;
+    /** Iterations of the forward/backward repair pass. */
+    unsigned repair_iterations = 8;
+    /** Abort after this many reconstruction attempts (0 = no cap). */
+    uint64_t max_reconstructions = 4096;
+    /** Worker threads for the scan phase (1 = serial). */
+    unsigned threads = 1;
+    /** First dump byte to scan (line aligned). */
+    uint64_t scan_start = 0;
+    /** Bytes to scan (0 = to end of dump). */
+    uint64_t scan_bytes = 0;
+};
+
+/** Search statistics. */
+struct SearchStats
+{
+    uint64_t blocks_scanned = 0;
+    uint64_t descramble_attempts = 0;
+    uint64_t litmus_hits = 0;
+    uint64_t reconstructions_tried = 0;
+    uint64_t reconstructions_verified = 0;
+    /** Wall-clock seconds spent scanning. */
+    double seconds = 0.0;
+};
+
+/**
+ * Search a scrambled dump for expanded AES key tables.
+ *
+ * @param dump           The scrambled memory image.
+ * @param candidate_keys Mined scrambler keys (attack step 1 output).
+ * @param params         Tuning.
+ * @param stats          Optional statistics out-parameter.
+ * @return Distinct recovered keys, best-verified first.
+ */
+std::vector<RecoveredAesKey> searchAesKeyTables(
+    const platform::MemoryImage &dump,
+    const std::vector<MinedKey> &candidate_keys,
+    const SearchParams &params = {}, SearchStats *stats = nullptr);
+
+/**
+ * Iteratively repair a decayed schedule-word sequence in place using
+ * the forward and backward recurrence predictions (exposed for tests
+ * and ablation benches).
+ *
+ * @param words       Observed schedule words w[first_word ..
+ *                    first_word + words.size()).
+ * @param first_word  Absolute index of words[0].
+ * @param nk          Key length in words.
+ * @param iterations  Maximum repair sweeps.
+ * @return Number of words modified.
+ */
+unsigned repairAesScheduleWords(std::span<uint32_t> words,
+                                unsigned first_word, unsigned nk,
+                                unsigned iterations);
+
+} // namespace coldboot::attack
+
+#endif // COLDBOOT_ATTACK_AES_SEARCH_HH

@@ -1,0 +1,87 @@
+#include "attack/attack_pipeline.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "crypto/aes.hh"
+
+namespace coldboot::attack
+{
+
+std::vector<RecoveredXtsKeys>
+pairXtsKeys(const std::vector<RecoveredAesKey> &recovered)
+{
+    std::vector<RecoveredXtsKeys> pairs;
+    for (const auto &a : recovered) {
+        uint64_t sched =
+            crypto::aesScheduleBytes(a.key_size);
+        for (const auto &b : recovered) {
+            if (b.key_size != a.key_size)
+                continue;
+            if (b.table_offset == a.table_offset + sched) {
+                RecoveredXtsKeys pair;
+                pair.data_key = a.master;
+                pair.tweak_key = b.master;
+                pair.table_offset = a.table_offset;
+                pairs.push_back(std::move(pair));
+            }
+        }
+    }
+    return pairs;
+}
+
+PipelineReport
+runColdBootAttack(const platform::MemoryImage &dump,
+                  const PipelineParams &params)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    PipelineReport report;
+
+    cb_inform("attack: mining scrambler keys from %zu MiB dump",
+              dump.size() >> 20);
+    report.mined_keys =
+        mineScramblerKeys(dump, params.miner, &report.miner_stats);
+    cb_inform("attack: mined %zu candidate keys "
+              "(%llu litmus hits over %llu blocks)",
+              report.mined_keys.size(),
+              static_cast<unsigned long long>(
+                  report.miner_stats.litmus_hits),
+              static_cast<unsigned long long>(
+                  report.miner_stats.blocks_scanned));
+
+    for (crypto::AesKeySize ks : params.key_sizes) {
+        SearchParams search = params.search;
+        search.key_size = ks;
+        SearchStats stats;
+        auto found = searchAesKeyTables(dump, report.mined_keys,
+                                        search, &stats);
+        report.recovered.insert(report.recovered.end(),
+                                found.begin(), found.end());
+        report.search_stats.blocks_scanned += stats.blocks_scanned;
+        report.search_stats.descramble_attempts +=
+            stats.descramble_attempts;
+        report.search_stats.litmus_hits += stats.litmus_hits;
+        report.search_stats.reconstructions_tried +=
+            stats.reconstructions_tried;
+        report.search_stats.reconstructions_verified +=
+            stats.reconstructions_verified;
+        report.search_stats.seconds += stats.seconds;
+    }
+    cb_inform("attack: recovered %zu AES key table(s)",
+              report.recovered.size());
+
+    report.xts_pairs = pairXtsKeys(report.recovered);
+    cb_inform("attack: paired %zu XTS master key set(s)",
+              report.xts_pairs.size());
+
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    if (seconds > 0) {
+        report.mib_per_second =
+            static_cast<double>(dump.size()) / (1 << 20) / seconds;
+    }
+    return report;
+}
+
+} // namespace coldboot::attack

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * End-to-end DDR4 cold boot attack pipeline (Section III-C): mine
+ * scrambler keys from the dump, search for expanded AES key tables,
+ * and pair the recovered keys back into XTS (data, tweak) master-key
+ * pairs as cached by disk-encryption drivers.
+ */
+
+#ifndef COLDBOOT_ATTACK_ATTACK_PIPELINE_HH
+#define COLDBOOT_ATTACK_ATTACK_PIPELINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/aes_search.hh"
+#include "attack/key_miner.hh"
+#include "platform/memory_image.hh"
+
+namespace coldboot::attack
+{
+
+/** Pipeline tuning: mining plus search. */
+struct PipelineParams
+{
+    MinerParams miner;
+    /** Search tuning; its key_size is overridden by key_sizes. */
+    SearchParams search;
+    /**
+     * AES variants to search for. Disk encryption keys are almost
+     * always AES-256 XTS, but a forensic scan may want every
+     * variant.
+     */
+    std::vector<crypto::AesKeySize> key_sizes = {
+        crypto::AesKeySize::Aes256};
+};
+
+/** A recovered XTS master-key pair (e.g. a VeraCrypt volume key). */
+struct RecoveredXtsKeys
+{
+    std::vector<uint8_t> data_key;
+    std::vector<uint8_t> tweak_key;
+    /** Dump offset of the data-key schedule. */
+    uint64_t table_offset;
+};
+
+/** Full pipeline report. */
+struct PipelineReport
+{
+    MinerStats miner_stats;
+    SearchStats search_stats;
+    std::vector<MinedKey> mined_keys;
+    std::vector<RecoveredAesKey> recovered;
+    std::vector<RecoveredXtsKeys> xts_pairs;
+    /** End-to-end scan throughput in MiB per second. */
+    double mib_per_second = 0.0;
+};
+
+/**
+ * Run the complete attack on a scrambled dump.
+ */
+PipelineReport runColdBootAttack(const platform::MemoryImage &dump,
+                                 const PipelineParams &params = {});
+
+/**
+ * Pair recovered AES keys whose schedules sit exactly one schedule
+ * apart in memory into XTS (data, tweak) pairs - the layout
+ * disk-encryption drivers use for their cached key context.
+ */
+std::vector<RecoveredXtsKeys> pairXtsKeys(
+    const std::vector<RecoveredAesKey> &recovered);
+
+} // namespace coldboot::attack
+
+#endif // COLDBOOT_ATTACK_ATTACK_PIPELINE_HH

@@ -1,0 +1,148 @@
+#include "attack/ddr3_attack.hh"
+
+#include <cstring>
+#include <algorithm>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace coldboot::attack
+{
+
+namespace
+{
+
+/**
+ * Hamming distance with early exit once @p limit is exceeded.
+ */
+unsigned
+boundedDistance(std::span<const uint8_t> a, std::span<const uint8_t> b,
+                unsigned limit)
+{
+    unsigned dist = 0;
+    for (size_t i = 0; i + 8 <= a.size(); i += 8) {
+        dist += static_cast<unsigned>(
+            popcount64(loadLE64(&a[i]) ^ loadLE64(&b[i])));
+        if (dist > limit)
+            return limit + 1;
+    }
+    return dist;
+}
+
+} // anonymous namespace
+
+std::array<uint8_t, 64>
+mostFrequentLine(const platform::MemoryImage &image,
+                 size_t stride_lines, size_t offset_lines,
+                 unsigned refine_distance)
+{
+    cb_assert(stride_lines > 0, "mostFrequentLine: zero stride");
+
+    // Clustered frequency pass over a bounded sample: bit decay
+    // leaves few byte-exact copies of the dominant line, so lines are
+    // grouped by Hamming proximity instead of equality.
+    struct Cluster
+    {
+        std::array<uint8_t, 64> rep;
+        size_t count;
+    };
+    std::vector<Cluster> clusters;
+    // Spread the sample across the whole image so localized regions
+    // (firmware pollution, a single large allocation) cannot
+    // dominate it.
+    const size_t sample_cap = 4096;
+    size_t strided_total =
+        (image.lines() - std::min(offset_lines, image.lines())) /
+        stride_lines;
+    size_t decimation = std::max<size_t>(
+        1, (strided_total + sample_cap - 1) / sample_cap);
+    size_t effective_stride = stride_lines * decimation;
+    size_t sampled = 0;
+    for (size_t l = offset_lines;
+         l < image.lines() && sampled < sample_cap;
+         l += effective_stride, ++sampled) {
+        auto line = image.line(l);
+        bool placed = false;
+        for (auto &c : clusters) {
+            if (boundedDistance(line, c.rep, refine_distance) <=
+                refine_distance) {
+                ++c.count;
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            Cluster c;
+            std::memcpy(c.rep.data(), line.data(), 64);
+            c.count = 1;
+            clusters.push_back(c);
+        }
+    }
+    cb_assert(!clusters.empty(), "mostFrequentLine: empty selection");
+
+    const Cluster *winner = &clusters[0];
+    for (const auto &c : clusters)
+        if (c.count > winner->count)
+            winner = &c;
+    std::array<uint8_t, 64> base = winner->rep;
+
+    // Refinement: majority vote over all nearby lines to undo decay.
+    std::array<uint32_t, 512> one_votes{};
+    size_t members = 0;
+    for (size_t l = offset_lines; l < image.lines();
+         l += stride_lines) {
+        auto line = image.line(l);
+        if (hammingDistance(line, base) > refine_distance)
+            continue;
+        for (unsigned bit = 0; bit < 512; ++bit)
+            one_votes[bit] += (line[bit / 8] >> (bit % 8)) & 1;
+        ++members;
+    }
+    std::array<uint8_t, 64> refined{};
+    for (unsigned bit = 0; bit < 512; ++bit)
+        if (2 * one_votes[bit] > members)
+            refined[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+    return refined;
+}
+
+std::array<uint8_t, 64>
+recoverDdr3UniversalKey(const platform::MemoryImage &dump)
+{
+    return mostFrequentLine(dump);
+}
+
+std::vector<std::array<uint8_t, 64>>
+recoverDdr3Keys(const platform::MemoryImage &dump)
+{
+    std::vector<std::array<uint8_t, 64>> keys(16);
+    for (size_t idx = 0; idx < 16; ++idx)
+        keys[idx] = mostFrequentLine(dump, 16, idx);
+    return keys;
+}
+
+void
+descrambleWithUniversalKey(platform::MemoryImage &image,
+                           const std::array<uint8_t, 64> &key)
+{
+    for (size_t l = 0; l < image.lines(); ++l) {
+        auto line = image.lineMutable(l);
+        for (unsigned i = 0; i < 64; ++i)
+            line[i] ^= key[i];
+    }
+}
+
+void
+descrambleDdr3(platform::MemoryImage &image,
+               const std::vector<std::array<uint8_t, 64>> &keys)
+{
+    cb_assert(keys.size() == 16, "descrambleDdr3: need 16 keys");
+    for (size_t l = 0; l < image.lines(); ++l) {
+        auto line = image.lineMutable(l);
+        const auto &key = keys[l % 16];
+        for (unsigned i = 0; i < 64; ++i)
+            line[i] ^= key[i];
+    }
+}
+
+} // namespace coldboot::attack

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The baseline DDR3 cold boot attack (Bauer et al. 2016, recapped in
+ * Section II-C) that the paper's DDR4 attack supersedes.
+ *
+ * DDR3 scramblers use only 16 keys per channel, and the per-address
+ * key component is seed-independent. Re-reading a scrambled DRAM
+ * through a *different* seed's descrambler therefore cancels the
+ * per-address part: the whole dump appears XOR-ed with one universal
+ * 64-byte key, recoverable by simple frequency analysis (zero blocks
+ * dominate memory). Against DDR4 these techniques fail - which is
+ * demonstrated by tests and the E1 bench.
+ */
+
+#ifndef COLDBOOT_ATTACK_DDR3_ATTACK_HH
+#define COLDBOOT_ATTACK_DDR3_ATTACK_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "platform/memory_image.hh"
+
+namespace coldboot::attack
+{
+
+/**
+ * Most frequent 64-byte line value in an image, refined by a
+ * per-bit majority vote over all lines within @p refine_distance of
+ * the exact-count winner (decay tolerance).
+ *
+ * @param image            Image to analyze.
+ * @param stride_lines     Consider every stride_lines-th line.
+ * @param offset_lines     Starting line.
+ * @param refine_distance  Hamming radius for the refinement vote.
+ */
+std::array<uint8_t, 64> mostFrequentLine(
+    const platform::MemoryImage &image, size_t stride_lines = 1,
+    size_t offset_lines = 0, unsigned refine_distance = 80);
+
+/**
+ * Recover the DDR3 universal key from a double-scrambled dump (a
+ * victim image re-read through a differently-seeded descrambler).
+ * Zero-filled blocks make the universal key the dominant line value.
+ */
+std::array<uint8_t, 64> recoverDdr3UniversalKey(
+    const platform::MemoryImage &dump);
+
+/**
+ * Recover the 16 per-index DDR3 scrambler keys from a raw scrambled
+ * dump (scrambler-off capture). Key index i covers lines whose line
+ * number is congruent to i mod 16 (address bits [9:6]).
+ */
+std::vector<std::array<uint8_t, 64>> recoverDdr3Keys(
+    const platform::MemoryImage &dump);
+
+/**
+ * Descramble an entire image with one universal key, in place.
+ */
+void descrambleWithUniversalKey(platform::MemoryImage &image,
+                                const std::array<uint8_t, 64> &key);
+
+/**
+ * Descramble a raw DDR3 dump with the 16 recovered keys, in place.
+ */
+void descrambleDdr3(platform::MemoryImage &image,
+                    const std::vector<std::array<uint8_t, 64>> &keys);
+
+} // namespace coldboot::attack
+
+#endif // COLDBOOT_ATTACK_DDR3_ATTACK_HH

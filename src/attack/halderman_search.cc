@@ -1,0 +1,80 @@
+#include "attack/halderman_search.hh"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace coldboot::attack
+{
+
+std::vector<BaselineKey>
+haldermanSearch(const platform::MemoryImage &image,
+                const BaselineParams &params)
+{
+    using namespace crypto;
+
+    unsigned nk = aesNk(params.key_size);
+    size_t key_len = static_cast<size_t>(params.key_size);
+    size_t sched_bytes = aesScheduleBytes(params.key_size);
+    unsigned total_words = static_cast<unsigned>(sched_bytes) / 4;
+
+    cb_assert(params.step > 0, "haldermanSearch: zero step");
+
+    uint64_t begin = params.scan_start;
+    uint64_t end = params.scan_bytes == 0
+        ? image.size()
+        : std::min<uint64_t>(image.size(),
+                             params.scan_start + params.scan_bytes);
+
+    std::vector<BaselineKey> out;
+    std::set<std::vector<uint8_t>> seen;
+    auto bytes = image.bytes();
+
+    for (uint64_t off = begin;
+         off + sched_bytes <= end; off += params.step) {
+        // Take the window as the raw key and expand incrementally,
+        // comparing each generated word against the bytes that
+        // follow; bail out as soon as the error budget is exhausted.
+        uint32_t window[8];
+        for (unsigned i = 0; i < nk; ++i)
+            window[i] = aesWordFromBytes(&bytes[off + 4 * i]);
+
+        unsigned errors = 0;
+        bool match = true;
+        // Rolling window of the last nk words.
+        uint32_t last[8];
+        std::copy(window, window + nk, last);
+        for (unsigned i = nk; i < total_words; ++i) {
+            uint32_t next =
+                aesScheduleStep(last[nk - 1], last[0], i, nk);
+            uint32_t observed =
+                aesWordFromBytes(&bytes[off + 4 * i]);
+            errors += static_cast<unsigned>(
+                std::popcount(next ^ observed));
+            if (errors > params.max_bit_errors) {
+                match = false;
+                break;
+            }
+            for (unsigned m = 0; m + 1 < nk; ++m)
+                last[m] = last[m + 1];
+            last[nk - 1] = next;
+        }
+        if (!match)
+            continue;
+
+        BaselineKey key;
+        key.master.assign(bytes.begin() + static_cast<size_t>(off),
+                          bytes.begin() +
+                              static_cast<size_t>(off + key_len));
+        key.key_size = params.key_size;
+        key.offset = off;
+        key.bit_errors = errors;
+        if (seen.insert(key.master).second)
+            out.push_back(std::move(key));
+    }
+    return out;
+}
+
+} // namespace coldboot::attack

@@ -1,0 +1,205 @@
+#include "attack/key_miner.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "attack/litmus.hh"
+
+namespace coldboot::attack
+{
+
+namespace
+{
+
+/**
+ * A cluster of litmus-passing blocks believed to be decayed copies
+ * of one scrambler key. Per-bit vote counts let the miner recover
+ * the pristine key by majority even when every copy has flips.
+ */
+struct Cluster
+{
+    std::array<uint16_t, 512> one_votes{};
+    size_t members = 0;
+    uint64_t first_offset = 0;
+    std::array<uint8_t, 64> representative{};
+
+    void
+    add(std::span<const uint8_t> block, uint64_t offset)
+    {
+        if (members == 0) {
+            first_offset = offset;
+            std::copy(block.begin(), block.end(),
+                      representative.begin());
+        }
+        for (unsigned bit = 0; bit < 512; ++bit)
+            one_votes[bit] += (block[bit / 8] >> (bit % 8)) & 1;
+        ++members;
+    }
+
+    std::array<uint8_t, 64>
+    majority() const
+    {
+        // Per-bit majority vote; an exact tie (possible with an even
+        // member count) falls back to the first-seen copy's bit -
+        // an arbitrary tie-break would be wrong half the time and a
+        // single wrong key bit systematically corrupts every block
+        // descrambled with that key.
+        std::array<uint8_t, 64> key{};
+        for (unsigned bit = 0; bit < 512; ++bit) {
+            unsigned ones = 2 * one_votes[bit];
+            bool value;
+            if (ones > members)
+                value = true;
+            else if (ones < members)
+                value = false;
+            else
+                value = (representative[bit / 8] >> (bit % 8)) & 1;
+            if (value)
+                key[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+        }
+        return key;
+    }
+};
+
+/**
+ * Hamming distance with early exit once @p limit is exceeded
+ * (returns limit + 1 in that case).
+ */
+unsigned
+boundedDistance(std::span<const uint8_t> a, std::span<const uint8_t> b,
+                unsigned limit)
+{
+    unsigned dist = 0;
+    for (size_t i = 0; i + 8 <= a.size(); i += 8) {
+        dist += static_cast<unsigned>(
+            popcount64(loadLE64(&a[i]) ^ loadLE64(&b[i])));
+        if (dist > limit)
+            return limit + 1;
+    }
+    return dist;
+}
+
+} // anonymous namespace
+
+std::vector<MinedKey>
+mineScramblerKeys(const platform::MemoryImage &dump,
+                  const MinerParams &params, MinerStats *stats)
+{
+    MinerStats local;
+    uint64_t scan_bytes = dump.size();
+    if (params.scan_limit_bytes != 0)
+        scan_bytes = std::min<uint64_t>(scan_bytes,
+                                        params.scan_limit_bytes);
+
+    std::vector<Cluster> clusters;
+    // Multi-index bucket map: a block joins a cluster quickly when
+    // any of its eight 8-byte chunks is flip-free and matches the
+    // cluster's first member chunk. Misses fall back to a linear
+    // scan, and near-duplicate clusters get merged at the end.
+    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+    auto chunk_key = [](unsigned chunk_idx, uint64_t value) {
+        return value * 8 + chunk_idx;
+    };
+
+    for (uint64_t off = 0; off + 64 <= scan_bytes; off += 64) {
+        auto block = dump.bytes().subspan(off, 64);
+        ++local.blocks_scanned;
+        if (!scramblerKeyLitmus(block, params.litmus_max_bit_errors))
+            continue;
+        if (params.drop_constant_blocks && isConstantBlock(block)) {
+            ++local.constant_dropped;
+            continue;
+        }
+        ++local.litmus_hits;
+
+        // Find a home cluster via the chunk index.
+        size_t home = SIZE_MAX;
+        for (unsigned c = 0; c < 8 && home == SIZE_MAX; ++c) {
+            uint64_t v = loadLE64(&block[8 * c]);
+            auto it = buckets.find(chunk_key(c, v));
+            if (it == buckets.end())
+                continue;
+            for (size_t idx : it->second) {
+                if (boundedDistance(block,
+                                    clusters[idx].representative,
+                                    params.cluster_distance) <=
+                    params.cluster_distance) {
+                    home = idx;
+                    break;
+                }
+            }
+        }
+        if (home == SIZE_MAX) {
+            // Fall back to a bounded linear scan.
+            for (size_t idx = 0; idx < clusters.size(); ++idx) {
+                if (boundedDistance(block,
+                                    clusters[idx].representative,
+                                    params.cluster_distance) <=
+                    params.cluster_distance) {
+                    home = idx;
+                    break;
+                }
+            }
+        }
+        if (home == SIZE_MAX) {
+            clusters.emplace_back();
+            home = clusters.size() - 1;
+            for (unsigned c = 0; c < 8; ++c) {
+                uint64_t v = loadLE64(&block[8 * c]);
+                buckets[chunk_key(c, v)].push_back(home);
+            }
+        }
+        clusters[home].add(block, off);
+    }
+
+    // Merge clusters whose majority keys ended up close (decay can
+    // split one key across clusters when early copies were noisy).
+    std::vector<std::array<uint8_t, 64>> majorities(clusters.size());
+    for (size_t i = 0; i < clusters.size(); ++i)
+        majorities[i] = clusters[i].majority();
+
+    std::vector<MinedKey> out;
+    std::vector<bool> merged(clusters.size(), false);
+    for (size_t i = 0; i < clusters.size(); ++i) {
+        if (merged[i])
+            continue;
+        auto key_i = majorities[i];
+        size_t occurrences = clusters[i].members;
+        size_t biggest = clusters[i].members;
+        uint64_t first = clusters[i].first_offset;
+        for (size_t j = i + 1; j < clusters.size(); ++j) {
+            if (merged[j])
+                continue;
+            const auto &key_j = majorities[j];
+            if (boundedDistance(key_i, key_j,
+                                params.cluster_distance) <=
+                params.cluster_distance) {
+                occurrences += clusters[j].members;
+                first = std::min(first, clusters[j].first_offset);
+                merged[j] = true;
+                // Trust the majority vote of the largest constituent.
+                if (clusters[j].members > biggest) {
+                    biggest = clusters[j].members;
+                    key_i = key_j;
+                }
+            }
+        }
+        if (occurrences >= params.min_occurrences)
+            out.push_back(MinedKey{key_i, occurrences, first});
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const MinedKey &a, const MinedKey &b) {
+                  return a.occurrences > b.occurrences;
+              });
+
+    local.clusters = clusters.size();
+    local.keys_reported = out.size();
+    if (stats)
+        *stats = local;
+    return out;
+}
+
+} // namespace coldboot::attack

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Scrambler-key mining from a scrambled memory dump (attack step 1).
+ *
+ * Zero-filled 64-byte blocks are common in real memory, and a zero
+ * block stores the raw scrambler key in DRAM. The miner scans a dump
+ * for blocks passing the scrambler-key litmus test, clusters them
+ * with Hamming tolerance (bit decay means few copies are pristine),
+ * majority-votes each cluster into a clean key, and ranks clusters by
+ * occurrence count. Per the paper, mining less than 16 MB of dump is
+ * enough to recover every key of a channel even on a loaded system.
+ */
+
+#ifndef COLDBOOT_ATTACK_KEY_MINER_HH
+#define COLDBOOT_ATTACK_KEY_MINER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "platform/memory_image.hh"
+
+namespace coldboot::attack
+{
+
+/** One mined candidate scrambler key. */
+struct MinedKey
+{
+    /** Majority-voted 64-byte key. */
+    std::array<uint8_t, 64> key;
+    /** Number of dump blocks that contributed to this cluster. */
+    size_t occurrences;
+    /** Dump offset of the first contributing block. */
+    uint64_t first_offset;
+};
+
+/** Key-miner tuning. */
+struct MinerParams
+{
+    /**
+     * Litmus tolerance in invariant mismatch bits. Each decayed bit
+     * of a zero block perturbs about two invariant equations, so the
+     * tolerance is sized for the few-percent decay of a cooled
+     * transfer while staying far below the ~128-bit mismatch of
+     * random data.
+     */
+    unsigned litmus_max_bit_errors = 32;
+    /** Max Hamming distance to join an existing cluster. */
+    unsigned cluster_distance = 80;
+    /** Scan at most this many bytes of the dump (0 = all). */
+    uint64_t scan_limit_bytes = 16ull << 20;
+    /** Drop clusters with fewer occurrences than this. */
+    size_t min_occurrences = 2;
+    /** Filter trivially constant blocks before clustering. */
+    bool drop_constant_blocks = true;
+};
+
+/** Mining statistics for reporting. */
+struct MinerStats
+{
+    uint64_t blocks_scanned = 0;
+    uint64_t litmus_hits = 0;
+    uint64_t constant_dropped = 0;
+    size_t clusters = 0;
+    size_t keys_reported = 0;
+};
+
+/**
+ * Mine candidate scrambler keys from a dump.
+ *
+ * @param dump   Scrambled memory image.
+ * @param params Tuning parameters.
+ * @param stats  Optional statistics out-parameter.
+ * @return Candidates sorted by descending occurrence count.
+ */
+std::vector<MinedKey> mineScramblerKeys(
+    const platform::MemoryImage &dump, const MinerParams &params = {},
+    MinerStats *stats = nullptr);
+
+} // namespace coldboot::attack
+
+#endif // COLDBOOT_ATTACK_KEY_MINER_HH

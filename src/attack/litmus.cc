@@ -1,0 +1,117 @@
+#include "attack/litmus.hh"
+
+#include <bit>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace coldboot::attack
+{
+
+unsigned
+scramblerKeyLitmusScore(std::span<const uint8_t> block)
+{
+    cb_assert(block.size() == 64, "litmus block must be 64 bytes");
+    unsigned errors = 0;
+    for (unsigned base = 0; base < 64; base += 16) {
+        const uint8_t *p = block.data() + base;
+        auto w = [p](unsigned byte) { return loadLE16(p + byte); };
+        // Section III-B invariants.
+        errors += std::popcount(static_cast<unsigned>(
+            (w(2) ^ w(4)) ^ (w(10) ^ w(12))));
+        errors += std::popcount(static_cast<unsigned>(
+            (w(0) ^ w(6)) ^ (w(8) ^ w(14))));
+        errors += std::popcount(static_cast<unsigned>(
+            (w(0) ^ w(4)) ^ (w(8) ^ w(12))));
+        errors += std::popcount(static_cast<unsigned>(
+            (w(0) ^ w(2)) ^ (w(8) ^ w(10))));
+    }
+    return errors;
+}
+
+bool
+scramblerKeyLitmus(std::span<const uint8_t> block,
+                   unsigned max_bit_errors)
+{
+    return scramblerKeyLitmusScore(block) <= max_bit_errors;
+}
+
+bool
+isConstantBlock(std::span<const uint8_t> block)
+{
+    for (size_t i = 1; i < block.size(); ++i)
+        if (block[i] != block[0])
+            return false;
+    return true;
+}
+
+bool
+plausibleScheduleEntropy(std::span<const uint8_t> block)
+{
+    size_t weight = hammingWeight(block);
+    // 512 bits; random material sits near 256 (sigma ~11), so +/-7
+    // sigma keeps every real schedule while rejecting the structured
+    // plaintext classes that dominate memory.
+    return weight >= 180 && weight <= 332;
+}
+
+unsigned
+aesLitmusPlacements(crypto::AesKeySize key_size)
+{
+    unsigned total_words =
+        static_cast<unsigned>(crypto::aesScheduleBytes(key_size)) / 4;
+    // Block spans 16 words at a 4-word-aligned schedule position.
+    return (total_words - 16) / 4 + 1;
+}
+
+std::optional<AesLitmusResult>
+aesKeyLitmus(std::span<const uint8_t> block,
+             crypto::AesKeySize key_size, unsigned max_bit_errors,
+             unsigned max_bits_per_check)
+{
+    cb_assert(block.size() == 64, "litmus block must be 64 bytes");
+    uint32_t words[16];
+    for (unsigned i = 0; i < 16; ++i)
+        words[i] = crypto::aesWordFromBytes(&block[4 * i]);
+    return aesKeyLitmusWords(words, key_size, max_bit_errors,
+                             max_bits_per_check);
+}
+
+std::optional<AesLitmusResult>
+aesKeyLitmusWords(const uint32_t words[16],
+                  crypto::AesKeySize key_size, unsigned max_bit_errors,
+                  unsigned max_bits_per_check)
+{
+    unsigned nk = crypto::aesNk(key_size);
+
+    std::optional<AesLitmusResult> best;
+    unsigned placements = aesLitmusPlacements(key_size);
+    for (unsigned placement = 0; placement < placements; ++placement) {
+        unsigned p = placement * 4; // absolute index of block word 0
+        unsigned errors = 0;
+        // Slide the recurrence across the observed words so a decayed
+        // bit only perturbs the checks it participates in.
+        for (unsigned i = nk; i < 16; ++i) {
+            uint32_t pred = crypto::aesScheduleStep(
+                words[i - 1], words[i - nk], p + i, nk);
+            unsigned check = static_cast<unsigned>(
+                std::popcount(pred ^ words[i]));
+            errors += check;
+            if (check > max_bits_per_check) {
+                errors = max_bit_errors + 1;
+                break;
+            }
+            if (errors > max_bit_errors)
+                break;
+        }
+        if (errors <= max_bit_errors &&
+            (!best || errors < best->bit_errors)) {
+            best = AesLitmusResult{p, errors};
+            if (errors == 0)
+                break; // cannot improve
+        }
+    }
+    return best;
+}
+
+} // namespace coldboot::attack

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The two litmus tests at the heart of the DDR4 cold boot attack
+ * (Section III-B and III-C).
+ *
+ * Scrambler-key litmus: invariants between byte pairs inside every
+ * 64-byte DDR4 scrambler key. A zero-filled memory block stores the
+ * raw scrambler key in DRAM, so blocks passing this test reveal
+ * candidate keys. The test is Hamming-tolerant to survive bit decay.
+ *
+ * AES key litmus: a 64-byte block taken from the middle of an
+ * expanded AES key schedule is internally consistent under the key
+ * expansion recurrence - at least 3 consecutive round keys fall in
+ * any such block regardless of alignment. Because the round-constant
+ * schedule depends on the absolute position, the test tries every
+ * possible starting round (12 possibilities for AES-256).
+ */
+
+#ifndef COLDBOOT_ATTACK_LITMUS_HH
+#define COLDBOOT_ATTACK_LITMUS_HH
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "crypto/aes.hh"
+
+namespace coldboot::attack
+{
+
+/**
+ * Total bit mismatch across the paper's four byte-pair invariant
+ * equations evaluated on every 16-byte-aligned word of a 64-byte
+ * block (16 equations of 16 bits each; 0 for a pristine key).
+ */
+unsigned scramblerKeyLitmusScore(std::span<const uint8_t> block);
+
+/**
+ * Scrambler-key litmus test with decay tolerance.
+ *
+ * @param block          64-byte candidate block.
+ * @param max_bit_errors Accepted invariant mismatch bits.
+ */
+bool scramblerKeyLitmus(std::span<const uint8_t> block,
+                        unsigned max_bit_errors = 0);
+
+/**
+ * Whether a block is trivially constant (all bytes equal). Constant
+ * blocks - decayed ground-state stripes, unwritten zeros - satisfy
+ * the scrambler invariants vacuously and are filtered by the miner.
+ */
+bool isConstantBlock(std::span<const uint8_t> block);
+
+/**
+ * Whether a block is plausibly key-schedule material on entropy
+ * grounds: expanded AES schedules are indistinguishable from random
+ * (bit weight near half), while decayed zero blocks, pointer-heavy
+ * heap data and padding sit far below. Used as a cheap guard before
+ * the (tolerant) AES litmus so that low-entropy plaintext cannot
+ * sneak under the decay allowance.
+ */
+bool plausibleScheduleEntropy(std::span<const uint8_t> block);
+
+/** Result of the AES key litmus test on one 64-byte block. */
+struct AesLitmusResult
+{
+    /**
+     * Absolute schedule word index of the block's first word; the
+     * block holds schedule words [start_word, start_word + 16).
+     */
+    unsigned start_word;
+    /** Bit mismatch of the predicted vs observed continuation. */
+    unsigned bit_errors;
+};
+
+/**
+ * AES key litmus test: does this (descrambled) 64-byte block look
+ * like 16 consecutive words of an expanded AES key schedule?
+ *
+ * The block's first Nk words are taken as a recurrence window and
+ * the following words are predicted and compared against the rest of
+ * the block, for every possible 16-byte-aligned absolute position of
+ * the block inside a schedule (12 positions for AES-256, 10 for
+ * AES-192, 8 for AES-128).
+ *
+ * @param block          64-byte candidate block.
+ * @param key_size       Which AES variant's schedule to test for.
+ * @param max_bit_errors Accepted total mismatch bits (decay
+ *                       tolerance).
+ * @param max_bits_per_check Accepted mismatch bits on any single
+ *                       predicted word. Most recurrence steps are
+ *                       position-independent; only the Rcon/SubWord
+ *                       steps pin the absolute round, and a wrong
+ *                       placement fails exactly those checks with
+ *                       ~half their bits. The per-check cap rejects
+ *                       such placements while the total budget stays
+ *                       generous for scattered decay.
+ * @return The best matching placement, or std::nullopt.
+ */
+std::optional<AesLitmusResult>
+aesKeyLitmus(std::span<const uint8_t> block,
+             crypto::AesKeySize key_size, unsigned max_bit_errors = 0,
+             unsigned max_bits_per_check = 12);
+
+/**
+ * Word-level entry point of the AES key litmus test (the hot path of
+ * the dump scan: callers that already hold the block as 16 packed
+ * schedule words avoid the byte conversion).
+ */
+std::optional<AesLitmusResult>
+aesKeyLitmusWords(const uint32_t words[16],
+                  crypto::AesKeySize key_size, unsigned max_bit_errors,
+                  unsigned max_bits_per_check);
+
+/**
+ * Number of candidate schedule placements aesKeyLitmus() tries for a
+ * key size (the paper's "12 possible expansions" for AES-256).
+ */
+unsigned aesLitmusPlacements(crypto::AesKeySize key_size);
+
+} // namespace coldboot::attack
+
+#endif // COLDBOOT_ATTACK_LITMUS_HH

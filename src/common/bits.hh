@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Bit-level helpers used throughout the library: population counts,
+ * Hamming distances over byte ranges, and bit-field extraction.
+ */
+
+#ifndef COLDBOOT_COMMON_BITS_HH
+#define COLDBOOT_COMMON_BITS_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace coldboot
+{
+
+/** Number of set bits in a 64-bit value. */
+inline int
+popcount64(uint64_t v)
+{
+    return std::popcount(v);
+}
+
+/**
+ * Hamming distance between two equal-length byte ranges.
+ *
+ * @param a First byte range.
+ * @param b Second byte range; must have the same length as @p a.
+ * @return Total number of differing bits.
+ */
+size_t hammingDistance(std::span<const uint8_t> a,
+                       std::span<const uint8_t> b);
+
+/**
+ * Hamming weight (number of set bits) of a byte range.
+ */
+size_t hammingWeight(std::span<const uint8_t> a);
+
+/**
+ * Extract bits [lo, hi] (inclusive, hi >= lo) from a 64-bit value,
+ * right-justified.
+ */
+inline uint64_t
+bitsOf(uint64_t v, unsigned hi, unsigned lo)
+{
+    unsigned width = hi - lo + 1;
+    uint64_t mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    return (v >> lo) & mask;
+}
+
+/** Load a little-endian 16-bit value from a byte pointer. */
+inline uint16_t
+loadLE16(const uint8_t *p)
+{
+    return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+/** Load a little-endian 32-bit value from a byte pointer. */
+inline uint32_t
+loadLE32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+}
+
+/** Load a little-endian 64-bit value from a byte pointer. */
+inline uint64_t
+loadLE64(const uint8_t *p)
+{
+    return static_cast<uint64_t>(loadLE32(p)) |
+           (static_cast<uint64_t>(loadLE32(p + 4)) << 32);
+}
+
+/** Store a 16-bit value to a byte pointer, little-endian. */
+inline void
+storeLE16(uint8_t *p, uint16_t v)
+{
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+/** Store a 32-bit value to a byte pointer, little-endian. */
+inline void
+storeLE32(uint8_t *p, uint32_t v)
+{
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+    p[2] = static_cast<uint8_t>(v >> 16);
+    p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+/** Store a 64-bit value to a byte pointer, little-endian. */
+inline void
+storeLE64(uint8_t *p, uint64_t v)
+{
+    storeLE32(p, static_cast<uint32_t>(v));
+    storeLE32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+/** Left-rotate a 32-bit value. */
+inline uint32_t
+rotl32(uint32_t v, unsigned n)
+{
+    return std::rotl(v, static_cast<int>(n));
+}
+
+/**
+ * XOR the byte range @p src into @p dst (dst ^= src).
+ *
+ * Both ranges must have the same length.
+ */
+void xorBytes(std::span<uint8_t> dst, std::span<const uint8_t> src);
+
+} // namespace coldboot
+
+#endif // COLDBOOT_COMMON_BITS_HH

@@ -1,0 +1,87 @@
+#include "common/hex.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace coldboot
+{
+
+namespace
+{
+
+const char hexDigits[] = "0123456789abcdef";
+
+int
+nibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // anonymous namespace
+
+std::string
+toHex(std::span<const uint8_t> bytes)
+{
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (uint8_t b : bytes) {
+        out.push_back(hexDigits[b >> 4]);
+        out.push_back(hexDigits[b & 0xf]);
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+fromHex(const std::string &hex)
+{
+    if (hex.size() % 2 != 0)
+        cb_fatal("fromHex: odd-length hex string (%zu chars)", hex.size());
+    std::vector<uint8_t> out(hex.size() / 2);
+    for (size_t i = 0; i < out.size(); ++i) {
+        int hi = nibble(hex[2 * i]);
+        int lo = nibble(hex[2 * i + 1]);
+        if (hi < 0 || lo < 0)
+            cb_fatal("fromHex: bad hex digit at position %zu", 2 * i);
+        out[i] = static_cast<uint8_t>((hi << 4) | lo);
+    }
+    return out;
+}
+
+std::string
+hexDump(std::span<const uint8_t> bytes, uint64_t base_offset)
+{
+    std::string out;
+    char line[96];
+    for (size_t row = 0; row < bytes.size(); row += 16) {
+        int n = std::snprintf(line, sizeof(line), "%08llx  ",
+                              static_cast<unsigned long long>(
+                                  base_offset + row));
+        out.append(line, static_cast<size_t>(n));
+        for (size_t col = 0; col < 16; ++col) {
+            if (row + col < bytes.size()) {
+                uint8_t b = bytes[row + col];
+                out.push_back(hexDigits[b >> 4]);
+                out.push_back(hexDigits[b & 0xf]);
+            } else {
+                out.append("  ");
+            }
+            out.push_back(col == 7 ? ' ' : ' ');
+        }
+        out.append(" |");
+        for (size_t col = 0; col < 16 && row + col < bytes.size(); ++col) {
+            uint8_t b = bytes[row + col];
+            out.push_back(std::isprint(b) ? static_cast<char>(b) : '.');
+        }
+        out.append("|\n");
+    }
+    return out;
+}
+
+} // namespace coldboot

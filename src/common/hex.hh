@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Hexadecimal formatting and parsing helpers.
+ */
+
+#ifndef COLDBOOT_COMMON_HEX_HH
+#define COLDBOOT_COMMON_HEX_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace coldboot
+{
+
+/** Render a byte range as lowercase hex with no separators. */
+std::string toHex(std::span<const uint8_t> bytes);
+
+/**
+ * Parse a hex string (no separators, even length) into bytes.
+ *
+ * fatal()s on malformed input.
+ */
+std::vector<uint8_t> fromHex(const std::string &hex);
+
+/**
+ * Render a classic 16-bytes-per-line hex dump with offsets, e.g. for
+ * inspecting scrambler keys and memory blocks.
+ *
+ * @param bytes       Data to dump.
+ * @param base_offset Offset printed for the first byte.
+ */
+std::string hexDump(std::span<const uint8_t> bytes,
+                    uint64_t base_offset = 0);
+
+} // namespace coldboot
+
+#endif // COLDBOOT_COMMON_HEX_HH

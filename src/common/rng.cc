@@ -1,0 +1,80 @@
+#include "common/rng.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace coldboot
+{
+
+uint64_t
+SplitMix64::next()
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Xoshiro256StarStar::Xoshiro256StarStar(uint64_t seed)
+{
+    SplitMix64 seeder(seed);
+    for (auto &word : s)
+        word = seeder.next();
+}
+
+uint64_t
+Xoshiro256StarStar::next()
+{
+    uint64_t result = std::rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = std::rotl(s[3], 45);
+
+    return result;
+}
+
+double
+Xoshiro256StarStar::nextDouble()
+{
+    // 53 high bits -> [0, 1) with full double precision.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t
+Xoshiro256StarStar::nextBelow(uint64_t bound)
+{
+    cb_assert(bound != 0, "nextBelow: zero bound");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+void
+Xoshiro256StarStar::fillBytes(std::span<uint8_t> out)
+{
+    size_t i = 0;
+    for (; i + 8 <= out.size(); i += 8) {
+        uint64_t v = next();
+        for (int b = 0; b < 8; ++b)
+            out[i + b] = static_cast<uint8_t>(v >> (8 * b));
+    }
+    if (i < out.size()) {
+        uint64_t v = next();
+        for (; i < out.size(); ++i) {
+            out[i] = static_cast<uint8_t>(v);
+            v >>= 8;
+        }
+    }
+}
+
+} // namespace coldboot

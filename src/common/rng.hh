@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generators.
+ *
+ * These generators serve two distinct roles:
+ *  - SplitMix64 seeds other generators and produces quick mixing steps.
+ *  - Xoshiro256StarStar generates bulk test data, workload contents,
+ *    and stochastic decay decisions.
+ *
+ * Neither is cryptographically secure; the cryptographic primitives in
+ * src/crypto are used where security matters. Determinism given a seed
+ * is a hard requirement so experiments are reproducible.
+ */
+
+#ifndef COLDBOOT_COMMON_RNG_HH
+#define COLDBOOT_COMMON_RNG_HH
+
+#include <cstdint>
+#include <span>
+
+namespace coldboot
+{
+
+/**
+ * SplitMix64: tiny, fast, passes BigCrush; the canonical seeder for
+ * xoshiro-family generators.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(uint64_t seed) : state(seed) {}
+
+    /** Next 64-bit output. */
+    uint64_t next();
+
+  private:
+    uint64_t state;
+};
+
+/**
+ * xoshiro256** by Blackman and Vigna; the general-purpose generator
+ * used for workloads and stochastic models.
+ */
+class Xoshiro256StarStar
+{
+  public:
+    /** Seed all 256 bits of state from a single 64-bit seed. */
+    explicit Xoshiro256StarStar(uint64_t seed);
+
+    /** Next 64-bit output. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Fill a byte range with random data. */
+    void fillBytes(std::span<uint8_t> out);
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p) { return nextDouble() < p; }
+
+  private:
+    uint64_t s[4];
+};
+
+} // namespace coldboot
+
+#endif // COLDBOOT_COMMON_RNG_HH

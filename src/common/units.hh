@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small strong-ish unit helpers for the timing models.
+ *
+ * Time is represented in picoseconds as int64_t throughout the engine
+ * and DRAM timing code; these helpers keep conversions readable and
+ * centralize rounding decisions.
+ */
+
+#ifndef COLDBOOT_COMMON_UNITS_HH
+#define COLDBOOT_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace coldboot
+{
+
+/** Simulation time in picoseconds. */
+using Picoseconds = int64_t;
+
+/** Convert nanoseconds to picoseconds. */
+constexpr Picoseconds
+nsToPs(double ns)
+{
+    return static_cast<Picoseconds>(ns * 1000.0 + 0.5);
+}
+
+/** Convert picoseconds to nanoseconds. */
+constexpr double
+psToNs(Picoseconds ps)
+{
+    return static_cast<double>(ps) / 1000.0;
+}
+
+/**
+ * Clock period in picoseconds for a frequency in GHz (rounded to the
+ * nearest picosecond).
+ */
+constexpr Picoseconds
+periodPsFromGHz(double ghz)
+{
+    return static_cast<Picoseconds>(1000.0 / ghz + 0.5);
+}
+
+/** Megabytes to bytes. */
+constexpr uint64_t
+MiB(uint64_t n)
+{
+    return n << 20;
+}
+
+/** Kilobytes to bytes. */
+constexpr uint64_t
+KiB(uint64_t n)
+{
+    return n << 10;
+}
+
+} // namespace coldboot
+
+#endif // COLDBOOT_COMMON_UNITS_HH

@@ -1,0 +1,115 @@
+#include "crypto/aes_ttable.hh"
+
+#include <array>
+#include <bit>
+
+namespace coldboot::crypto
+{
+
+namespace
+{
+
+/**
+ * The four round tables, derived from the S-box (via aesSbox(), so
+ * the GF(2^8) ground truth lives in exactly one place). For byte x:
+ *   T0[x] = (2*S[x], S[x], S[x], 3*S[x])  packed big-endian,
+ * and T1..T3 are byte rotations of T0.
+ */
+struct TTables
+{
+    std::array<uint32_t, 256> t0, t1, t2, t3;
+
+    TTables()
+    {
+        auto xtime = [](uint8_t v) {
+            return static_cast<uint8_t>(
+                (v << 1) ^ ((v & 0x80) ? 0x1b : 0));
+        };
+        for (int x = 0; x < 256; ++x) {
+            uint8_t s = aesSbox(static_cast<uint8_t>(x));
+            uint8_t s2 = xtime(s);
+            uint8_t s3 = static_cast<uint8_t>(s2 ^ s);
+            uint32_t w = (static_cast<uint32_t>(s2) << 24) |
+                         (static_cast<uint32_t>(s) << 16) |
+                         (static_cast<uint32_t>(s) << 8) |
+                         static_cast<uint32_t>(s3);
+            t0[x] = w;
+            t1[x] = std::rotr(w, 8);
+            t2[x] = std::rotr(w, 16);
+            t3[x] = std::rotr(w, 24);
+        }
+    }
+};
+
+/** Meyers singleton: built on first use (see gfTables() in aes.cc). */
+const TTables &
+ttables()
+{
+    static const TTables tables;
+    return tables;
+}
+
+} // anonymous namespace
+
+FastAes::FastAes(std::span<const uint8_t> key)
+    : size(static_cast<AesKeySize>(key.size())),
+      sched(aesExpandKey(key))
+{
+}
+
+void
+FastAes::encryptBlock(const uint8_t in[aesBlockBytes],
+                      uint8_t out[aesBlockBytes]) const
+{
+    const uint8_t *rk = sched.data();
+    uint32_t c0 = aesWordFromBytes(in) ^ aesWordFromBytes(rk);
+    uint32_t c1 = aesWordFromBytes(in + 4) ^ aesWordFromBytes(rk + 4);
+    uint32_t c2 = aesWordFromBytes(in + 8) ^ aesWordFromBytes(rk + 8);
+    uint32_t c3 =
+        aesWordFromBytes(in + 12) ^ aesWordFromBytes(rk + 12);
+
+    const TTables &t = ttables();
+    int nr = aesRounds(size);
+    for (int round = 1; round < nr; ++round) {
+        rk = sched.data() + 16 * round;
+        uint32_t n0 = t.t0[c0 >> 24] ^ t.t1[(c1 >> 16) & 0xff] ^
+                      t.t2[(c2 >> 8) & 0xff] ^ t.t3[c3 & 0xff] ^
+                      aesWordFromBytes(rk);
+        uint32_t n1 = t.t0[c1 >> 24] ^ t.t1[(c2 >> 16) & 0xff] ^
+                      t.t2[(c3 >> 8) & 0xff] ^ t.t3[c0 & 0xff] ^
+                      aesWordFromBytes(rk + 4);
+        uint32_t n2 = t.t0[c2 >> 24] ^ t.t1[(c3 >> 16) & 0xff] ^
+                      t.t2[(c0 >> 8) & 0xff] ^ t.t3[c1 & 0xff] ^
+                      aesWordFromBytes(rk + 8);
+        uint32_t n3 = t.t0[c3 >> 24] ^ t.t1[(c0 >> 16) & 0xff] ^
+                      t.t2[(c1 >> 8) & 0xff] ^ t.t3[c2 & 0xff] ^
+                      aesWordFromBytes(rk + 12);
+        c0 = n0;
+        c1 = n1;
+        c2 = n2;
+        c3 = n3;
+    }
+
+    // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+    rk = sched.data() + 16 * nr;
+    auto sb = [](uint32_t w, int shift) {
+        return static_cast<uint32_t>(
+                   aesSbox(static_cast<uint8_t>(w >> shift)))
+               << shift;
+    };
+    uint32_t f0 = (sb(c0, 24) | sb(c1, 16) | sb(c2, 8) | sb(c3, 0)) ^
+                  aesWordFromBytes(rk);
+    uint32_t f1 = (sb(c1, 24) | sb(c2, 16) | sb(c3, 8) | sb(c0, 0)) ^
+                  aesWordFromBytes(rk + 4);
+    uint32_t f2 = (sb(c2, 24) | sb(c3, 16) | sb(c0, 8) | sb(c1, 0)) ^
+                  aesWordFromBytes(rk + 8);
+    uint32_t f3 = (sb(c3, 24) | sb(c0, 16) | sb(c1, 8) | sb(c2, 0)) ^
+                  aesWordFromBytes(rk + 12);
+
+    aesBytesFromWord(f0, out);
+    aesBytesFromWord(f1, out + 4);
+    aesBytesFromWord(f2, out + 8);
+    aesBytesFromWord(f3, out + 12);
+}
+
+} // namespace coldboot::crypto

@@ -1,0 +1,96 @@
+#include "crypto/chacha.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace coldboot::crypto
+{
+
+namespace
+{
+
+inline void
+quarterRound(uint32_t &a, uint32_t &b, uint32_t &c, uint32_t &d)
+{
+    a += b; d ^= a; d = rotl32(d, 16);
+    c += d; b ^= c; b = rotl32(b, 12);
+    a += b; d ^= a; d = rotl32(d, 8);
+    c += d; b ^= c; b = rotl32(b, 7);
+}
+
+} // anonymous namespace
+
+ChaCha::ChaCha(std::span<const uint8_t> key,
+               std::span<const uint8_t> nonce, int rounds)
+    : nrounds(rounds)
+{
+    if (key.size() != 32)
+        cb_fatal("ChaCha key must be 32 bytes, got %zu", key.size());
+    if (nonce.size() != 8)
+        cb_fatal("ChaCha nonce must be 8 bytes, got %zu", nonce.size());
+    if (rounds != 8 && rounds != 12 && rounds != 20)
+        cb_fatal("ChaCha rounds must be 8, 12 or 20, got %d", rounds);
+
+    for (int i = 0; i < 8; ++i)
+        key_words[i] = loadLE32(&key[4 * i]);
+    nonce_words[0] = loadLE32(&nonce[0]);
+    nonce_words[1] = loadLE32(&nonce[4]);
+}
+
+void
+ChaCha::keystreamBlock(uint64_t counter,
+                       uint8_t out[chachaBlockBytes]) const
+{
+    // "expand 32-byte k"
+    static const uint32_t sigma[4] = {
+        0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+    };
+
+    uint32_t state[16];
+    for (int i = 0; i < 4; ++i)
+        state[i] = sigma[i];
+    for (int i = 0; i < 8; ++i)
+        state[4 + i] = key_words[i];
+    state[12] = static_cast<uint32_t>(counter);
+    state[13] = static_cast<uint32_t>(counter >> 32);
+    state[14] = nonce_words[0];
+    state[15] = nonce_words[1];
+
+    uint32_t x[16];
+    for (int i = 0; i < 16; ++i)
+        x[i] = state[i];
+
+    for (int i = 0; i < nrounds; i += 2) {
+        // Column round.
+        quarterRound(x[0], x[4], x[8], x[12]);
+        quarterRound(x[1], x[5], x[9], x[13]);
+        quarterRound(x[2], x[6], x[10], x[14]);
+        quarterRound(x[3], x[7], x[11], x[15]);
+        // Diagonal round.
+        quarterRound(x[0], x[5], x[10], x[15]);
+        quarterRound(x[1], x[6], x[11], x[12]);
+        quarterRound(x[2], x[7], x[8], x[13]);
+        quarterRound(x[3], x[4], x[9], x[14]);
+    }
+
+    for (int i = 0; i < 16; ++i)
+        storeLE32(&out[4 * i], x[i] + state[i]);
+}
+
+void
+ChaCha::crypt(uint64_t counter0, std::span<const uint8_t> in,
+              std::span<uint8_t> out) const
+{
+    cb_assert(in.size() == out.size(),
+              "ChaCha::crypt: in/out length mismatch %zu vs %zu",
+              in.size(), out.size());
+    uint8_t ks[chachaBlockBytes];
+    for (size_t off = 0; off < in.size(); off += chachaBlockBytes) {
+        keystreamBlock(counter0 + off / chachaBlockBytes, ks);
+        size_t n = std::min(chachaBlockBytes, in.size() - off);
+        for (size_t i = 0; i < n; ++i)
+            out[off + i] = in[off + i] ^ ks[i];
+    }
+}
+
+} // namespace coldboot::crypto

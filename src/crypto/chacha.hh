@@ -1,0 +1,66 @@
+/**
+ * @file
+ * ChaCha stream cipher (Bernstein 2008) with a configurable round
+ * count covering the ChaCha8 / ChaCha12 / ChaCha20 variants the paper
+ * evaluates as scrambler replacements.
+ *
+ * ChaCha is a natural fit for the memory-encryption application: one
+ * block invocation produces exactly 64 bytes of keystream — one DRAM
+ * cache line — from (key, nonce, block counter), so the physical
+ * address can serve directly as the counter and keystream generation
+ * is independent of the data being read.
+ */
+
+#ifndef COLDBOOT_CRYPTO_CHACHA_HH
+#define COLDBOOT_CRYPTO_CHACHA_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace coldboot::crypto
+{
+
+/** ChaCha produces 64-byte keystream blocks. */
+constexpr size_t chachaBlockBytes = 64;
+
+/**
+ * ChaCha keystream generator.
+ */
+class ChaCha
+{
+  public:
+    /**
+     * @param key    32-byte key.
+     * @param nonce  8-byte nonce (original ChaCha layout with a 64-bit
+     *               counter and 64-bit nonce).
+     * @param rounds Total double-round-pair count: 8, 12 or 20.
+     */
+    ChaCha(std::span<const uint8_t> key, std::span<const uint8_t> nonce,
+           int rounds);
+
+    /**
+     * Generate the 64-byte keystream block for @p counter.
+     */
+    void keystreamBlock(uint64_t counter,
+                        uint8_t out[chachaBlockBytes]) const;
+
+    /**
+     * XOR a byte range with the keystream starting at block
+     * @p counter0, offset 0 (encrypt == decrypt).
+     */
+    void crypt(uint64_t counter0, std::span<const uint8_t> in,
+               std::span<uint8_t> out) const;
+
+    /** Round count (8, 12 or 20). */
+    int rounds() const { return nrounds; }
+
+  private:
+    std::array<uint32_t, 8> key_words;
+    std::array<uint32_t, 2> nonce_words;
+    int nrounds;
+};
+
+} // namespace coldboot::crypto
+
+#endif // COLDBOOT_CRYPTO_CHACHA_HH

@@ -1,0 +1,45 @@
+#include "crypto/ctr.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace coldboot::crypto
+{
+
+AesCtr::AesCtr(std::span<const uint8_t> key,
+               std::span<const uint8_t> nonce)
+    : aes(key)
+{
+    if (nonce.size() != 8)
+        cb_fatal("AesCtr nonce must be 8 bytes, got %zu", nonce.size());
+    std::copy(nonce.begin(), nonce.end(), nonce_bytes.begin());
+}
+
+void
+AesCtr::lineKeystream(uint64_t line_addr, uint8_t out[64]) const
+{
+    // Counter block layout: nonce[0:8] || line_addr[8:14] || sub[14:16].
+    uint8_t ctr[aesBlockBytes];
+    std::copy(nonce_bytes.begin(), nonce_bytes.end(), ctr);
+    for (unsigned sub = 0; sub < 4; ++sub) {
+        uint64_t counter = (line_addr << 2) | sub;
+        storeLE64(&ctr[8], counter);
+        aes.encryptBlock(ctr, &out[16 * sub]);
+    }
+}
+
+void
+AesCtr::cryptLine(uint64_t line_addr, std::span<const uint8_t> in,
+                  std::span<uint8_t> out) const
+{
+    cb_assert(in.size() == 64 && out.size() == 64,
+              "AesCtr::cryptLine: line must be 64 bytes");
+    uint8_t ks[64];
+    lineKeystream(line_addr, ks);
+    for (size_t i = 0; i < 64; ++i)
+        out[i] = in[i] ^ ks[i];
+}
+
+} // namespace coldboot::crypto

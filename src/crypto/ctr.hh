@@ -1,0 +1,55 @@
+/**
+ * @file
+ * AES counter-mode keystream generation, configured the way the paper
+ * proposes for memory encryption: the physical address acts as the
+ * counter and a boot-time nonce/key pair completes the input block.
+ *
+ * A 64-byte DRAM line needs four AES blocks, so encrypting a line
+ * issues four counters (address || 0..3); this 4x counter fan-out is
+ * exactly the property that costs AES under high bandwidth utilization
+ * in the paper's Figure 6 queueing analysis.
+ */
+
+#ifndef COLDBOOT_CRYPTO_CTR_HH
+#define COLDBOOT_CRYPTO_CTR_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "crypto/aes_ttable.hh"
+
+namespace coldboot::crypto
+{
+
+/**
+ * AES-CTR keystream generator for 64-byte memory lines.
+ */
+class AesCtr
+{
+  public:
+    /**
+     * @param key   AES key (16/24/32 bytes).
+     * @param nonce 8-byte boot-time nonce occupying the high half of
+     *              each counter block.
+     */
+    AesCtr(std::span<const uint8_t> key, std::span<const uint8_t> nonce);
+
+    /**
+     * Generate the 64-byte keystream for the line at physical address
+     * @p line_addr (line-granularity address; i.e. byte address >> 6).
+     */
+    void lineKeystream(uint64_t line_addr, uint8_t out[64]) const;
+
+    /** XOR a 64-byte line with its keystream (encrypt == decrypt). */
+    void cryptLine(uint64_t line_addr, std::span<const uint8_t> in,
+                   std::span<uint8_t> out) const;
+
+  private:
+    FastAes aes;
+    std::array<uint8_t, 8> nonce_bytes;
+};
+
+} // namespace coldboot::crypto
+
+#endif // COLDBOOT_CRYPTO_CTR_HH

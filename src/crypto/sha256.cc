@@ -1,0 +1,204 @@
+#include "crypto/sha256.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace coldboot::crypto
+{
+
+namespace
+{
+
+constexpr uint32_t K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5,
+    0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3,
+    0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5,
+    0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+inline uint32_t
+rotr(uint32_t v, int n)
+{
+    return std::rotr(v, n);
+}
+
+} // anonymous namespace
+
+Sha256::Sha256()
+    : state{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19},
+      total_len(0), buffer{}, buffer_len(0)
+{
+}
+
+void
+Sha256::processBlock(const uint8_t block[64])
+{
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
+               (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
+               (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
+               static_cast<uint32_t>(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+        uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^
+                      (w[i - 15] >> 3);
+        uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^
+                      (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+        uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+        uint32_t ch = (e & f) ^ (~e & g);
+        uint32_t temp1 = h + s1 + ch + K[i] + w[i];
+        uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+        uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        uint32_t temp2 = s0 + maj;
+        h = g; g = f; f = e;
+        e = d + temp1;
+        d = c; c = b; b = a;
+        a = temp1 + temp2;
+    }
+
+    state[0] += a; state[1] += b; state[2] += c; state[3] += d;
+    state[4] += e; state[5] += f; state[6] += g; state[7] += h;
+}
+
+void
+Sha256::update(std::span<const uint8_t> data)
+{
+    total_len += data.size();
+    size_t off = 0;
+    if (buffer_len > 0) {
+        size_t need = 64 - buffer_len;
+        size_t take = std::min(need, data.size());
+        std::memcpy(buffer.data() + buffer_len, data.data(), take);
+        buffer_len += take;
+        off = take;
+        if (buffer_len == 64) {
+            processBlock(buffer.data());
+            buffer_len = 0;
+        }
+    }
+    while (off + 64 <= data.size()) {
+        processBlock(&data[off]);
+        off += 64;
+    }
+    if (off < data.size()) {
+        std::memcpy(buffer.data(), &data[off], data.size() - off);
+        buffer_len = data.size() - off;
+    }
+}
+
+std::array<uint8_t, sha256DigestBytes>
+Sha256::finish()
+{
+    uint64_t bit_len = total_len * 8;
+    uint8_t pad[72] = {0x80};
+    // Pad to 56 mod 64, then append the 64-bit big-endian length.
+    size_t pad_len = (buffer_len < 56) ? (56 - buffer_len)
+                                       : (120 - buffer_len);
+    uint8_t len_be[8];
+    for (int i = 0; i < 8; ++i)
+        len_be[i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+    update({pad, pad_len});
+    update({len_be, 8});
+
+    std::array<uint8_t, sha256DigestBytes> out;
+    for (int i = 0; i < 8; ++i) {
+        out[4 * i] = static_cast<uint8_t>(state[i] >> 24);
+        out[4 * i + 1] = static_cast<uint8_t>(state[i] >> 16);
+        out[4 * i + 2] = static_cast<uint8_t>(state[i] >> 8);
+        out[4 * i + 3] = static_cast<uint8_t>(state[i]);
+    }
+    return out;
+}
+
+std::array<uint8_t, sha256DigestBytes>
+Sha256::digest(std::span<const uint8_t> data)
+{
+    Sha256 h;
+    h.update(data);
+    return h.finish();
+}
+
+std::array<uint8_t, sha256DigestBytes>
+hmacSha256(std::span<const uint8_t> key, std::span<const uint8_t> data)
+{
+    std::array<uint8_t, 64> k_block{};
+    if (key.size() > 64) {
+        auto kd = Sha256::digest(key);
+        std::memcpy(k_block.data(), kd.data(), kd.size());
+    } else {
+        std::memcpy(k_block.data(), key.data(), key.size());
+    }
+
+    std::array<uint8_t, 64> ipad, opad;
+    for (int i = 0; i < 64; ++i) {
+        ipad[i] = k_block[i] ^ 0x36;
+        opad[i] = k_block[i] ^ 0x5c;
+    }
+
+    Sha256 inner;
+    inner.update({ipad.data(), ipad.size()});
+    inner.update(data);
+    auto inner_digest = inner.finish();
+
+    Sha256 outer;
+    outer.update({opad.data(), opad.size()});
+    outer.update({inner_digest.data(), inner_digest.size()});
+    return outer.finish();
+}
+
+std::vector<uint8_t>
+pbkdf2Sha256(std::span<const uint8_t> password,
+             std::span<const uint8_t> salt, uint32_t iterations,
+             size_t dk_len)
+{
+    if (iterations == 0)
+        cb_fatal("pbkdf2Sha256: iteration count must be >= 1");
+
+    std::vector<uint8_t> out;
+    out.reserve(dk_len);
+    uint32_t block_index = 1;
+    while (out.size() < dk_len) {
+        // U1 = HMAC(password, salt || INT_BE(block_index))
+        std::vector<uint8_t> msg(salt.begin(), salt.end());
+        msg.push_back(static_cast<uint8_t>(block_index >> 24));
+        msg.push_back(static_cast<uint8_t>(block_index >> 16));
+        msg.push_back(static_cast<uint8_t>(block_index >> 8));
+        msg.push_back(static_cast<uint8_t>(block_index));
+        auto u = hmacSha256(password, {msg.data(), msg.size()});
+        auto t = u;
+        for (uint32_t iter = 1; iter < iterations; ++iter) {
+            u = hmacSha256(password, {u.data(), u.size()});
+            for (size_t i = 0; i < t.size(); ++i)
+                t[i] ^= u[i];
+        }
+        size_t take = std::min(t.size(), dk_len - out.size());
+        out.insert(out.end(), t.begin(), t.begin() + take);
+        ++block_index;
+    }
+    return out;
+}
+
+} // namespace coldboot::crypto

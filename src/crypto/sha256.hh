@@ -1,0 +1,71 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4), HMAC-SHA256 (RFC 2104) and PBKDF2-HMAC-SHA256
+ * (RFC 8018).
+ *
+ * These back the VeraCrypt-style volume substrate: the volume header
+ * key is derived from the passphrase and salt with PBKDF2, mirroring
+ * how TrueCrypt/VeraCrypt derive header keys before exposing the
+ * master keys they protect.
+ */
+
+#ifndef COLDBOOT_CRYPTO_SHA256_HH
+#define COLDBOOT_CRYPTO_SHA256_HH
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace coldboot::crypto
+{
+
+/** SHA-256 digest size in bytes. */
+constexpr size_t sha256DigestBytes = 32;
+
+/**
+ * Incremental SHA-256 hasher.
+ */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb more input. */
+    void update(std::span<const uint8_t> data);
+
+    /** Finalize and return the digest; the hasher must not be reused. */
+    std::array<uint8_t, sha256DigestBytes> finish();
+
+    /** One-shot convenience digest. */
+    static std::array<uint8_t, sha256DigestBytes>
+    digest(std::span<const uint8_t> data);
+
+  private:
+    void processBlock(const uint8_t block[64]);
+
+    std::array<uint32_t, 8> state;
+    uint64_t total_len;
+    std::array<uint8_t, 64> buffer;
+    size_t buffer_len;
+};
+
+/** HMAC-SHA256 of @p data under @p key. */
+std::array<uint8_t, sha256DigestBytes>
+hmacSha256(std::span<const uint8_t> key, std::span<const uint8_t> data);
+
+/**
+ * PBKDF2-HMAC-SHA256.
+ *
+ * @param password   Passphrase bytes.
+ * @param salt       Salt bytes.
+ * @param iterations Iteration count (>= 1).
+ * @param dk_len     Derived key length in bytes.
+ */
+std::vector<uint8_t> pbkdf2Sha256(std::span<const uint8_t> password,
+                                  std::span<const uint8_t> salt,
+                                  uint32_t iterations, size_t dk_len);
+
+} // namespace coldboot::crypto
+
+#endif // COLDBOOT_CRYPTO_SHA256_HH

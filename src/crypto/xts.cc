@@ -1,0 +1,85 @@
+#include "crypto/xts.hh"
+
+#include <cstring>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace coldboot::crypto
+{
+
+namespace
+{
+
+/**
+ * Multiply a 128-bit tweak by alpha (x) in GF(2^128), little-endian
+ * byte order, reduction polynomial x^128 + x^7 + x^2 + x + 1.
+ */
+void
+gfDouble(uint8_t t[16])
+{
+    uint8_t carry = 0;
+    for (int i = 0; i < 16; ++i) {
+        uint8_t next_carry = static_cast<uint8_t>(t[i] >> 7);
+        t[i] = static_cast<uint8_t>((t[i] << 1) | carry);
+        carry = next_carry;
+    }
+    if (carry)
+        t[0] ^= 0x87;
+}
+
+} // anonymous namespace
+
+XtsAes::XtsAes(std::span<const uint8_t> data_key,
+               std::span<const uint8_t> tweak_key)
+    : data_aes(data_key), tweak_aes(tweak_key)
+{
+    if (data_key.size() != tweak_key.size())
+        cb_fatal("XTS keys must have equal length (%zu vs %zu)",
+                 data_key.size(), tweak_key.size());
+}
+
+void
+XtsAes::cryptSector(uint64_t sector, std::span<const uint8_t> in,
+                    std::span<uint8_t> out, bool encrypt) const
+{
+    cb_assert(in.size() == out.size(),
+              "XtsAes: in/out length mismatch");
+    if (in.empty() || in.size() % aesBlockBytes != 0)
+        cb_fatal("XtsAes: data unit length %zu is not a nonzero "
+                 "multiple of 16", in.size());
+
+    // Tweak = AES_enc(tweak_key, LE128(sector)).
+    uint8_t tweak[aesBlockBytes] = {};
+    storeLE64(tweak, sector);
+    tweak_aes.encryptBlock(tweak, tweak);
+
+    uint8_t block[aesBlockBytes];
+    for (size_t off = 0; off < in.size(); off += aesBlockBytes) {
+        for (size_t i = 0; i < aesBlockBytes; ++i)
+            block[i] = in[off + i] ^ tweak[i];
+        if (encrypt)
+            data_aes.encryptBlock(block, block);
+        else
+            data_aes.decryptBlock(block, block);
+        for (size_t i = 0; i < aesBlockBytes; ++i)
+            out[off + i] = block[i] ^ tweak[i];
+        gfDouble(tweak);
+    }
+}
+
+void
+XtsAes::encryptSector(uint64_t sector, std::span<const uint8_t> in,
+                      std::span<uint8_t> out) const
+{
+    cryptSector(sector, in, out, true);
+}
+
+void
+XtsAes::decryptSector(uint64_t sector, std::span<const uint8_t> in,
+                      std::span<uint8_t> out) const
+{
+    cryptSector(sector, in, out, false);
+}
+
+} // namespace coldboot::crypto

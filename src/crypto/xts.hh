@@ -1,0 +1,68 @@
+/**
+ * @file
+ * XTS-AES (IEEE 1619) sector encryption.
+ *
+ * TrueCrypt/VeraCrypt volumes encrypt data sectors with XTS-AES under
+ * two independent AES keys (the "master keys" the paper's attack
+ * recovers). Mounting a volume expands both keys into round-key
+ * schedules that stay cached in RAM — the exact artifact a cold boot
+ * attack searches for.
+ */
+
+#ifndef COLDBOOT_CRYPTO_XTS_HH
+#define COLDBOOT_CRYPTO_XTS_HH
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/aes.hh"
+
+namespace coldboot::crypto
+{
+
+/**
+ * XTS-AES cipher over fixed-size data units (sectors).
+ */
+class XtsAes
+{
+  public:
+    /**
+     * @param data_key  AES key encrypting the data blocks (key 1).
+     * @param tweak_key AES key encrypting the tweak (key 2); must be
+     *                  the same length as @p data_key.
+     */
+    XtsAes(std::span<const uint8_t> data_key,
+           std::span<const uint8_t> tweak_key);
+
+    /**
+     * Encrypt one data unit.
+     *
+     * @param sector Data unit number (tweak input).
+     * @param in     Plaintext; length must be a nonzero multiple
+     *               of 16.
+     * @param out    Ciphertext destination of the same length.
+     */
+    void encryptSector(uint64_t sector, std::span<const uint8_t> in,
+                       std::span<uint8_t> out) const;
+
+    /** Decrypt one data unit (same constraints as encryptSector). */
+    void decryptSector(uint64_t sector, std::span<const uint8_t> in,
+                       std::span<uint8_t> out) const;
+
+    /** The data-key cipher (schedule inspection for tests). */
+    const Aes &dataCipher() const { return data_aes; }
+
+    /** The tweak-key cipher. */
+    const Aes &tweakCipher() const { return tweak_aes; }
+
+  private:
+    void cryptSector(uint64_t sector, std::span<const uint8_t> in,
+                     std::span<uint8_t> out, bool encrypt) const;
+
+    Aes data_aes;
+    Aes tweak_aes;
+};
+
+} // namespace coldboot::crypto
+
+#endif // COLDBOOT_CRYPTO_XTS_HH

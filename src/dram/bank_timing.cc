@@ -1,0 +1,162 @@
+#include "dram/bank_timing.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace coldboot::dram
+{
+
+BankTimingParams
+BankTimingParams::forGrade(const SpeedGrade &grade)
+{
+    BankTimingParams p;
+    p.bus_mhz = grade.bus_mhz;
+    p.t_cl = grade.cas_cycles;
+    // Representative matching core timings (tRCD/tRP track tCL on
+    // standard bins).
+    p.t_rcd = grade.cas_cycles + 1;
+    p.t_rp = grade.cas_cycles + 1;
+    return p;
+}
+
+BankTimingSimulator::BankTimingSimulator(const BankTimingParams &params)
+    : parms(params)
+{
+    if (parms.banks == 0)
+        cb_fatal("BankTimingSimulator: zero banks");
+}
+
+std::vector<ReadTiming>
+BankTimingSimulator::simulateStream(
+    std::span<const ReadRequest> requests)
+{
+    struct BankState
+    {
+        bool open = false;
+        uint64_t row = 0;
+        int64_t ready_cycle = 0;    // bank free for next command
+        int64_t activated_at = 0;   // for tRAS
+    };
+    std::vector<BankState> banks(parms.banks);
+
+    // Command bus: one command per cycle, with gap filling (a later
+    // request's ACT may slip into an idle cycle while an older
+    // request waits on a bank timer - FR-FCFS-style command issue).
+    std::vector<char> cmd_busy;
+    auto issue_cmd = [&cmd_busy](int64_t earliest) {
+        int64_t cycle = std::max<int64_t>(earliest, 0);
+        for (;; ++cycle) {
+            if (cycle >= static_cast<int64_t>(cmd_busy.size()))
+                cmd_busy.resize(static_cast<size_t>(cycle) + 64, 0);
+            if (!cmd_busy[static_cast<size_t>(cycle)]) {
+                cmd_busy[static_cast<size_t>(cycle)] = 1;
+                return cycle;
+            }
+        }
+    };
+    int64_t last_cas = -parms.t_ccd; // CAS-to-CAS spacing
+    int64_t data_bus_free = 0; // data bus busy tBL per burst
+
+    std::vector<ReadTiming> out;
+    out.reserve(requests.size());
+
+    for (const auto &req : requests) {
+        cb_assert(req.bank < parms.banks,
+                  "simulateStream: bank %u out of range", req.bank);
+        BankState &bank = banks[req.bank];
+        ReadTiming rt;
+        rt.id = req.id;
+        rt.row_hit = bank.open && bank.row == req.row;
+
+        if (!rt.row_hit) {
+            if (bank.open) {
+                // PRE: respect tRAS since activation.
+                int64_t pre_cycle = issue_cmd(std::max(
+                    {req.arrival, bank.ready_cycle,
+                     bank.activated_at + parms.t_ras}));
+                bank.ready_cycle = pre_cycle + parms.t_rp;
+            }
+            // ACT.
+            int64_t act_cycle = issue_cmd(
+                std::max(req.arrival, bank.ready_cycle));
+            bank.activated_at = act_cycle;
+            bank.ready_cycle = act_cycle + parms.t_rcd;
+            bank.open = true;
+            bank.row = req.row;
+        }
+
+        // CAS: bank ready, command bus free, tCCD since last CAS,
+        // and the data bus must be free when the burst lands.
+        int64_t cas_cycle = issue_cmd(std::max(
+            {req.arrival, bank.ready_cycle, last_cas + parms.t_ccd,
+             data_bus_free - parms.t_cl}));
+        last_cas = cas_cycle;
+        rt.cas_cycle = cas_cycle;
+        rt.data_cycle = cas_cycle + parms.t_cl;
+        data_bus_free = rt.data_cycle + parms.t_bl;
+        bank.ready_cycle = std::max(bank.ready_cycle, cas_cycle + 1);
+
+        out.push_back(rt);
+    }
+    return out;
+}
+
+std::vector<ReadTiming>
+BankTimingSimulator::simulateRowHitBurst(unsigned count)
+{
+    // Prime every bank's row, then read the same rows again; only
+    // the second pass (all hits) is returned.
+    std::vector<ReadRequest> prime;
+    for (unsigned i = 0; i < parms.banks; ++i)
+        prime.push_back({i, i, 0});
+    std::vector<ReadRequest> burst;
+    for (unsigned i = 0; i < count; ++i)
+        burst.push_back({i, i % parms.banks, 0});
+
+    // Run both passes through one simulator call so bank state
+    // carries over, then drop the priming entries.
+    std::vector<ReadRequest> all(prime);
+    all.insert(all.end(), burst.begin(), burst.end());
+    auto timings = simulateStream(all);
+    std::vector<ReadTiming> out(timings.begin() + prime.size(),
+                                timings.end());
+    // Rebase cycles so the burst starts near zero.
+    int64_t base = out.empty() ? 0 : out.front().cas_cycle;
+    for (auto &t : out) {
+        t.cas_cycle -= base;
+        t.data_cycle -= base;
+    }
+    return out;
+}
+
+Picoseconds
+engineExposureOverStream(std::span<const ReadTiming> timings,
+                         const BankTimingParams &params,
+                         Picoseconds engine_period_ps,
+                         int engine_depth_cycles,
+                         int counters_per_line)
+{
+    // Engine ingest port: one counter per engine clock, requests
+    // enqueue at their CAS issue time.
+    Picoseconds port_free = 0;
+    Picoseconds worst = 0;
+    for (const auto &rt : timings) {
+        Picoseconds issue = rt.casPs(params);
+        Picoseconds last_entry = 0;
+        for (int c = 0; c < counters_per_line; ++c) {
+            Picoseconds entry = std::max(issue, port_free);
+            port_free = entry + engine_period_ps;
+            last_entry = entry;
+        }
+        Picoseconds keystream_done =
+            last_entry + engine_depth_cycles * engine_period_ps;
+        Picoseconds data = rt.dataPs(params);
+        worst =
+            std::max(worst, std::max<Picoseconds>(
+                                0, keystream_done - data));
+    }
+    return worst;
+}
+
+} // namespace coldboot::dram

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Bank-level DDR4 read-timing simulator.
+ *
+ * The paper's zero-exposed-latency argument rests on DRAM protocol
+ * timing: after a row is open, a column read (CAS) returns data in a
+ * fixed tCL window, and back-to-back row-buffer hits across banks
+ * keep the data bus saturated at one 64-byte burst per tCCD. This
+ * simulator models that machinery explicitly - per-bank open-row
+ * state, ACT/PRE/CAS command timing, command- and data-bus
+ * contention - so the burst patterns fed to the cipher-engine models
+ * come from protocol behaviour rather than assumption.
+ *
+ * The model is deliberately scoped to what the paper's analysis
+ * needs: a single rank of independent banks, in-order FCFS
+ * scheduling, reads only (writes are latency-insensitive for the
+ * overlap argument), and the core timing constraints tRCD / tRP /
+ * tCL / tCCD / tRAS / tBL.
+ */
+
+#ifndef COLDBOOT_DRAM_BANK_TIMING_HH
+#define COLDBOOT_DRAM_BANK_TIMING_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/units.hh"
+#include "dram/timing.hh"
+
+namespace coldboot::dram
+{
+
+/** Core DDR4 timing constraints, in bus clock cycles. */
+struct BankTimingParams
+{
+    /** I/O bus clock in MHz (DDR4-2400 -> 1200). */
+    double bus_mhz = 1200.0;
+    /** Banks in the rank. */
+    unsigned banks = 16;
+    /** ACT to CAS delay. */
+    int t_rcd = 16;
+    /** Precharge time. */
+    int t_rp = 16;
+    /** CAS (column) latency. */
+    int t_cl = 15;
+    /** Minimum CAS-to-CAS spacing. */
+    int t_ccd = 4;
+    /** Data burst length on the bus (BL8 on x64 -> 4 clocks). */
+    int t_bl = 4;
+    /** Minimum ACT to PRE. */
+    int t_ras = 39;
+
+    /** Bus clock period in picoseconds. */
+    Picoseconds clockPs() const
+    {
+        return static_cast<Picoseconds>(1.0e6 / bus_mhz + 0.5);
+    }
+
+    /** Parameters for a standard speed grade (tCL from the grade). */
+    static BankTimingParams forGrade(const SpeedGrade &grade);
+};
+
+/** One read request presented to the controller. */
+struct ReadRequest
+{
+    uint64_t id;
+    unsigned bank;
+    uint64_t row;
+    /** Cycle the request becomes visible to the controller. */
+    int64_t arrival = 0;
+};
+
+/** Timing outcome of one read. */
+struct ReadTiming
+{
+    uint64_t id = 0;
+    /** Whether the read hit an open row. */
+    bool row_hit = false;
+    /** Cycle the CAS command issued. */
+    int64_t cas_cycle = 0;
+    /** Cycle the first data beat appears on the bus. */
+    int64_t data_cycle = 0;
+    /** CAS issue time in picoseconds. */
+    Picoseconds casPs(const BankTimingParams &p) const
+    {
+        return cas_cycle * p.clockPs();
+    }
+    /** Data availability time in picoseconds. */
+    Picoseconds dataPs(const BankTimingParams &p) const
+    {
+        return data_cycle * p.clockPs();
+    }
+};
+
+/**
+ * Single-rank FCFS read simulator.
+ */
+class BankTimingSimulator
+{
+  public:
+    explicit BankTimingSimulator(const BankTimingParams &params);
+
+    /**
+     * Simulate an in-order stream of reads, all queued at cycle 0
+     * (the controller issues each as early as the protocol allows).
+     *
+     * @return Per-request timing, in request order.
+     */
+    std::vector<ReadTiming>
+    simulateStream(std::span<const ReadRequest> requests);
+
+    /** The parameter set in use. */
+    const BankTimingParams &params() const { return parms; }
+
+    /**
+     * Convenience: an all-row-hit stream striped across banks - the
+     * highest-bandwidth pattern, which the paper's "18 back-to-back
+     * CAS" limit describes.
+     */
+    std::vector<ReadTiming> simulateRowHitBurst(unsigned count);
+
+  private:
+    BankTimingParams parms;
+};
+
+/**
+ * Overlap analysis: feed a simulated read stream to a cipher engine
+ * model (keystream generation starts at each read's CAS issue) and
+ * report the worst exposed latency - keystream completion past data
+ * availability.
+ *
+ * @param timings     Simulated reads (from BankTimingSimulator).
+ * @param params      The timing parameters used to produce them.
+ * @param engine_period_ps   Engine clock period.
+ * @param engine_depth_cycles Pipeline depth in engine cycles.
+ * @param counters_per_line  Counter blocks per 64-byte line.
+ * @return Worst exposed latency in picoseconds (0 = fully hidden).
+ */
+Picoseconds engineExposureOverStream(
+    std::span<const ReadTiming> timings,
+    const BankTimingParams &params, Picoseconds engine_period_ps,
+    int engine_depth_cycles, int counters_per_line);
+
+} // namespace coldboot::dram
+
+#endif // COLDBOOT_DRAM_BANK_TIMING_HH

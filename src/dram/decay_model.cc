@@ -1,0 +1,137 @@
+#include "dram/decay_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace coldboot::dram
+{
+
+namespace
+{
+
+/** Stateless 64-bit mix (SplitMix64 finalizer). */
+uint64_t
+mix64(uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Bits per true/anti cell polarity stripe (1 KiB rows). */
+constexpr uint64_t stripeBits = 8192;
+
+/**
+ * Per-byte salt hash: lane b (8 bits) decides whether bit b of the
+ * byte has inverted polarity relative to its stripe.
+ */
+constexpr unsigned saltThreshold = 5; // ~2% of cells
+} // anonymous namespace
+
+DecayModel::DecayModel(const DecayParams &params, uint64_t seed)
+    : parms(params), ground_seed(mix64(seed ^ 0xc01db007c01db007ULL)),
+      rng(seed)
+{
+    if (parms.tau_ref_seconds <= 0 || parms.doubling_celsius <= 0 ||
+        parms.quality <= 0) {
+        cb_fatal("DecayModel: non-positive retention parameter");
+    }
+}
+
+double
+DecayModel::tau(double celsius) const
+{
+    double doublings =
+        (parms.t_ref_celsius - celsius) / parms.doubling_celsius;
+    return parms.tau_ref_seconds * parms.quality *
+           std::exp2(doublings);
+}
+
+double
+DecayModel::decayedFraction(double seconds, double celsius) const
+{
+    if (seconds <= 0)
+        return 0.0;
+    return 1.0 - std::exp(-seconds / tau(celsius));
+}
+
+bool
+DecayModel::groundStateBit(uint64_t bit_index) const
+{
+    uint64_t stripe = bit_index / stripeBits;
+    bool polarity = (stripe & 1) != 0;
+    uint64_t byte_index = bit_index / 8;
+    unsigned lane = static_cast<unsigned>(bit_index % 8);
+    uint64_t h = mix64(ground_seed ^ byte_index);
+    bool salt = ((h >> (8 * lane)) & 0xff) < saltThreshold;
+    return polarity ^ salt;
+}
+
+uint64_t
+DecayModel::applyDecay(std::span<uint8_t> data, double seconds,
+                       double celsius)
+{
+    double p = decayedFraction(seconds, celsius);
+    if (p <= 0.0)
+        return 0;
+
+    uint64_t total_bits = static_cast<uint64_t>(data.size()) * 8;
+    uint64_t flips = 0;
+
+    if (p >= 0.999999) {
+        // Effectively full decay; count flips against ground state.
+        for (uint64_t bit = 0; bit < total_bits; ++bit) {
+            bool cur = (data[bit / 8] >> (bit % 8)) & 1;
+            bool gnd = groundStateBit(bit);
+            if (cur != gnd)
+                ++flips;
+        }
+        decayToGround(data);
+        return flips;
+    }
+
+    // Geometric skipping: visit only the cells that decay.
+    double log1mp = std::log1p(-p);
+    uint64_t bit = 0;
+    for (;;) {
+        double u = rng.nextDouble();
+        double skip = std::floor(std::log1p(-u) / log1mp);
+        // Guard against numeric overflow for tiny p.
+        if (skip > static_cast<double>(total_bits))
+            break;
+        bit += static_cast<uint64_t>(skip);
+        if (bit >= total_bits)
+            break;
+        bool gnd = groundStateBit(bit);
+        uint8_t mask = static_cast<uint8_t>(1u << (bit % 8));
+        bool cur = (data[bit / 8] & mask) != 0;
+        if (cur != gnd) {
+            data[bit / 8] =
+                gnd ? (data[bit / 8] | mask)
+                    : (data[bit / 8] & static_cast<uint8_t>(~mask));
+            ++flips;
+        }
+        ++bit;
+    }
+    return flips;
+}
+
+void
+DecayModel::decayToGround(std::span<uint8_t> data) const
+{
+    for (size_t i = 0; i < data.size(); ++i) {
+        uint64_t stripe = (static_cast<uint64_t>(i) * 8) / stripeBits;
+        uint8_t base = (stripe & 1) ? 0xff : 0x00;
+        uint64_t h = mix64(ground_seed ^ static_cast<uint64_t>(i));
+        uint8_t salt = 0;
+        for (unsigned lane = 0; lane < 8; ++lane) {
+            if (((h >> (8 * lane)) & 0xff) < saltThreshold)
+                salt |= static_cast<uint8_t>(1u << lane);
+        }
+        data[i] = base ^ salt;
+    }
+}
+
+} // namespace coldboot::dram

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Charge-decay model for unpowered DRAM.
+ *
+ * Substitution for physical cold-boot hardware (see DESIGN.md): the
+ * paper freezes real DIMMs with compressed gas and measures 90-99 %
+ * retention after ~5 s at about -25 C, versus losing a significant
+ * fraction of bits within ~3 s at room temperature. This model
+ * reproduces those observable characteristics:
+ *
+ *  - Each bit cell has a *ground state* (the value it decays toward).
+ *    Real DRAMs interleave "true" and "anti" cells, typically in row
+ *    stripes, so roughly half of memory decays to 0 and half to 1.
+ *  - Retention time scales strongly (exponentially) with temperature:
+ *    cooling by `doubling_celsius` degrees doubles the characteristic
+ *    retention time.
+ *  - Per-module quality scales retention; the paper observed one DDR3
+ *    module that leaked faster than the newer DDR4 parts.
+ *
+ * The decayed-fraction curve is f(t) = 1 - exp(-t / tau(T)), with
+ * tau(T) = tau_ref * quality * 2^((T_ref - T) / doubling_celsius).
+ */
+
+#ifndef COLDBOOT_DRAM_DECAY_MODEL_HH
+#define COLDBOOT_DRAM_DECAY_MODEL_HH
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.hh"
+
+namespace coldboot::dram
+{
+
+/**
+ * Parameters of the retention model.
+ */
+struct DecayParams
+{
+    /** Characteristic retention time at the reference temperature. */
+    double tau_ref_seconds = 4.0;
+    /** Reference temperature in Celsius. */
+    double t_ref_celsius = 20.0;
+    /** Cooling by this many degrees doubles retention time. */
+    double doubling_celsius = 9.0;
+    /** Module quality multiplier on tau (1.0 = nominal). */
+    double quality = 1.0;
+};
+
+/**
+ * Stochastic but seed-deterministic cell decay.
+ */
+class DecayModel
+{
+  public:
+    /**
+     * @param params Retention curve parameters.
+     * @param seed   Seed for the per-cell decay draw and the ground
+     *               state pattern (a physical property of the module,
+     *               stable across experiments on the same module).
+     */
+    DecayModel(const DecayParams &params, uint64_t seed);
+
+    /**
+     * Fraction of cells expected to have decayed after @p seconds
+     * without refresh at @p celsius.
+     */
+    double decayedFraction(double seconds, double celsius) const;
+
+    /** Characteristic retention time tau at @p celsius, in seconds. */
+    double tau(double celsius) const;
+
+    /**
+     * Ground-state value of a bit cell.
+     *
+     * Cells are grouped in 1 KiB row stripes of alternating
+     * true/anti polarity with a small amount of per-cell salt, which
+     * matches the blocky half-0 / half-1 patterns real decayed DIMMs
+     * exhibit.
+     *
+     * @param bit_index Absolute bit index within the module.
+     */
+    bool groundStateBit(uint64_t bit_index) const;
+
+    /**
+     * Apply decay in place to a memory array.
+     *
+     * Every cell independently decays with probability
+     * decayedFraction(seconds, celsius); a decayed cell assumes its
+     * ground-state value (so only cells currently storing the
+     * opposite value visibly flip).
+     *
+     * @param data     Module contents, modified in place.
+     * @param seconds  Unpowered interval.
+     * @param celsius  Module temperature during the interval.
+     * @return Number of bits that visibly flipped.
+     */
+    uint64_t applyDecay(std::span<uint8_t> data, double seconds,
+                        double celsius);
+
+    /** Set every cell to its ground state (full decay). */
+    void decayToGround(std::span<uint8_t> data) const;
+
+    /** The parameter set in use. */
+    const DecayParams &params() const { return parms; }
+
+  private:
+    DecayParams parms;
+    uint64_t ground_seed;
+    Xoshiro256StarStar rng;
+};
+
+} // namespace coldboot::dram
+
+#endif // COLDBOOT_DRAM_DECAY_MODEL_HH

@@ -1,0 +1,113 @@
+#include "dram/dram_module.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace coldboot::dram
+{
+
+DramModule::DramModule(Generation generation, uint64_t bytes,
+                       const DecayParams &params, uint64_t seed,
+                       std::string model_name, Media media)
+    : gen(generation), media_kind(media), name(std::move(model_name)),
+      cells(bytes, 0), decay(params, seed), powered(true),
+      temp_celsius(20.0)
+{
+    if (bytes == 0 || bytes % 64 != 0)
+        cb_fatal("DramModule: capacity %llu is not a nonzero multiple "
+                 "of 64", static_cast<unsigned long long>(bytes));
+}
+
+void
+DramModule::read(uint64_t addr, std::span<uint8_t> out) const
+{
+    cb_assert(addr + out.size() <= cells.size(),
+              "DramModule::read out of range: addr=%llu len=%zu",
+              static_cast<unsigned long long>(addr), out.size());
+    std::copy_n(cells.begin() + static_cast<ptrdiff_t>(addr),
+                out.size(), out.begin());
+}
+
+void
+DramModule::write(uint64_t addr, std::span<const uint8_t> data)
+{
+    cb_assert(addr + data.size() <= cells.size(),
+              "DramModule::write out of range: addr=%llu len=%zu",
+              static_cast<unsigned long long>(addr), data.size());
+    if (!powered)
+        cb_warn("write to unpowered module '%s' ignored", name.c_str());
+    else
+        std::copy(data.begin(), data.end(),
+                  cells.begin() + static_cast<ptrdiff_t>(addr));
+}
+
+void
+DramModule::powerOff()
+{
+    powered = false;
+}
+
+void
+DramModule::powerOn()
+{
+    powered = true;
+}
+
+uint64_t
+DramModule::elapse(double seconds)
+{
+    if (powered || media_kind == Media::NonVolatileDimm)
+        return 0; // refresh (or non-volatility) holds the contents
+    return decay.applyDecay({cells.data(), cells.size()}, seconds,
+                            temp_celsius);
+}
+
+void
+DramModule::decayToGround()
+{
+    decay.decayToGround({cells.data(), cells.size()});
+}
+
+double
+DramModule::retentionVersus(std::span<const uint8_t> reference) const
+{
+    cb_assert(reference.size() == cells.size(),
+              "retentionVersus: reference size mismatch");
+    size_t flipped =
+        hammingDistance({cells.data(), cells.size()}, reference);
+    double total_bits = static_cast<double>(cells.size()) * 8.0;
+    return 1.0 - static_cast<double>(flipped) / total_bits;
+}
+
+const std::vector<CatalogEntry> &
+moduleCatalog()
+{
+    // Five DDR3 + two DDR4 parts; one DDR3 module is deliberately
+    // leaky, matching the paper's observation that one of its DDR3
+    // modules lost data faster than the newer DDR4 modules.
+    static const std::vector<CatalogEntry> catalog = {
+        {"DDR3-A (nominal)",   Generation::DDR3, MiB(8), 1.00},
+        {"DDR3-B (nominal)",   Generation::DDR3, MiB(8), 1.10},
+        {"DDR3-C (leaky)",     Generation::DDR3, MiB(8), 0.35},
+        {"DDR3-D (nominal)",   Generation::DDR3, MiB(8), 0.95},
+        {"DDR3-E (nominal)",   Generation::DDR3, MiB(8), 1.05},
+        {"DDR4-A (nominal)",   Generation::DDR4, MiB(8), 1.20},
+        {"DDR4-B (nominal)",   Generation::DDR4, MiB(8), 1.15},
+    };
+    return catalog;
+}
+
+std::unique_ptr<DramModule>
+makeCatalogModule(const CatalogEntry &entry, uint64_t seed)
+{
+    DecayParams params;
+    params.quality = entry.quality;
+    return std::make_unique<DramModule>(entry.generation, entry.bytes,
+                                        params, seed,
+                                        entry.model_name);
+}
+
+} // namespace coldboot::dram

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * A removable DRAM module (DIMM) with power and temperature state.
+ *
+ * This is the physical object a cold boot attack moves between
+ * machines: it keeps its contents when unplugged, subject to the
+ * charge-decay model, and can be cooled to extend retention.
+ */
+
+#ifndef COLDBOOT_DRAM_DRAM_MODULE_HH
+#define COLDBOOT_DRAM_DRAM_MODULE_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dram/decay_model.hh"
+#include "dram/timing.hh"
+
+namespace coldboot::dram
+{
+
+/**
+ * Storage media of a module. The paper's motivation notes that
+ * emerging non-volatile DIMMs on DDR4 buses make cold boot attacks
+ * worse: contents persist indefinitely without refresh or cooling.
+ */
+enum class Media { VolatileDram, NonVolatileDimm };
+
+/**
+ * One removable memory module.
+ */
+class DramModule
+{
+  public:
+    /**
+     * @param generation  DDR3 or DDR4.
+     * @param bytes       Capacity in bytes (multiple of 64).
+     * @param params      Retention model parameters (per-module
+     *                    quality folds in here).
+     * @param seed        Seed for this module's physical ground-state
+     *                    pattern and decay randomness.
+     * @param model_name  Manufacturer/model label for reports.
+     */
+    DramModule(Generation generation, uint64_t bytes,
+               const DecayParams &params, uint64_t seed,
+               std::string model_name = "generic",
+               Media media = Media::VolatileDram);
+
+    /** Module capacity in bytes. */
+    uint64_t size() const { return cells.size(); }
+
+    /** Interface generation. */
+    Generation generation() const { return gen; }
+
+    /** Storage media (volatile DRAM or non-volatile DIMM). */
+    Media media() const { return media_kind; }
+
+    /** Manufacturer/model label. */
+    const std::string &modelName() const { return name; }
+
+    /** Whether the module is currently receiving refresh. */
+    bool isPowered() const { return powered; }
+
+    /** Current module temperature in Celsius. */
+    double temperature() const { return temp_celsius; }
+
+    /**
+     * Read bytes at module-linear address @p addr. Valid regardless
+     * of power state (an unpowered read models an attacker probing a
+     * removed module; decay is applied by elapse(), not by reads).
+     */
+    void read(uint64_t addr, std::span<uint8_t> out) const;
+
+    /** Write bytes at module-linear address @p addr. */
+    void write(uint64_t addr, std::span<const uint8_t> data);
+
+    /** Whole-module contents (e.g. for dumping). */
+    std::span<const uint8_t> raw() const
+    {
+        return {cells.data(), cells.size()};
+    }
+
+    /** Mutable whole-module contents (test fixtures only). */
+    std::span<uint8_t> rawMutable()
+    {
+        return {cells.data(), cells.size()};
+    }
+
+    /** Cut power (refresh stops; decay clock starts). */
+    void powerOff();
+
+    /** Restore power (refresh resumes; contents stay as they are). */
+    void powerOn();
+
+    /** Set the module temperature (e.g. -25 for gas-duster cooling). */
+    void coolTo(double celsius) { temp_celsius = celsius; }
+
+    /**
+     * Let wall-clock time pass. While unpowered, charge decay is
+     * applied at the current temperature; non-volatile modules never
+     * decay.
+     *
+     * @return Number of bits that visibly flipped.
+     */
+    uint64_t elapse(double seconds);
+
+    /** Fully decay the module to its ground state. */
+    void decayToGround();
+
+    /**
+     * Fraction of bits currently matching a reference image, for
+     * retention measurements.
+     */
+    double retentionVersus(std::span<const uint8_t> reference) const;
+
+    /** The decay model (for analysis and tests). */
+    const DecayModel &decayModel() const { return decay; }
+
+  private:
+    Generation gen;
+    Media media_kind;
+    std::string name;
+    std::vector<uint8_t> cells;
+    DecayModel decay;
+    bool powered;
+    double temp_celsius;
+};
+
+/**
+ * A catalog entry describing one of the physical modules whose
+ * retention the paper measures (five DDR3, two DDR4).
+ */
+struct CatalogEntry
+{
+    std::string model_name;
+    Generation generation;
+    uint64_t bytes;
+    /** Retention quality multiplier (1.0 nominal; <1 leaks faster). */
+    double quality;
+};
+
+/**
+ * The seven-module test fleet from Section III-D (synthetic stand-ins
+ * with one deliberately leaky DDR3 part, as the paper observed).
+ */
+const std::vector<CatalogEntry> &moduleCatalog();
+
+/** Instantiate a catalog entry as a live module. */
+std::unique_ptr<DramModule> makeCatalogModule(const CatalogEntry &entry,
+                                              uint64_t seed);
+
+} // namespace coldboot::dram
+
+#endif // COLDBOOT_DRAM_DRAM_MODULE_HH

@@ -1,0 +1,62 @@
+#include "dram/timing.hh"
+
+#include <algorithm>
+
+namespace coldboot::dram
+{
+
+const char *
+generationName(Generation gen)
+{
+    switch (gen) {
+      case Generation::DDR3: return "DDR3";
+      case Generation::DDR4: return "DDR4";
+    }
+    return "?";
+}
+
+const std::array<SpeedGrade, 9> &
+ddr4StandardGrades()
+{
+    // JESD79-4 first-gen standard bins; CAS latencies span
+    // 12.5 ns (1600 CL10 / 2400 CL15) .. 15.01 ns (1866 CL14).
+    static const std::array<SpeedGrade, 9> grades = {{
+        {"DDR4-1600 CL10", 800.0, 10},  // 12.50 ns
+        {"DDR4-1600 CL11", 800.0, 11},  // 13.75 ns
+        {"DDR4-1600 CL12", 800.0, 12},  // 15.00 ns
+        {"DDR4-1866 CL12", 933.0, 12},  // 12.86 ns
+        {"DDR4-1866 CL13", 933.0, 13},  // 13.93 ns
+        {"DDR4-1866 CL14", 933.0, 14},  // 15.01 ns
+        {"DDR4-2133 CL14", 1066.0, 14}, // 13.13 ns
+        {"DDR4-2133 CL15", 1066.0, 15}, // 14.07 ns
+        {"DDR4-2133 CL16", 1066.0, 16}, // 15.01 ns
+    }};
+    return grades;
+}
+
+const SpeedGrade &
+ddr4_2400()
+{
+    static const SpeedGrade grade{"DDR4-2400 CL15", 1200.0, 15};
+    return grade;
+}
+
+Picoseconds
+ddr4MinCasPs()
+{
+    Picoseconds min = ddr4StandardGrades()[0].casLatencyPs();
+    for (const auto &g : ddr4StandardGrades())
+        min = std::min(min, g.casLatencyPs());
+    return min;
+}
+
+Picoseconds
+ddr4MaxCasPs()
+{
+    Picoseconds max = 0;
+    for (const auto &g : ddr4StandardGrades())
+        max = std::max(max, g.casLatencyPs());
+    return max;
+}
+
+} // namespace coldboot::dram

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * DDR timing parameters used by the engine-overlap analysis.
+ *
+ * The paper's zero-exposed-latency argument rests on one number: the
+ * column access (CAS) window. JESD79-4 permits exactly nine CAS
+ * latency settings for DDR4, all falling between 12.5 ns and 15.01 ns;
+ * a keystream generator that finishes inside that window hides
+ * entirely behind the DRAM access.
+ */
+
+#ifndef COLDBOOT_DRAM_TIMING_HH
+#define COLDBOOT_DRAM_TIMING_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/units.hh"
+
+namespace coldboot::dram
+{
+
+/** DRAM interface generations modeled by the library. */
+enum class Generation { DDR3, DDR4 };
+
+/** Printable name of a generation. */
+const char *generationName(Generation gen);
+
+/**
+ * Timing description of one DDR speed grade.
+ */
+struct SpeedGrade
+{
+    /** Marketing name, e.g. "DDR4-2400". */
+    std::string name;
+    /** I/O bus clock in MHz (data rate is 2x). */
+    double bus_mhz;
+    /** CAS latency in clock cycles. */
+    int cas_cycles;
+
+    /** CAS latency in picoseconds. */
+    Picoseconds casLatencyPs() const
+    {
+        return static_cast<Picoseconds>(
+            cas_cycles * (1.0e6 / bus_mhz) + 0.5);
+    }
+
+    /**
+     * Cycles (bus clocks) needed to burst one 64-byte line over an
+     * 8-byte-wide DDR bus: burst length 8 -> 4 bus clocks.
+     */
+    static constexpr int burstCycles() { return 4; }
+
+    /** Time to transfer one 64-byte line on the bus. */
+    Picoseconds burstTimePs() const
+    {
+        return static_cast<Picoseconds>(
+            burstCycles() * (1.0e6 / bus_mhz) + 0.5);
+    }
+};
+
+/**
+ * The nine JESD79-4 standard DDR4 CAS-latency operating points the
+ * paper cites (all between 12.5 ns and 15.01 ns).
+ */
+const std::array<SpeedGrade, 9> &ddr4StandardGrades();
+
+/** The DDR4-2400 grade used throughout the Figure 6 analysis. */
+const SpeedGrade &ddr4_2400();
+
+/** Minimum standard DDR4 CAS latency (12.5 ns) in picoseconds. */
+Picoseconds ddr4MinCasPs();
+
+/** Maximum standard DDR4 CAS latency (~15.01 ns) in picoseconds. */
+Picoseconds ddr4MaxCasPs();
+
+} // namespace coldboot::dram
+
+#endif // COLDBOOT_DRAM_TIMING_HH

@@ -1,0 +1,120 @@
+#include "dram/traffic.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace coldboot::dram
+{
+
+const char *
+trafficPatternName(TrafficPattern pattern)
+{
+    switch (pattern) {
+      case TrafficPattern::Streaming: return "streaming";
+      case TrafficPattern::Random: return "random";
+      case TrafficPattern::PointerChase: return "pointer-chase";
+    }
+    return "?";
+}
+
+std::vector<ReadRequest>
+generateTraffic(const TrafficParams &params)
+{
+    cb_assert(params.banks > 0 && params.rows > 0,
+              "generateTraffic: empty geometry");
+    Xoshiro256StarStar rng(params.seed);
+    std::vector<ReadRequest> out;
+    out.reserve(params.requests);
+
+    int think = params.think_cycles;
+    if (think == 0) {
+        switch (params.pattern) {
+          case TrafficPattern::Streaming:
+            // A media/scan loop touches a new line every few CPU
+            // cycles of processing.
+            think = 18;
+            break;
+          case TrafficPattern::Random:
+            think = 45;
+            break;
+          case TrafficPattern::PointerChase:
+            think = 25; // plus the dependency stall below
+            break;
+        }
+    }
+
+    int64_t now = 0;
+    unsigned bank = 0;
+    uint64_t row = 0;
+    unsigned run = 0;
+    for (unsigned i = 0; i < params.requests; ++i) {
+        switch (params.pattern) {
+          case TrafficPattern::Streaming:
+            // 64 consecutive lines per row (one 8 KiB row of 64 B
+            // lines at 128 lines; use 64-line runs), then move on.
+            if (run == 0) {
+                bank = (bank + 1) % params.banks;
+                row = (row + 1) % params.rows;
+                run = 64;
+            }
+            --run;
+            break;
+          case TrafficPattern::Random:
+          case TrafficPattern::PointerChase:
+            bank = static_cast<unsigned>(
+                rng.nextBelow(params.banks));
+            row = rng.nextBelow(params.rows);
+            break;
+        }
+        out.push_back({i, bank, row, now});
+        now += think;
+        if (params.pattern == TrafficPattern::PointerChase) {
+            // The next address depends on the loaded value: the
+            // request cannot even form until this one's data is
+            // back. Approximate the dependency with the worst-case
+            // closed-row latency.
+            now += 47; // ~tRP + tRCD + tCL at DDR4-2400
+        }
+    }
+    return out;
+}
+
+BandwidthReport
+measureBandwidth(const BankTimingParams &params,
+                 std::span<const ReadRequest> stream)
+{
+    BandwidthReport report;
+    if (stream.empty())
+        return report;
+
+    BankTimingSimulator sim(params);
+    auto timings = sim.simulateStream(stream);
+
+    int64_t span_cycles =
+        timings.back().data_cycle + params.t_bl -
+        stream.front().arrival;
+    double span_seconds = static_cast<double>(span_cycles) *
+                          static_cast<double>(params.clockPs()) *
+                          1e-12;
+    double bytes = 64.0 * static_cast<double>(stream.size());
+    report.achieved_gbs = bytes / span_seconds / 1e9;
+
+    // Peak: one 64-byte burst per tBL bus cycles.
+    double peak_bytes_per_s =
+        64.0 / (static_cast<double>(params.t_bl) *
+                static_cast<double>(params.clockPs()) * 1e-12);
+    report.peak_gbs = peak_bytes_per_s / 1e9;
+    report.utilization = report.achieved_gbs / report.peak_gbs;
+
+    size_t hits = 0;
+    for (const auto &t : timings)
+        hits += t.row_hit;
+    report.row_hit_rate =
+        static_cast<double>(hits) / static_cast<double>(
+                                        timings.size());
+    return report;
+}
+
+} // namespace coldboot::dram

@@ -1,0 +1,64 @@
+#include "engine/cipher_engine.hh"
+
+#include "common/logging.hh"
+
+namespace coldboot::engine
+{
+
+const char *
+cipherKindName(CipherKind kind)
+{
+    switch (kind) {
+      case CipherKind::Aes128: return "AES-128";
+      case CipherKind::Aes256: return "AES-256";
+      case CipherKind::ChaCha8: return "ChaCha8";
+      case CipherKind::ChaCha12: return "ChaCha12";
+      case CipherKind::ChaCha20: return "ChaCha20";
+    }
+    return "?";
+}
+
+double
+EngineSpec::throughputGBs() const
+{
+    // One counter accepted per cycle; a line needs counters_per_line
+    // of them, so line rate = freq / counters_per_line.
+    double lines_per_ns = max_freq_ghz / counters_per_line;
+    return lines_per_ns * 64.0;
+}
+
+double
+EngineSpec::powerAtUtilizationMw(double utilization) const
+{
+    cb_assert(utilization >= 0.0 && utilization <= 1.0,
+              "utilization out of range");
+    return static_power_mw + dynamic_power_mw * utilization;
+}
+
+const std::vector<EngineSpec> &
+tableIIEngines()
+{
+    // Frequencies and cycle counts per the paper's Table II (45 nm
+    // SOI synthesis). Area and power calibrated to reproduce the
+    // Figure 7 overhead percentages (about 1% area; <3% power on
+    // desktop/server parts; up to ~17% peak / <6% typical on Atom).
+    static const std::vector<EngineSpec> engines = {
+        {CipherKind::Aes128, 2.40, 13, 4, 0.18, 300.0, 40.0},
+        {CipherKind::Aes256, 2.40, 17, 4, 0.24, 340.0, 48.0},
+        {CipherKind::ChaCha8, 1.96, 18, 1, 0.23, 370.0, 45.0},
+        {CipherKind::ChaCha12, 1.96, 26, 1, 0.31, 430.0, 56.0},
+        {CipherKind::ChaCha20, 1.96, 42, 1, 0.47, 540.0, 78.0},
+    };
+    return engines;
+}
+
+const EngineSpec &
+engineSpec(CipherKind kind)
+{
+    for (const auto &e : tableIIEngines())
+        if (e.kind == kind)
+            return e;
+    cb_panic("unknown cipher kind");
+}
+
+} // namespace coldboot::engine

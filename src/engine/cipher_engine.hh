@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Analytic models of the hardware cipher engines from Section IV.
+ *
+ * Substitution note (DESIGN.md): the paper derives these parameters
+ * from RTL synthesis of AES/ChaCha pipelines in 45 nm SOI with
+ * Synopsys Design Compiler. We model each engine by the synthesis
+ * results the paper reports (Table II): maximum clock frequency,
+ * cycles to produce a 64-byte keystream, and the derived maximum
+ * pipeline delay. The queueing and overhead analyses (Figures 6 and
+ * 7) are arithmetic on these datapoints plus DDR4 bus parameters, so
+ * they reproduce from the same inputs.
+ *
+ * Pipeline structure behind the cycle counts:
+ *  - AES engines pipeline one round per stage (1 cycle per round) and
+ *    accept one 16-byte counter block per cycle; a 64-byte line needs
+ *    4 counters, so the last of them leaves the pipeline 3 issue
+ *    cycles after the first: cycles = rounds + 3.
+ *  - ChaCha engines split each quarter round into 2 pipeline stages
+ *    (doubling the clock), producing a full 64-byte keystream from a
+ *    single counter: cycles = 2 * rounds + 2.
+ */
+
+#ifndef COLDBOOT_ENGINE_CIPHER_ENGINE_HH
+#define COLDBOOT_ENGINE_CIPHER_ENGINE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace coldboot::engine
+{
+
+/** Identity of a modeled cipher engine. */
+enum class CipherKind
+{
+    Aes128,
+    Aes256,
+    ChaCha8,
+    ChaCha12,
+    ChaCha20,
+};
+
+/** Printable engine name. */
+const char *cipherKindName(CipherKind kind);
+
+/**
+ * Synthesis-derived parameters of one cipher engine (Table II), plus
+ * the physical-design numbers used by the Figure 7 overhead model.
+ */
+struct EngineSpec
+{
+    CipherKind kind;
+    /** Maximum clock frequency in GHz (45 nm SOI synthesis). */
+    double max_freq_ghz;
+    /** Cycles from first counter issue to full 64 B keystream. */
+    int cycles_per_line;
+    /** Counter blocks the engine must ingest per 64-byte line. */
+    int counters_per_line;
+    /** Cell area of one engine instance in mm^2 (45 nm). */
+    double area_mm2;
+    /** Dynamic power at 100% bandwidth utilization, mW. */
+    double dynamic_power_mw;
+    /** Static (leakage) power, mW. */
+    double static_power_mw;
+
+    /** Clock period in picoseconds. */
+    Picoseconds periodPs() const
+    {
+        return periodPsFromGHz(max_freq_ghz);
+    }
+
+    /**
+     * Maximum pipeline delay: time from issuing the first counter to
+     * the complete 64-byte keystream, with no queueing (Table II's
+     * rightmost column).
+     */
+    Picoseconds pipelineDelayPs() const
+    {
+        return cycles_per_line * periodPs();
+    }
+
+    /** Pipeline depth in cycles for one counter block. */
+    int depthCycles() const
+    {
+        return cycles_per_line - (counters_per_line - 1);
+    }
+
+    /** Keystream throughput at max clock, GB/s. */
+    double throughputGBs() const;
+
+    /** Total power at a given bandwidth utilization (0..1), mW. */
+    double powerAtUtilizationMw(double utilization) const;
+};
+
+/** The five engines of Table II. */
+const std::vector<EngineSpec> &tableIIEngines();
+
+/** Look up a single engine spec. */
+const EngineSpec &engineSpec(CipherKind kind);
+
+} // namespace coldboot::engine
+
+#endif // COLDBOOT_ENGINE_CIPHER_ENGINE_HH

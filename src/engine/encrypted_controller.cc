@@ -1,0 +1,129 @@
+#include "engine/encrypted_controller.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace coldboot::engine
+{
+
+namespace
+{
+
+/**
+ * Expand a 64-bit boot seed into key + nonce material. A real
+ * implementation would pull these from a hardware TRNG at boot; the
+ * simulation derives them deterministically so experiments
+ * reproduce.
+ */
+std::vector<uint8_t>
+expandSeed(uint64_t seed, unsigned channel, size_t bytes)
+{
+    Xoshiro256StarStar rng(seed ^
+                           (0xE4C27 + (static_cast<uint64_t>(channel)
+                                       << 40)));
+    std::vector<uint8_t> out(bytes);
+    rng.fillBytes(out);
+    return out;
+}
+
+} // anonymous namespace
+
+ChaChaMemoryEncryptor::ChaChaMemoryEncryptor(uint64_t seed,
+                                             unsigned channel,
+                                             int rounds)
+    : chan(channel), nrounds(rounds)
+{
+    rekey(seed);
+}
+
+void
+ChaChaMemoryEncryptor::rekey(uint64_t seed)
+{
+    auto material = expandSeed(seed, chan, 40);
+    cipher = std::make_unique<crypto::ChaCha>(
+        std::span<const uint8_t>(material.data(), 32),
+        std::span<const uint8_t>(material.data() + 32, 8), nrounds);
+}
+
+void
+ChaChaMemoryEncryptor::lineKey(uint64_t phys_addr,
+                               uint8_t key[memctrl::lineBytes]) const
+{
+    // Physical line address as the block counter (Section IV-B).
+    cipher->keystreamBlock(phys_addr >> 6, key);
+}
+
+void
+ChaChaMemoryEncryptor::reseed(uint64_t seed)
+{
+    rekey(seed);
+}
+
+size_t
+ChaChaMemoryEncryptor::distinctKeys() const
+{
+    // Every line has an independent keystream; the "pool" is the
+    // whole counter space.
+    return SIZE_MAX;
+}
+
+AesCtrMemoryEncryptor::AesCtrMemoryEncryptor(uint64_t seed,
+                                             unsigned channel,
+                                             size_t key_bytes)
+    : chan(channel), key_len(key_bytes)
+{
+    if (key_bytes != 16 && key_bytes != 24 && key_bytes != 32)
+        cb_fatal("AesCtrMemoryEncryptor: bad key length %zu",
+                 key_bytes);
+    rekey(seed);
+}
+
+void
+AesCtrMemoryEncryptor::rekey(uint64_t seed)
+{
+    auto material = expandSeed(seed, chan, key_len + 8);
+    cipher = std::make_unique<crypto::AesCtr>(
+        std::span<const uint8_t>(material.data(), key_len),
+        std::span<const uint8_t>(material.data() + key_len, 8));
+}
+
+void
+AesCtrMemoryEncryptor::lineKey(uint64_t phys_addr,
+                               uint8_t key[memctrl::lineBytes]) const
+{
+    cipher->lineKeystream(phys_addr >> 6, key);
+}
+
+void
+AesCtrMemoryEncryptor::reseed(uint64_t seed)
+{
+    rekey(seed);
+}
+
+size_t
+AesCtrMemoryEncryptor::distinctKeys() const
+{
+    return SIZE_MAX;
+}
+
+memctrl::ScramblerFactory
+chachaEncryptionFactory(int rounds)
+{
+    return [rounds](uint64_t seed, unsigned channel) {
+        return std::make_unique<ChaChaMemoryEncryptor>(seed, channel,
+                                                       rounds);
+    };
+}
+
+memctrl::ScramblerFactory
+aesCtrEncryptionFactory(size_t key_bytes)
+{
+    return [key_bytes](uint64_t seed, unsigned channel) {
+        return std::make_unique<AesCtrMemoryEncryptor>(seed, channel,
+                                                       key_bytes);
+    };
+}
+
+} // namespace coldboot::engine

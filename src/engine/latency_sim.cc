@@ -1,0 +1,87 @@
+#include "engine/latency_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace coldboot::engine
+{
+
+LatencyResult
+simulateBurst(const EngineSpec &spec, const dram::SpeedGrade &grade,
+              const LoadPoint &load)
+{
+    cb_assert(load.utilization > 0.0 && load.utilization <= 1.0,
+              "utilization out of range");
+
+    int burst_depth = load.max_outstanding;
+
+    Picoseconds bus_clock =
+        static_cast<Picoseconds>(1.0e6 / grade.bus_mhz + 0.5);
+    // Utilization stretches the command spacing: at u = 1 commands
+    // arrive every bus clock (the paper's theoretical back-to-back
+    // limit); lighter loads spread them out proportionally.
+    Picoseconds interarrival = static_cast<Picoseconds>(
+        static_cast<double>(bus_clock) / load.utilization + 0.5);
+    Picoseconds cas = grade.casLatencyPs();
+    Picoseconds burst_slot = grade.burstTimePs();
+    Picoseconds engine_clock = spec.periodPs();
+    Picoseconds depth_ps = spec.depthCycles() * engine_clock;
+
+    LatencyResult out;
+    // Engine ingest port: time the next counter can enter.
+    Picoseconds port_free = 0;
+    // Data bus: one 64-byte burst slot per request, serialized.
+    Picoseconds prev_bus_data = -(1LL << 62);
+    for (int k = 0; k < burst_depth; ++k) {
+        RequestTiming rt;
+        rt.issue_ps = static_cast<Picoseconds>(k) * interarrival;
+        // Enqueue counters_per_line counters; one enters per engine
+        // clock once the port frees up.
+        Picoseconds last_entry = 0;
+        for (int c = 0; c < spec.counters_per_line; ++c) {
+            Picoseconds entry = std::max(rt.issue_ps, port_free);
+            port_free = entry + engine_clock;
+            last_entry = entry;
+        }
+        rt.keystream_done_ps = last_entry + depth_ps;
+        rt.window_data_ps = rt.issue_ps + cas;
+        rt.bus_data_ps = std::max(rt.window_data_ps,
+                                  prev_bus_data + burst_slot);
+        prev_bus_data = rt.bus_data_ps;
+        out.requests.push_back(rt);
+
+        out.max_keystream_latency_ps =
+            std::max(out.max_keystream_latency_ps,
+                     rt.keystream_done_ps - rt.issue_ps);
+        out.max_window_exposure_ps =
+            std::max(out.max_window_exposure_ps,
+                     std::max<Picoseconds>(
+                         0, rt.keystream_done_ps - rt.window_data_ps));
+        out.max_bus_exposure_ps = std::max(
+            out.max_bus_exposure_ps,
+            std::max<Picoseconds>(
+                0, rt.keystream_done_ps - rt.bus_data_ps));
+    }
+    return out;
+}
+
+std::vector<SweepRow>
+figure6Sweep(const dram::SpeedGrade &grade,
+             const std::vector<double> &utilizations)
+{
+    std::vector<SweepRow> rows;
+    for (const auto &spec : tableIIEngines()) {
+        for (double u : utilizations) {
+            SweepRow row;
+            row.kind = spec.kind;
+            row.utilization = u;
+            row.result = simulateBurst(spec, grade, {u, 18});
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+} // namespace coldboot::engine

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Event-driven queueing model of a cipher engine serving a burst of
+ * back-to-back DDR4 column reads (the Figure 6 experiment).
+ *
+ * Model: the memory controller issues a burst of back-to-back CAS
+ * commands (18 at DDR4-2400, the paper's theoretical limit) spaced
+ * one bus clock apart at 100% bandwidth utilization and
+ * proportionally further apart at lighter loads.
+ * Each command enqueues counters_per_line counter blocks at the
+ * cipher engine, which ingests one counter per engine clock through
+ * its pipeline. A request's keystream is complete when its last
+ * counter leaves the pipeline.
+ *
+ * Two exposure accountings are reported:
+ *  - window: keystream completion measured against the request's own
+ *    CAS window (command time + 12.5 ns). This is the paper's
+ *    conservative accounting; a cipher with zero window exposure
+ *    hides entirely behind even the fastest possible read.
+ *  - bus: measured against the bus-serialized data return (CAS plus
+ *    one 64-byte burst slot per earlier request). Under bursts the
+ *    data bus itself backs up, so this accounting credits the engine
+ *    with that extra slack.
+ *
+ * ChaCha engines ingest one counter per command and clock faster
+ * than any DDR4 bus, so their queue never builds; AES engines need 4
+ * counters per command and fall behind when commands arrive at bus
+ * rate - exactly the effect the paper describes.
+ */
+
+#ifndef COLDBOOT_ENGINE_LATENCY_SIM_HH
+#define COLDBOOT_ENGINE_LATENCY_SIM_HH
+
+#include <vector>
+
+#include "dram/timing.hh"
+#include "engine/cipher_engine.hh"
+
+namespace coldboot::engine
+{
+
+/** Simulation input. */
+struct LoadPoint
+{
+    /** Bandwidth utilization in (0, 1]. */
+    double utilization = 1.0;
+    /** Max back-to-back CAS commands at full utilization. */
+    int max_outstanding = 18;
+};
+
+/** Per-request simulation output. */
+struct RequestTiming
+{
+    /** Command issue time. */
+    Picoseconds issue_ps;
+    /** Keystream completion time. */
+    Picoseconds keystream_done_ps;
+    /** Data available (own CAS window). */
+    Picoseconds window_data_ps;
+    /** Data available (bus-serialized). */
+    Picoseconds bus_data_ps;
+};
+
+/** Aggregated results for one (engine, load) point. */
+struct LatencyResult
+{
+    /** Worst keystream generation latency (done - issue). */
+    Picoseconds max_keystream_latency_ps = 0;
+    /** Worst exposure vs the own-window accounting (>= 0). */
+    Picoseconds max_window_exposure_ps = 0;
+    /** Worst exposure vs the bus accounting (>= 0). */
+    Picoseconds max_bus_exposure_ps = 0;
+    /** Per-request detail. */
+    std::vector<RequestTiming> requests;
+};
+
+/**
+ * Simulate one engine serving one load burst.
+ *
+ * @param spec  Cipher engine under test.
+ * @param grade DDR4 speed grade (bus clock + CAS latency).
+ * @param load  Load point (utilization scales the burst depth).
+ */
+LatencyResult simulateBurst(const EngineSpec &spec,
+                            const dram::SpeedGrade &grade,
+                            const LoadPoint &load);
+
+/**
+ * The Figure 6 sweep: every Table II engine across utilizations.
+ * Returns one row per (engine, utilization) pair in engine-major
+ * order.
+ */
+struct SweepRow
+{
+    CipherKind kind;
+    double utilization;
+    LatencyResult result;
+};
+
+std::vector<SweepRow> figure6Sweep(
+    const dram::SpeedGrade &grade = dram::ddr4_2400(),
+    const std::vector<double> &utilizations = {0.1, 0.2, 0.3, 0.4,
+                                               0.5, 0.6, 0.7, 0.8,
+                                               0.9, 1.0});
+
+} // namespace coldboot::engine
+
+#endif // COLDBOOT_ENGINE_LATENCY_SIM_HH

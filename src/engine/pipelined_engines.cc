@@ -1,0 +1,287 @@
+#include "engine/pipelined_engines.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace coldboot::engine
+{
+
+//
+// AES pipeline
+//
+
+PipelinedAesEngine::PipelinedAesEngine(std::span<const uint8_t> key,
+                                       std::span<const uint8_t> nonce)
+    : aes(key)
+{
+    if (key.size() != 16 && key.size() != 32)
+        cb_fatal("PipelinedAesEngine models AES-128/AES-256 only");
+    if (nonce.size() != 8)
+        cb_fatal("PipelinedAesEngine nonce must be 8 bytes");
+    std::copy(nonce.begin(), nonce.end(), nonce_bytes.begin());
+    stages.resize(static_cast<size_t>(aes.rounds()));
+}
+
+Picoseconds
+PipelinedAesEngine::periodPs() const
+{
+    return engineSpec(aes.keySize() == crypto::AesKeySize::Aes128
+                          ? CipherKind::Aes128
+                          : CipherKind::Aes256)
+        .periodPs();
+}
+
+void
+PipelinedAesEngine::request(uint64_t req_id, uint64_t line_addr)
+{
+    for (unsigned sub = 0; sub < 4; ++sub)
+        ingest_queue.push_back({req_id, line_addr, sub});
+    assembling.push_back({req_id, {}, 0});
+}
+
+void
+PipelinedAesEngine::clock()
+{
+    ++cycle;
+    const uint8_t *sched = aes.schedule().data();
+    unsigned nr = static_cast<unsigned>(aes.rounds());
+
+    // Shift the pipeline from the back (the stage registers update
+    // simultaneously on the clock edge; iterating back-to-front
+    // emulates that with sequential code).
+    for (unsigned k = nr - 1; k > 0; --k) {
+        if (stages[k - 1].valid) {
+            StageReg next = stages[k - 1];
+            crypto::aesRoundEncrypt(next.state.data(),
+                                    sched + 16 * (k + 1),
+                                    (k + 1) == nr);
+            stages[k] = next;
+        } else {
+            stages[k].valid = false;
+        }
+    }
+
+    // Ingest port: at most one counter enters per cycle.
+    if (!ingest_queue.empty()) {
+        PendingCounter pc = ingest_queue.front();
+        ingest_queue.erase(ingest_queue.begin());
+        StageReg reg;
+        reg.valid = true;
+        reg.req_id = pc.req_id;
+        reg.sub = pc.sub;
+        // Counter block: nonce[0:8] || LE64((line_addr << 2) | sub).
+        std::copy(nonce_bytes.begin(), nonce_bytes.end(),
+                  reg.state.begin());
+        storeLE64(&reg.state[8], (pc.line_addr << 2) | pc.sub);
+        crypto::aesAddRoundKey(reg.state.data(), sched);
+        crypto::aesRoundEncrypt(reg.state.data(), sched + 16,
+                                nr == 1);
+        stages[0] = reg;
+    } else {
+        stages[0].valid = false;
+    }
+
+    // Collect the sub-block leaving the final stage.
+    const StageReg &out = stages[nr - 1];
+    if (out.valid) {
+        for (auto &asm_entry : assembling) {
+            if (asm_entry.req_id != out.req_id)
+                continue;
+            std::copy(out.state.begin(), out.state.end(),
+                      asm_entry.bytes.begin() + 16 * out.sub);
+            if (++asm_entry.done == 4) {
+                completions.push_back(
+                    {asm_entry.req_id, cycle, asm_entry.bytes});
+                asm_entry.done = ~0u; // mark consumed
+            }
+            break;
+        }
+        assembling.erase(
+            std::remove_if(assembling.begin(), assembling.end(),
+                           [](const Assembly &a) {
+                               return a.done == ~0u;
+                           }),
+            assembling.end());
+    }
+}
+
+std::vector<LineCompletion>
+PipelinedAesEngine::drain()
+{
+    auto out = std::move(completions);
+    completions.clear();
+    return out;
+}
+
+bool
+PipelinedAesEngine::busy() const
+{
+    if (!ingest_queue.empty() || !assembling.empty())
+        return true;
+    for (const auto &s : stages)
+        if (s.valid)
+            return true;
+    return false;
+}
+
+//
+// ChaCha pipeline
+//
+
+namespace
+{
+
+inline void
+halfQuarterRound(uint32_t &a, uint32_t &b, uint32_t &c, uint32_t &d,
+                 bool second)
+{
+    if (!second) {
+        a += b; d ^= a; d = rotl32(d, 16);
+        c += d; b ^= c; b = rotl32(b, 12);
+    } else {
+        a += b; d ^= a; d = rotl32(d, 8);
+        c += d; b ^= c; b = rotl32(b, 7);
+    }
+}
+
+/** One half of a column or diagonal round over the full state. */
+void
+halfRoundLayer(std::array<uint32_t, 16> &x, unsigned round,
+               bool second)
+{
+    if (round % 2 == 0) {
+        // Column round.
+        for (int i = 0; i < 4; ++i)
+            halfQuarterRound(x[i], x[4 + i], x[8 + i], x[12 + i],
+                             second);
+    } else {
+        // Diagonal round.
+        halfQuarterRound(x[0], x[5], x[10], x[15], second);
+        halfQuarterRound(x[1], x[6], x[11], x[12], second);
+        halfQuarterRound(x[2], x[7], x[8], x[13], second);
+        halfQuarterRound(x[3], x[4], x[9], x[14], second);
+    }
+}
+
+const uint32_t chachaSigma[4] = {
+    0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+};
+
+} // anonymous namespace
+
+PipelinedChaChaEngine::PipelinedChaChaEngine(
+    std::span<const uint8_t> key, std::span<const uint8_t> nonce,
+    int rounds)
+    : nrounds(rounds)
+{
+    if (key.size() != 32)
+        cb_fatal("PipelinedChaChaEngine key must be 32 bytes");
+    if (nonce.size() != 8)
+        cb_fatal("PipelinedChaChaEngine nonce must be 8 bytes");
+    if (rounds != 8 && rounds != 12 && rounds != 20)
+        cb_fatal("PipelinedChaChaEngine rounds must be 8/12/20");
+    for (int i = 0; i < 8; ++i)
+        key_words[i] = loadLE32(&key[4 * i]);
+    nonce_words[0] = loadLE32(&nonce[0]);
+    nonce_words[1] = loadLE32(&nonce[4]);
+    // load + 2 per round + final add.
+    stages.resize(2 * static_cast<size_t>(rounds) + 2);
+}
+
+Picoseconds
+PipelinedChaChaEngine::periodPs() const
+{
+    CipherKind kind = nrounds == 8    ? CipherKind::ChaCha8
+                      : nrounds == 12 ? CipherKind::ChaCha12
+                                      : CipherKind::ChaCha20;
+    return engineSpec(kind).periodPs();
+}
+
+void
+PipelinedChaChaEngine::request(uint64_t req_id, uint64_t line_addr)
+{
+    ingest_queue.emplace_back(req_id, line_addr);
+}
+
+void
+PipelinedChaChaEngine::clock()
+{
+    ++cycle;
+    size_t depth_stages = stages.size();
+
+    // Shift back-to-front, applying each stage's combinational work
+    // as data enters the stage.
+    for (size_t k = depth_stages - 1; k > 0; --k) {
+        if (stages[k - 1].valid) {
+            StageReg next = stages[k - 1];
+            if (k == depth_stages - 1) {
+                // Final feed-forward add.
+                for (int i = 0; i < 16; ++i)
+                    next.x[i] += next.init[i];
+            } else {
+                // Half-round layer k-1 (stages 1..2*rounds).
+                unsigned layer = static_cast<unsigned>(k - 1);
+                halfRoundLayer(next.x, layer / 2, layer % 2 == 1);
+            }
+            stages[k] = next;
+        } else {
+            stages[k].valid = false;
+        }
+    }
+
+    // Stage 0: state load from the ingest port.
+    if (!ingest_queue.empty()) {
+        auto [req_id, line_addr] = ingest_queue.front();
+        ingest_queue.erase(ingest_queue.begin());
+        StageReg reg;
+        reg.valid = true;
+        reg.req_id = req_id;
+        for (int i = 0; i < 4; ++i)
+            reg.init[i] = chachaSigma[i];
+        for (int i = 0; i < 8; ++i)
+            reg.init[4 + i] = key_words[i];
+        reg.init[12] = static_cast<uint32_t>(line_addr);
+        reg.init[13] = static_cast<uint32_t>(line_addr >> 32);
+        reg.init[14] = nonce_words[0];
+        reg.init[15] = nonce_words[1];
+        reg.x = reg.init;
+        stages[0] = reg;
+    } else {
+        stages[0].valid = false;
+    }
+
+    // The value latched into the final stage this edge is the
+    // finished keystream.
+    const StageReg &out = stages[depth_stages - 1];
+    if (out.valid) {
+        LineCompletion lc;
+        lc.req_id = out.req_id;
+        lc.cycle = cycle;
+        for (int i = 0; i < 16; ++i)
+            storeLE32(&lc.keystream[4 * i], out.x[i]);
+        completions.push_back(lc);
+    }
+}
+
+std::vector<LineCompletion>
+PipelinedChaChaEngine::drain()
+{
+    auto out = std::move(completions);
+    completions.clear();
+    return out;
+}
+
+bool
+PipelinedChaChaEngine::busy() const
+{
+    if (!ingest_queue.empty())
+        return true;
+    for (const auto &s : stages)
+        if (s.valid)
+            return true;
+    return false;
+}
+
+} // namespace coldboot::engine

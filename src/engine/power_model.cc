@@ -1,0 +1,43 @@
+#include "engine/power_model.hh"
+
+namespace coldboot::engine
+{
+
+const std::vector<ReferenceCpu> &
+referenceCpus()
+{
+    // Product-sheet figures for the paper's four 45 nm parts.
+    static const std::vector<ReferenceCpu> cpus = {
+        {"Atom N280", "mobile", 25.9, 2.5, 1},
+        {"Core i3-330M", "desktop", 81.0, 35.0, 2},
+        {"Core i5-700", "high-end desktop", 296.0, 95.0, 2},
+        {"Xeon W3520", "server", 263.0, 130.0, 3},
+    };
+    return cpus;
+}
+
+std::vector<OverheadRow>
+figure7Overheads(const std::vector<CipherKind> &engines)
+{
+    std::vector<OverheadRow> rows;
+    for (const auto &cpu : referenceCpus()) {
+        for (CipherKind kind : engines) {
+            const EngineSpec &spec = engineSpec(kind);
+            OverheadRow row;
+            row.cpu = cpu.name;
+            row.engine = kind;
+            double n = static_cast<double>(cpu.channels);
+            row.area_fraction = n * spec.area_mm2 / cpu.die_mm2;
+            row.power_fraction_full =
+                n * spec.powerAtUtilizationMw(1.0) /
+                (cpu.tdp_w * 1000.0);
+            row.power_fraction_20 =
+                n * spec.powerAtUtilizationMw(0.2) /
+                (cpu.tdp_w * 1000.0);
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+} // namespace coldboot::engine

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Power and area overhead model for replacing scramblers with strong
+ * cipher engines (the Figure 7 experiment).
+ *
+ * One engine instance per memory channel is assumed, as in the
+ * paper. Reference CPUs are the four 45 nm parts the paper compares
+ * against, with die area, TDP, and channel count from their product
+ * sheets. Engine area/power come from the calibrated EngineSpec
+ * values; dynamic power scales linearly with bandwidth utilization
+ * (the paper evaluates 100% and a more realistic 20%, citing the
+ * CloudSuite finding that even scale-out workloads rarely exceed
+ * ~15% DRAM bandwidth).
+ */
+
+#ifndef COLDBOOT_ENGINE_POWER_MODEL_HH
+#define COLDBOOT_ENGINE_POWER_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "engine/cipher_engine.hh"
+
+namespace coldboot::engine
+{
+
+/** A reference CPU from the paper's Figure 7. */
+struct ReferenceCpu
+{
+    std::string name;
+    std::string segment;
+    /** Die area, mm^2 (45 nm). */
+    double die_mm2;
+    /** Thermal design power, W. */
+    double tdp_w;
+    /** Memory channels (one engine instance each). */
+    int channels;
+};
+
+/** The four 45 nm comparison CPUs. */
+const std::vector<ReferenceCpu> &referenceCpus();
+
+/** One Figure 7 data point. */
+struct OverheadRow
+{
+    std::string cpu;
+    CipherKind engine;
+    /** Engine area as a fraction of die area (all channels). */
+    double area_fraction;
+    /** Engine power / TDP at 100% bandwidth utilization. */
+    double power_fraction_full;
+    /** Engine power / TDP at 20% bandwidth utilization. */
+    double power_fraction_20;
+};
+
+/**
+ * Compute the Figure 7 table for the given engines (defaults to the
+ * two the paper recommends: AES-128 and ChaCha8).
+ */
+std::vector<OverheadRow> figure7Overheads(
+    const std::vector<CipherKind> &engines = {CipherKind::Aes128,
+                                              CipherKind::ChaCha8});
+
+} // namespace coldboot::engine
+
+#endif // COLDBOOT_ENGINE_POWER_MODEL_HH

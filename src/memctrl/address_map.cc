@@ -1,0 +1,93 @@
+#include "memctrl/address_map.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace coldboot::memctrl
+{
+
+const char *
+cpuGenerationName(CpuGeneration gen)
+{
+    switch (gen) {
+      case CpuGeneration::SandyBridge: return "SandyBridge";
+      case CpuGeneration::IvyBridge: return "IvyBridge";
+      case CpuGeneration::Skylake: return "Skylake";
+    }
+    return "?";
+}
+
+bool
+cpuUsesDdr4(CpuGeneration gen)
+{
+    return gen == CpuGeneration::Skylake;
+}
+
+AddressMap::AddressMap(CpuGeneration gen, unsigned channels)
+    : cpu_gen(gen), nchannels(channels)
+{
+    if (channels != 1 && channels != 2)
+        cb_fatal("AddressMap: %u channels unsupported (1 or 2)",
+                 channels);
+}
+
+unsigned
+AddressMap::channelOf(uint64_t phys_addr) const
+{
+    if (nchannels == 1)
+        return 0;
+    uint64_t line = phys_addr >> 6;
+    // Generation-specific channel hash: line-interleaved with an
+    // XOR fold of higher bits at generation-dependent positions.
+    switch (cpu_gen) {
+      case CpuGeneration::SandyBridge:
+        return static_cast<unsigned>((line ^ (line >> 8)) & 1);
+      case CpuGeneration::IvyBridge:
+        return static_cast<unsigned>((line ^ (line >> 7)) & 1);
+      case CpuGeneration::Skylake:
+        return static_cast<unsigned>(
+            (line ^ (line >> 9) ^ (line >> 13)) & 1);
+    }
+    return 0;
+}
+
+uint64_t
+AddressMap::moduleAddress(uint64_t phys_addr) const
+{
+    if (nchannels == 1)
+        return phys_addr;
+    // Remove the line-interleave bit: consecutive lines alternate
+    // between channels, so each channel sees lines at half density.
+    uint64_t line = phys_addr >> 6;
+    uint64_t offset = phys_addr & 63;
+    return ((line >> 1) << 6) | offset;
+}
+
+DramLocation
+AddressMap::decode(uint64_t phys_addr) const
+{
+    DramLocation loc;
+    loc.channel = channelOf(phys_addr);
+    uint64_t maddr = moduleAddress(phys_addr);
+    // Representative geometry: 8 KiB rows, banks hashed above
+    // columns at a generation-specific position.
+    loc.column = bitsOf(maddr, 12, 0);
+    switch (cpu_gen) {
+      case CpuGeneration::SandyBridge:
+        loc.bank = static_cast<unsigned>(
+            bitsOf(maddr, 15, 13) ^ bitsOf(maddr, 18, 16));
+        break;
+      case CpuGeneration::IvyBridge:
+        loc.bank = static_cast<unsigned>(
+            bitsOf(maddr, 15, 13) ^ bitsOf(maddr, 19, 17));
+        break;
+      case CpuGeneration::Skylake:
+        loc.bank = static_cast<unsigned>(
+            (bitsOf(maddr, 16, 13) ^ bitsOf(maddr, 20, 17)) & 0xf);
+        break;
+    }
+    loc.row = maddr >> 16;
+    return loc;
+}
+
+} // namespace coldboot::memctrl

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Physical-address to DRAM-geometry mapping.
+ *
+ * Different Intel CPU generations map physical addresses to channel,
+ * rank, bank and row differently — which is why the paper's attack
+ * model requires the dumping machine to be the same generation as the
+ * victim. The mappings here are representative (line-interleaved
+ * channels with a generation-specific XOR hash, bank bits above the
+ * line offset, rows on top); they are not Intel's undocumented exact
+ * functions, but they preserve the property the attack cares about:
+ * the map is a fixed, generation-specific permutation.
+ */
+
+#ifndef COLDBOOT_MEMCTRL_ADDRESS_MAP_HH
+#define COLDBOOT_MEMCTRL_ADDRESS_MAP_HH
+
+#include <cstdint>
+#include <string>
+
+namespace coldboot::memctrl
+{
+
+/** CPU generations from the paper's Table I. */
+enum class CpuGeneration { SandyBridge, IvyBridge, Skylake };
+
+/** Printable name of a CPU generation. */
+const char *cpuGenerationName(CpuGeneration gen);
+
+/** DRAM interface generation a CPU generation uses. */
+bool cpuUsesDdr4(CpuGeneration gen);
+
+/** Decoded DRAM coordinates for one line address. */
+struct DramLocation
+{
+    unsigned channel;
+    unsigned bank;
+    uint64_t row;
+    uint64_t column;
+};
+
+/**
+ * Generation-specific physical-address decoder.
+ */
+class AddressMap
+{
+  public:
+    /**
+     * @param gen      CPU generation (selects the hash).
+     * @param channels Number of populated channels (1 or 2).
+     */
+    AddressMap(CpuGeneration gen, unsigned channels);
+
+    /** Channel for the 64-byte line containing @p phys_addr. */
+    unsigned channelOf(uint64_t phys_addr) const;
+
+    /**
+     * Linear byte address within the selected channel's DIMM for
+     * @p phys_addr (the channel-interleaving bits are squeezed out).
+     */
+    uint64_t moduleAddress(uint64_t phys_addr) const;
+
+    /** Full geometry decode (bank/row/column are representative). */
+    DramLocation decode(uint64_t phys_addr) const;
+
+    /** Number of channels. */
+    unsigned channels() const { return nchannels; }
+
+    /** CPU generation of this map. */
+    CpuGeneration generation() const { return cpu_gen; }
+
+  private:
+    CpuGeneration cpu_gen;
+    unsigned nchannels;
+};
+
+} // namespace coldboot::memctrl
+
+#endif // COLDBOOT_MEMCTRL_ADDRESS_MAP_HH

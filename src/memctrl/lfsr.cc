@@ -1,0 +1,40 @@
+#include "memctrl/lfsr.hh"
+
+#include "common/logging.hh"
+
+namespace coldboot::memctrl
+{
+
+Lfsr::Lfsr(uint64_t taps, unsigned width, uint64_t seed)
+    : tap_mask(taps), nbits(width)
+{
+    if (width == 0 || width > 64)
+        cb_fatal("Lfsr: width %u out of range [1,64]", width);
+    width_mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    tap_mask &= width_mask;
+    reg = seed & width_mask;
+    if (reg == 0)
+        reg = width_mask; // avoid the absorbing all-zero state
+}
+
+unsigned
+Lfsr::stepBit()
+{
+    unsigned out = static_cast<unsigned>(reg & 1);
+    reg >>= 1;
+    if (out)
+        reg ^= tap_mask;
+    return out;
+}
+
+uint64_t
+Lfsr::stepBits(unsigned n)
+{
+    cb_assert(n <= 64, "Lfsr::stepBits: n=%u > 64", n);
+    uint64_t out = 0;
+    for (unsigned i = 0; i < n; ++i)
+        out |= static_cast<uint64_t>(stepBit()) << i;
+    return out;
+}
+
+} // namespace coldboot::memctrl

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Linear feedback shift registers.
+ *
+ * Intel's own description of the Westmere-era scrambler (Mosalikanti
+ * et al., VLSI-DAT 2011) says the scrambling pseudo-random numbers
+ * come from LFSRs seeded with a boot-time value plus a portion of the
+ * address bits. Our reconstructed scramblers are built on this class;
+ * its statistical weakness (linearity) is precisely what makes the
+ * scramblers attackable, in contrast to the real ciphers in
+ * src/crypto.
+ */
+
+#ifndef COLDBOOT_MEMCTRL_LFSR_HH
+#define COLDBOOT_MEMCTRL_LFSR_HH
+
+#include <cstdint>
+
+namespace coldboot::memctrl
+{
+
+/**
+ * Galois-form LFSR over up to 64 bits.
+ */
+class Lfsr
+{
+  public:
+    /**
+     * @param taps  Tap mask (the feedback polynomial without the
+     *              leading term); e.g. 0xB400... for the classic
+     *              64-bit maximal polynomial.
+     * @param width Register width in bits (1..64).
+     * @param seed  Initial state; forced nonzero internally since an
+     *              all-zero Galois LFSR state is absorbing.
+     */
+    Lfsr(uint64_t taps, unsigned width, uint64_t seed);
+
+    /** Advance one bit; returns the bit shifted out (0/1). */
+    unsigned stepBit();
+
+    /** Advance @p n bits and return them, LSB first. */
+    uint64_t stepBits(unsigned n);
+
+    /** Convenience: next 16 bits as a word. */
+    uint16_t next16() { return static_cast<uint16_t>(stepBits(16)); }
+
+    /** Convenience: next 8 bits as a byte. */
+    uint8_t next8() { return static_cast<uint8_t>(stepBits(8)); }
+
+    /** Current register state. */
+    uint64_t state() const { return reg; }
+
+    /**
+     * A maximal-length 32-bit polynomial tap mask
+     * (x^32 + x^22 + x^2 + x + 1).
+     */
+    static constexpr uint64_t taps32 = 0x80200003ULL;
+
+    /**
+     * A maximal-length 16-bit polynomial tap mask
+     * (x^16 + x^15 + x^13 + x^4 + 1).
+     */
+    static constexpr uint64_t taps16 = 0xA011ULL;
+
+  private:
+    uint64_t reg;
+    uint64_t tap_mask;
+    uint64_t width_mask;
+    unsigned nbits;
+};
+
+} // namespace coldboot::memctrl
+
+#endif // COLDBOOT_MEMCTRL_LFSR_HH

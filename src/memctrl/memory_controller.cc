@@ -1,0 +1,150 @@
+#include "memctrl/memory_controller.hh"
+
+#include "common/logging.hh"
+
+namespace coldboot::memctrl
+{
+
+ScramblerFactory
+defaultScramblerFactory(CpuGeneration gen)
+{
+    if (cpuUsesDdr4(gen)) {
+        return [](uint64_t seed, unsigned channel) {
+            return std::make_unique<Ddr4Scrambler>(seed, channel);
+        };
+    }
+    return [](uint64_t seed, unsigned channel) {
+        return std::make_unique<Ddr3Scrambler>(seed, channel);
+    };
+}
+
+MemoryController::MemoryController(CpuGeneration gen, unsigned channels,
+                                   uint64_t seed,
+                                   ScramblerFactory factory)
+    : amap(gen, channels), dimms(channels), scrambling(true)
+{
+    if (!factory)
+        factory = defaultScramblerFactory(gen);
+    for (unsigned c = 0; c < channels; ++c)
+        scramblers.push_back(factory(seed, c));
+}
+
+void
+MemoryController::attachDimm(unsigned channel,
+                             std::shared_ptr<dram::DramModule> dimm)
+{
+    cb_assert(channel < dimms.size(), "attachDimm: channel %u",
+              channel);
+    if (dimms[channel])
+        cb_fatal("attachDimm: channel %u slot already populated",
+                 channel);
+    dimms[channel] = std::move(dimm);
+}
+
+std::shared_ptr<dram::DramModule>
+MemoryController::detachDimm(unsigned channel)
+{
+    cb_assert(channel < dimms.size(), "detachDimm: channel %u",
+              channel);
+    auto out = std::move(dimms[channel]);
+    dimms[channel] = nullptr;
+    return out;
+}
+
+dram::DramModule *
+MemoryController::dimm(unsigned channel) const
+{
+    cb_assert(channel < dimms.size(), "dimm: channel %u", channel);
+    return dimms[channel].get();
+}
+
+uint64_t
+MemoryController::capacity() const
+{
+    uint64_t total = 0;
+    for (const auto &d : dimms)
+        if (d)
+            total += d->size();
+    return total;
+}
+
+void
+MemoryController::reseed(uint64_t seed)
+{
+    for (unsigned c = 0; c < scramblers.size(); ++c)
+        scramblers[c]->reseed(seed + c);
+}
+
+Scrambler &
+MemoryController::scrambler(unsigned channel) const
+{
+    cb_assert(channel < scramblers.size(), "scrambler: channel %u",
+              channel);
+    return *scramblers[channel];
+}
+
+void
+MemoryController::checkLine(uint64_t phys_addr, size_t len) const
+{
+    if (phys_addr % lineBytes != 0 || len != lineBytes)
+        cb_fatal("memory controller line access must be 64-byte "
+                 "aligned (addr=0x%llx len=%zu)",
+                 static_cast<unsigned long long>(phys_addr), len);
+}
+
+void
+MemoryController::writeLine(uint64_t phys_addr,
+                            std::span<const uint8_t> data)
+{
+    checkLine(phys_addr, data.size());
+    unsigned channel = amap.channelOf(phys_addr);
+    dram::DramModule *module = dimms[channel].get();
+    if (!module)
+        cb_fatal("writeLine: channel %u has no DIMM", channel);
+
+    uint8_t on_wire[lineBytes];
+    if (scrambling) {
+        scramblers[channel]->apply(phys_addr, data, on_wire);
+    } else {
+        std::copy(data.begin(), data.end(), on_wire);
+    }
+    module->write(amap.moduleAddress(phys_addr), {on_wire, lineBytes});
+}
+
+void
+MemoryController::readLine(uint64_t phys_addr,
+                           std::span<uint8_t> out) const
+{
+    checkLine(phys_addr, out.size());
+    unsigned channel = amap.channelOf(phys_addr);
+    dram::DramModule *module = dimms[channel].get();
+    if (!module)
+        cb_fatal("readLine: channel %u has no DIMM", channel);
+
+    module->read(amap.moduleAddress(phys_addr), out);
+    if (scrambling)
+        scramblers[channel]->apply(phys_addr, out, out);
+}
+
+void
+MemoryController::write(uint64_t phys_addr,
+                        std::span<const uint8_t> data)
+{
+    cb_assert(phys_addr % lineBytes == 0 &&
+              data.size() % lineBytes == 0,
+              "write: must be line aligned");
+    for (size_t off = 0; off < data.size(); off += lineBytes)
+        writeLine(phys_addr + off, data.subspan(off, lineBytes));
+}
+
+void
+MemoryController::read(uint64_t phys_addr, std::span<uint8_t> out) const
+{
+    cb_assert(phys_addr % lineBytes == 0 &&
+              out.size() % lineBytes == 0,
+              "read: must be line aligned");
+    for (size_t off = 0; off < out.size(); off += lineBytes)
+        readLine(phys_addr + off, out.subspan(off, lineBytes));
+}
+
+} // namespace coldboot::memctrl

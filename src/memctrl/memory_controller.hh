@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Integrated memory controller model: address mapping + per-channel
+ * scrambler + attached DIMMs.
+ *
+ * All CPU-side traffic passes through the scrambler on the way to
+ * DRAM and through the descrambler on the way back, exactly as in the
+ * paper's Figure 1; software never sees raw scrambled data unless the
+ * scrambler is disabled (the BIOS-toggle / FPGA analysis path).
+ */
+
+#ifndef COLDBOOT_MEMCTRL_MEMORY_CONTROLLER_HH
+#define COLDBOOT_MEMCTRL_MEMORY_CONTROLLER_HH
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dram/dram_module.hh"
+#include "memctrl/address_map.hh"
+#include "memctrl/scrambler.hh"
+
+namespace coldboot::memctrl
+{
+
+/**
+ * Factory producing a scrambler (or scrambler replacement) for a
+ * channel; lets the engine library inject strong cipher keystreams.
+ */
+using ScramblerFactory =
+    std::function<std::unique_ptr<Scrambler>(uint64_t seed,
+                                             unsigned channel)>;
+
+/** The default factory: DDR3 or DDR4 scrambler per CPU generation. */
+ScramblerFactory defaultScramblerFactory(CpuGeneration gen);
+
+/**
+ * The memory controller integrated in a CPU.
+ */
+class MemoryController
+{
+  public:
+    /**
+     * @param gen      CPU generation (address map + scrambler type).
+     * @param channels Channel count (1 or 2).
+     * @param seed     Initial scrambler seed.
+     * @param factory  Optional scrambler replacement factory.
+     */
+    MemoryController(CpuGeneration gen, unsigned channels,
+                     uint64_t seed, ScramblerFactory factory = {});
+
+    /** Insert a DIMM into a channel's slot. */
+    void attachDimm(unsigned channel,
+                    std::shared_ptr<dram::DramModule> dimm);
+
+    /** Pull the DIMM out of a channel's slot. */
+    std::shared_ptr<dram::DramModule> detachDimm(unsigned channel);
+
+    /** The DIMM in a channel (nullptr if empty). */
+    dram::DramModule *dimm(unsigned channel) const;
+
+    /** Total addressable capacity across populated channels. */
+    uint64_t capacity() const;
+
+    /** Enable/disable scrambling (the BIOS menu toggle). */
+    void setScramblingEnabled(bool enabled) { scrambling = enabled; }
+
+    /** Whether scrambling is currently enabled. */
+    bool scramblingEnabled() const { return scrambling; }
+
+    /** Install a new boot-time scrambler seed on every channel. */
+    void reseed(uint64_t seed);
+
+    /**
+     * CPU-side 64-byte line write: data is scrambled (if enabled)
+     * before reaching DRAM.
+     */
+    void writeLine(uint64_t phys_addr, std::span<const uint8_t> data);
+
+    /**
+     * CPU-side 64-byte line read: DRAM data is descrambled (if
+     * enabled) before reaching the CPU.
+     */
+    void readLine(uint64_t phys_addr, std::span<uint8_t> out) const;
+
+    /** Arbitrary-length line-aligned CPU-side write. */
+    void write(uint64_t phys_addr, std::span<const uint8_t> data);
+
+    /** Arbitrary-length line-aligned CPU-side read. */
+    void read(uint64_t phys_addr, std::span<uint8_t> out) const;
+
+    /** Per-channel scrambler access (analysis and tests). */
+    Scrambler &scrambler(unsigned channel) const;
+
+    /** The address map in use. */
+    const AddressMap &addressMap() const { return amap; }
+
+    /** CPU generation. */
+    CpuGeneration generation() const { return amap.generation(); }
+
+  private:
+    void checkLine(uint64_t phys_addr, size_t len) const;
+
+    AddressMap amap;
+    std::vector<std::unique_ptr<Scrambler>> scramblers;
+    std::vector<std::shared_ptr<dram::DramModule>> dimms;
+    bool scrambling;
+};
+
+} // namespace coldboot::memctrl
+
+#endif // COLDBOOT_MEMCTRL_MEMORY_CONTROLLER_HH

@@ -1,0 +1,173 @@
+#include "memctrl/scrambler.hh"
+
+#include <cstring>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "memctrl/lfsr.hh"
+
+namespace coldboot::memctrl
+{
+
+namespace
+{
+
+/** Stateless 64-bit mix (SplitMix64 finalizer). */
+uint64_t
+mix64(uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Fill 64 bytes from an LFSR, 16 bits at a time. */
+void
+fillFromLfsr(Lfsr &lfsr, uint8_t out[lineBytes])
+{
+    for (unsigned i = 0; i < lineBytes; i += 2)
+        storeLE16(&out[i], lfsr.next16());
+}
+
+} // anonymous namespace
+
+void
+Scrambler::apply(uint64_t phys_addr, std::span<const uint8_t> in,
+                 std::span<uint8_t> out) const
+{
+    cb_assert(in.size() == lineBytes && out.size() == lineBytes,
+              "Scrambler::apply: line must be 64 bytes");
+    uint8_t key[lineBytes];
+    lineKey(phys_addr, key);
+    for (size_t i = 0; i < lineBytes; ++i)
+        out[i] = in[i] ^ key[i];
+}
+
+//
+// DDR3
+//
+
+Ddr3Scrambler::Ddr3Scrambler(uint64_t seed, unsigned channel)
+    : boot_seed(seed), chan(channel)
+{
+    rebuildPool();
+}
+
+unsigned
+Ddr3Scrambler::keyIndex(uint64_t phys_addr)
+{
+    // 16 keys selected by address bits [9:6] (line index low bits).
+    return static_cast<unsigned>(bitsOf(phys_addr, 9, 6));
+}
+
+void
+Ddr3Scrambler::rebuildPool()
+{
+    // The seed contributes one 64-byte pattern shared by all keys.
+    seed_pattern.assign(lineBytes, 0);
+    Lfsr seed_lfsr(Lfsr::taps32, 32,
+                   mix64(boot_seed ^ (0xD3ULL << 56) ^ chan));
+    fillFromLfsr(seed_lfsr, seed_pattern.data());
+
+    // The 16 per-index patterns depend only on the address bits (the
+    // LFSRs are "seeded using a portion of the address bits"), so
+    // they are identical on every boot - the root cause of the
+    // universal-key factoring weakness.
+    index_patterns.assign(16, std::vector<uint8_t>(lineBytes, 0));
+    for (unsigned idx = 0; idx < 16; ++idx) {
+        Lfsr idx_lfsr(Lfsr::taps32, 32,
+                      mix64(0xDD3A5C0FFEE00000ULL ^ (idx * 0x9E37ULL) ^
+                            (static_cast<uint64_t>(chan) << 32)));
+        fillFromLfsr(idx_lfsr, index_patterns[idx].data());
+    }
+}
+
+void
+Ddr3Scrambler::lineKey(uint64_t phys_addr, uint8_t key[lineBytes]) const
+{
+    unsigned idx = keyIndex(phys_addr);
+    const auto &pattern = index_patterns[idx];
+    for (size_t i = 0; i < lineBytes; ++i)
+        key[i] = static_cast<uint8_t>(pattern[i] ^ seed_pattern[i]);
+}
+
+void
+Ddr3Scrambler::reseed(uint64_t seed)
+{
+    boot_seed = seed;
+    rebuildPool();
+}
+
+//
+// DDR4
+//
+
+Ddr4Scrambler::Ddr4Scrambler(uint64_t seed, unsigned channel)
+    : boot_seed(seed), chan(channel)
+{
+    rebuildPool();
+}
+
+unsigned
+Ddr4Scrambler::keyIndex(uint64_t phys_addr)
+{
+    // 4096 keys selected by address bits [17:6].
+    return static_cast<unsigned>(bitsOf(phys_addr, 17, 6));
+}
+
+void
+Ddr4Scrambler::rebuildPool()
+{
+    pool.assign(4096 * lineBytes, 0);
+    for (unsigned idx = 0; idx < 4096; ++idx) {
+        uint8_t *key = &pool[static_cast<size_t>(idx) * lineBytes];
+        // Per-(seed, index) LFSR: the seed participates in the LFSR
+        // state (not as a separable XOR), so the universal-key
+        // factoring of DDR3 does not occur. The index is folded in
+        // with a multiply-add rather than XOR so that no pair of
+        // indices is related by an involution across two seeds.
+        Lfsr lane(Lfsr::taps32, 32,
+                  mix64((boot_seed +
+                         0x9e3779b97f4a7c15ULL * (idx + 1)) ^
+                        (static_cast<uint64_t>(chan) << 48) ^
+                        0xDD4ULL));
+        // Each 16-byte word: four 16-bit lanes A0..A3 followed by the
+        // same lanes offset by a per-word 16-bit difference D - the
+        // hardware pattern behind the paper's byte-pair invariants.
+        for (unsigned word = 0; word < lineBytes; word += 16) {
+            uint16_t a[4];
+            for (auto &v : a)
+                v = lane.next16();
+            uint16_t d = lane.next16();
+            for (unsigned k = 0; k < 4; ++k) {
+                storeLE16(&key[word + 2 * k], a[k]);
+                storeLE16(&key[word + 8 + 2 * k],
+                          static_cast<uint16_t>(a[k] ^ d));
+            }
+        }
+    }
+}
+
+void
+Ddr4Scrambler::poolKey(unsigned idx, uint8_t key[lineBytes]) const
+{
+    cb_assert(idx < 4096, "Ddr4Scrambler::poolKey: idx %u", idx);
+    std::memcpy(key, &pool[static_cast<size_t>(idx) * lineBytes],
+                lineBytes);
+}
+
+void
+Ddr4Scrambler::lineKey(uint64_t phys_addr, uint8_t key[lineBytes]) const
+{
+    poolKey(keyIndex(phys_addr), key);
+}
+
+void
+Ddr4Scrambler::reseed(uint64_t seed)
+{
+    boot_seed = seed;
+    rebuildPool();
+}
+
+} // namespace coldboot::memctrl

@@ -1,0 +1,170 @@
+#include "platform/coldboot.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace coldboot::platform
+{
+
+ColdBootResult
+coldBootTransfer(Machine &victim, Machine &attacker, unsigned channel,
+                 const ColdBootParams &params)
+{
+    if (!victim.isOn())
+        cb_fatal("coldBootTransfer: victim must be powered on");
+    if (attacker.isOn())
+        cb_fatal("coldBootTransfer: attacker must be off");
+    if (victim.model().generation != attacker.model().generation)
+        cb_warn("coldBootTransfer: cross-generation transfer; the "
+                "address map will not match (attack model violation)");
+
+    dram::DramModule *socketed = victim.controller().dimm(channel);
+    if (!socketed)
+        cb_fatal("coldBootTransfer: victim channel %u empty", channel);
+
+    // 1. Spray the DIMM in the running machine.
+    if (params.cool_first)
+        socketed->coolTo(params.cooled_celsius);
+    else
+        socketed->coolTo(params.ambient_celsius);
+
+    // 2. Cut power and pull the module.
+    victim.shutdown();
+    auto dimm = victim.removeDimm(channel);
+
+    // 3. Carry it to the attacker's machine.
+    ColdBootResult result;
+    result.bits_flipped = dimm->elapse(params.transfer_seconds);
+
+    // 4./5. Socket, boot, dump.
+    attacker.installDimm(channel, dimm);
+    attacker.boot();
+    result.dump = attacker.dumpMemory();
+    return result;
+}
+
+ColdBootResult
+coldBootTransferAll(Machine &victim, Machine &attacker,
+                    const ColdBootParams &params)
+{
+    if (!victim.isOn())
+        cb_fatal("coldBootTransferAll: victim must be powered on");
+    if (attacker.isOn())
+        cb_fatal("coldBootTransferAll: attacker must be off");
+    if (victim.model().generation != attacker.model().generation)
+        cb_warn("coldBootTransferAll: cross-generation transfer; the "
+                "address map will not match");
+
+    unsigned channels =
+        victim.controller().addressMap().channels();
+    if (attacker.controller().addressMap().channels() != channels)
+        cb_fatal("coldBootTransferAll: channel count mismatch");
+
+    // Spray every DIMM, then cut power and pull them all.
+    for (unsigned c = 0; c < channels; ++c) {
+        dram::DramModule *socketed = victim.controller().dimm(c);
+        if (!socketed)
+            cb_fatal("coldBootTransferAll: victim channel %u empty",
+                     c);
+        socketed->coolTo(params.cool_first ? params.cooled_celsius
+                                           : params.ambient_celsius);
+    }
+    victim.shutdown();
+
+    ColdBootResult result;
+    for (unsigned c = 0; c < channels; ++c) {
+        auto dimm = victim.removeDimm(c);
+        result.bits_flipped += dimm->elapse(params.transfer_seconds);
+        attacker.installDimm(c, dimm);
+    }
+    attacker.boot();
+    result.dump = attacker.dumpMemory();
+    return result;
+}
+
+namespace
+{
+
+/** A scrambler-off donor machine of the same generation. */
+Machine
+makeDonor(const Machine &like, uint64_t entropy_seed)
+{
+    BiosConfig donor_bios;
+    donor_bios.scrambler_enabled = false;
+    donor_bios.reset_seed_each_boot = true;
+    donor_bios.boot_pollution_bytes = 0;
+    return Machine(like.model(), donor_bios, 1, entropy_seed);
+}
+
+} // anonymous namespace
+
+MemoryImage
+reverseColdBootExtractKeystream(Machine &analyzed, unsigned channel)
+{
+    if (analyzed.isOn())
+        cb_fatal("reverseColdBootExtractKeystream: analyzed machine "
+                 "must be off");
+
+    auto dimm = analyzed.removeDimm(channel);
+    if (!dimm)
+        cb_fatal("reverseColdBootExtractKeystream: channel %u empty",
+                 channel);
+
+    // Fill the module with unscrambled zeros on the donor.
+    Machine donor = makeDonor(analyzed, 0x60D0);
+    donor.installDimm(0, dimm);
+    donor.boot();
+    std::vector<uint8_t> zeros(dimm->size(), 0);
+    donor.writePhys(0, zeros);
+    donor.shutdown();
+    dimm = donor.removeDimm(0);
+
+    // Boot the analyzed machine; reading zeros through its
+    // descrambler yields the keystream.
+    analyzed.installDimm(channel, dimm);
+    analyzed.boot();
+    return analyzed.dumpMemory();
+}
+
+MemoryImage
+groundStateExtractKeystream(Machine &analyzed, unsigned channel)
+{
+    if (analyzed.isOn())
+        cb_fatal("groundStateExtractKeystream: analyzed machine "
+                 "must be off");
+
+    auto dimm = analyzed.removeDimm(channel);
+    if (!dimm)
+        cb_fatal("groundStateExtractKeystream: channel %u empty",
+                 channel);
+
+    // Let the module decay fully, then profile the ground state with
+    // the scrambler off.
+    dimm->decayToGround();
+    Machine donor = makeDonor(analyzed, 0x6607);
+    donor.installDimm(0, dimm);
+    donor.boot();
+    MemoryImage ground = donor.dumpMemory();
+    donor.shutdown();
+    dimm = donor.removeDimm(0);
+    // Profiling must not disturb the decayed contents; re-assert the
+    // ground state in case firmware pollution was configured.
+    dimm->decayToGround();
+
+    // Read the decayed (known) pattern through the scrambler.
+    analyzed.installDimm(channel, dimm);
+    analyzed.boot();
+    MemoryImage through = analyzed.dumpMemory();
+
+    // keystream = observed XOR known ground state.
+    MemoryImage keystream(through.size());
+    auto ks = keystream.bytesMutable();
+    auto a = through.bytes();
+    auto b = ground.bytes();
+    for (size_t i = 0; i < ks.size(); ++i)
+        ks[i] = static_cast<uint8_t>(a[i] ^ b[i]);
+    return keystream;
+}
+
+} // namespace coldboot::platform

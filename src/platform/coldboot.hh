@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The cold boot transfer procedure itself: cool the DIMM, pull it
+ * from the victim, carry it (decay happens here), socket it into the
+ * attacker's machine, and dump.
+ *
+ * Also provides the paper's "reverse cold boot" analysis procedures
+ * (Section III-A): injecting known plaintext into a scrambled system
+ * to expose the scrambler keys.
+ */
+
+#ifndef COLDBOOT_PLATFORM_COLDBOOT_HH
+#define COLDBOOT_PLATFORM_COLDBOOT_HH
+
+#include <cstdint>
+
+#include "platform/machine.hh"
+
+namespace coldboot::platform
+{
+
+/**
+ * Physical parameters of a cold boot transfer.
+ */
+struct ColdBootParams
+{
+    /** Whether the attacker sprays the DIMM before pulling it. */
+    bool cool_first = true;
+    /** Temperature the spray reaches (paper: about -25 C). */
+    double cooled_celsius = -25.0;
+    /** Ambient temperature if not cooled. */
+    double ambient_celsius = 20.0;
+    /** Out-of-socket transfer time in seconds (paper: ~5 s). */
+    double transfer_seconds = 5.0;
+};
+
+/**
+ * Result of a cold boot transfer.
+ */
+struct ColdBootResult
+{
+    /** Bits that visibly flipped during the transfer. */
+    uint64_t bits_flipped = 0;
+    /** The dump taken on the attacker's machine. */
+    MemoryImage dump{64};
+};
+
+/**
+ * Execute a cold boot attack transfer:
+ *  1. (optional) cool the victim's DIMM in-socket;
+ *  2. cut victim power and pull the DIMM;
+ *  3. transfer_seconds elapse at the chosen temperature;
+ *  4. socket the DIMM into the attacker machine and boot it;
+ *  5. dump all physical memory on the attacker machine.
+ *
+ * The attacker machine's scrambler state is its own; per the paper,
+ * the dump is useful to the key-mining attack whether or not the
+ * attacker's scrambler is enabled.
+ *
+ * @param victim        Victim machine (must be powered on).
+ * @param attacker      Attacker machine (must be off, same CPU
+ *                      generation, empty target slot).
+ * @param channel       Channel/slot to move the DIMM between.
+ * @param params        Physical transfer parameters.
+ */
+ColdBootResult coldBootTransfer(Machine &victim, Machine &attacker,
+                                unsigned channel,
+                                const ColdBootParams &params = {});
+
+/**
+ * Cold-boot transfer of EVERY populated channel: both DIMMs of a
+ * dual-channel system move together so the attacker's dump preserves
+ * physical-address contiguity across the channel interleave (the
+ * same-generation attacker machine reassembles it). A dual-channel
+ * dump exposes 8192 candidate scrambler keys instead of 4096.
+ */
+ColdBootResult coldBootTransferAll(Machine &victim, Machine &attacker,
+                                   const ColdBootParams &params = {});
+
+/**
+ * The paper's reverse-cold-boot key extraction (Section III-A):
+ * fill a DIMM with unscrambled zeros on a scrambler-disabled donor
+ * machine, move it to the machine under analysis, boot, and read the
+ * memory back through the scrambler - what comes back is the raw
+ * scrambler keystream.
+ *
+ * @param analyzed Machine under analysis (off; slot @p channel
+ *                 populated).
+ * @param channel  Channel to run the procedure on.
+ * @return Image holding the scrambler keystream over all of memory.
+ */
+MemoryImage reverseColdBootExtractKeystream(Machine &analyzed,
+                                            unsigned channel);
+
+/**
+ * The ground-state variant of the analysis procedure: let the DIMM
+ * decay fully, profile the ground state with the scrambler off, then
+ * boot the analyzed machine and read the decayed memory through the
+ * scrambler. XOR-ing the two reveals the keystream without any
+ * donor-machine writes.
+ */
+MemoryImage groundStateExtractKeystream(Machine &analyzed,
+                                        unsigned channel);
+
+} // namespace coldboot::platform
+
+#endif // COLDBOOT_PLATFORM_COLDBOOT_HH

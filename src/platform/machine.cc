@@ -1,0 +1,188 @@
+#include "platform/machine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace coldboot::platform
+{
+
+const std::vector<CpuModel> &
+cpuModelTable()
+{
+    using memctrl::CpuGeneration;
+    static const std::vector<CpuModel> table = {
+        {"i5-2540M", CpuGeneration::SandyBridge, "Q1 2011"},
+        {"i5-2430M", CpuGeneration::SandyBridge, "Q4 2011"},
+        {"i7-3540M", CpuGeneration::IvyBridge, "Q1 2013"},
+        {"i5-6400", CpuGeneration::Skylake, "Q3 2015"},
+        {"i5-6600K", CpuGeneration::Skylake, "Q3 2015"},
+    };
+    return table;
+}
+
+const CpuModel &
+cpuModelByName(const std::string &name)
+{
+    for (const auto &m : cpuModelTable())
+        if (m.name == name)
+            return m;
+    cb_fatal("unknown CPU model '%s'", name.c_str());
+}
+
+Machine::Machine(const CpuModel &model, const BiosConfig &bios,
+                 unsigned channels, uint64_t entropy_seed)
+    : Machine(model, bios, channels, entropy_seed,
+              memctrl::defaultScramblerFactory(model.generation))
+{
+}
+
+Machine::Machine(const CpuModel &model, const BiosConfig &bios,
+                 unsigned channels, uint64_t entropy_seed,
+                 memctrl::ScramblerFactory factory)
+    : cpu(model), bios_cfg(bios), entropy(entropy_seed),
+      current_seed(0), powered(false), boots(0)
+{
+    current_seed = entropy.next();
+    mc = std::make_unique<memctrl::MemoryController>(
+        model.generation, channels, current_seed, std::move(factory));
+}
+
+void
+Machine::installDimm(unsigned channel,
+                     std::shared_ptr<dram::DramModule> dimm)
+{
+    if (powered)
+        cb_fatal("installDimm: machine is powered on");
+    dimm->powerOff();
+    mc->attachDimm(channel, std::move(dimm));
+}
+
+std::shared_ptr<dram::DramModule>
+Machine::removeDimm(unsigned channel)
+{
+    auto dimm = mc->detachDimm(channel);
+    if (dimm)
+        dimm->powerOff();
+    return dimm;
+}
+
+void
+Machine::applyBiosAtBoot()
+{
+    if (bios_cfg.reset_seed_each_boot || boots == 0)
+        current_seed = entropy.next();
+    mc->reseed(current_seed);
+    mc->setScramblingEnabled(bios_cfg.scrambler_enabled);
+}
+
+void
+Machine::boot()
+{
+    if (powered)
+        cb_fatal("boot: machine already powered");
+    powered = true;
+    ++boots;
+    applyBiosAtBoot();
+    for (unsigned c = 0; c < mc->addressMap().channels(); ++c)
+        if (mc->dimm(c))
+            mc->dimm(c)->powerOn();
+
+    // Firmware / dump-module footprint: clobber low memory through
+    // the (possibly scrambling) controller.
+    uint64_t pollution =
+        std::min<uint64_t>(bios_cfg.boot_pollution_bytes, capacity());
+    if (pollution > 0) {
+        std::vector<uint8_t> junk(64);
+        Xoshiro256StarStar firmware_rng(current_seed ^ 0xB105);
+        for (uint64_t addr = 0; addr + 64 <= pollution; addr += 64) {
+            firmware_rng.fillBytes(junk);
+            mc->writeLine(addr, junk);
+        }
+    }
+}
+
+void
+Machine::shutdown()
+{
+    if (!powered)
+        cb_fatal("shutdown: machine already off");
+    powered = false;
+    for (unsigned c = 0; c < mc->addressMap().channels(); ++c)
+        if (mc->dimm(c))
+            mc->dimm(c)->powerOff();
+}
+
+void
+Machine::reboot()
+{
+    shutdown();
+    boot();
+}
+
+void
+Machine::writePhys(uint64_t phys_addr, std::span<const uint8_t> data)
+{
+    if (!powered)
+        cb_fatal("writePhys: machine is off");
+    mc->write(phys_addr, data);
+}
+
+void
+Machine::readPhys(uint64_t phys_addr, std::span<uint8_t> out) const
+{
+    if (!powered)
+        cb_fatal("readPhys: machine is off");
+    mc->read(phys_addr, out);
+}
+
+void
+Machine::writePhysBytes(uint64_t phys_addr,
+                        std::span<const uint8_t> data)
+{
+    if (!powered)
+        cb_fatal("writePhysBytes: machine is off");
+    uint8_t lbuf[64];
+    size_t done = 0;
+    while (done < data.size()) {
+        uint64_t addr = phys_addr + done;
+        uint64_t line_addr = addr & ~63ULL;
+        size_t off = static_cast<size_t>(addr - line_addr);
+        size_t n = std::min<size_t>(64 - off, data.size() - done);
+        mc->readLine(line_addr, {lbuf, 64});
+        std::copy_n(data.data() + done, n, lbuf + off);
+        mc->writeLine(line_addr, {lbuf, 64});
+        done += n;
+    }
+}
+
+void
+Machine::readPhysBytes(uint64_t phys_addr,
+                       std::span<uint8_t> out) const
+{
+    if (!powered)
+        cb_fatal("readPhysBytes: machine is off");
+    uint8_t lbuf[64];
+    size_t done = 0;
+    while (done < out.size()) {
+        uint64_t addr = phys_addr + done;
+        uint64_t line_addr = addr & ~63ULL;
+        size_t off = static_cast<size_t>(addr - line_addr);
+        size_t n = std::min<size_t>(64 - off, out.size() - done);
+        mc->readLine(line_addr, {lbuf, 64});
+        std::copy_n(lbuf + off, n, out.data() + done);
+        done += n;
+    }
+}
+
+MemoryImage
+Machine::dumpMemory() const
+{
+    if (!powered)
+        cb_fatal("dumpMemory: machine is off");
+    MemoryImage image(capacity());
+    mc->read(0, image.bytesMutable());
+    return image;
+}
+
+} // namespace coldboot::platform

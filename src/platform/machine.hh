@@ -1,0 +1,165 @@
+/**
+ * @file
+ * A complete simulated computer: CPU (with its integrated memory
+ * controller and scrambler), BIOS, DIMM slots, and power state.
+ *
+ * This is the stage on which the attack plays out. The victim machine
+ * runs a workload and mounts an encrypted volume; the attacker's
+ * machine (same CPU generation, per the attack model) receives the
+ * frozen DIMM and dumps it.
+ */
+
+#ifndef COLDBOOT_PLATFORM_MACHINE_HH
+#define COLDBOOT_PLATFORM_MACHINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "memctrl/memory_controller.hh"
+#include "platform/memory_image.hh"
+
+namespace coldboot::platform
+{
+
+/** One CPU model from the paper's Table I. */
+struct CpuModel
+{
+    std::string name;
+    memctrl::CpuGeneration generation;
+    std::string launch;
+};
+
+/** The five CPU models analyzed in the paper (Table I). */
+const std::vector<CpuModel> &cpuModelTable();
+
+/** Look up a Table I model by name; fatal() if unknown. */
+const CpuModel &cpuModelByName(const std::string &name);
+
+/**
+ * BIOS policy knobs relevant to the attack surface.
+ */
+struct BiosConfig
+{
+    /** Scrambler on/off (the analysis-motherboard toggle). */
+    bool scrambler_enabled = true;
+    /**
+     * Whether the BIOS draws a fresh scrambler seed every boot.
+     * The paper observed vendors that do NOT, reusing the same key
+     * set across boots - a further weakness.
+     */
+    bool reset_seed_each_boot = true;
+    /** Bytes of low memory the firmware/dumper clobbers at boot. */
+    uint64_t boot_pollution_bytes = 256 * 1024;
+};
+
+/**
+ * A machine with sockets, BIOS and power state.
+ */
+class Machine
+{
+  public:
+    /**
+     * @param model        CPU model (Table I).
+     * @param bios         BIOS policy configuration.
+     * @param channels     Memory channels to drive (1 or 2).
+     * @param entropy_seed Seed of the machine's boot-time entropy
+     *                     source (scrambler seeds derive from it).
+     */
+    Machine(const CpuModel &model, const BiosConfig &bios,
+            unsigned channels, uint64_t entropy_seed);
+
+    /** As above, with an explicit scrambler-replacement factory. */
+    Machine(const CpuModel &model, const BiosConfig &bios,
+            unsigned channels, uint64_t entropy_seed,
+            memctrl::ScramblerFactory factory);
+
+    /** Install a DIMM (machine must be off). */
+    void installDimm(unsigned channel,
+                     std::shared_ptr<dram::DramModule> dimm);
+
+    /**
+     * Pull a DIMM out of its socket. Allowed regardless of power
+     * state - pulling from a live machine is exactly what the attack
+     * does. The module is powered off as it leaves the socket.
+     */
+    std::shared_ptr<dram::DramModule> removeDimm(unsigned channel);
+
+    /**
+     * Power on and run the BIOS: a scrambler seed is drawn per the
+     * seed policy, the scrambler is enabled/disabled per BIOS config,
+     * DIMMs get power, and the firmware clobbers its low-memory
+     * footprint. Pre-existing DIMM contents otherwise survive.
+     */
+    void boot();
+
+    /** Orderly power-off (DIMMs lose refresh). */
+    void shutdown();
+
+    /** shutdown() followed by boot(). */
+    void reboot();
+
+    /** Whether the machine is currently powered. */
+    bool isOn() const { return powered; }
+
+    /** CPU model descriptor. */
+    const CpuModel &model() const { return cpu; }
+
+    /** BIOS configuration (mutable: the analyst flips the toggle). */
+    BiosConfig &bios() { return bios_cfg; }
+
+    /** The integrated memory controller. */
+    memctrl::MemoryController &controller() { return *mc; }
+    const memctrl::MemoryController &controller() const { return *mc; }
+
+    /** Total physical memory. */
+    uint64_t capacity() const { return mc->capacity(); }
+
+    /** Software (CPU-side, descrambled) physical write. */
+    void writePhys(uint64_t phys_addr, std::span<const uint8_t> data);
+
+    /** Software (CPU-side, descrambled) physical read. */
+    void readPhys(uint64_t phys_addr, std::span<uint8_t> out) const;
+
+    /**
+     * Byte-granular physical write at any alignment (the controller
+     * performs read-modify-write on partial lines, as a real CPU's
+     * cache hierarchy effectively does).
+     */
+    void writePhysBytes(uint64_t phys_addr,
+                        std::span<const uint8_t> data);
+
+    /** Byte-granular physical read at any alignment. */
+    void readPhysBytes(uint64_t phys_addr,
+                       std::span<uint8_t> out) const;
+
+    /**
+     * The bare-metal GRUB-module dump: read all of physical memory
+     * through the memory controller (descrambler applies if enabled)
+     * into an image.
+     */
+    MemoryImage dumpMemory() const;
+
+    /** The scrambler seed currently in effect (test inspection). */
+    uint64_t currentSeed() const { return current_seed; }
+
+    /** Number of completed boots. */
+    unsigned bootCount() const { return boots; }
+
+  private:
+    void applyBiosAtBoot();
+
+    CpuModel cpu;
+    BiosConfig bios_cfg;
+    std::unique_ptr<memctrl::MemoryController> mc;
+    Xoshiro256StarStar entropy;
+    uint64_t current_seed;
+    bool powered;
+    unsigned boots;
+};
+
+} // namespace coldboot::platform
+
+#endif // COLDBOOT_PLATFORM_MACHINE_HH

@@ -1,0 +1,143 @@
+#include "platform/memory_image.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace coldboot::platform
+{
+
+MemoryImage::MemoryImage(size_t bytes) : data(bytes, 0)
+{
+    if (bytes == 0 || bytes % 64 != 0)
+        cb_fatal("MemoryImage: size %zu not a nonzero multiple of 64",
+                 bytes);
+}
+
+MemoryImage::MemoryImage(std::vector<uint8_t> d) : data(std::move(d))
+{
+    if (data.empty() || data.size() % 64 != 0)
+        cb_fatal("MemoryImage: size %zu not a nonzero multiple of 64",
+                 data.size());
+}
+
+std::span<const uint8_t>
+MemoryImage::line(size_t line_idx) const
+{
+    cb_assert(line_idx < lines(), "MemoryImage::line %zu out of range",
+              line_idx);
+    return {data.data() + 64 * line_idx, 64};
+}
+
+std::span<uint8_t>
+MemoryImage::lineMutable(size_t line_idx)
+{
+    cb_assert(line_idx < lines(), "MemoryImage::line %zu out of range",
+              line_idx);
+    return {data.data() + 64 * line_idx, 64};
+}
+
+size_t
+MemoryImage::identicalLines(const MemoryImage &other) const
+{
+    cb_assert(size() == other.size(),
+              "identicalLines: size mismatch %zu vs %zu", size(),
+              other.size());
+    size_t count = 0;
+    for (size_t i = 0; i < lines(); ++i) {
+        if (std::memcmp(line(i).data(), other.line(i).data(), 64) == 0)
+            ++count;
+    }
+    return count;
+}
+
+size_t
+MemoryImage::duplicateLinePairs() const
+{
+    // FNV-1a per line, then count pairs within equal-hash buckets
+    // (verifying true equality to be collision-safe).
+    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+    for (size_t i = 0; i < lines(); ++i) {
+        uint64_t h = 0xcbf29ce484222325ULL;
+        for (uint8_t b : line(i)) {
+            h ^= b;
+            h *= 0x100000001b3ULL;
+        }
+        buckets[h].push_back(i);
+    }
+    size_t pairs = 0;
+    for (const auto &[hash, idxs] : buckets) {
+        if (idxs.size() < 2)
+            continue;
+        for (size_t a = 0; a < idxs.size(); ++a)
+            for (size_t b = a + 1; b < idxs.size(); ++b)
+                if (std::memcmp(line(idxs[a]).data(),
+                           line(idxs[b]).data(), 64) == 0)
+                    ++pairs;
+    }
+    return pairs;
+}
+
+double
+MemoryImage::onesFraction() const
+{
+    size_t ones = hammingWeight({data.data(), data.size()});
+    return static_cast<double>(ones) /
+           (static_cast<double>(data.size()) * 8.0);
+}
+
+void
+MemoryImage::savePgm(const std::string &path, size_t width) const
+{
+    cb_assert(width > 0, "savePgm: zero width");
+    size_t height = (data.size() + width - 1) / width;
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        cb_fatal("savePgm: cannot open '%s'", path.c_str());
+    std::fprintf(f, "P5\n%zu %zu\n255\n", width, height);
+    std::fwrite(data.data(), 1, data.size(), f);
+    // Pad the final row.
+    size_t padding = width * height - data.size();
+    for (size_t i = 0; i < padding; ++i)
+        std::fputc(0, f);
+    std::fclose(f);
+}
+
+void
+MemoryImage::saveRaw(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        cb_fatal("saveRaw: cannot open '%s'", path.c_str());
+    size_t written = std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    if (written != data.size())
+        cb_fatal("saveRaw: short write to '%s'", path.c_str());
+}
+
+MemoryImage
+MemoryImage::loadRaw(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        cb_fatal("loadRaw: cannot open '%s'", path.c_str());
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size <= 0 || size % 64 != 0) {
+        std::fclose(f);
+        cb_fatal("loadRaw: '%s' is not a nonzero multiple of 64 "
+                 "bytes (%ld)", path.c_str(), size);
+    }
+    std::vector<uint8_t> bytes(static_cast<size_t>(size));
+    size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (got != bytes.size())
+        cb_fatal("loadRaw: short read from '%s'", path.c_str());
+    return MemoryImage(std::move(bytes));
+}
+
+} // namespace coldboot::platform

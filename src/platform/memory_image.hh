@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A captured physical-memory image (the artifact a cold boot attack
+ * analyzes) plus basic statistics used by the visual-comparison
+ * experiment.
+ */
+
+#ifndef COLDBOOT_PLATFORM_MEMORY_IMAGE_HH
+#define COLDBOOT_PLATFORM_MEMORY_IMAGE_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace coldboot::platform
+{
+
+/**
+ * A byte-for-byte dump of physical memory.
+ */
+class MemoryImage
+{
+  public:
+    /** An empty image of @p bytes size (must be a multiple of 64). */
+    explicit MemoryImage(size_t bytes);
+
+    /** Wrap a copy of existing bytes. */
+    explicit MemoryImage(std::vector<uint8_t> data);
+
+    /** Image size in bytes. */
+    size_t size() const { return data.size(); }
+
+    /** Number of 64-byte lines. */
+    size_t lines() const { return data.size() / 64; }
+
+    /** Whole image contents. */
+    std::span<const uint8_t> bytes() const
+    {
+        return {data.data(), data.size()};
+    }
+
+    /** Mutable contents. */
+    std::span<uint8_t> bytesMutable()
+    {
+        return {data.data(), data.size()};
+    }
+
+    /** The 64-byte line at line index @p line_idx. */
+    std::span<const uint8_t> line(size_t line_idx) const;
+
+    /** Mutable 64-byte line. */
+    std::span<uint8_t> lineMutable(size_t line_idx);
+
+    /**
+     * Count of lines exactly equal between this image and @p other
+     * (they must have equal size) - the correlation statistic behind
+     * the Figure 3 comparison.
+     */
+    size_t identicalLines(const MemoryImage &other) const;
+
+    /**
+     * Number of (unordered) duplicated line pairs within this image,
+     * computed via hashing. High counts mean visible correlations
+     * (DDR3-style scrambling); low counts mean good obfuscation.
+     */
+    size_t duplicateLinePairs() const;
+
+    /** Fraction of bits set in the image. */
+    double onesFraction() const;
+
+    /**
+     * Save as a binary PGM (P5) grayscale image, one byte per pixel,
+     * for the Figure 3 visual renders.
+     *
+     * @param path   Output file path.
+     * @param width  Pixel row width (default 256).
+     */
+    void savePgm(const std::string &path, size_t width = 256) const;
+
+    /** Save the raw bytes to a file (a forensic dump artifact). */
+    void saveRaw(const std::string &path) const;
+
+    /**
+     * Load a raw dump file; fatal() if unreadable or not a nonzero
+     * multiple of 64 bytes.
+     */
+    static MemoryImage loadRaw(const std::string &path);
+
+  private:
+    std::vector<uint8_t> data;
+};
+
+} // namespace coldboot::platform
+
+#endif // COLDBOOT_PLATFORM_MEMORY_IMAGE_HH

@@ -1,0 +1,153 @@
+#include "platform/workload.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace coldboot::platform
+{
+
+namespace
+{
+
+enum class PageType { Zero, Text, Heap, Random };
+
+PageType
+choosePageType(const WorkloadParams &params, Xoshiro256StarStar &rng)
+{
+    double r = rng.nextDouble();
+    if ((r -= params.text_fraction) < 0)
+        return PageType::Text;
+    if ((r -= params.heap_fraction) < 0)
+        return PageType::Heap;
+    if ((r -= params.random_fraction) < 0)
+        return PageType::Random;
+    return PageType::Zero;
+}
+
+/** Code-like bytes: a skewed opcode histogram with short repeats. */
+void
+fillText(Xoshiro256StarStar &rng, std::span<uint8_t> out)
+{
+    // Common x86-ish bytes dominate; occasional literal runs.
+    static const uint8_t common[] = {
+        0x00, 0x48, 0x89, 0x8b, 0xff, 0xe8, 0x0f, 0xc3,
+        0x55, 0x5d, 0x83, 0x45, 0x24, 0x84, 0x74, 0x75,
+    };
+    size_t i = 0;
+    while (i < out.size()) {
+        if (rng.chance(0.1)) {
+            // Repeat a recent motif (loops, padding).
+            size_t run = 4 + rng.nextBelow(12);
+            uint8_t b = rng.chance(0.5) ? 0x00 : 0x90;
+            for (size_t k = 0; k < run && i < out.size(); ++k)
+                out[i++] = b;
+        } else if (rng.chance(0.7)) {
+            out[i++] = common[rng.nextBelow(std::size(common))];
+        } else {
+            out[i++] = static_cast<uint8_t>(rng.next());
+        }
+    }
+}
+
+/** Heap-like bytes: pointers with shared high bits, ints, zeros. */
+void
+fillHeap(Xoshiro256StarStar &rng, std::span<uint8_t> out)
+{
+    uint64_t heap_base = 0x00007f0000000000ULL +
+                         (rng.nextBelow(1024) << 24);
+    size_t i = 0;
+    while (i + 8 <= out.size()) {
+        double r = rng.nextDouble();
+        uint64_t v;
+        if (r < 0.35) {
+            v = 0; // null pointers / unallocated slack
+        } else if (r < 0.60) {
+            v = heap_base + (rng.nextBelow(1 << 20) << 4);
+        } else if (r < 0.85) {
+            v = rng.nextBelow(4096); // small integers
+        } else {
+            v = rng.next(); // packed data
+        }
+        storeLE64(&out[i], v);
+        i += 8;
+    }
+    while (i < out.size())
+        out[i++] = 0;
+}
+
+} // anonymous namespace
+
+void
+generatePage(const WorkloadParams &params, uint64_t seed,
+             uint64_t page_index, std::span<uint8_t> out)
+{
+    cb_assert(out.size() == params.page_bytes,
+              "generatePage: output size %zu != page size %llu",
+              out.size(),
+              static_cast<unsigned long long>(params.page_bytes));
+    Xoshiro256StarStar rng(seed * 0x9e3779b97f4a7c15ULL + page_index);
+    switch (choosePageType(params, rng)) {
+      case PageType::Zero:
+        std::fill(out.begin(), out.end(), 0);
+        break;
+      case PageType::Text:
+        fillText(rng, out);
+        break;
+      case PageType::Heap:
+        fillHeap(rng, out);
+        break;
+      case PageType::Random:
+        rng.fillBytes(out);
+        break;
+    }
+}
+
+void
+fillWorkload(Machine &machine, const WorkloadParams &params,
+             uint64_t seed, uint64_t start_addr, uint64_t bytes)
+{
+    if (!machine.isOn())
+        cb_fatal("fillWorkload: machine is off");
+    if (bytes == 0)
+        bytes = machine.capacity() - start_addr;
+    cb_assert(start_addr % 64 == 0, "fillWorkload: unaligned start");
+    cb_assert(start_addr + bytes <= machine.capacity(),
+              "fillWorkload: range exceeds memory");
+
+    std::vector<uint8_t> page(params.page_bytes);
+    uint64_t addr = start_addr;
+    uint64_t page_index = start_addr / params.page_bytes;
+    while (addr < start_addr + bytes) {
+        uint64_t chunk = std::min<uint64_t>(params.page_bytes,
+                                            start_addr + bytes - addr);
+        generatePage(params, seed, page_index, page);
+        machine.writePhys(addr, {page.data(), chunk});
+        addr += chunk;
+        ++page_index;
+    }
+}
+
+double
+zeroLineFraction(const WorkloadParams &params, uint64_t seed,
+                 unsigned pages)
+{
+    std::vector<uint8_t> page(params.page_bytes);
+    uint64_t zero_lines = 0, total_lines = 0;
+    for (unsigned p = 0; p < pages; ++p) {
+        generatePage(params, seed, p, page);
+        for (size_t off = 0; off + 64 <= page.size(); off += 64) {
+            ++total_lines;
+            bool zero = true;
+            for (size_t i = 0; i < 64; ++i)
+                zero = zero && (page[off + i] == 0);
+            zero_lines += zero;
+        }
+    }
+    return static_cast<double>(zero_lines) /
+           static_cast<double>(total_lines);
+}
+
+} // namespace coldboot::platform

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic memory workloads.
+ *
+ * The key-mining attack depends on one statistical fact about real
+ * systems: zero-filled 64-byte blocks are plentiful (the same fact
+ * that motivates zero-aware memory compression). The generator
+ * produces page-granular contents with realistic composition: zero
+ * pages, code-like pages, heap-like pages (pointers sharing high
+ * bits, small integers), and high-entropy pages (media/compressed
+ * data).
+ */
+
+#ifndef COLDBOOT_PLATFORM_WORKLOAD_HH
+#define COLDBOOT_PLATFORM_WORKLOAD_HH
+
+#include <cstdint>
+
+#include "platform/machine.hh"
+
+namespace coldboot::platform
+{
+
+/**
+ * Composition of the synthetic workload, as page-type fractions
+ * (should sum to about 1; the remainder becomes zero pages).
+ */
+struct WorkloadParams
+{
+    /** Fraction of 4 KiB pages that are entirely zero. */
+    double zero_fraction = 0.30;
+    /** Code-like pages (skewed byte histogram, repetition). */
+    double text_fraction = 0.25;
+    /** Heap-like pages (pointers, small ints, zero runs). */
+    double heap_fraction = 0.30;
+    /** High-entropy pages (compressed/media data). */
+    double random_fraction = 0.15;
+    /** Page size in bytes. */
+    uint64_t page_bytes = 4096;
+};
+
+/**
+ * Fill the machine's physical memory (from @p start_addr up) with a
+ * synthetic workload through the CPU side (so it is scrambled on its
+ * way to DRAM).
+ *
+ * @param machine    Powered-on target machine.
+ * @param params     Composition parameters.
+ * @param seed       Deterministic workload seed.
+ * @param start_addr First physical address to fill (line aligned).
+ * @param bytes      Bytes to fill (0 = to end of memory).
+ */
+void fillWorkload(Machine &machine, const WorkloadParams &params,
+                  uint64_t seed, uint64_t start_addr = 0,
+                  uint64_t bytes = 0);
+
+/**
+ * Generate one page of the given composition into @p out (exposed
+ * for tests and for building images without a machine).
+ */
+void generatePage(const WorkloadParams &params, uint64_t seed,
+                  uint64_t page_index, std::span<uint8_t> out);
+
+/**
+ * Fraction of all-zero 64-byte lines a workload generates, measured
+ * over @p pages pages (used to sanity-check the zero-block supply the
+ * key miner depends on).
+ */
+double zeroLineFraction(const WorkloadParams &params, uint64_t seed,
+                        unsigned pages);
+
+} // namespace coldboot::platform
+
+#endif // COLDBOOT_PLATFORM_WORKLOAD_HH

@@ -1,0 +1,252 @@
+#include "volume/veracrypt_volume.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "crypto/sha256.hh"
+
+namespace coldboot::volume
+{
+
+namespace
+{
+
+/**
+ * Decrypted header body layout (inside the encrypted region after
+ * the salt):
+ *   [0:4)    magic "CBVC"
+ *   [4:8)    version (LE32) = 1
+ *   [8:12)   kdf iterations (LE32)
+ *   [12:76)  master keys (data key 32B || tweak key 32B)
+ *   [76:84)  data sector count (LE64)
+ *   [84:116) SHA-256 of bytes [0:84)
+ *   [116:448) zero padding
+ */
+constexpr size_t headerBodyBytes = headerBytes - saltBytes;
+constexpr char headerMagic[4] = {'C', 'B', 'V', 'C'};
+
+struct HeaderFields
+{
+    uint32_t iterations;
+    uint8_t master[64];
+    uint64_t sectors;
+};
+
+void
+packHeaderBody(const HeaderFields &fields, uint8_t body[headerBodyBytes])
+{
+    std::memset(body, 0, headerBodyBytes);
+    std::memcpy(body, headerMagic, 4);
+    body[4] = 1;
+    for (int i = 0; i < 4; ++i)
+        body[8 + i] = static_cast<uint8_t>(fields.iterations >> (8 * i));
+    std::memcpy(body + 12, fields.master, 64);
+    for (int i = 0; i < 8; ++i)
+        body[76 + i] = static_cast<uint8_t>(fields.sectors >> (8 * i));
+    auto digest = crypto::Sha256::digest({body, 84});
+    std::memcpy(body + 84, digest.data(), digest.size());
+}
+
+bool
+unpackHeaderBody(const uint8_t body[headerBodyBytes],
+                 HeaderFields &fields)
+{
+    if (std::memcmp(body, headerMagic, 4) != 0)
+        return false;
+    auto digest = crypto::Sha256::digest({body, 84});
+    if (std::memcmp(body + 84, digest.data(), digest.size()) != 0)
+        return false;
+    fields.iterations = 0;
+    for (int i = 0; i < 4; ++i)
+        fields.iterations |=
+            static_cast<uint32_t>(body[8 + i]) << (8 * i);
+    std::memcpy(fields.master, body + 12, 64);
+    fields.sectors = 0;
+    for (int i = 0; i < 8; ++i)
+        fields.sectors |= static_cast<uint64_t>(body[76 + i]) << (8 * i);
+    return true;
+}
+
+/** Derive the two 32-byte header keys from passphrase and salt. */
+std::vector<uint8_t>
+deriveHeaderKeys(const std::string &passphrase,
+                 std::span<const uint8_t> salt, uint32_t iterations)
+{
+    std::span<const uint8_t> pw(
+        reinterpret_cast<const uint8_t *>(passphrase.data()),
+        passphrase.size());
+    return crypto::pbkdf2Sha256(pw, salt, iterations, 64);
+}
+
+/** Header body is encrypted with XTS under the header keys. */
+void
+cryptHeaderBody(const std::vector<uint8_t> &header_keys,
+                std::span<const uint8_t> in, std::span<uint8_t> out,
+                bool encrypt)
+{
+    crypto::XtsAes xts({header_keys.data(), 32},
+                       {header_keys.data() + 32, 32});
+    // Header occupies "sector" ~0 (a tweak value data sectors never
+    // use, since sector numbers are 0-based container data indices).
+    const uint64_t header_tweak = ~0ULL;
+    if (encrypt)
+        xts.encryptSector(header_tweak, in, out);
+    else
+        xts.decryptSector(header_tweak, in, out);
+}
+
+} // anonymous namespace
+
+VolumeFile
+VolumeFile::create(const std::string &passphrase, uint64_t data_sectors,
+                   uint64_t seed, uint32_t kdf_iterations)
+{
+    if (data_sectors == 0)
+        cb_fatal("VolumeFile::create: zero data sectors");
+
+    VolumeFile vf;
+    vf.kdf_iters = kdf_iterations;
+    vf.blob.assign(headerBytes + data_sectors * sectorBytes, 0);
+
+    Xoshiro256StarStar rng(seed);
+
+    // Salt.
+    rng.fillBytes({vf.blob.data(), saltBytes});
+
+    // Master keys.
+    HeaderFields fields;
+    fields.iterations = kdf_iterations;
+    fields.sectors = data_sectors;
+    rng.fillBytes({fields.master, 64});
+
+    // Pack and encrypt the header body.
+    uint8_t body[headerBodyBytes];
+    packHeaderBody(fields, body);
+    auto header_keys = deriveHeaderKeys(
+        passphrase, {vf.blob.data(), saltBytes}, kdf_iterations);
+    cryptHeaderBody(header_keys, {body, headerBodyBytes},
+                    {vf.blob.data() + saltBytes, headerBodyBytes},
+                    true);
+
+    // Fresh volumes hold encrypted zeros (like a formatted volume):
+    // encrypt the all-zero plaintext of each sector.
+    crypto::XtsAes xts({fields.master, 32}, {fields.master + 32, 32});
+    std::vector<uint8_t> zero_sector(sectorBytes, 0);
+    for (uint64_t s = 0; s < data_sectors; ++s) {
+        xts.encryptSector(
+            s, zero_sector,
+            {vf.blob.data() + headerBytes + s * sectorBytes,
+             sectorBytes});
+    }
+    return vf;
+}
+
+std::span<const uint8_t>
+VolumeFile::sectorCiphertext(uint64_t sector) const
+{
+    cb_assert(sector < dataSectors(), "sector %llu out of range",
+              static_cast<unsigned long long>(sector));
+    return {blob.data() + headerBytes + sector * sectorBytes,
+            sectorBytes};
+}
+
+std::span<uint8_t>
+VolumeFile::sectorCiphertextMutable(uint64_t sector)
+{
+    cb_assert(sector < dataSectors(), "sector %llu out of range",
+              static_cast<unsigned long long>(sector));
+    return {blob.data() + headerBytes + sector * sectorBytes,
+            sectorBytes};
+}
+
+MountedVolume::MountedVolume(platform::Machine &m, VolumeFile &f,
+                             const uint8_t master_keys[64],
+                             uint64_t addr, KeyStorage key_storage)
+    : machine(&m), file(&f), keytable_addr(addr),
+      storage(key_storage), mounted(true)
+{
+    std::memcpy(master, master_keys, 64);
+    xts = std::make_unique<crypto::XtsAes>(
+        std::span<const uint8_t>{master, 32},
+        std::span<const uint8_t>{master + 32, 32});
+
+    if (storage == KeyStorage::Ram) {
+        // Cache both expanded schedules contiguously in machine RAM -
+        // the exact artifact the cold boot attack recovers. Layout
+        // mirrors a driver's aes_ctx pair: data-key schedule (240 B)
+        // immediately followed by tweak-key schedule (240 B).
+        auto data_sched = xts->dataCipher().schedule();
+        auto tweak_sched = xts->tweakCipher().schedule();
+        std::vector<uint8_t> blob(data_sched.begin(),
+                                  data_sched.end());
+        blob.insert(blob.end(), tweak_sched.begin(),
+                    tweak_sched.end());
+        cb_assert(blob.size() == keytableBytes(), "keytable size");
+        machine->writePhysBytes(keytable_addr, blob);
+    }
+    // KeyStorage::Registers: nothing touches DRAM; the schedules
+    // live only in the driver context (modeling debug/MSR-register
+    // key storage a la TRESOR / Loop-Amnesia).
+}
+
+std::optional<MountedVolume>
+MountedVolume::mount(platform::Machine &machine, VolumeFile &file,
+                     const std::string &passphrase,
+                     uint64_t keytable_addr, KeyStorage storage)
+{
+    if (!machine.isOn())
+        cb_fatal("mount: machine is off");
+    if (keytable_addr % 16 != 0)
+        cb_fatal("mount: keytable address must be 16-byte aligned");
+    if (keytable_addr + keytableBytes() > machine.capacity())
+        cb_fatal("mount: keytable address beyond physical memory");
+
+    auto header_keys = deriveHeaderKeys(
+        passphrase, {file.blob.data(), saltBytes}, file.kdf_iters);
+    uint8_t body[headerBodyBytes];
+    cryptHeaderBody(header_keys,
+                    {file.blob.data() + saltBytes, headerBodyBytes},
+                    {body, headerBodyBytes}, false);
+    HeaderFields fields;
+    if (!unpackHeaderBody(body, fields))
+        return std::nullopt; // wrong passphrase (or corrupt header)
+
+    return MountedVolume(machine, file, fields.master, keytable_addr,
+                         storage);
+}
+
+void
+MountedVolume::readSector(uint64_t sector, std::span<uint8_t> out) const
+{
+    cb_assert(mounted, "readSector on unmounted volume");
+    cb_assert(out.size() == sectorBytes, "sector buffer size");
+    xts->decryptSector(sector, file->sectorCiphertext(sector), out);
+}
+
+void
+MountedVolume::writeSector(uint64_t sector,
+                           std::span<const uint8_t> data)
+{
+    cb_assert(mounted, "writeSector on unmounted volume");
+    cb_assert(data.size() == sectorBytes, "sector buffer size");
+    xts->encryptSector(sector, data,
+                       file->sectorCiphertextMutable(sector));
+}
+
+void
+MountedVolume::unmount()
+{
+    if (!mounted)
+        return;
+    // Scrub the cached schedules, as disk-encryption tools do.
+    if (storage == KeyStorage::Ram && machine->isOn()) {
+        std::vector<uint8_t> zeros(keytableBytes(), 0);
+        machine->writePhysBytes(keytable_addr, zeros);
+    }
+    std::memset(master, 0, sizeof(master));
+    xts.reset();
+    mounted = false;
+}
+
+} // namespace coldboot::volume

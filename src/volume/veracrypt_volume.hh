@@ -1,0 +1,183 @@
+/**
+ * @file
+ * A TrueCrypt/VeraCrypt-style encrypted volume.
+ *
+ * Substitution for a real VeraCrypt install (see DESIGN.md): the
+ * attack only interacts with the *memory footprint* of a mounted
+ * volume - the expanded XTS-AES round-key schedules the driver caches
+ * in RAM while the volume is mounted. This model reproduces the full
+ * lifecycle faithfully:
+ *
+ *  - container format: salt || header encrypted under a PBKDF2-
+ *    derived header key; the header protects the two XTS master keys;
+ *  - mount: derive header keys from the passphrase, decrypt and
+ *    verify the header, expand the master keys, and cache both
+ *    240-byte AES-256 key schedules contiguously in machine memory
+ *    (exactly the artifact cold boot attacks recover);
+ *  - sector I/O through XTS-AES-256;
+ *  - unmount: scrub the cached schedules (the mitigation the paper
+ *    notes is defeated when the machine is captured while mounted).
+ */
+
+#ifndef COLDBOOT_VOLUME_VERACRYPT_VOLUME_HH
+#define COLDBOOT_VOLUME_VERACRYPT_VOLUME_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/xts.hh"
+#include "platform/machine.hh"
+
+namespace coldboot::volume
+{
+
+/**
+ * Where the mounted volume keeps its expanded key schedules.
+ *
+ * Ram is what real disk-encryption drivers do (and what cold boot
+ * attacks exploit). Registers models the TRESOR / Loop-Amnesia class
+ * of mitigations the paper surveys: keys live only in CPU registers,
+ * nothing reaches DRAM - at the cost of re-deriving round keys per
+ * operation and requiring kernel support.
+ */
+enum class KeyStorage { Ram, Registers };
+
+/** Volume sector size. */
+constexpr size_t sectorBytes = 512;
+
+/** Container header size (salt + encrypted header body). */
+constexpr size_t headerBytes = 512;
+
+/** Salt length at the start of the container. */
+constexpr size_t saltBytes = 64;
+
+/**
+ * An encrypted volume container at rest (file/disk image).
+ */
+class VolumeFile
+{
+  public:
+    /**
+     * Create a fresh volume.
+     *
+     * @param passphrase     User passphrase.
+     * @param data_sectors   Number of 512-byte data sectors.
+     * @param seed           Entropy for salt and master keys.
+     * @param kdf_iterations PBKDF2 iteration count (small default
+     *                       keeps tests fast; the format supports
+     *                       realistic counts).
+     */
+    static VolumeFile create(const std::string &passphrase,
+                             uint64_t data_sectors, uint64_t seed,
+                             uint32_t kdf_iterations = 1000);
+
+    /** Container size in bytes (header + data area). */
+    size_t size() const { return blob.size(); }
+
+    /** Number of data sectors. */
+    uint64_t dataSectors() const
+    {
+        return (blob.size() - headerBytes) / sectorBytes;
+    }
+
+    /** Raw container bytes. */
+    std::span<const uint8_t> bytes() const
+    {
+        return {blob.data(), blob.size()};
+    }
+
+    /** Raw ciphertext of one data sector. */
+    std::span<const uint8_t> sectorCiphertext(uint64_t sector) const;
+
+    /** Mutable raw ciphertext of one data sector. */
+    std::span<uint8_t> sectorCiphertextMutable(uint64_t sector);
+
+    /** KDF iteration count baked into this container. */
+    uint32_t kdfIterations() const { return kdf_iters; }
+
+  private:
+    friend class MountedVolume;
+
+    std::vector<uint8_t> blob;
+    uint32_t kdf_iters = 0;
+};
+
+/**
+ * A mounted volume: decrypted master keys living (expanded) in the
+ * mounting machine's RAM.
+ */
+class MountedVolume
+{
+  public:
+    /**
+     * Mount @p file on @p machine with @p passphrase.
+     *
+     * @param machine     Powered-on machine whose RAM caches the key
+     *                    schedules.
+     * @param file        The container (borrowed; must outlive the
+     *                    mount).
+     * @param passphrase  Candidate passphrase.
+     * @param keytable_addr Physical address at which the driver
+     *                    caches the expanded schedules. 16-byte
+     *                    aligned; deliberately not line-aligned by
+     *                    default to exercise the attack's boundary
+     *                    handling.
+     * @return The mounted handle, or std::nullopt on a wrong
+     *         passphrase (header verification fails).
+     */
+    static std::optional<MountedVolume>
+    mount(platform::Machine &machine, VolumeFile &file,
+          const std::string &passphrase, uint64_t keytable_addr,
+          KeyStorage storage = KeyStorage::Ram);
+
+    /** Read and decrypt one sector. */
+    void readSector(uint64_t sector, std::span<uint8_t> out) const;
+
+    /** Encrypt and write one sector. */
+    void writeSector(uint64_t sector, std::span<const uint8_t> data);
+
+    /** Scrub the cached key schedules from machine RAM. */
+    void unmount();
+
+    /** Whether unmount() has been called. */
+    bool isMounted() const { return mounted; }
+
+    /**
+     * Physical address of the cached key-schedule blob (the 480
+     * contiguous bytes of both 240-byte schedules); exposed so tests
+     * can verify what the attack recovers, never used by the attack.
+     */
+    uint64_t keytableAddress() const { return keytable_addr; }
+
+    /** Size of the cached key-schedule blob in bytes. */
+    static constexpr size_t keytableBytes() { return 480; }
+
+    /** The XTS master keys (test oracle only). */
+    std::span<const uint8_t> masterKeys() const
+    {
+        return {master, sizeof(master)};
+    }
+
+    /** Where this mount keeps its key schedules. */
+    KeyStorage keyStorage() const { return storage; }
+
+  private:
+    MountedVolume(platform::Machine &machine, VolumeFile &file,
+                  const uint8_t master_keys[64],
+                  uint64_t keytable_addr, KeyStorage storage);
+
+    platform::Machine *machine;
+    VolumeFile *file;
+    uint8_t master[64];
+    std::unique_ptr<crypto::XtsAes> xts;
+    uint64_t keytable_addr;
+    KeyStorage storage;
+    bool mounted;
+};
+
+} // namespace coldboot::volume
+
+#endif // COLDBOOT_VOLUME_VERACRYPT_VOLUME_HH

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * AES tests: FIPS-197 known-answer vectors for all key sizes, key
+ * expansion vectors, schedule-continuation (the attack primitive),
+ * and parameterized encrypt/decrypt round-trip properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/hex.hh"
+#include "common/rng.hh"
+#include "crypto/aes.hh"
+
+namespace coldboot::crypto
+{
+namespace
+{
+
+// FIPS-197 Appendix C example vectors: common plaintext, per-size key.
+const char *fipsPlain = "00112233445566778899aabbccddeeff";
+
+struct FipsVector
+{
+    const char *key;
+    const char *cipher;
+};
+
+const FipsVector fipsVectors[] = {
+    // C.1 AES-128
+    {"000102030405060708090a0b0c0d0e0f",
+     "69c4e0d86a7b0430d8cdb78070b4c55a"},
+    // C.2 AES-192
+    {"000102030405060708090a0b0c0d0e0f1011121314151617",
+     "dda97ca4864cdfe06eaf70a0ec0d7191"},
+    // C.3 AES-256
+    {"000102030405060708090a0b0c0d0e0f"
+     "101112131415161718191a1b1c1d1e1f",
+     "8ea2b7ca516745bfeafc49904b496089"},
+};
+
+TEST(Aes, FipsKnownAnswer)
+{
+    auto pt = fromHex(fipsPlain);
+    for (const auto &v : fipsVectors) {
+        Aes aes(fromHex(v.key));
+        uint8_t ct[16];
+        aes.encryptBlock(pt.data(), ct);
+        EXPECT_EQ(toHex({ct, 16}), v.cipher);
+
+        uint8_t back[16];
+        aes.decryptBlock(ct, back);
+        EXPECT_EQ(toHex({back, 16}), fipsPlain);
+    }
+}
+
+TEST(Aes, SboxProperties)
+{
+    // S-box known anchor values from FIPS-197 Figure 7.
+    EXPECT_EQ(aesSbox(0x00), 0x63);
+    EXPECT_EQ(aesSbox(0x53), 0xed);
+    EXPECT_EQ(aesSbox(0xff), 0x16);
+    // Inverse property over the whole domain.
+    for (int i = 0; i < 256; ++i) {
+        uint8_t b = static_cast<uint8_t>(i);
+        EXPECT_EQ(aesInvSbox(aesSbox(b)), b);
+    }
+}
+
+TEST(Aes, KeyExpansion128KnownVector)
+{
+    // FIPS-197 Appendix A.1: key 2b7e1516 28aed2a6 abf71588 09cf4f3c.
+    auto key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    auto sched = aesExpandKey(key);
+    ASSERT_EQ(sched.size(), 176u);
+    // w4..w7 (round key 1).
+    EXPECT_EQ(toHex({&sched[16], 16}),
+              "a0fafe1788542cb123a339392a6c7605");
+    // w40..w43 (round key 10).
+    EXPECT_EQ(toHex({&sched[160], 16}),
+              "d014f9a8c9ee2589e13f0cc8b6630ca6");
+}
+
+TEST(Aes, KeyExpansion256KnownVector)
+{
+    // FIPS-197 Appendix A.3.
+    auto key = fromHex(
+        "603deb1015ca71be2b73aef0857d7781"
+        "1f352c073b6108d72d9810a30914dff4");
+    auto sched = aesExpandKey(key);
+    ASSERT_EQ(sched.size(), 240u);
+    // w8..w11.
+    EXPECT_EQ(toHex({&sched[32], 16}),
+              "9ba354118e6925afa51a8b5f2067fcde");
+    // FIPS-197 C.3 cipher trace: round[14].k_sch for the appendix-C
+    // key is another independent anchor on the schedule tail.
+    auto key_c3 = fromHex(
+        "000102030405060708090a0b0c0d0e0f"
+        "101112131415161718191a1b1c1d1e1f");
+    auto sched_c3 = aesExpandKey(key_c3);
+    EXPECT_EQ(toHex({&sched_c3[224], 16}),
+              "24fc79ccbf0979e9371ac23c6d68de36");
+}
+
+TEST(Aes, KeyExpansion192KnownVector)
+{
+    // FIPS-197 Appendix A.2.
+    auto key = fromHex(
+        "8e73b0f7da0e6452c810f32b809079e562f8ead2522c6b7b");
+    auto sched = aesExpandKey(key);
+    ASSERT_EQ(sched.size(), 208u);
+    // w6..w9 (hand-computed from the FIPS-197 A.2 recurrence).
+    EXPECT_EQ(toHex({&sched[24], 16}),
+              "fe0c91f72402f5a5ec12068e6c827f6b");
+}
+
+TEST(Aes, ScheduleContinueReproducesExpansion)
+{
+    // Sliding any Nk-word window of a real schedule through
+    // aesScheduleContinue must regenerate the remainder exactly.
+    Xoshiro256StarStar rng(77);
+    for (size_t key_len : {16u, 24u, 32u}) {
+        std::vector<uint8_t> key(key_len);
+        rng.fillBytes(key);
+        auto sched = aesExpandKey(key);
+        unsigned nk = static_cast<unsigned>(key_len) / 4;
+        unsigned total = static_cast<unsigned>(sched.size()) / 4;
+
+        std::vector<uint32_t> words(total);
+        for (unsigned i = 0; i < total; ++i)
+            words[i] = aesWordFromBytes(&sched[4 * i]);
+
+        for (unsigned start = nk; start + 1 <= total; start += 3) {
+            std::span<const uint32_t> window(&words[start - nk], nk);
+            unsigned count = total - start;
+            auto cont = aesScheduleContinue(window, start, count, nk);
+            for (unsigned k = 0; k < count; ++k)
+                ASSERT_EQ(cont[k], words[start + k])
+                    << "key_len=" << key_len << " start=" << start
+                    << " k=" << k;
+        }
+    }
+}
+
+TEST(Aes, ScheduleContinueWrongIndexDiverges)
+{
+    // Using the wrong absolute index (wrong Rcon phase) must not
+    // reproduce the true schedule - this is what lets the attack
+    // detect the correct round alignment.
+    auto key = fromHex(
+        "603deb1015ca71be2b73aef0857d7781"
+        "1f352c073b6108d72d9810a30914dff4");
+    auto sched = aesExpandKey(key);
+    unsigned nk = 8;
+    std::vector<uint32_t> words(sched.size() / 4);
+    for (unsigned i = 0; i < words.size(); ++i)
+        words[i] = aesWordFromBytes(&sched[4 * i]);
+
+    std::span<const uint32_t> window(&words[8], nk); // w8..w15
+    // Correct continuation index is 16; try 24 (wrong Rcon).
+    auto wrong = aesScheduleContinue(window, 24, 8, nk);
+    bool all_match = true;
+    for (unsigned k = 0; k < 8; ++k)
+        all_match = all_match && (wrong[k] == words[16 + k]);
+    EXPECT_FALSE(all_match);
+}
+
+TEST(Aes, EncryptDecryptAliasSafe)
+{
+    auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    Aes aes(key);
+    auto pt = fromHex(fipsPlain);
+    std::vector<uint8_t> buf = pt;
+    aes.encryptBlock(buf.data(), buf.data());
+    EXPECT_NE(buf, pt);
+    aes.decryptBlock(buf.data(), buf.data());
+    EXPECT_EQ(buf, pt);
+}
+
+TEST(Aes, ScheduleAccessors)
+{
+    auto key = fromHex(
+        "603deb1015ca71be2b73aef0857d7781"
+        "1f352c073b6108d72d9810a30914dff4");
+    Aes aes(key);
+    EXPECT_EQ(aes.keySize(), AesKeySize::Aes256);
+    EXPECT_EQ(aes.rounds(), 14);
+    EXPECT_EQ(aes.schedule().size(), 240u);
+    // First Nk words of the schedule are the raw key.
+    EXPECT_EQ(toHex(aes.schedule().subspan(0, 32)), toHex(key));
+}
+
+/** Parameterized round-trip sweep across key sizes and random data. */
+class AesRoundTrip : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(AesRoundTrip, ManyRandomBlocks)
+{
+    size_t key_len = GetParam();
+    Xoshiro256StarStar rng(key_len * 1000 + 17);
+    std::vector<uint8_t> key(key_len);
+    rng.fillBytes(key);
+    Aes aes(key);
+
+    for (int i = 0; i < 200; ++i) {
+        uint8_t pt[16], ct[16], back[16];
+        std::span<uint8_t> pt_span(pt, 16);
+        rng.fillBytes(pt_span);
+        aes.encryptBlock(pt, ct);
+        aes.decryptBlock(ct, back);
+        ASSERT_EQ(0, memcmp(pt, back, 16));
+        // Ciphertext differs from plaintext (overwhelming probability).
+        ASSERT_NE(0, memcmp(pt, ct, 16));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKeySizes, AesRoundTrip,
+                         ::testing::Values(16u, 24u, 32u));
+
+/** Avalanche property: one flipped key bit changes ~half the output. */
+TEST(Aes, KeyAvalanche)
+{
+    auto key = fromHex(
+        "603deb1015ca71be2b73aef0857d7781"
+        "1f352c073b6108d72d9810a30914dff4");
+    auto pt = fromHex(fipsPlain);
+    Aes aes1(key);
+    auto key2 = key;
+    key2[0] ^= 0x01;
+    Aes aes2(key2);
+    uint8_t c1[16], c2[16];
+    aes1.encryptBlock(pt.data(), c1);
+    aes2.encryptBlock(pt.data(), c2);
+    int diff = 0;
+    for (int i = 0; i < 16; ++i)
+        diff += __builtin_popcount(
+            static_cast<unsigned>(c1[i] ^ c2[i]));
+    EXPECT_GT(diff, 40);
+    EXPECT_LT(diff, 88);
+}
+
+} // anonymous namespace
+} // namespace coldboot::crypto
+
+#include "crypto/aes_ttable.hh"
+
+namespace coldboot::crypto
+{
+namespace
+{
+
+TEST(FastAes, MatchesReferenceOnFipsVectors)
+{
+    auto pt = fromHex(fipsPlain);
+    for (const auto &v : fipsVectors) {
+        FastAes fast(fromHex(v.key));
+        uint8_t ct[16];
+        fast.encryptBlock(pt.data(), ct);
+        EXPECT_EQ(toHex({ct, 16}), v.cipher);
+    }
+}
+
+TEST(FastAes, MatchesReferenceOnRandomData)
+{
+    Xoshiro256StarStar rng(8181);
+    for (size_t key_len : {16u, 24u, 32u}) {
+        std::vector<uint8_t> key(key_len);
+        rng.fillBytes(key);
+        Aes reference(key);
+        FastAes fast(key);
+        for (int trial = 0; trial < 500; ++trial) {
+            uint8_t pt[16], a[16], b[16];
+            std::span<uint8_t> pts(pt, 16);
+            rng.fillBytes(pts);
+            reference.encryptBlock(pt, a);
+            fast.encryptBlock(pt, b);
+            ASSERT_EQ(0, memcmp(a, b, 16))
+                << "key_len " << key_len << " trial " << trial;
+        }
+    }
+}
+
+TEST(FastAes, AliasSafeAndScheduleShared)
+{
+    std::vector<uint8_t> key(32, 0x24);
+    FastAes fast(key);
+    Aes reference(key);
+    EXPECT_EQ(0, memcmp(fast.schedule().data(),
+                        reference.schedule().data(), 240));
+    uint8_t buf[16] = {1, 2, 3};
+    uint8_t expect[16];
+    reference.encryptBlock(buf, expect);
+    fast.encryptBlock(buf, buf);
+    EXPECT_EQ(0, memcmp(buf, expect, 16));
+}
+
+} // anonymous namespace
+} // namespace coldboot::crypto

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Bank-level DDR4 timing simulator tests: protocol constraints
+ * (tRCD/tRP/tCL/tCCD/tRAS), row hit vs miss behaviour, data-bus
+ * saturation under row-hit bursts, and the engine-overlap analysis
+ * that grounds the paper's zero-exposed-latency claim in protocol
+ * timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.hh"
+#include "dram/bank_timing.hh"
+#include "dram/timing.hh"
+#include "engine/cipher_engine.hh"
+
+namespace coldboot::dram
+{
+namespace
+{
+
+BankTimingParams
+ddr4_2400Params()
+{
+    return BankTimingParams::forGrade(ddr4_2400());
+}
+
+TEST(BankTiming, ColdReadPaysActPlusCas)
+{
+    BankTimingSimulator sim(ddr4_2400Params());
+    std::vector<ReadRequest> reqs = {{0, 0, 5}};
+    auto t = sim.simulateStream(reqs);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_FALSE(t[0].row_hit);
+    // ACT at 0, CAS at tRCD, data at tRCD + tCL.
+    const auto p = ddr4_2400Params();
+    EXPECT_EQ(t[0].cas_cycle, p.t_rcd);
+    EXPECT_EQ(t[0].data_cycle, p.t_rcd + p.t_cl);
+}
+
+TEST(BankTiming, RowHitPaysOnlyCas)
+{
+    BankTimingSimulator sim(ddr4_2400Params());
+    std::vector<ReadRequest> reqs = {{0, 0, 5}, {1, 0, 5}};
+    auto t = sim.simulateStream(reqs);
+    EXPECT_FALSE(t[0].row_hit);
+    EXPECT_TRUE(t[1].row_hit);
+    const auto p = ddr4_2400Params();
+    // Second CAS spaced by tCCD from the first.
+    EXPECT_EQ(t[1].cas_cycle - t[0].cas_cycle, p.t_ccd);
+    EXPECT_EQ(t[1].data_cycle - t[1].cas_cycle, p.t_cl);
+}
+
+TEST(BankTiming, RowConflictPaysPrechargePlusActivate)
+{
+    BankTimingSimulator sim(ddr4_2400Params());
+    std::vector<ReadRequest> reqs = {{0, 0, 5}, {1, 0, 9}};
+    auto t = sim.simulateStream(reqs);
+    EXPECT_FALSE(t[1].row_hit);
+    const auto p = ddr4_2400Params();
+    // The conflicting read waits at least tRAS + tRP + tRCD from the
+    // first activation.
+    EXPECT_GE(t[1].cas_cycle, p.t_ras + p.t_rp + p.t_rcd);
+}
+
+TEST(BankTiming, BankParallelismHidesActivates)
+{
+    // Misses to different banks overlap their activations; misses to
+    // one bank serialize.
+    BankTimingParams p = ddr4_2400Params();
+    BankTimingSimulator sim(p);
+    std::vector<ReadRequest> spread, serial;
+    for (unsigned i = 0; i < 8; ++i) {
+        spread.push_back({i, i, 1});
+        serial.push_back({i, 0, i + 1});
+    }
+    auto ts = sim.simulateStream(spread);
+    BankTimingSimulator sim2(p);
+    auto tt = sim2.simulateStream(serial);
+    EXPECT_LT(ts.back().data_cycle, tt.back().data_cycle / 4);
+}
+
+TEST(BankTiming, RowHitBurstSaturatesDataBus)
+{
+    // The paper's peak case: row hits across banks return one
+    // 64-byte burst per tCCD; data beats are back to back.
+    BankTimingParams p = ddr4_2400Params();
+    BankTimingSimulator sim(p);
+    auto burst = sim.simulateRowHitBurst(18);
+    ASSERT_EQ(burst.size(), 18u);
+    for (size_t i = 1; i < burst.size(); ++i) {
+        EXPECT_EQ(burst[i].cas_cycle - burst[i - 1].cas_cycle,
+                  p.t_ccd)
+            << i;
+        EXPECT_TRUE(burst[i].row_hit);
+        EXPECT_EQ(burst[i].data_cycle - burst[i - 1].data_cycle,
+                  p.t_bl)
+            << i;
+    }
+}
+
+TEST(BankTiming, OutstandingCasWithinClWindowMatchesPaper)
+{
+    // "Up to 18 back-to-back CAS" - the number of bursts in flight
+    // before the first data returns, at one burst per tCCD, is
+    // bounded by the ~15 ns CAS window over the 3.33 ns burst slot;
+    // our protocol model should land in the same mid-teens range.
+    BankTimingParams p = ddr4_2400Params();
+    BankTimingSimulator sim(p);
+    auto burst = sim.simulateRowHitBurst(64);
+    int64_t first_data = burst[0].data_cycle;
+    int in_flight = 0;
+    for (const auto &t : burst)
+        in_flight += (t.cas_cycle < first_data);
+    EXPECT_GE(in_flight, 3);
+    EXPECT_LE(in_flight, 18);
+}
+
+TEST(BankTiming, EngineOverlapChaCha8FullyHidden)
+{
+    // Protocol-grounded version of the zero-exposed-latency claim.
+    BankTimingParams p = ddr4_2400Params();
+    BankTimingSimulator sim(p);
+    auto burst = sim.simulateRowHitBurst(64);
+
+    const auto &chacha = engine::engineSpec(
+        engine::CipherKind::ChaCha8);
+    Picoseconds exposure = engineExposureOverStream(
+        burst, p, chacha.periodPs(), chacha.depthCycles(),
+        chacha.counters_per_line);
+    EXPECT_EQ(exposure, 0);
+}
+
+TEST(BankTiming, EngineOverlapChaCha20Exposed)
+{
+    BankTimingParams p = ddr4_2400Params();
+    BankTimingSimulator sim(p);
+    auto burst = sim.simulateRowHitBurst(64);
+    const auto &chacha = engine::engineSpec(
+        engine::CipherKind::ChaCha20);
+    Picoseconds exposure = engineExposureOverStream(
+        burst, p, chacha.periodPs(), chacha.depthCycles(),
+        chacha.counters_per_line);
+    EXPECT_GT(exposure, 0);
+}
+
+TEST(BankTiming, EngineOverlapAesHiddenAtBusRate)
+{
+    // At protocol rate (one CAS per tCCD = 3.33 ns) the AES engine's
+    // 4-counter ingest (1.67 ns) keeps up, so AES is fully hidden -
+    // the paper's queueing concern only bites for command bursts
+    // faster than the data bus can serve anyway.
+    BankTimingParams p = ddr4_2400Params();
+    BankTimingSimulator sim(p);
+    auto burst = sim.simulateRowHitBurst(64);
+    const auto &aes = engine::engineSpec(engine::CipherKind::Aes128);
+    Picoseconds exposure = engineExposureOverStream(
+        burst, p, aes.periodPs(), aes.depthCycles(),
+        aes.counters_per_line);
+    EXPECT_EQ(exposure, 0);
+}
+
+TEST(BankTiming, GradeParamsTrackCas)
+{
+    for (const auto &grade : ddr4StandardGrades()) {
+        auto p = BankTimingParams::forGrade(grade);
+        EXPECT_EQ(p.t_cl, grade.cas_cycles);
+        EXPECT_DOUBLE_EQ(p.bus_mhz, grade.bus_mhz);
+    }
+}
+
+} // anonymous namespace
+} // namespace coldboot::dram

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * ChaCha tests: published keystream vectors for ChaCha8/12/20 (djb
+ * reference vectors, zero key / zero nonce) plus stream properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/hex.hh"
+#include "common/rng.hh"
+#include "crypto/chacha.hh"
+
+namespace coldboot::crypto
+{
+namespace
+{
+
+const std::vector<uint8_t> zeroKey(32, 0);
+const std::vector<uint8_t> zeroNonce(8, 0);
+
+TEST(ChaCha, ChaCha20ZeroVector)
+{
+    ChaCha c(zeroKey, zeroNonce, 20);
+    uint8_t ks[64];
+    c.keystreamBlock(0, ks);
+    EXPECT_EQ(toHex({ks, 64}),
+              "76b8e0ada0f13d90405d6ae55386bd28"
+              "bdd219b8a08ded1aa836efcc8b770dc7"
+              "da41597c5157488d7724e03fb8d84a37"
+              "6a43b8f41518a11cc387b669b2ee6586");
+}
+
+TEST(ChaCha, ChaCha8ZeroVector)
+{
+    ChaCha c(zeroKey, zeroNonce, 8);
+    uint8_t ks[64];
+    c.keystreamBlock(0, ks);
+    EXPECT_EQ(toHex({ks, 64}),
+              "3e00ef2f895f40d67f5bb8e81f09a5a1"
+              "2c840ec3ce9a7f3b181be188ef711a1e"
+              "984ce172b9216f419f445367456d5619"
+              "314a42a3da86b001387bfdb80e0cfe42");
+}
+
+TEST(ChaCha, ChaCha12ZeroVector)
+{
+    ChaCha c(zeroKey, zeroNonce, 12);
+    uint8_t ks[64];
+    c.keystreamBlock(0, ks);
+    EXPECT_EQ(toHex({ks, 64}),
+              "9bf49a6a0755f953811fce125f2683d5"
+              "0429c3bb49e074147e0089a52eae155f"
+              "0564f879d27ae3c02ce82834acfa8c79"
+              "3a629f2ca0de6919610be82f411326be");
+}
+
+TEST(ChaCha, CounterChangesKeystream)
+{
+    ChaCha c(zeroKey, zeroNonce, 8);
+    uint8_t a[64], b[64];
+    c.keystreamBlock(0, a);
+    c.keystreamBlock(1, b);
+    EXPECT_NE(0, memcmp(a, b, 64));
+}
+
+TEST(ChaCha, CryptIsInvolution)
+{
+    Xoshiro256StarStar rng(101);
+    std::vector<uint8_t> key(32), nonce(8);
+    rng.fillBytes(key);
+    rng.fillBytes(nonce);
+    ChaCha c(key, nonce, 8);
+
+    std::vector<uint8_t> pt(300);
+    rng.fillBytes(pt);
+    std::vector<uint8_t> ct(pt.size()), back(pt.size());
+    c.crypt(7, pt, ct);
+    EXPECT_NE(pt, ct);
+    c.crypt(7, ct, back);
+    EXPECT_EQ(pt, back);
+}
+
+TEST(ChaCha, CryptMatchesBlockwiseKeystream)
+{
+    Xoshiro256StarStar rng(102);
+    std::vector<uint8_t> key(32), nonce(8);
+    rng.fillBytes(key);
+    rng.fillBytes(nonce);
+    ChaCha c(key, nonce, 12);
+
+    std::vector<uint8_t> zeros(128, 0), out(128);
+    c.crypt(5, zeros, out);
+
+    uint8_t ks[64];
+    c.keystreamBlock(5, ks);
+    EXPECT_EQ(0, memcmp(out.data(), ks, 64));
+    c.keystreamBlock(6, ks);
+    EXPECT_EQ(0, memcmp(out.data() + 64, ks, 64));
+}
+
+TEST(ChaCha, NonceSeparatesStreams)
+{
+    std::vector<uint8_t> n1(8, 0), n2(8, 0);
+    n2[0] = 1;
+    ChaCha a(zeroKey, n1, 20), b(zeroKey, n2, 20);
+    uint8_t ka[64], kb[64];
+    a.keystreamBlock(0, ka);
+    b.keystreamBlock(0, kb);
+    EXPECT_NE(0, memcmp(ka, kb, 64));
+}
+
+/** Parameterized: all round variants keep the stream cipher laws. */
+class ChaChaRounds : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ChaChaRounds, DeterministicAndUniform)
+{
+    int rounds = GetParam();
+    Xoshiro256StarStar rng(rounds);
+    std::vector<uint8_t> key(32), nonce(8);
+    rng.fillBytes(key);
+    rng.fillBytes(nonce);
+
+    ChaCha c1(key, nonce, rounds), c2(key, nonce, rounds);
+    uint8_t a[64], b[64];
+    for (uint64_t ctr : {0ull, 1ull, 1000ull, ~0ull}) {
+        c1.keystreamBlock(ctr, a);
+        c2.keystreamBlock(ctr, b);
+        ASSERT_EQ(0, memcmp(a, b, 64));
+    }
+
+    // Rough uniformity: bit balance over many blocks near 50%.
+    size_t ones = 0;
+    for (uint64_t ctr = 0; ctr < 64; ++ctr) {
+        c1.keystreamBlock(ctr, a);
+        for (uint8_t byte : a)
+            ones += static_cast<size_t>(__builtin_popcount(byte));
+    }
+    double frac = static_cast<double>(ones) / (64.0 * 64 * 8);
+    EXPECT_GT(frac, 0.47);
+    EXPECT_LT(frac, 0.53);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRoundCounts, ChaChaRounds,
+                         ::testing::Values(8, 12, 20));
+
+} // anonymous namespace
+} // namespace coldboot::crypto

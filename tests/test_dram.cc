@@ -1,0 +1,233 @@
+/**
+ * @file
+ * DRAM substrate tests: decay model calibration (the paper's
+ * Section III-D observations), ground-state structure, module
+ * power/transfer behaviour, timing tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "dram/decay_model.hh"
+#include "dram/dram_module.hh"
+#include "dram/timing.hh"
+
+namespace coldboot::dram
+{
+namespace
+{
+
+TEST(Timing, NineStandardDdr4Grades)
+{
+    const auto &grades = ddr4StandardGrades();
+    ASSERT_EQ(grades.size(), 9u);
+    // Paper: all standard CAS latencies lie in [12.5 ns, 15.01 ns].
+    for (const auto &g : grades) {
+        EXPECT_GE(g.casLatencyPs(), nsToPs(12.49)) << g.name;
+        EXPECT_LE(g.casLatencyPs(), nsToPs(15.02)) << g.name;
+    }
+    EXPECT_EQ(ddr4MinCasPs(), nsToPs(12.5));
+    EXPECT_GE(ddr4MaxCasPs(), nsToPs(15.0));
+}
+
+TEST(Timing, Ddr4_2400Characteristics)
+{
+    const auto &g = ddr4_2400();
+    EXPECT_DOUBLE_EQ(g.bus_mhz, 1200.0);
+    EXPECT_EQ(g.casLatencyPs(), nsToPs(12.5));
+    // 64B burst at 1200 MHz bus: 4 clocks = 3.33 ns.
+    EXPECT_NEAR(psToNs(g.burstTimePs()), 3.33, 0.01);
+}
+
+TEST(DecayModel, ColderMeansLongerRetention)
+{
+    DecayModel model({}, 1);
+    EXPECT_GT(model.tau(-25.0), model.tau(20.0));
+    EXPECT_GT(model.tau(-50.0), model.tau(-25.0));
+    // Monotone decayed fraction in time.
+    EXPECT_LT(model.decayedFraction(1.0, 20.0),
+              model.decayedFraction(5.0, 20.0));
+}
+
+TEST(DecayModel, PaperCalibrationPoints)
+{
+    // Section III-D: at -25 C modules retain 90-99% of charge over a
+    // ~5 s transfer; at room temperature a significant fraction of
+    // data is lost within ~3 s.
+    DecayModel model({}, 1);
+    double cold = model.decayedFraction(5.0, -25.0);
+    EXPECT_GT(cold, 0.01);
+    EXPECT_LT(cold, 0.10);
+
+    double warm = model.decayedFraction(3.0, 20.0);
+    EXPECT_GT(warm, 0.30); // "significant fraction"
+}
+
+TEST(DecayModel, GroundStateRoughlyBalanced)
+{
+    // True/anti cell stripes: about half of memory decays to 1.
+    DecayModel model({}, 7);
+    uint64_t ones = 0;
+    const uint64_t total = 1 << 20;
+    for (uint64_t bit = 0; bit < total; ++bit)
+        ones += model.groundStateBit(bit);
+    double frac = static_cast<double>(ones) / total;
+    EXPECT_GT(frac, 0.45);
+    EXPECT_LT(frac, 0.55);
+}
+
+TEST(DecayModel, GroundStateDeterministic)
+{
+    DecayModel a({}, 9), b({}, 9), c({}, 10);
+    int diff_same_seed = 0, diff_other_seed = 0;
+    for (uint64_t bit = 0; bit < 100000; ++bit) {
+        diff_same_seed += a.groundStateBit(bit) != b.groundStateBit(bit);
+        diff_other_seed += a.groundStateBit(bit) != c.groundStateBit(bit);
+    }
+    EXPECT_EQ(diff_same_seed, 0);
+    EXPECT_GT(diff_other_seed, 0);
+}
+
+TEST(DecayModel, ApplyDecayFlipCountTracksProbability)
+{
+    DecayModel model({}, 3);
+    // Memory holding the complement of ground state: every decayed
+    // cell flips visibly.
+    std::vector<uint8_t> data(MiB(1));
+    model.decayToGround(data);
+    for (auto &b : data)
+        b = static_cast<uint8_t>(~b);
+
+    double p = model.decayedFraction(5.0, -25.0);
+    uint64_t flips = model.applyDecay(data, 5.0, -25.0);
+    double total_bits = static_cast<double>(data.size()) * 8;
+    double measured = static_cast<double>(flips) / total_bits;
+    EXPECT_NEAR(measured, p, 0.1 * p + 1e-4);
+}
+
+TEST(DecayModel, NoDecayAtZeroTime)
+{
+    DecayModel model({}, 4);
+    std::vector<uint8_t> data(4096, 0xaa);
+    EXPECT_EQ(model.applyDecay(data, 0.0, 20.0), 0u);
+    for (uint8_t b : data)
+        EXPECT_EQ(b, 0xaa);
+}
+
+TEST(DecayModel, FullDecayReachesGroundState)
+{
+    DecayModel model({}, 5);
+    std::vector<uint8_t> data(8192, 0x5c);
+    model.applyDecay(data, 1e9, 20.0);
+    std::vector<uint8_t> ground(8192);
+    model.decayToGround(ground);
+    EXPECT_EQ(data, ground);
+}
+
+TEST(DramModule, ReadWriteRoundTrip)
+{
+    DramModule mod(Generation::DDR4, KiB(64), {}, 11);
+    std::vector<uint8_t> data(256);
+    Xoshiro256StarStar rng(1);
+    rng.fillBytes(data);
+    mod.write(4096, data);
+    std::vector<uint8_t> back(256);
+    mod.read(4096, back);
+    EXPECT_EQ(data, back);
+}
+
+TEST(DramModule, PoweredModuleDoesNotDecay)
+{
+    DramModule mod(Generation::DDR4, KiB(64), {}, 12);
+    std::vector<uint8_t> data(KiB(64), 0x77);
+    mod.write(0, data);
+    EXPECT_EQ(mod.elapse(100.0), 0u);
+    std::vector<uint8_t> back(KiB(64));
+    mod.read(0, back);
+    EXPECT_EQ(back, data);
+}
+
+TEST(DramModule, UnpoweredModuleDecays)
+{
+    DramModule mod(Generation::DDR4, MiB(1), {}, 13);
+    std::vector<uint8_t> ground(MiB(1));
+    mod.decayModel().decayToGround(ground);
+    // Store the complement of ground state so decay is visible.
+    std::vector<uint8_t> data(MiB(1));
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<uint8_t>(~ground[i]);
+    mod.write(0, data);
+
+    mod.powerOff();
+    mod.coolTo(-25.0);
+    uint64_t flips = mod.elapse(5.0);
+    EXPECT_GT(flips, 0u);
+
+    double retention = mod.retentionVersus(data);
+    EXPECT_GT(retention, 0.90);
+    EXPECT_LT(retention, 0.999);
+}
+
+TEST(DramModule, WarmModuleLosesMoreThanColdModule)
+{
+    auto run = [](double celsius) {
+        DramModule mod(Generation::DDR3, MiB(1), {}, 21);
+        std::vector<uint8_t> data(MiB(1), 0xa5);
+        mod.write(0, data);
+        mod.powerOff();
+        mod.coolTo(celsius);
+        mod.elapse(5.0);
+        return mod.retentionVersus(data);
+    };
+    EXPECT_LT(run(20.0), run(-25.0));
+}
+
+TEST(DramModule, WriteWhileUnpoweredIgnored)
+{
+    DramModule mod(Generation::DDR4, KiB(64), {}, 14);
+    std::vector<uint8_t> data(64, 0x11);
+    mod.write(0, data);
+    mod.powerOff();
+    std::vector<uint8_t> other(64, 0x22);
+    mod.write(0, other);
+    std::vector<uint8_t> back(64);
+    mod.read(0, back);
+    EXPECT_EQ(back, data);
+}
+
+TEST(DramModule, CapacityMustBeLineMultiple)
+{
+    EXPECT_DEATH(
+        { DramModule mod(Generation::DDR4, 100, {}, 1); }, "multiple");
+}
+
+TEST(DramModule, CatalogHasSevenModulesWithOneLeaky)
+{
+    const auto &catalog = moduleCatalog();
+    ASSERT_EQ(catalog.size(), 7u);
+    int ddr3 = 0, ddr4 = 0, leaky = 0;
+    for (const auto &e : catalog) {
+        ddr3 += e.generation == Generation::DDR3;
+        ddr4 += e.generation == Generation::DDR4;
+        leaky += e.quality < 0.5;
+    }
+    EXPECT_EQ(ddr3, 5);
+    EXPECT_EQ(ddr4, 2);
+    EXPECT_EQ(leaky, 1);
+}
+
+TEST(DramModule, CatalogModulesInstantiate)
+{
+    for (const auto &entry : moduleCatalog()) {
+        auto mod = makeCatalogModule(entry, 99);
+        EXPECT_EQ(mod->size(), entry.bytes);
+        EXPECT_EQ(mod->generation(), entry.generation);
+        EXPECT_EQ(mod->modelName(), entry.model_name);
+    }
+}
+
+} // anonymous namespace
+} // namespace coldboot::dram

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Litmus test unit tests: the scrambler-key invariant test and the
+ * AES key litmus (partial expansion) test, including decay tolerance
+ * and false-positive behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "attack/litmus.hh"
+#include "common/rng.hh"
+#include "crypto/aes.hh"
+#include "memctrl/scrambler.hh"
+
+namespace coldboot::attack
+{
+namespace
+{
+
+using crypto::AesKeySize;
+
+std::array<uint8_t, 64>
+poolKeyOf(uint64_t seed, unsigned idx)
+{
+    memctrl::Ddr4Scrambler s(seed, 0);
+    std::array<uint8_t, 64> key;
+    s.poolKey(idx, key.data());
+    return key;
+}
+
+TEST(ScramblerLitmus, AcceptsEveryRealKey)
+{
+    memctrl::Ddr4Scrambler s(0x51ab, 0);
+    uint8_t key[64];
+    for (unsigned idx = 0; idx < 4096; idx += 7) {
+        s.poolKey(idx, key);
+        ASSERT_EQ(scramblerKeyLitmusScore({key, 64}), 0u) << idx;
+    }
+}
+
+TEST(ScramblerLitmus, AcceptsXorOfTwoRealKeys)
+{
+    // Dumps taken through a second scrambler show K1 ^ K2; the
+    // litmus must still pass (the invariants are linear).
+    auto k1 = poolKeyOf(111, 42);
+    auto k2 = poolKeyOf(222, 42);
+    std::array<uint8_t, 64> x;
+    for (int i = 0; i < 64; ++i)
+        x[i] = k1[i] ^ k2[i];
+    EXPECT_EQ(scramblerKeyLitmusScore(x), 0u);
+}
+
+TEST(ScramblerLitmus, RejectsRandomBlocks)
+{
+    Xoshiro256StarStar rng(1);
+    std::array<uint8_t, 64> block;
+    int passes = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        rng.fillBytes(block);
+        passes += scramblerKeyLitmus(block, 32);
+    }
+    EXPECT_EQ(passes, 0);
+}
+
+TEST(ScramblerLitmus, ToleratesModestDecay)
+{
+    auto key = poolKeyOf(7, 100);
+    Xoshiro256StarStar rng(2);
+    // Flip 8 random bits (a heavily decayed copy).
+    for (int i = 0; i < 8; ++i) {
+        unsigned bit = static_cast<unsigned>(rng.nextBelow(512));
+        key[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    }
+    EXPECT_FALSE(scramblerKeyLitmus(key, 0));
+    EXPECT_TRUE(scramblerKeyLitmus(key, 32));
+}
+
+TEST(ScramblerLitmus, ConstantBlocksPassButAreFlagged)
+{
+    std::array<uint8_t, 64> zeros{};
+    EXPECT_TRUE(scramblerKeyLitmus(zeros, 0));
+    EXPECT_TRUE(isConstantBlock(zeros));
+    std::array<uint8_t, 64> ffs;
+    ffs.fill(0xff);
+    EXPECT_TRUE(scramblerKeyLitmus(ffs, 0));
+    EXPECT_TRUE(isConstantBlock(ffs));
+}
+
+TEST(ScramblerLitmus, ScoreCountsMismatchBits)
+{
+    auto key = poolKeyOf(9, 5);
+    key[0] ^= 0x01; // one flipped bit
+    unsigned score = scramblerKeyLitmusScore(key);
+    // Byte 0 belongs to word W0, which appears in 3 of the 4
+    // equations for its 16-byte group.
+    EXPECT_GE(score, 1u);
+    EXPECT_LE(score, 3u);
+}
+
+TEST(EntropyGuard, SchedulesPassJunkFails)
+{
+    Xoshiro256StarStar rng(3);
+    std::vector<uint8_t> key(32);
+    rng.fillBytes(key);
+    auto sched = crypto::aesExpandKey(key);
+    // Every 64-byte window of a real schedule passes.
+    for (size_t off = 0; off + 64 <= sched.size(); off += 16)
+        EXPECT_TRUE(plausibleScheduleEntropy({&sched[off], 64}));
+
+    std::vector<uint8_t> zeros(64, 0);
+    EXPECT_FALSE(plausibleScheduleEntropy(zeros));
+    std::vector<uint8_t> sparse(64, 0);
+    sparse[5] = 0xff;
+    sparse[40] = 0x0f;
+    EXPECT_FALSE(plausibleScheduleEntropy(sparse));
+}
+
+TEST(AesLitmus, PlacementCounts)
+{
+    EXPECT_EQ(aesLitmusPlacements(AesKeySize::Aes256), 12u);
+    EXPECT_EQ(aesLitmusPlacements(AesKeySize::Aes192), 10u);
+    EXPECT_EQ(aesLitmusPlacements(AesKeySize::Aes128), 8u);
+}
+
+/** Parameterized over AES variants. */
+class AesLitmusAllSizes
+    : public ::testing::TestWithParam<AesKeySize>
+{
+};
+
+TEST_P(AesLitmusAllSizes, DetectsEveryAlignedWindow)
+{
+    AesKeySize ks = GetParam();
+    Xoshiro256StarStar rng(static_cast<uint64_t>(ks));
+    std::vector<uint8_t> key(static_cast<size_t>(ks));
+    rng.fillBytes(key);
+    auto sched = crypto::aesExpandKey(key);
+
+    for (unsigned placement = 0;
+         placement < aesLitmusPlacements(ks); ++placement) {
+        size_t byte_off = placement * 16;
+        auto hit = aesKeyLitmus({&sched[byte_off], 64}, ks, 0);
+        ASSERT_TRUE(hit.has_value()) << "placement " << placement;
+        EXPECT_EQ(hit->start_word, placement * 4);
+        EXPECT_EQ(hit->bit_errors, 0u);
+    }
+}
+
+TEST_P(AesLitmusAllSizes, RejectsRandomBlocks)
+{
+    AesKeySize ks = GetParam();
+    Xoshiro256StarStar rng(99);
+    std::array<uint8_t, 64> block;
+    int passes = 0;
+    for (int trial = 0; trial < 1000; ++trial) {
+        rng.fillBytes(block);
+        passes += aesKeyLitmus(block, ks, 32).has_value();
+    }
+    EXPECT_EQ(passes, 0);
+}
+
+TEST_P(AesLitmusAllSizes, ToleratesDecayedBits)
+{
+    AesKeySize ks = GetParam();
+    Xoshiro256StarStar rng(17);
+    std::vector<uint8_t> key(static_cast<size_t>(ks));
+    rng.fillBytes(key);
+    auto sched = crypto::aesExpandKey(key);
+
+    std::array<uint8_t, 64> block;
+    memcpy(block.data(), &sched[16], 64);
+    // Flip 4 bits.
+    for (int i = 0; i < 4; ++i) {
+        unsigned bit = static_cast<unsigned>(rng.nextBelow(512));
+        block[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    }
+    auto hit = aesKeyLitmus(block, ks, 40);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->start_word, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKeySizes, AesLitmusAllSizes,
+                         ::testing::Values(AesKeySize::Aes128,
+                                           AesKeySize::Aes192,
+                                           AesKeySize::Aes256));
+
+TEST(AesLitmus, WrongPlacementNotReported)
+{
+    // A block from placement 2 must not be attributed elsewhere
+    // (the Rcon phase pins it down).
+    Xoshiro256StarStar rng(23);
+    std::vector<uint8_t> key(32);
+    rng.fillBytes(key);
+    auto sched = crypto::aesExpandKey(key);
+    auto hit = aesKeyLitmus({&sched[32], 64}, AesKeySize::Aes256, 0);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit->start_word, 8u);
+}
+
+TEST(ScheduleBackward, RecoversHeadFromAnyWindow)
+{
+    Xoshiro256StarStar rng(31);
+    for (size_t key_len : {16u, 24u, 32u}) {
+        std::vector<uint8_t> key(key_len);
+        rng.fillBytes(key);
+        auto sched = crypto::aesExpandKey(key);
+        unsigned nk = static_cast<unsigned>(key_len) / 4;
+        unsigned total = static_cast<unsigned>(sched.size()) / 4;
+
+        std::vector<uint32_t> words(total);
+        for (unsigned i = 0; i < total; ++i)
+            words[i] = crypto::aesWordFromBytes(&sched[4 * i]);
+
+        for (unsigned i0 = nk; i0 + nk <= total; i0 += 3) {
+            std::span<const uint32_t> window(&words[i0], nk);
+            auto head =
+                crypto::aesScheduleBackward(window, i0, i0, nk);
+            ASSERT_EQ(head.size(), i0);
+            for (unsigned i = 0; i < i0; ++i)
+                ASSERT_EQ(head[i], words[i])
+                    << "key_len=" << key_len << " i0=" << i0;
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace coldboot::attack

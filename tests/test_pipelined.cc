@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Cycle-accurate pipeline model tests: bit-exactness against the
+ * behavioural ciphers, Table II latency from first principles, issue
+ * throughput, and cross-validation against the analytic queueing
+ * model used for Figure 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "crypto/chacha.hh"
+#include "crypto/ctr.hh"
+#include "dram/timing.hh"
+#include "engine/latency_sim.hh"
+#include "engine/pipelined_engines.hh"
+
+namespace coldboot::engine
+{
+namespace
+{
+
+std::vector<uint8_t>
+randomBytes(size_t n, uint64_t seed)
+{
+    Xoshiro256StarStar rng(seed);
+    std::vector<uint8_t> out(n);
+    rng.fillBytes(out);
+    return out;
+}
+
+TEST(PipelinedAes, BitExactVersusBehavioralCtr)
+{
+    for (size_t key_len : {16u, 32u}) {
+        auto key = randomBytes(key_len, 1);
+        auto nonce = randomBytes(8, 2);
+        crypto::AesCtr reference(key, nonce);
+        PipelinedAesEngine engine(key, nonce);
+
+        for (uint64_t line : {0ull, 7ull, 123456ull}) {
+            engine.request(line, line);
+        }
+        std::map<uint64_t, LineCompletion> done;
+        while (engine.busy()) {
+            engine.clock();
+            for (auto &c : engine.drain())
+                done[c.req_id] = c;
+        }
+        ASSERT_EQ(done.size(), 3u);
+        for (uint64_t line : {0ull, 7ull, 123456ull}) {
+            uint8_t expect[64];
+            reference.lineKeystream(line, expect);
+            ASSERT_EQ(0, memcmp(done[line].keystream.data(), expect,
+                                64))
+                << "key_len=" << key_len << " line=" << line;
+        }
+    }
+}
+
+TEST(PipelinedChaCha, BitExactVersusBehavioral)
+{
+    for (int rounds : {8, 12, 20}) {
+        auto key = randomBytes(32, 3);
+        auto nonce = randomBytes(8, 4);
+        crypto::ChaCha reference(key, nonce, rounds);
+        PipelinedChaChaEngine engine(key, nonce, rounds);
+
+        for (uint64_t ctr : {0ull, 1ull, 99ull})
+            engine.request(ctr, ctr);
+        std::map<uint64_t, LineCompletion> done;
+        while (engine.busy()) {
+            engine.clock();
+            for (auto &c : engine.drain())
+                done[c.req_id] = c;
+        }
+        ASSERT_EQ(done.size(), 3u);
+        for (uint64_t ctr : {0ull, 1ull, 99ull}) {
+            uint8_t expect[64];
+            reference.keystreamBlock(ctr, expect);
+            ASSERT_EQ(0, memcmp(done[ctr].keystream.data(), expect,
+                                64))
+                << "rounds=" << rounds << " ctr=" << ctr;
+        }
+    }
+}
+
+TEST(PipelinedAes, TableIILatencyFromStructure)
+{
+    // A single line request completes in exactly the Table II cycle
+    // count: 13 for AES-128 (10 rounds + 3 extra counter issues),
+    // 17 for AES-256.
+    struct Case
+    {
+        size_t key_len;
+        uint64_t expect_cycles;
+    };
+    for (auto c : {Case{16, 13}, Case{32, 17}}) {
+        auto key = randomBytes(c.key_len, 5);
+        auto nonce = randomBytes(8, 6);
+        PipelinedAesEngine engine(key, nonce);
+        engine.request(1, 42);
+        uint64_t done_cycle = 0;
+        while (engine.busy()) {
+            engine.clock();
+            for (auto &comp : engine.drain())
+                done_cycle = comp.cycle;
+        }
+        EXPECT_EQ(done_cycle, c.expect_cycles)
+            << "key_len " << c.key_len;
+    }
+}
+
+TEST(PipelinedChaCha, TableIILatencyFromStructure)
+{
+    struct Case
+    {
+        int rounds;
+        uint64_t expect_cycles;
+    };
+    for (auto c : {Case{8, 18}, Case{12, 26}, Case{20, 42}}) {
+        auto key = randomBytes(32, 7);
+        auto nonce = randomBytes(8, 8);
+        PipelinedChaChaEngine engine(key, nonce, c.rounds);
+        engine.request(1, 9);
+        uint64_t done_cycle = 0;
+        while (engine.busy()) {
+            engine.clock();
+            for (auto &comp : engine.drain())
+                done_cycle = comp.cycle;
+        }
+        EXPECT_EQ(done_cycle, c.expect_cycles)
+            << "rounds " << c.rounds;
+    }
+}
+
+TEST(PipelinedAes, FullyPipelinedThroughput)
+{
+    // Back-to-back requests drain at 4 cycles per line (one counter
+    // per cycle) once the pipeline fills.
+    auto key = randomBytes(16, 9);
+    auto nonce = randomBytes(8, 10);
+    PipelinedAesEngine engine(key, nonce);
+    const int n = 32;
+    for (int i = 0; i < n; ++i)
+        engine.request(static_cast<uint64_t>(i), i);
+    std::vector<uint64_t> cycles;
+    while (engine.busy()) {
+        engine.clock();
+        for (auto &c : engine.drain())
+            cycles.push_back(c.cycle);
+    }
+    ASSERT_EQ(cycles.size(), static_cast<size_t>(n));
+    for (size_t i = 1; i < cycles.size(); ++i)
+        EXPECT_EQ(cycles[i] - cycles[i - 1], 4u) << i;
+}
+
+TEST(PipelinedChaCha, FullyPipelinedThroughput)
+{
+    // One line per cycle once full.
+    auto key = randomBytes(32, 11);
+    auto nonce = randomBytes(8, 12);
+    PipelinedChaChaEngine engine(key, nonce, 8);
+    const int n = 32;
+    for (int i = 0; i < n; ++i)
+        engine.request(static_cast<uint64_t>(i), i);
+    std::vector<uint64_t> cycles;
+    while (engine.busy()) {
+        engine.clock();
+        for (auto &c : engine.drain())
+            cycles.push_back(c.cycle);
+    }
+    ASSERT_EQ(cycles.size(), static_cast<size_t>(n));
+    for (size_t i = 1; i < cycles.size(); ++i)
+        EXPECT_EQ(cycles[i] - cycles[i - 1], 1u) << i;
+}
+
+TEST(PipelinedCrossValidation, MatchesAnalyticBurstModel)
+{
+    // Drive the structural pipelines with the same 18-deep
+    // back-to-back burst the Figure 6 analytic model assumes and
+    // check the worst keystream latency agrees (within one engine
+    // clock of rounding).
+    const auto &grade = dram::ddr4_2400();
+    Picoseconds bus_clock =
+        static_cast<Picoseconds>(1.0e6 / grade.bus_mhz + 0.5);
+
+    struct Case
+    {
+        CipherKind kind;
+        int rounds; // 0 = AES
+        size_t key_len;
+    };
+    for (auto c : {Case{CipherKind::Aes128, 0, 16},
+                   Case{CipherKind::ChaCha8, 8, 32},
+                   Case{CipherKind::ChaCha20, 20, 32}}) {
+        const EngineSpec &spec = engineSpec(c.kind);
+        auto analytic = simulateBurst(spec, grade, {1.0, 18});
+
+        auto key = randomBytes(c.key_len, 13);
+        auto nonce = randomBytes(8, 14);
+        std::unique_ptr<PipelinedEngine> engine;
+        if (c.rounds == 0)
+            engine =
+                std::make_unique<PipelinedAesEngine>(key, nonce);
+        else
+            engine = std::make_unique<PipelinedChaChaEngine>(
+                key, nonce, c.rounds);
+
+        // Issue requests at bus-clock spacing, engine clock ticks at
+        // its own period.
+        Picoseconds period = spec.periodPs();
+        std::vector<Picoseconds> issue_time(18), done_time(18, -1);
+        unsigned issued = 0;
+        Picoseconds worst = 0;
+        for (uint64_t tick = 1; tick < 10000; ++tick) {
+            Picoseconds now = static_cast<Picoseconds>(tick) * period;
+            while (issued < 18 &&
+                   static_cast<Picoseconds>(issued) * bus_clock <
+                       now) {
+                issue_time[issued] =
+                    static_cast<Picoseconds>(issued) * bus_clock;
+                engine->request(issued, issued);
+                ++issued;
+            }
+            engine->clock();
+            for (auto &comp : engine->drain()) {
+                done_time[comp.req_id] = now;
+                worst = std::max(worst,
+                                 now - issue_time[comp.req_id]);
+            }
+            if (issued == 18 && !engine->busy())
+                break;
+        }
+        for (auto t : done_time)
+            ASSERT_GE(t, 0) << cipherKindName(c.kind);
+
+        double analytic_ns =
+            psToNs(analytic.max_keystream_latency_ps);
+        double structural_ns = psToNs(worst);
+        EXPECT_NEAR(structural_ns, analytic_ns,
+                    2.0 * psToNs(period) + 0.9)
+            << cipherKindName(c.kind);
+    }
+}
+
+} // anonymous namespace
+} // namespace coldboot::engine

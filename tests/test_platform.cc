@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Platform tests: machine lifecycle, BIOS seed policy, memory image
+ * statistics, workload composition, cold boot transfer and the
+ * reverse-cold-boot analysis procedures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/units.hh"
+#include "dram/dram_module.hh"
+#include "memctrl/scrambler.hh"
+#include "platform/coldboot.hh"
+#include "platform/machine.hh"
+#include "platform/workload.hh"
+
+namespace coldboot::platform
+{
+namespace
+{
+
+using dram::DramModule;
+using dram::Generation;
+
+std::shared_ptr<DramModule>
+makeDimm(uint64_t bytes, uint64_t seed,
+         Generation gen = Generation::DDR4)
+{
+    return std::make_shared<DramModule>(gen, bytes,
+                                        dram::DecayParams{}, seed);
+}
+
+Machine
+makeSkylake(uint64_t seed, BiosConfig bios = {})
+{
+    return Machine(cpuModelByName("i5-6400"), bios, 1, seed);
+}
+
+TEST(CpuTable, FiveModelsFromTableOne)
+{
+    const auto &table = cpuModelTable();
+    ASSERT_EQ(table.size(), 5u);
+    int ddr4 = 0;
+    for (const auto &m : table)
+        ddr4 += memctrl::cpuUsesDdr4(m.generation);
+    EXPECT_EQ(ddr4, 2); // i5-6400 and i5-6600K
+    EXPECT_EQ(cpuModelByName("i7-3540M").generation,
+              memctrl::CpuGeneration::IvyBridge);
+    EXPECT_DEATH(cpuModelByName("i9-9999X"), "unknown CPU");
+}
+
+TEST(Machine, BootWriteReadCycle)
+{
+    Machine m = makeSkylake(1);
+    m.installDimm(0, makeDimm(MiB(1), 2));
+    m.boot();
+    EXPECT_TRUE(m.isOn());
+
+    std::vector<uint8_t> data(128, 0x42);
+    m.writePhys(MiB(1) / 2, data);
+    std::vector<uint8_t> back(128);
+    m.readPhys(MiB(1) / 2, back);
+    EXPECT_EQ(back, data);
+}
+
+TEST(Machine, SeedChangesEveryBootByDefault)
+{
+    Machine m = makeSkylake(3);
+    m.installDimm(0, makeDimm(MiB(1), 4));
+    m.boot();
+    uint64_t seed1 = m.currentSeed();
+    m.reboot();
+    EXPECT_NE(m.currentSeed(), seed1);
+}
+
+TEST(Machine, LazyVendorBiosKeepsSeed)
+{
+    BiosConfig bios;
+    bios.reset_seed_each_boot = false;
+    Machine m = makeSkylake(5, bios);
+    m.installDimm(0, makeDimm(MiB(1), 6));
+    m.boot();
+    uint64_t seed1 = m.currentSeed();
+    m.reboot();
+    EXPECT_EQ(m.currentSeed(), seed1);
+}
+
+TEST(Machine, BootPollutionClobbersLowMemoryOnly)
+{
+    BiosConfig bios;
+    bios.boot_pollution_bytes = KiB(64);
+    Machine m = makeSkylake(7, bios);
+    auto dimm = makeDimm(MiB(1), 8);
+    m.installDimm(0, dimm);
+    m.boot();
+    std::vector<uint8_t> marker(64, 0xee);
+    m.writePhys(KiB(64), marker);      // just past pollution zone
+    m.writePhys(KiB(512), marker);
+
+    m.shutdown();
+    m.boot(); // repollutes low memory, reseeds
+
+    // High marker line raw bytes unchanged by the reboot itself
+    // (only the descrambling view changed).
+    // Verify by checking the raw DRAM, which the reboot must not
+    // have touched above the pollution limit.
+    std::vector<uint8_t> raw(64);
+    dimm->read(KiB(512), raw);
+    uint8_t key[64];
+    // Note: seed changed; raw bytes still reflect the *old* seed's
+    // scramble of the marker, i.e. they are not the marker and not
+    // the new keystream. Just assert they were not zeroed.
+    EXPECT_GT(hammingWeight(raw), 0u);
+    (void)key;
+}
+
+TEST(Machine, UnalignedByteAccessRoundTrip)
+{
+    Machine m = makeSkylake(9);
+    m.installDimm(0, makeDimm(MiB(1), 10));
+    m.boot();
+    std::vector<uint8_t> data(100);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<uint8_t>(i);
+    m.writePhysBytes(KiB(4) + 13, data);
+    std::vector<uint8_t> back(100);
+    m.readPhysBytes(KiB(4) + 13, back);
+    EXPECT_EQ(back, data);
+}
+
+TEST(Machine, DumpMatchesSoftwareView)
+{
+    Machine m = makeSkylake(11);
+    m.installDimm(0, makeDimm(MiB(1), 12));
+    m.boot();
+    std::vector<uint8_t> data(64, 0x5d);
+    m.writePhys(KiB(768), data);
+    MemoryImage dump = m.dumpMemory();
+    EXPECT_EQ(0, memcmp(dump.bytes().data() + KiB(768), data.data(),
+                        64));
+}
+
+TEST(MemoryImage, StatsAndPgm)
+{
+    MemoryImage img(KiB(4));
+    auto b = img.bytesMutable();
+    // Two identical nonzero lines + rest zero.
+    for (int i = 0; i < 64; ++i) {
+        b[i] = 0xab;
+        b[64 + i] = 0xab;
+    }
+    // 62 zero lines pair among themselves: C(62,2) + the one ab pair.
+    EXPECT_EQ(img.duplicateLinePairs(), 62u * 61 / 2 + 1);
+    EXPECT_GT(img.onesFraction(), 0.0);
+    EXPECT_LT(img.onesFraction(), 0.05);
+
+    MemoryImage other(KiB(4));
+    EXPECT_EQ(img.identicalLines(other), 62u);
+
+    img.savePgm("/tmp/cb_test.pgm", 64);
+    FILE *f = fopen("/tmp/cb_test.pgm", "rb");
+    ASSERT_NE(f, nullptr);
+    char magic[3] = {};
+    ASSERT_EQ(fread(magic, 1, 2, f), 2u);
+    EXPECT_EQ(magic[0], 'P');
+    EXPECT_EQ(magic[1], '5');
+    fclose(f);
+}
+
+TEST(Workload, CompositionRoughlyAsRequested)
+{
+    WorkloadParams params;
+    double zf = zeroLineFraction(params, 42, 400);
+    // Zero pages plus zero lines inside heap pages push the zero-line
+    // fraction above the page fraction alone.
+    EXPECT_GT(zf, 0.25);
+    EXPECT_LT(zf, 0.55);
+}
+
+TEST(Workload, DeterministicPerSeed)
+{
+    WorkloadParams params;
+    std::vector<uint8_t> a(4096), b(4096);
+    generatePage(params, 7, 123, a);
+    generatePage(params, 7, 123, b);
+    EXPECT_EQ(a, b);
+    generatePage(params, 8, 123, b);
+    EXPECT_NE(a, b);
+}
+
+TEST(Workload, FillsMachineMemory)
+{
+    Machine m = makeSkylake(13);
+    m.installDimm(0, makeDimm(MiB(1), 14));
+    m.boot();
+    fillWorkload(m, {}, 99);
+    MemoryImage dump = m.dumpMemory();
+    // Mixed content: neither all zero nor uniformly random.
+    double ones = dump.onesFraction();
+    EXPECT_GT(ones, 0.05);
+    EXPECT_LT(ones, 0.45);
+}
+
+TEST(ColdBoot, TransferPreservesMostBits)
+{
+    Machine victim = makeSkylake(15);
+    victim.installDimm(0, makeDimm(MiB(1), 16));
+    victim.boot();
+    fillWorkload(victim, {}, 100);
+
+    Machine attacker = makeSkylake(17);
+    ColdBootParams params; // cooled, 5 s
+    auto result = coldBootTransfer(victim, attacker, 0, params);
+    EXPECT_TRUE(attacker.isOn());
+    EXPECT_EQ(result.dump.size(), MiB(1));
+
+    // Cooled transfer: a few percent of bits flip at most.
+    double flip_frac = static_cast<double>(result.bits_flipped) /
+                       (MiB(1) * 8.0);
+    EXPECT_LT(flip_frac, 0.05);
+    EXPECT_GT(result.bits_flipped, 0u);
+}
+
+TEST(ColdBoot, WarmTransferLosesFarMore)
+{
+    auto run = [](bool cool) {
+        Machine victim = makeSkylake(19);
+        victim.installDimm(0, makeDimm(MiB(1), 20));
+        victim.boot();
+        fillWorkload(victim, {}, 200);
+        Machine attacker = makeSkylake(21);
+        ColdBootParams params;
+        params.cool_first = cool;
+        return coldBootTransfer(victim, attacker, 0, params)
+            .bits_flipped;
+    };
+    EXPECT_GT(run(false), 10 * run(true));
+}
+
+TEST(ColdBoot, ReverseColdBootRecoversExactKeystream)
+{
+    // Analysis framework: the extracted keystream must equal the
+    // scrambler's true keys outside the firmware-polluted region.
+    BiosConfig bios;
+    bios.boot_pollution_bytes = KiB(64);
+    Machine analyzed = makeSkylake(23, bios);
+    analyzed.installDimm(0, makeDimm(MiB(1), 24));
+
+    MemoryImage keystream =
+        reverseColdBootExtractKeystream(analyzed, 0);
+
+    auto &scr = analyzed.controller().scrambler(0);
+    uint8_t key[64];
+    size_t checked = 0;
+    for (uint64_t addr = KiB(64); addr + 64 <= MiB(1);
+         addr += 4096 + 64) {
+        scr.lineKey(addr, key);
+        ASSERT_EQ(0, memcmp(keystream.bytes().data() + addr, key, 64))
+            << "addr " << addr;
+        ++checked;
+    }
+    EXPECT_GT(checked, 100u);
+}
+
+TEST(ColdBoot, GroundStateVariantAlsoRecoversKeystream)
+{
+    BiosConfig bios;
+    bios.boot_pollution_bytes = 0;
+    Machine analyzed = makeSkylake(25, bios);
+    analyzed.installDimm(0, makeDimm(MiB(1), 26));
+
+    MemoryImage keystream = groundStateExtractKeystream(analyzed, 0);
+
+    auto &scr = analyzed.controller().scrambler(0);
+    uint8_t key[64];
+    for (uint64_t addr = 0; addr + 64 <= MiB(1); addr += 8192) {
+        scr.lineKey(addr, key);
+        ASSERT_EQ(0, memcmp(keystream.bytes().data() + addr, key, 64))
+            << "addr " << addr;
+    }
+}
+
+TEST(ColdBoot, CrossGenerationTransferWarns)
+{
+    Machine victim = makeSkylake(27);
+    victim.installDimm(0, makeDimm(MiB(1), 28));
+    victim.boot();
+    Machine attacker(cpuModelByName("i5-2540M"), BiosConfig{}, 1, 29);
+    // Should complete (with a warning), not crash.
+    auto result = coldBootTransfer(victim, attacker, 0);
+    EXPECT_EQ(result.dump.size(), MiB(1));
+}
+
+} // anonymous namespace
+} // namespace coldboot::platform

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Cross-module property tests, parameterized over seeds: invariants
+ * that must hold for any seed, workload, or temperature - the
+ * randomized sweep layer on top of the per-module unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "attack/key_miner.hh"
+#include "attack/litmus.hh"
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "crypto/aes.hh"
+#include "crypto/chacha.hh"
+#include "crypto/ctr.hh"
+#include "dram/decay_model.hh"
+#include "dram/dram_module.hh"
+#include "memctrl/lfsr.hh"
+#include "memctrl/memory_controller.hh"
+#include "memctrl/scrambler.hh"
+#include "platform/machine.hh"
+#include "platform/workload.hh"
+
+namespace coldboot
+{
+namespace
+{
+
+using memctrl::CpuGeneration;
+using platform::BiosConfig;
+using platform::cpuModelByName;
+using platform::Machine;
+
+/** Seed-parameterized fixture. */
+class SeedSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SeedSweep, MachineMemoryIsConsistentUnderRandomTraffic)
+{
+    uint64_t seed = GetParam();
+    Machine m(cpuModelByName("i5-6400"), BiosConfig{}, 1, seed);
+    m.installDimm(0, std::make_shared<dram::DramModule>(
+                         dram::Generation::DDR4, KiB(256),
+                         dram::DecayParams{}, seed + 1));
+    m.boot();
+
+    // Shadow model: random writes then verify every read.
+    std::vector<uint8_t> shadow(KiB(256), 0);
+    Xoshiro256StarStar rng(seed + 2);
+    // Capture the boot pollution first.
+    platform::MemoryImage base = m.dumpMemory();
+    std::copy(base.bytes().begin(), base.bytes().end(),
+              shadow.begin());
+
+    for (int op = 0; op < 200; ++op) {
+        uint64_t addr = rng.nextBelow(KiB(256) / 64) * 64;
+        std::vector<uint8_t> data(64);
+        rng.fillBytes(data);
+        m.writePhys(addr, data);
+        std::copy(data.begin(), data.end(),
+                  shadow.begin() + static_cast<ptrdiff_t>(addr));
+    }
+    platform::MemoryImage final_view = m.dumpMemory();
+    ASSERT_EQ(0, memcmp(final_view.bytes().data(), shadow.data(),
+                        shadow.size()));
+}
+
+TEST_P(SeedSweep, Ddr4KeysChangeWithAnySeed)
+{
+    uint64_t seed = GetParam();
+    memctrl::Ddr4Scrambler a(seed, 0), b(seed + 1, 0);
+    uint8_t ka[64], kb[64];
+    int equal_keys = 0;
+    for (unsigned idx = 0; idx < 256; ++idx) {
+        a.poolKey(idx, ka);
+        b.poolKey(idx, kb);
+        equal_keys += memcmp(ka, kb, 64) == 0;
+    }
+    EXPECT_EQ(equal_keys, 0);
+}
+
+TEST_P(SeedSweep, MinerIsIdempotent)
+{
+    uint64_t seed = GetParam();
+    platform::MemoryImage dump(KiB(256));
+    Xoshiro256StarStar rng(seed);
+    rng.fillBytes(dump.bytesMutable());
+    memctrl::Ddr4Scrambler scr(seed, 0);
+    auto bytes = dump.bytesMutable();
+    for (unsigned k = 0; k < 16; ++k) {
+        uint8_t key[64];
+        scr.poolKey(k * 7, key);
+        for (unsigned c = 0; c < 3; ++c)
+            memcpy(&bytes[((k * 3 + c) * 53 % dump.lines()) * 64],
+                   key, 64);
+    }
+    auto first = attack::mineScramblerKeys(dump);
+    auto second = attack::mineScramblerKeys(dump);
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].key, second[i].key);
+        EXPECT_EQ(first[i].occurrences, second[i].occurrences);
+    }
+}
+
+TEST_P(SeedSweep, ScheduleForwardBackwardInverse)
+{
+    uint64_t seed = GetParam();
+    Xoshiro256StarStar rng(seed);
+    for (size_t key_len : {16u, 24u, 32u}) {
+        std::vector<uint8_t> key(key_len);
+        rng.fillBytes(key);
+        auto sched = crypto::aesExpandKey(key);
+        unsigned nk = static_cast<unsigned>(key_len) / 4;
+        unsigned total = static_cast<unsigned>(sched.size()) / 4;
+        std::vector<uint32_t> words(total);
+        for (unsigned i = 0; i < total; ++i)
+            words[i] = crypto::aesWordFromBytes(&sched[4 * i]);
+
+        // forward(backward(window)) == identity at every anchor.
+        unsigned i0 = nk + static_cast<unsigned>(
+                               rng.nextBelow(total - 2 * nk));
+        std::span<const uint32_t> window(&words[i0], nk);
+        auto head = crypto::aesScheduleBackward(window, i0, nk, nk);
+        auto rebuilt = crypto::aesScheduleContinue(
+            head, i0, nk, nk);
+        for (unsigned k = 0; k < nk; ++k)
+            ASSERT_EQ(rebuilt[k], words[i0 + k]);
+    }
+}
+
+TEST_P(SeedSweep, DecayNeverRegeneratesData)
+{
+    // Decay moves cells toward ground state only: applying decay
+    // twice never "unflips" a bit back toward the stored image.
+    uint64_t seed = GetParam();
+    dram::DecayModel model({}, seed);
+    std::vector<uint8_t> data(KiB(64));
+    Xoshiro256StarStar rng(seed + 1);
+    rng.fillBytes(data);
+    auto original = data;
+
+    model.applyDecay(data, 2.0, -25.0);
+    auto after_first = data;
+    model.applyDecay(data, 2.0, -25.0);
+
+    // A bit that already decayed to ground cannot return to the
+    // original value: any position differing from original in
+    // after_first must still differ (or equal ground) afterwards.
+    for (size_t i = 0; i < data.size(); ++i) {
+        uint8_t changed_then = original[i] ^ after_first[i];
+        uint8_t reverted = changed_then & ~(original[i] ^ data[i]);
+        ASSERT_EQ(reverted, 0) << "byte " << i;
+    }
+}
+
+TEST_P(SeedSweep, ChaChaAndAesKeystreamsUncorrelated)
+{
+    uint64_t seed = GetParam();
+    Xoshiro256StarStar rng(seed);
+    std::vector<uint8_t> key32(32), key16(16), nonce(8);
+    rng.fillBytes(key32);
+    rng.fillBytes(key16);
+    rng.fillBytes(nonce);
+    crypto::ChaCha chacha(key32, nonce, 8);
+    crypto::AesCtr aes(key16, nonce);
+
+    uint8_t a[64], b[64];
+    chacha.keystreamBlock(1, a);
+    aes.lineKeystream(1, b);
+    size_t dist = hammingDistance({a, 64}, {b, 64});
+    EXPECT_GT(dist, 180u);
+    EXPECT_LT(dist, 332u);
+}
+
+TEST_P(SeedSweep, LfsrLongPeriod)
+{
+    uint64_t seed = GetParam();
+    memctrl::Lfsr lfsr(memctrl::Lfsr::taps32, 32, seed);
+    uint64_t initial = lfsr.state();
+    int steps = 0;
+    do {
+        lfsr.stepBit();
+        ++steps;
+    } while (lfsr.state() != initial && steps < 1 << 20);
+    // No short cycles from any starting state.
+    EXPECT_GE(steps, 1 << 20);
+}
+
+TEST_P(SeedSweep, WorkloadCompositionTracksParams)
+{
+    uint64_t seed = GetParam();
+    platform::WorkloadParams wp;
+    wp.zero_fraction = 0.5;
+    wp.text_fraction = 0.2;
+    wp.heap_fraction = 0.2;
+    wp.random_fraction = 0.1;
+    double zf = platform::zeroLineFraction(wp, seed, 300);
+    // Zero pages plus intra-heap zero lines.
+    EXPECT_GT(zf, 0.40);
+    EXPECT_LT(zf, 0.75);
+}
+
+TEST_P(SeedSweep, ScramblerLitmusClosedUnderXor)
+{
+    // The invariants are linear: XOR of any two valid keys is valid.
+    uint64_t seed = GetParam();
+    memctrl::Ddr4Scrambler s1(seed, 0), s2(seed + 99, 1);
+    Xoshiro256StarStar rng(seed);
+    for (int trial = 0; trial < 32; ++trial) {
+        uint8_t a[64], b[64], x[64];
+        s1.poolKey(static_cast<unsigned>(rng.nextBelow(4096)), a);
+        s2.poolKey(static_cast<unsigned>(rng.nextBelow(4096)), b);
+        for (int i = 0; i < 64; ++i)
+            x[i] = static_cast<uint8_t>(a[i] ^ b[i]);
+        ASSERT_EQ(attack::scramblerKeyLitmusScore({x, 64}), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1ull, 42ull, 1337ull,
+                                           0xDEADBEEFull,
+                                           0x123456789ABCDEFull));
+
+} // anonymous namespace
+} // namespace coldboot

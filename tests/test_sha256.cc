@@ -1,0 +1,161 @@
+/**
+ * @file
+ * SHA-256 / HMAC-SHA256 / PBKDF2 known-answer and property tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/hex.hh"
+#include "common/rng.hh"
+#include "crypto/sha256.hh"
+
+namespace coldboot::crypto
+{
+namespace
+{
+
+std::vector<uint8_t>
+bytesOf(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+TEST(Sha256, EmptyString)
+{
+    auto d = Sha256::digest({});
+    EXPECT_EQ(toHex(d),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    auto msg = bytesOf("abc");
+    auto d = Sha256::digest(msg);
+    EXPECT_EQ(toHex(d),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    auto msg = bytesOf(
+        "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+    auto d = Sha256::digest(msg);
+    EXPECT_EQ(toHex(d),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 h;
+    std::vector<uint8_t> chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        h.update(chunk);
+    auto d = h.finish();
+    EXPECT_EQ(toHex(d),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    Xoshiro256StarStar rng(31);
+    std::vector<uint8_t> msg(5000);
+    rng.fillBytes(msg);
+
+    auto one_shot = Sha256::digest(msg);
+
+    // Feed in awkward chunk sizes crossing block boundaries.
+    Sha256 h;
+    size_t off = 0;
+    size_t sizes[] = {1, 63, 64, 65, 127, 128, 129, 200, 1000};
+    size_t si = 0;
+    while (off < msg.size()) {
+        size_t n = std::min(sizes[si % std::size(sizes)],
+                            msg.size() - off);
+        h.update({&msg[off], n});
+        off += n;
+        ++si;
+    }
+    EXPECT_EQ(toHex(h.finish()), toHex(one_shot));
+}
+
+// RFC 4231 HMAC-SHA256 test cases.
+TEST(HmacSha256, Rfc4231Case1)
+{
+    std::vector<uint8_t> key(20, 0x0b);
+    auto data = bytesOf("Hi There");
+    auto mac = hmacSha256(key, data);
+    EXPECT_EQ(toHex(mac),
+              "b0344c61d8db38535ca8afceaf0bf12b"
+              "881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2)
+{
+    auto key = bytesOf("Jefe");
+    auto data = bytesOf("what do ya want for nothing?");
+    auto mac = hmacSha256(key, data);
+    EXPECT_EQ(toHex(mac),
+              "5bdcc146bf60754e6a042426089575c7"
+              "5a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey)
+{
+    std::vector<uint8_t> key(131, 0xaa);
+    auto data = bytesOf(
+        "Test Using Larger Than Block-Size Key - Hash Key First");
+    auto mac = hmacSha256(key, data);
+    EXPECT_EQ(toHex(mac),
+              "60e431591ee0b67f0d8a26aacbf5b77f"
+              "8e0bc6213728c5140546040f0ee37f54");
+}
+
+// PBKDF2-HMAC-SHA256 vectors (widely published; e.g. RFC 7914 S2).
+TEST(Pbkdf2, OneIteration)
+{
+    auto pw = bytesOf("passwd");
+    auto salt = bytesOf("salt");
+    auto dk = pbkdf2Sha256(pw, salt, 1, 64);
+    EXPECT_EQ(toHex({dk.data(), 32}),
+              "55ac046e56e3089fec1691c22544b605"
+              "f94185216dde0465e68b9d57c20dacbc");
+}
+
+TEST(Pbkdf2, ManyIterations)
+{
+    auto pw = bytesOf("Password");
+    auto salt = bytesOf("NaCl");
+    auto dk = pbkdf2Sha256(pw, salt, 80000, 64);
+    EXPECT_EQ(toHex({dk.data(), 32}),
+              "4ddcd8f60b98be21830cee5ef22701f9"
+              "641a4418d04c0414aeff08876b34ab56");
+}
+
+TEST(Pbkdf2, DerivedLengthHonored)
+{
+    auto pw = bytesOf("p");
+    auto salt = bytesOf("s");
+    for (size_t len : {1u, 31u, 32u, 33u, 100u}) {
+        auto dk = pbkdf2Sha256(pw, salt, 2, len);
+        EXPECT_EQ(dk.size(), len);
+    }
+}
+
+TEST(Pbkdf2, SaltSensitivity)
+{
+    auto pw = bytesOf("password");
+    auto s1 = bytesOf("salt1");
+    auto s2 = bytesOf("salt2");
+    EXPECT_NE(toHex(pbkdf2Sha256(pw, s1, 10, 32)),
+              toHex(pbkdf2Sha256(pw, s2, 10, 32)));
+}
+
+} // anonymous namespace
+} // namespace coldboot::crypto

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Traffic generator and bandwidth measurement tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/timing.hh"
+#include "dram/traffic.hh"
+
+namespace coldboot::dram
+{
+namespace
+{
+
+BankTimingParams
+params()
+{
+    return BankTimingParams::forGrade(ddr4_2400());
+}
+
+TEST(Traffic, GeneratorsAreDeterministic)
+{
+    for (auto pattern :
+         {TrafficPattern::Streaming, TrafficPattern::Random,
+          TrafficPattern::PointerChase}) {
+        TrafficParams tp;
+        tp.pattern = pattern;
+        tp.requests = 256;
+        auto a = generateTraffic(tp);
+        auto b = generateTraffic(tp);
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].bank, b[i].bank);
+            EXPECT_EQ(a[i].row, b[i].row);
+            EXPECT_EQ(a[i].arrival, b[i].arrival);
+        }
+    }
+}
+
+TEST(Traffic, ArrivalsMonotone)
+{
+    TrafficParams tp;
+    tp.pattern = TrafficPattern::Random;
+    auto stream = generateTraffic(tp);
+    for (size_t i = 1; i < stream.size(); ++i)
+        ASSERT_GE(stream[i].arrival, stream[i - 1].arrival);
+}
+
+TEST(Traffic, StreamingHasHighRowHitRate)
+{
+    TrafficParams tp;
+    tp.pattern = TrafficPattern::Streaming;
+    auto r = measureBandwidth(params(), generateTraffic(tp));
+    EXPECT_GT(r.row_hit_rate, 0.9);
+}
+
+TEST(Traffic, RandomHasLowRowHitRate)
+{
+    TrafficParams tp;
+    tp.pattern = TrafficPattern::Random;
+    auto r = measureBandwidth(params(), generateTraffic(tp));
+    EXPECT_LT(r.row_hit_rate, 0.2);
+}
+
+TEST(Traffic, UtilizationOrderingMatchesPaperStory)
+{
+    // Streaming > random > pointer chase; and even streaming stays
+    // in the ~15-25% region the paper's 20% point represents.
+    auto run = [&](TrafficPattern p) {
+        TrafficParams tp;
+        tp.pattern = p;
+        return measureBandwidth(params(), generateTraffic(tp))
+            .utilization;
+    };
+    double streaming = run(TrafficPattern::Streaming);
+    double random = run(TrafficPattern::Random);
+    double chase = run(TrafficPattern::PointerChase);
+    EXPECT_GT(streaming, random);
+    EXPECT_GT(random, chase);
+    EXPECT_GT(streaming, 0.10);
+    EXPECT_LT(streaming, 0.35);
+    EXPECT_LT(chase, 0.10);
+}
+
+TEST(Traffic, PeakBandwidthMatchesGrade)
+{
+    // DDR4-2400 peak: 64 B per 4 bus clocks at 1.2 GHz = 19.2 GB/s.
+    TrafficParams tp;
+    auto r = measureBandwidth(params(), generateTraffic(tp));
+    EXPECT_NEAR(r.peak_gbs, 19.2, 0.1);
+}
+
+TEST(Traffic, SaturatingStreamApproachesPeak)
+{
+    // Zero think time, perfect locality: the data bus is the limit.
+    TrafficParams tp;
+    tp.pattern = TrafficPattern::Streaming;
+    tp.think_cycles = 1;
+    auto r = measureBandwidth(params(), generateTraffic(tp));
+    EXPECT_GT(r.utilization, 0.85);
+}
+
+TEST(Traffic, UtilizationDropsWithThinkTime)
+{
+    TrafficParams fast, slow;
+    fast.pattern = slow.pattern = TrafficPattern::Streaming;
+    fast.think_cycles = 4;
+    slow.think_cycles = 64;
+    auto rf = measureBandwidth(params(), generateTraffic(fast));
+    auto rs = measureBandwidth(params(), generateTraffic(slow));
+    EXPECT_GT(rf.utilization, 2.0 * rs.utilization);
+}
+
+} // anonymous namespace
+} // namespace coldboot::dram

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * VeraCrypt-style volume tests: container format, mount/unmount
+ * lifecycle, sector crypto, and the in-RAM key schedule footprint
+ * the attack targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/units.hh"
+#include "crypto/aes.hh"
+#include "crypto/xts.hh"
+#include "dram/dram_module.hh"
+#include "platform/machine.hh"
+#include "volume/veracrypt_volume.hh"
+
+namespace coldboot::volume
+{
+namespace
+{
+
+using platform::BiosConfig;
+using platform::cpuModelByName;
+using platform::Machine;
+
+Machine
+makeMachine(uint64_t seed)
+{
+    Machine m(cpuModelByName("i5-6400"), BiosConfig{}, 1, seed);
+    m.installDimm(0, std::make_shared<dram::DramModule>(
+                         dram::Generation::DDR4, MiB(1),
+                         dram::DecayParams{}, seed + 1));
+    m.boot();
+    return m;
+}
+
+TEST(Volume, CreateHasExpectedGeometry)
+{
+    auto vf = VolumeFile::create("secret", 16, 1);
+    EXPECT_EQ(vf.dataSectors(), 16u);
+    EXPECT_EQ(vf.size(), headerBytes + 16 * sectorBytes);
+    EXPECT_EQ(vf.kdfIterations(), 1000u);
+}
+
+TEST(Volume, MountWithCorrectPassphrase)
+{
+    Machine m = makeMachine(2);
+    auto vf = VolumeFile::create("hunter2", 8, 3);
+    auto mounted = MountedVolume::mount(m, vf, "hunter2", KiB(512));
+    ASSERT_TRUE(mounted.has_value());
+    EXPECT_TRUE(mounted->isMounted());
+}
+
+TEST(Volume, MountRejectsWrongPassphrase)
+{
+    Machine m = makeMachine(4);
+    auto vf = VolumeFile::create("right", 8, 5);
+    EXPECT_FALSE(MountedVolume::mount(m, vf, "wrong", KiB(512)));
+    EXPECT_FALSE(MountedVolume::mount(m, vf, "", KiB(512)));
+    EXPECT_FALSE(MountedVolume::mount(m, vf, "Right", KiB(512)));
+}
+
+TEST(Volume, SectorRoundTrip)
+{
+    Machine m = makeMachine(6);
+    auto vf = VolumeFile::create("pw", 8, 7);
+    auto mounted = MountedVolume::mount(m, vf, "pw", KiB(512));
+    ASSERT_TRUE(mounted);
+
+    std::vector<uint8_t> data(sectorBytes);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<uint8_t>(i * 31);
+    mounted->writeSector(3, data);
+
+    std::vector<uint8_t> back(sectorBytes);
+    mounted->readSector(3, back);
+    EXPECT_EQ(back, data);
+
+    // Ciphertext at rest differs from plaintext.
+    auto ct = vf.sectorCiphertext(3);
+    EXPECT_NE(0, memcmp(ct.data(), data.data(), sectorBytes));
+}
+
+TEST(Volume, FreshVolumeReadsZeros)
+{
+    Machine m = makeMachine(8);
+    auto vf = VolumeFile::create("pw", 4, 9);
+    auto mounted = MountedVolume::mount(m, vf, "pw", KiB(512));
+    ASSERT_TRUE(mounted);
+    std::vector<uint8_t> sector(sectorBytes, 0xff);
+    mounted->readSector(0, sector);
+    for (uint8_t b : sector)
+        ASSERT_EQ(b, 0);
+}
+
+TEST(Volume, RemountSeesPersistedData)
+{
+    Machine m = makeMachine(10);
+    auto vf = VolumeFile::create("pw", 8, 11);
+    {
+        auto mounted = MountedVolume::mount(m, vf, "pw", KiB(512));
+        ASSERT_TRUE(mounted);
+        std::vector<uint8_t> data(sectorBytes, 0x77);
+        mounted->writeSector(5, data);
+        mounted->unmount();
+    }
+    auto again = MountedVolume::mount(m, vf, "pw", KiB(256));
+    ASSERT_TRUE(again);
+    std::vector<uint8_t> back(sectorBytes);
+    again->readSector(5, back);
+    EXPECT_EQ(back, std::vector<uint8_t>(sectorBytes, 0x77));
+}
+
+TEST(Volume, MountCachesExpandedSchedulesInRam)
+{
+    // The attack surface: the mounted volume's 480-byte keytable in
+    // machine RAM must be exactly the two expanded master keys.
+    Machine m = makeMachine(12);
+    auto vf = VolumeFile::create("pw", 8, 13);
+    uint64_t addr = KiB(512) + 16; // deliberately not line aligned
+    auto mounted = MountedVolume::mount(m, vf, "pw", addr);
+    ASSERT_TRUE(mounted);
+
+    std::vector<uint8_t> blob(MountedVolume::keytableBytes());
+    m.readPhysBytes(addr, blob);
+
+    auto master = mounted->masterKeys();
+    auto data_sched = crypto::aesExpandKey(master.subspan(0, 32));
+    auto tweak_sched = crypto::aesExpandKey(master.subspan(32, 32));
+    ASSERT_EQ(blob.size(), data_sched.size() + tweak_sched.size());
+    EXPECT_EQ(0, memcmp(blob.data(), data_sched.data(), 240));
+    EXPECT_EQ(0, memcmp(blob.data() + 240, tweak_sched.data(), 240));
+}
+
+TEST(Volume, UnmountScrubsSchedules)
+{
+    Machine m = makeMachine(14);
+    auto vf = VolumeFile::create("pw", 8, 15);
+    uint64_t addr = KiB(512);
+    auto mounted = MountedVolume::mount(m, vf, "pw", addr);
+    ASSERT_TRUE(mounted);
+    mounted->unmount();
+    EXPECT_FALSE(mounted->isMounted());
+
+    std::vector<uint8_t> blob(MountedVolume::keytableBytes());
+    m.readPhysBytes(addr, blob);
+    for (uint8_t b : blob)
+        ASSERT_EQ(b, 0);
+}
+
+TEST(Volume, MasterKeysDifferPerVolume)
+{
+    Machine m = makeMachine(16);
+    auto v1 = VolumeFile::create("pw", 4, 17);
+    auto v2 = VolumeFile::create("pw", 4, 18);
+    auto m1 = MountedVolume::mount(m, v1, "pw", KiB(256));
+    auto m2 = MountedVolume::mount(m, v2, "pw", KiB(512));
+    ASSERT_TRUE(m1);
+    ASSERT_TRUE(m2);
+    EXPECT_NE(0, memcmp(m1->masterKeys().data(),
+                        m2->masterKeys().data(), 64));
+}
+
+TEST(Volume, RecoveredMasterKeysDecryptTheVolume)
+{
+    // The attacker's endgame: given only the master keys and the
+    // container, decrypt the data with an independently constructed
+    // XTS context.
+    Machine m = makeMachine(20);
+    auto vf = VolumeFile::create("pw", 8, 21);
+    auto mounted = MountedVolume::mount(m, vf, "pw", KiB(512));
+    ASSERT_TRUE(mounted);
+    std::vector<uint8_t> secret(sectorBytes, 0);
+    const char *msg = "the plans are in sector two";
+    memcpy(secret.data(), msg, strlen(msg));
+    mounted->writeSector(2, secret);
+
+    auto master = mounted->masterKeys();
+    crypto::XtsAes xts(master.subspan(0, 32), master.subspan(32, 32));
+    std::vector<uint8_t> plain(sectorBytes);
+    xts.decryptSector(2, vf.sectorCiphertext(2), plain);
+    EXPECT_EQ(0, memcmp(plain.data(), msg, strlen(msg)));
+}
+
+} // anonymous namespace
+} // namespace coldboot::volume

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * coldboot-tool - command-line front end to the library, in the
+ * spirit of the memory-forensics tooling the paper's attack implies.
+ *
+ *   simulate-victim  build a victim machine with a mounted encrypted
+ *                    volume, perform a cold boot transfer, and write
+ *                    the captured dump (plus the volume container)
+ *                    to disk;
+ *   attack           run the full key-recovery pipeline on a dump
+ *                    file and print any recovered XTS master keys;
+ *   mine             mine scrambler-key candidates from a dump;
+ *   info             basic dump statistics;
+ *   decrypt          decrypt one sector of a volume container with
+ *                    recovered master keys.
+ *
+ * Example end-to-end session:
+ *   coldboot-tool simulate-victim /tmp/dump.img /tmp/vol.bin
+ *   coldboot-tool attack /tmp/dump.img
+ *   coldboot-tool decrypt /tmp/vol.bin <data_key_hex> <tweak_key_hex> 3
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/attack_pipeline.hh"
+#include "common/hex.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "crypto/xts.hh"
+#include "dram/dram_module.hh"
+#include "platform/coldboot.hh"
+#include "platform/machine.hh"
+#include "platform/workload.hh"
+#include "volume/veracrypt_volume.hh"
+
+using namespace coldboot;
+using namespace coldboot::platform;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  coldboot-tool simulate-victim <dump.img> <volume.bin>"
+        " [mib] [seed] [--warm]\n"
+        "  coldboot-tool attack <dump.img> [threads]\n"
+        "  coldboot-tool mine <dump.img> [top_n]\n"
+        "  coldboot-tool info <dump.img>\n"
+        "  coldboot-tool decrypt <volume.bin> <data_key_hex>"
+        " <tweak_key_hex> <sector>\n");
+    return 2;
+}
+
+int
+cmdSimulateVictim(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string dump_path = argv[0];
+    std::string volume_path = argv[1];
+    uint64_t mib = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4;
+    uint64_t seed =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 20260705;
+    bool warm = false;
+    for (int i = 2; i < argc; ++i)
+        warm = warm || std::string(argv[i]) == "--warm";
+
+    Machine victim(cpuModelByName("i5-6400"), BiosConfig{}, 1, seed);
+    victim.installDimm(0, std::make_shared<dram::DramModule>(
+                              dram::Generation::DDR4, MiB(mib),
+                              dram::DecayParams{}, seed + 1));
+    victim.boot();
+    fillWorkload(victim, {}, seed + 2);
+
+    auto vf = volume::VolumeFile::create("hunter2", 16, seed + 3);
+    uint64_t keytable_addr = MiB(mib) * 3 / 4 + 16;
+    auto mounted = volume::MountedVolume::mount(victim, vf, "hunter2",
+                                                keytable_addr);
+    std::vector<uint8_t> secret(volume::sectorBytes, 0);
+    const char *msg = "top secret: the cake is a lie";
+    std::memcpy(secret.data(), msg, std::strlen(msg));
+    mounted->writeSector(3, secret);
+
+    BiosConfig attacker_bios;
+    attacker_bios.boot_pollution_bytes = KiB(64);
+    Machine attacker(cpuModelByName("i5-6600K"), attacker_bios, 1,
+                     seed + 4);
+    ColdBootParams cold_params;
+    cold_params.cool_first = !warm;
+    auto cold = coldBootTransfer(victim, attacker, 0, cold_params);
+
+    cold.dump.saveRaw(dump_path);
+    std::FILE *f = std::fopen(volume_path.c_str(), "wb");
+    if (!f)
+        cb_fatal("cannot open '%s'", volume_path.c_str());
+    std::fwrite(vf.bytes().data(), 1, vf.size(), f);
+    std::fclose(f);
+
+    std::printf("wrote %zu MiB dump to %s (%.2f%% bits decayed)\n",
+                cold.dump.size() >> 20, dump_path.c_str(),
+                100.0 * static_cast<double>(cold.bits_flipped) /
+                    (static_cast<double>(cold.dump.size()) * 8));
+    std::printf("wrote volume container to %s (secret in sector 3)\n",
+                volume_path.c_str());
+    std::printf("ground truth master keys (for validation):\n"
+                "  data : %s\n  tweak: %s\n",
+                toHex(mounted->masterKeys().subspan(0, 32)).c_str(),
+                toHex(mounted->masterKeys().subspan(32, 32)).c_str());
+    return 0;
+}
+
+int
+cmdAttack(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    MemoryImage dump = MemoryImage::loadRaw(argv[0]);
+    attack::PipelineParams params;
+    if (argc > 1)
+        params.search.threads = static_cast<unsigned>(
+            std::strtoul(argv[1], nullptr, 10));
+
+    auto report = attack::runColdBootAttack(dump, params);
+    std::printf("mined %zu candidate keys; recovered %zu AES table(s);"
+                " %zu XTS pair(s); %.2f MiB/s\n",
+                report.mined_keys.size(), report.recovered.size(),
+                report.xts_pairs.size(), report.mib_per_second);
+    for (const auto &pair : report.xts_pairs) {
+        std::printf("XTS master keys at dump offset 0x%llx:\n"
+                    "  data : %s\n  tweak: %s\n",
+                    static_cast<unsigned long long>(
+                        pair.table_offset),
+                    toHex({pair.data_key.data(), 32}).c_str(),
+                    toHex({pair.tweak_key.data(), 32}).c_str());
+    }
+    return report.xts_pairs.empty() ? 1 : 0;
+}
+
+int
+cmdMine(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    MemoryImage dump = MemoryImage::loadRaw(argv[0]);
+    size_t top_n =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 10;
+
+    attack::MinerStats stats;
+    auto mined = attack::mineScramblerKeys(dump, {}, &stats);
+    std::printf("scanned %llu blocks, %llu litmus hits, %zu "
+                "candidate keys\n",
+                static_cast<unsigned long long>(stats.blocks_scanned),
+                static_cast<unsigned long long>(stats.litmus_hits),
+                mined.size());
+    for (size_t i = 0; i < std::min(top_n, mined.size()); ++i) {
+        std::printf("#%2zu x%-5zu %s...\n", i, mined[i].occurrences,
+                    toHex({mined[i].key.data(), 16}).c_str());
+    }
+    return 0;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    MemoryImage dump = MemoryImage::loadRaw(argv[0]);
+    std::printf("size            : %zu bytes (%zu lines)\n",
+                dump.size(), dump.lines());
+    std::printf("ones fraction   : %.4f\n", dump.onesFraction());
+    std::printf("duplicate pairs : %zu\n", dump.duplicateLinePairs());
+    return 0;
+}
+
+int
+cmdDecrypt(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    std::FILE *f = std::fopen(argv[0], "rb");
+    if (!f)
+        cb_fatal("cannot open '%s'", argv[0]);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<uint8_t> blob(static_cast<size_t>(size));
+    if (std::fread(blob.data(), 1, blob.size(), f) != blob.size())
+        cb_fatal("short read from '%s'", argv[0]);
+    std::fclose(f);
+
+    auto data_key = fromHex(argv[1]);
+    auto tweak_key = fromHex(argv[2]);
+    uint64_t sector = std::strtoull(argv[3], nullptr, 10);
+    if (data_key.size() != 32 || tweak_key.size() != 32)
+        cb_fatal("keys must be 32 bytes of hex each");
+
+    uint64_t off = volume::headerBytes + sector * volume::sectorBytes;
+    if (off + volume::sectorBytes > blob.size())
+        cb_fatal("sector %llu out of range",
+                 static_cast<unsigned long long>(sector));
+
+    crypto::XtsAes xts(data_key, tweak_key);
+    std::vector<uint8_t> plain(volume::sectorBytes);
+    xts.decryptSector(sector, {&blob[off], volume::sectorBytes},
+                      plain);
+    std::printf("sector %llu plaintext (first 64 bytes):\n%s\n",
+                static_cast<unsigned long long>(sector),
+                hexDump({plain.data(), 64}).c_str());
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    if (cmd == "simulate-victim")
+        return cmdSimulateVictim(argc - 2, argv + 2);
+    if (cmd == "attack")
+        return cmdAttack(argc - 2, argv + 2);
+    if (cmd == "mine")
+        return cmdMine(argc - 2, argv + 2);
+    if (cmd == "info")
+        return cmdInfo(argc - 2, argv + 2);
+    if (cmd == "decrypt")
+        return cmdDecrypt(argc - 2, argv + 2);
+    return usage();
+}
