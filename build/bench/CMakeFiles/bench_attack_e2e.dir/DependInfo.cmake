@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_attack_e2e.cc" "bench/CMakeFiles/bench_attack_e2e.dir/bench_attack_e2e.cc.o" "gcc" "bench/CMakeFiles/bench_attack_e2e.dir/bench_attack_e2e.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/cb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/cb_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/volume/CMakeFiles/cb_volume.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cb_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/memctrl/CMakeFiles/cb_memctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/cb_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_defence.dir/bench_defence.cc.o"
+  "CMakeFiles/bench_defence.dir/bench_defence.cc.o.d"
+  "bench_defence"
+  "bench_defence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_defence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

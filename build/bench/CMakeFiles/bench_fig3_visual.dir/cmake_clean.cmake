@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_visual.dir/bench_fig3_visual.cc.o"
+  "CMakeFiles/bench_fig3_visual.dir/bench_fig3_visual.cc.o.d"
+  "bench_fig3_visual"
+  "bench_fig3_visual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_visual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_key_mining.dir/bench_key_mining.cc.o"
+  "CMakeFiles/bench_key_mining.dir/bench_key_mining.cc.o.d"
+  "bench_key_mining"
+  "bench_key_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_key_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

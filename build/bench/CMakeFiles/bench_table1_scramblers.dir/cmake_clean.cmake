@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_scramblers.dir/bench_table1_scramblers.cc.o"
+  "CMakeFiles/bench_table1_scramblers.dir/bench_table1_scramblers.cc.o.d"
+  "bench_table1_scramblers"
+  "bench_table1_scramblers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_scramblers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

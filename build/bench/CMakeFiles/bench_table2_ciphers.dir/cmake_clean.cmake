@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ciphers.dir/bench_table2_ciphers.cc.o"
+  "CMakeFiles/bench_table2_ciphers.dir/bench_table2_ciphers.cc.o.d"
+  "bench_table2_ciphers"
+  "bench_table2_ciphers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ciphers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

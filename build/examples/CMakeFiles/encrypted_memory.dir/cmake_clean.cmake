@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_memory.dir/encrypted_memory.cpp.o"
+  "CMakeFiles/encrypted_memory.dir/encrypted_memory.cpp.o.d"
+  "encrypted_memory"
+  "encrypted_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrambler_analysis.dir/scrambler_analysis.cpp.o"
+  "CMakeFiles/scrambler_analysis.dir/scrambler_analysis.cpp.o.d"
+  "scrambler_analysis"
+  "scrambler_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrambler_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/aes_search.cc" "src/attack/CMakeFiles/cb_attack.dir/aes_search.cc.o" "gcc" "src/attack/CMakeFiles/cb_attack.dir/aes_search.cc.o.d"
+  "/root/repo/src/attack/attack_pipeline.cc" "src/attack/CMakeFiles/cb_attack.dir/attack_pipeline.cc.o" "gcc" "src/attack/CMakeFiles/cb_attack.dir/attack_pipeline.cc.o.d"
+  "/root/repo/src/attack/ddr3_attack.cc" "src/attack/CMakeFiles/cb_attack.dir/ddr3_attack.cc.o" "gcc" "src/attack/CMakeFiles/cb_attack.dir/ddr3_attack.cc.o.d"
+  "/root/repo/src/attack/halderman_search.cc" "src/attack/CMakeFiles/cb_attack.dir/halderman_search.cc.o" "gcc" "src/attack/CMakeFiles/cb_attack.dir/halderman_search.cc.o.d"
+  "/root/repo/src/attack/key_miner.cc" "src/attack/CMakeFiles/cb_attack.dir/key_miner.cc.o" "gcc" "src/attack/CMakeFiles/cb_attack.dir/key_miner.cc.o.d"
+  "/root/repo/src/attack/litmus.cc" "src/attack/CMakeFiles/cb_attack.dir/litmus.cc.o" "gcc" "src/attack/CMakeFiles/cb_attack.dir/litmus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cb_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/memctrl/CMakeFiles/cb_memctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/cb_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_attack.dir/aes_search.cc.o"
+  "CMakeFiles/cb_attack.dir/aes_search.cc.o.d"
+  "CMakeFiles/cb_attack.dir/attack_pipeline.cc.o"
+  "CMakeFiles/cb_attack.dir/attack_pipeline.cc.o.d"
+  "CMakeFiles/cb_attack.dir/ddr3_attack.cc.o"
+  "CMakeFiles/cb_attack.dir/ddr3_attack.cc.o.d"
+  "CMakeFiles/cb_attack.dir/halderman_search.cc.o"
+  "CMakeFiles/cb_attack.dir/halderman_search.cc.o.d"
+  "CMakeFiles/cb_attack.dir/key_miner.cc.o"
+  "CMakeFiles/cb_attack.dir/key_miner.cc.o.d"
+  "CMakeFiles/cb_attack.dir/litmus.cc.o"
+  "CMakeFiles/cb_attack.dir/litmus.cc.o.d"
+  "libcb_attack.a"
+  "libcb_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

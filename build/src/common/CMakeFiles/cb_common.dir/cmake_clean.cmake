@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_common.dir/bits.cc.o"
+  "CMakeFiles/cb_common.dir/bits.cc.o.d"
+  "CMakeFiles/cb_common.dir/hex.cc.o"
+  "CMakeFiles/cb_common.dir/hex.cc.o.d"
+  "CMakeFiles/cb_common.dir/logging.cc.o"
+  "CMakeFiles/cb_common.dir/logging.cc.o.d"
+  "CMakeFiles/cb_common.dir/rng.cc.o"
+  "CMakeFiles/cb_common.dir/rng.cc.o.d"
+  "libcb_common.a"
+  "libcb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cc" "src/crypto/CMakeFiles/cb_crypto.dir/aes.cc.o" "gcc" "src/crypto/CMakeFiles/cb_crypto.dir/aes.cc.o.d"
+  "/root/repo/src/crypto/aes_ttable.cc" "src/crypto/CMakeFiles/cb_crypto.dir/aes_ttable.cc.o" "gcc" "src/crypto/CMakeFiles/cb_crypto.dir/aes_ttable.cc.o.d"
+  "/root/repo/src/crypto/chacha.cc" "src/crypto/CMakeFiles/cb_crypto.dir/chacha.cc.o" "gcc" "src/crypto/CMakeFiles/cb_crypto.dir/chacha.cc.o.d"
+  "/root/repo/src/crypto/ctr.cc" "src/crypto/CMakeFiles/cb_crypto.dir/ctr.cc.o" "gcc" "src/crypto/CMakeFiles/cb_crypto.dir/ctr.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/cb_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/cb_crypto.dir/sha256.cc.o.d"
+  "/root/repo/src/crypto/xts.cc" "src/crypto/CMakeFiles/cb_crypto.dir/xts.cc.o" "gcc" "src/crypto/CMakeFiles/cb_crypto.dir/xts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

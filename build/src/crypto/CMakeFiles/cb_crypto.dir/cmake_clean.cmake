@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_crypto.dir/aes.cc.o"
+  "CMakeFiles/cb_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/cb_crypto.dir/aes_ttable.cc.o"
+  "CMakeFiles/cb_crypto.dir/aes_ttable.cc.o.d"
+  "CMakeFiles/cb_crypto.dir/chacha.cc.o"
+  "CMakeFiles/cb_crypto.dir/chacha.cc.o.d"
+  "CMakeFiles/cb_crypto.dir/ctr.cc.o"
+  "CMakeFiles/cb_crypto.dir/ctr.cc.o.d"
+  "CMakeFiles/cb_crypto.dir/sha256.cc.o"
+  "CMakeFiles/cb_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/cb_crypto.dir/xts.cc.o"
+  "CMakeFiles/cb_crypto.dir/xts.cc.o.d"
+  "libcb_crypto.a"
+  "libcb_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/bank_timing.cc" "src/dram/CMakeFiles/cb_dram.dir/bank_timing.cc.o" "gcc" "src/dram/CMakeFiles/cb_dram.dir/bank_timing.cc.o.d"
+  "/root/repo/src/dram/decay_model.cc" "src/dram/CMakeFiles/cb_dram.dir/decay_model.cc.o" "gcc" "src/dram/CMakeFiles/cb_dram.dir/decay_model.cc.o.d"
+  "/root/repo/src/dram/dram_module.cc" "src/dram/CMakeFiles/cb_dram.dir/dram_module.cc.o" "gcc" "src/dram/CMakeFiles/cb_dram.dir/dram_module.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/dram/CMakeFiles/cb_dram.dir/timing.cc.o" "gcc" "src/dram/CMakeFiles/cb_dram.dir/timing.cc.o.d"
+  "/root/repo/src/dram/traffic.cc" "src/dram/CMakeFiles/cb_dram.dir/traffic.cc.o" "gcc" "src/dram/CMakeFiles/cb_dram.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_dram.dir/bank_timing.cc.o"
+  "CMakeFiles/cb_dram.dir/bank_timing.cc.o.d"
+  "CMakeFiles/cb_dram.dir/decay_model.cc.o"
+  "CMakeFiles/cb_dram.dir/decay_model.cc.o.d"
+  "CMakeFiles/cb_dram.dir/dram_module.cc.o"
+  "CMakeFiles/cb_dram.dir/dram_module.cc.o.d"
+  "CMakeFiles/cb_dram.dir/timing.cc.o"
+  "CMakeFiles/cb_dram.dir/timing.cc.o.d"
+  "CMakeFiles/cb_dram.dir/traffic.cc.o"
+  "CMakeFiles/cb_dram.dir/traffic.cc.o.d"
+  "libcb_dram.a"
+  "libcb_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

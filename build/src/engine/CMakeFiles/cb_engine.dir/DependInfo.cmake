@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cipher_engine.cc" "src/engine/CMakeFiles/cb_engine.dir/cipher_engine.cc.o" "gcc" "src/engine/CMakeFiles/cb_engine.dir/cipher_engine.cc.o.d"
+  "/root/repo/src/engine/encrypted_controller.cc" "src/engine/CMakeFiles/cb_engine.dir/encrypted_controller.cc.o" "gcc" "src/engine/CMakeFiles/cb_engine.dir/encrypted_controller.cc.o.d"
+  "/root/repo/src/engine/latency_sim.cc" "src/engine/CMakeFiles/cb_engine.dir/latency_sim.cc.o" "gcc" "src/engine/CMakeFiles/cb_engine.dir/latency_sim.cc.o.d"
+  "/root/repo/src/engine/pipelined_engines.cc" "src/engine/CMakeFiles/cb_engine.dir/pipelined_engines.cc.o" "gcc" "src/engine/CMakeFiles/cb_engine.dir/pipelined_engines.cc.o.d"
+  "/root/repo/src/engine/power_model.cc" "src/engine/CMakeFiles/cb_engine.dir/power_model.cc.o" "gcc" "src/engine/CMakeFiles/cb_engine.dir/power_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/cb_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/memctrl/CMakeFiles/cb_memctrl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_engine.dir/cipher_engine.cc.o"
+  "CMakeFiles/cb_engine.dir/cipher_engine.cc.o.d"
+  "CMakeFiles/cb_engine.dir/encrypted_controller.cc.o"
+  "CMakeFiles/cb_engine.dir/encrypted_controller.cc.o.d"
+  "CMakeFiles/cb_engine.dir/latency_sim.cc.o"
+  "CMakeFiles/cb_engine.dir/latency_sim.cc.o.d"
+  "CMakeFiles/cb_engine.dir/pipelined_engines.cc.o"
+  "CMakeFiles/cb_engine.dir/pipelined_engines.cc.o.d"
+  "CMakeFiles/cb_engine.dir/power_model.cc.o"
+  "CMakeFiles/cb_engine.dir/power_model.cc.o.d"
+  "libcb_engine.a"
+  "libcb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

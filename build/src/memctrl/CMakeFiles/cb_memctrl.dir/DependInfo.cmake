@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memctrl/address_map.cc" "src/memctrl/CMakeFiles/cb_memctrl.dir/address_map.cc.o" "gcc" "src/memctrl/CMakeFiles/cb_memctrl.dir/address_map.cc.o.d"
+  "/root/repo/src/memctrl/lfsr.cc" "src/memctrl/CMakeFiles/cb_memctrl.dir/lfsr.cc.o" "gcc" "src/memctrl/CMakeFiles/cb_memctrl.dir/lfsr.cc.o.d"
+  "/root/repo/src/memctrl/memory_controller.cc" "src/memctrl/CMakeFiles/cb_memctrl.dir/memory_controller.cc.o" "gcc" "src/memctrl/CMakeFiles/cb_memctrl.dir/memory_controller.cc.o.d"
+  "/root/repo/src/memctrl/scrambler.cc" "src/memctrl/CMakeFiles/cb_memctrl.dir/scrambler.cc.o" "gcc" "src/memctrl/CMakeFiles/cb_memctrl.dir/scrambler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/cb_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

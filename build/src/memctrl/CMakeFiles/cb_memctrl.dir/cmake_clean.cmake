@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_memctrl.dir/address_map.cc.o"
+  "CMakeFiles/cb_memctrl.dir/address_map.cc.o.d"
+  "CMakeFiles/cb_memctrl.dir/lfsr.cc.o"
+  "CMakeFiles/cb_memctrl.dir/lfsr.cc.o.d"
+  "CMakeFiles/cb_memctrl.dir/memory_controller.cc.o"
+  "CMakeFiles/cb_memctrl.dir/memory_controller.cc.o.d"
+  "CMakeFiles/cb_memctrl.dir/scrambler.cc.o"
+  "CMakeFiles/cb_memctrl.dir/scrambler.cc.o.d"
+  "libcb_memctrl.a"
+  "libcb_memctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_memctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/coldboot.cc" "src/platform/CMakeFiles/cb_platform.dir/coldboot.cc.o" "gcc" "src/platform/CMakeFiles/cb_platform.dir/coldboot.cc.o.d"
+  "/root/repo/src/platform/machine.cc" "src/platform/CMakeFiles/cb_platform.dir/machine.cc.o" "gcc" "src/platform/CMakeFiles/cb_platform.dir/machine.cc.o.d"
+  "/root/repo/src/platform/memory_image.cc" "src/platform/CMakeFiles/cb_platform.dir/memory_image.cc.o" "gcc" "src/platform/CMakeFiles/cb_platform.dir/memory_image.cc.o.d"
+  "/root/repo/src/platform/workload.cc" "src/platform/CMakeFiles/cb_platform.dir/workload.cc.o" "gcc" "src/platform/CMakeFiles/cb_platform.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/cb_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/memctrl/CMakeFiles/cb_memctrl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

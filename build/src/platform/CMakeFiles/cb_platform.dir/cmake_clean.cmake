@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_platform.dir/coldboot.cc.o"
+  "CMakeFiles/cb_platform.dir/coldboot.cc.o.d"
+  "CMakeFiles/cb_platform.dir/machine.cc.o"
+  "CMakeFiles/cb_platform.dir/machine.cc.o.d"
+  "CMakeFiles/cb_platform.dir/memory_image.cc.o"
+  "CMakeFiles/cb_platform.dir/memory_image.cc.o.d"
+  "CMakeFiles/cb_platform.dir/workload.cc.o"
+  "CMakeFiles/cb_platform.dir/workload.cc.o.d"
+  "libcb_platform.a"
+  "libcb_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_volume.dir/veracrypt_volume.cc.o"
+  "CMakeFiles/cb_volume.dir/veracrypt_volume.cc.o.d"
+  "libcb_volume.a"
+  "libcb_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bank_timing.dir/test_bank_timing.cc.o"
+  "CMakeFiles/test_bank_timing.dir/test_bank_timing.cc.o.d"
+  "test_bank_timing"
+  "test_bank_timing.pdb"
+  "test_bank_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bank_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chacha.dir/test_chacha.cc.o"
+  "CMakeFiles/test_chacha.dir/test_chacha.cc.o.d"
+  "test_chacha"
+  "test_chacha.pdb"
+  "test_chacha[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chacha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memctrl.dir/test_memctrl.cc.o"
+  "CMakeFiles/test_memctrl.dir/test_memctrl.cc.o.d"
+  "test_memctrl"
+  "test_memctrl.pdb"
+  "test_memctrl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xts.dir/test_xts.cc.o"
+  "CMakeFiles/test_xts.dir/test_xts.cc.o.d"
+  "test_xts"
+  "test_xts.pdb"
+  "test_xts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_aes[1]_include.cmake")
+include("/root/repo/build/tests/test_chacha[1]_include.cmake")
+include("/root/repo/build/tests/test_sha256[1]_include.cmake")
+include("/root/repo/build/tests/test_xts[1]_include.cmake")
+include("/root/repo/build/tests/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_memctrl[1]_include.cmake")
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_volume[1]_include.cmake")
+include("/root/repo/build/tests/test_litmus[1]_include.cmake")
+include("/root/repo/build/tests/test_attack[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_pipelined[1]_include.cmake")
+include("/root/repo/build/tests/test_bank_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coldboot-tool.dir/coldboot_tool.cc.o"
+  "CMakeFiles/coldboot-tool.dir/coldboot_tool.cc.o.d"
+  "coldboot-tool"
+  "coldboot-tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coldboot-tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
