@@ -10,12 +10,14 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/units.hh"
 #include "dram/bank_timing.hh"
 #include "dram/timing.hh"
 #include "engine/latency_sim.hh"
+#include "obs/stats.hh"
 
 using namespace coldboot;
 using namespace coldboot::engine;
@@ -31,6 +33,24 @@ main()
     std::vector<double> utils = {0.1, 0.2, 0.3, 0.4, 0.5,
                                  0.6, 0.7, 0.8, 0.9, 1.0};
     auto rows = figure6Sweep(grade, utils);
+
+    // Headline figures through the stats registry (one code path
+    // with the CLI/test exports): the full-load point per engine.
+    auto &registry = obs::StatRegistry::global();
+    for (const auto &row : rows) {
+        if (row.utilization != 1.0)
+            continue;
+        std::string prefix = std::string("bench.fig6.") +
+                             cipherKindName(row.kind);
+        registry.setScalar(
+            prefix + ".max_keystream_latency_ns_u100",
+            psToNs(row.result.max_keystream_latency_ps),
+            "worst keystream latency at 100% utilization");
+        registry.setScalar(
+            prefix + ".max_window_exposure_ns_u100",
+            psToNs(row.result.max_window_exposure_ps),
+            "worst own-window exposure at 100% utilization");
+    }
 
     std::printf("%-10s", "util");
     for (const auto &spec : tableIIEngines())
@@ -99,5 +119,6 @@ main()
         "\nprotocol-limited command rate (one CAS per tCCD) even AES"
         " hides fully -\nthe paper's AES queueing penalty needs"
         " command bursts faster than the\ndata bus can serve.\n");
+    obs::flushEnvRequestedOutputs();
     return 0;
 }

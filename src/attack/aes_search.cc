@@ -11,6 +11,8 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "attack/litmus.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 
 namespace coldboot::attack
 {
@@ -428,14 +430,17 @@ searchAesKeyTables(const platform::MemoryImage &dump,
         }
     };
 
-    if (nthreads == 1) {
-        scan_range(0);
-    } else {
-        std::vector<std::thread> workers;
-        for (unsigned tid = 0; tid < nthreads; ++tid)
-            workers.emplace_back(scan_range, tid);
-        for (auto &w : workers)
-            w.join();
+    {
+        obs::ScopedSpan span("search.scan");
+        if (nthreads == 1) {
+            scan_range(0);
+        } else {
+            std::vector<std::thread> workers;
+            for (unsigned tid = 0; tid < nthreads; ++tid)
+                workers.emplace_back(scan_range, tid);
+            for (auto &w : workers)
+                w.join();
+        }
     }
     for (unsigned tid = 0; tid < nthreads; ++tid) {
         local.blocks_scanned += scanned_per_thread[tid];
@@ -448,6 +453,7 @@ searchAesKeyTables(const platform::MemoryImage &dump,
     // pins a placement only up to congruence modulo lcm(4, Nk) words
     // (all SubWord positions match within a class); every congruent
     // placement of every hit is tried.
+    obs::ScopedSpan reconstruct_span("search.reconstruct");
     unsigned nk = crypto::aesNk(params.key_size);
     unsigned modulus = std::lcm(4u, nk);
     unsigned max_p = (aesLitmusPlacements(params.key_size) - 1) * 4;
@@ -507,6 +513,30 @@ searchAesKeyTables(const platform::MemoryImage &dump,
     local.seconds = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - t0)
                         .count();
+
+    // Mirror this call into the registry (the system of record for
+    // cross-run trajectories); the SearchStats out-parameter stays a
+    // per-call view.
+    auto &registry = obs::StatRegistry::global();
+    registry.counter("attack.search.blocks_scanned",
+                     "64-byte blocks examined by the key-table scan")
+        .add(local.blocks_scanned);
+    registry.counter("attack.search.descramble_attempts",
+                     "(block, candidate-key) descramble attempts")
+        .add(local.descramble_attempts);
+    registry.counter("attack.search.litmus_hits",
+                     "blocks passing the AES key-schedule litmus")
+        .add(local.litmus_hits);
+    registry.counter("attack.search.reconstructions_tried",
+                     "schedule reconstructions attempted")
+        .add(local.reconstructions_tried);
+    registry.counter("attack.search.reconstructions_verified",
+                     "schedule reconstructions that verified")
+        .add(local.reconstructions_verified);
+    registry.distribution("attack.search.seconds",
+                          "wall-clock seconds per search run")
+        .sample(local.seconds);
+
     if (stats)
         *stats = local;
     return results;

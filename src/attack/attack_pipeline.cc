@@ -1,9 +1,9 @@
 #include "attack/attack_pipeline.hh"
 
-#include <chrono>
-
 #include "common/logging.hh"
 #include "crypto/aes.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 
 namespace coldboot::attack
 {
@@ -34,13 +34,18 @@ PipelineReport
 runColdBootAttack(const platform::MemoryImage &dump,
                   const PipelineParams &params)
 {
-    auto t0 = std::chrono::steady_clock::now();
+    auto &registry = obs::StatRegistry::global();
+    obs::ScopedSpan pipeline_span("attack.pipeline");
     PipelineReport report;
 
-    cb_inform("attack: mining scrambler keys from %zu MiB dump",
-              dump.size() >> 20);
-    report.mined_keys =
-        mineScramblerKeys(dump, params.miner, &report.miner_stats);
+    {
+        obs::ScopedSpan span("mine");
+        cb_inform("attack: mining scrambler keys from %zu MiB dump",
+                  dump.size() >> 20);
+        report.mined_keys =
+            mineScramblerKeys(dump, params.miner,
+                              &report.miner_stats);
+    }
     cb_inform("attack: mined %zu candidate keys "
               "(%llu litmus hits over %llu blocks)",
               report.mined_keys.size(),
@@ -49,38 +54,63 @@ runColdBootAttack(const platform::MemoryImage &dump,
               static_cast<unsigned long long>(
                   report.miner_stats.blocks_scanned));
 
-    for (crypto::AesKeySize ks : params.key_sizes) {
-        SearchParams search = params.search;
-        search.key_size = ks;
-        SearchStats stats;
-        auto found = searchAesKeyTables(dump, report.mined_keys,
-                                        search, &stats);
-        report.recovered.insert(report.recovered.end(),
-                                found.begin(), found.end());
-        report.search_stats.blocks_scanned += stats.blocks_scanned;
-        report.search_stats.descramble_attempts +=
-            stats.descramble_attempts;
-        report.search_stats.litmus_hits += stats.litmus_hits;
-        report.search_stats.reconstructions_tried +=
-            stats.reconstructions_tried;
-        report.search_stats.reconstructions_verified +=
-            stats.reconstructions_verified;
-        report.search_stats.seconds += stats.seconds;
+    {
+        obs::ScopedSpan span("search");
+        for (crypto::AesKeySize ks : params.key_sizes) {
+            SearchParams search = params.search;
+            search.key_size = ks;
+            SearchStats stats;
+            auto found = searchAesKeyTables(dump, report.mined_keys,
+                                            search, &stats);
+            report.recovered.insert(report.recovered.end(),
+                                    found.begin(), found.end());
+            report.search_stats.blocks_scanned +=
+                stats.blocks_scanned;
+            report.search_stats.descramble_attempts +=
+                stats.descramble_attempts;
+            report.search_stats.litmus_hits += stats.litmus_hits;
+            report.search_stats.reconstructions_tried +=
+                stats.reconstructions_tried;
+            report.search_stats.reconstructions_verified +=
+                stats.reconstructions_verified;
+            report.search_stats.seconds += stats.seconds;
+        }
     }
     cb_inform("attack: recovered %zu AES key table(s)",
               report.recovered.size());
 
-    report.xts_pairs = pairXtsKeys(report.recovered);
+    {
+        obs::ScopedSpan span("pair");
+        report.xts_pairs = pairXtsKeys(report.recovered);
+    }
     cb_inform("attack: paired %zu XTS master key set(s)",
               report.xts_pairs.size());
 
-    double seconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - t0)
-                         .count();
-    if (seconds > 0) {
+    registry.counter("attack.pipeline.bytes_scanned",
+                     "dump bytes scanned across mining and search")
+        .add((report.miner_stats.blocks_scanned +
+              report.search_stats.blocks_scanned) * 64);
+    registry.counter("attack.pipeline.keys_recovered",
+                     "AES key tables recovered")
+        .add(report.recovered.size());
+    registry.counter("attack.pipeline.xts_pairs",
+                     "XTS master key pairs recovered")
+        .add(report.xts_pairs.size());
+    registry.rate("attack.pipeline.runs",
+                  "end-to-end attack pipelines completed").add();
+
+    // Throughput from the registry's wall-clock span of the whole
+    // pipeline; an empty dump (or an impossibly fast run) reports 0
+    // rather than inf/nan.
+    double seconds = pipeline_span.stop();
+    if (dump.size() > 0 && seconds > 0.0) {
         report.mib_per_second =
             static_cast<double>(dump.size()) / (1 << 20) / seconds;
     }
+    registry.setScalar("attack.pipeline.mib_per_second",
+                       report.mib_per_second,
+                       "end-to-end scan throughput of the most "
+                       "recent pipeline run");
     return report;
 }
 

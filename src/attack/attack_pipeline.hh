@@ -43,7 +43,15 @@ struct RecoveredXtsKeys
     uint64_t table_offset;
 };
 
-/** Full pipeline report. */
+/**
+ * Full pipeline report.
+ *
+ * The stats fields are per-call views of the `attack.*` stats the
+ * run adds to obs::StatRegistry::global(); the registry additionally
+ * holds cumulative totals, per-stage wall-clock spans (mine / search
+ * / pair, exported via obs::PhaseTracer) and derived figures such as
+ * `attack.pipeline.mib_per_second`.
+ */
 struct PipelineReport
 {
     MinerStats miner_stats;
@@ -51,7 +59,11 @@ struct PipelineReport
     std::vector<MinedKey> mined_keys;
     std::vector<RecoveredAesKey> recovered;
     std::vector<RecoveredXtsKeys> xts_pairs;
-    /** End-to-end scan throughput in MiB per second. */
+    /**
+     * End-to-end scan throughput in MiB per second, computed from
+     * the registry's `attack.pipeline` span; 0 (never inf/nan) for
+     * an empty dump.
+     */
     double mib_per_second = 0.0;
 };
 

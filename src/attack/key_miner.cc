@@ -6,6 +6,8 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "attack/litmus.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 
 namespace coldboot::attack
 {
@@ -87,6 +89,26 @@ std::vector<MinedKey>
 mineScramblerKeys(const platform::MemoryImage &dump,
                   const MinerParams &params, MinerStats *stats)
 {
+    // The registry is the system of record; the MinerStats
+    // out-parameter is filled as a view of this call's deltas.
+    auto &registry = obs::StatRegistry::global();
+    obs::Counter &c_blocks = registry.counter(
+        "attack.miner.blocks_scanned",
+        "64-byte blocks examined by the scrambler-key miner");
+    obs::Counter &c_hits = registry.counter(
+        "attack.miner.litmus_hits",
+        "blocks passing the scrambler-key litmus test");
+    obs::Counter &c_constant = registry.counter(
+        "attack.miner.constant_dropped",
+        "trivially constant blocks dropped before clustering");
+    obs::Counter &c_clusters = registry.counter(
+        "attack.miner.clusters", "key clusters formed");
+    obs::Counter &c_keys = registry.counter(
+        "attack.miner.keys_reported", "candidate keys reported");
+    uint64_t blocks_before = c_blocks.value();
+    obs::ScopedTimer timer(registry.distribution(
+        "attack.miner.seconds", "wall-clock seconds per mining run"));
+
     MinerStats local;
     uint64_t scan_bytes = dump.size();
     if (params.scan_limit_bytes != 0)
@@ -197,6 +219,13 @@ mineScramblerKeys(const platform::MemoryImage &dump,
 
     local.clusters = clusters.size();
     local.keys_reported = out.size();
+
+    c_hits.add(local.litmus_hits);
+    c_constant.add(local.constant_dropped);
+    c_clusters.add(local.clusters);
+    c_keys.add(local.keys_reported);
+    c_blocks.add(local.blocks_scanned);
+    local.blocks_scanned = c_blocks.value() - blocks_before;
     if (stats)
         *stats = local;
     return out;

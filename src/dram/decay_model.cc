@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/stats.hh"
 
 namespace coldboot::dram
 {
@@ -69,6 +70,23 @@ DecayModel::groundStateBit(uint64_t bit_index) const
     return polarity ^ salt;
 }
 
+namespace
+{
+
+/** Mirror one decay episode into the stats registry. */
+void
+recordDecay(uint64_t flips)
+{
+    auto &registry = obs::StatRegistry::global();
+    registry.counter("dram.decay.applications",
+                     "decay episodes applied to a module").add();
+    registry.counter("dram.decay.bits_flipped",
+                     "bits visibly flipped by charge decay")
+        .add(flips);
+}
+
+} // anonymous namespace
+
 uint64_t
 DecayModel::applyDecay(std::span<uint8_t> data, double seconds,
                        double celsius)
@@ -89,6 +107,7 @@ DecayModel::applyDecay(std::span<uint8_t> data, double seconds,
                 ++flips;
         }
         decayToGround(data);
+        recordDecay(flips);
         return flips;
     }
 
@@ -115,6 +134,7 @@ DecayModel::applyDecay(std::span<uint8_t> data, double seconds,
         }
         ++bit;
     }
+    recordDecay(flips);
     return flips;
 }
 

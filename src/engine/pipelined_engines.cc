@@ -22,6 +22,14 @@ PipelinedAesEngine::PipelinedAesEngine(std::span<const uint8_t> key,
         cb_fatal("PipelinedAesEngine nonce must be 8 bytes");
     std::copy(nonce.begin(), nonce.end(), nonce_bytes.begin());
     stages.resize(static_cast<size_t>(aes.rounds()));
+    auto &registry = obs::StatRegistry::global();
+    queue_depth_dist = &registry.distribution(
+        "engine.pipelined.aes.queue_depth",
+        "counters waiting at the AES ingest port, sampled per clock",
+        {0, 1, 2, 4, 8, 16, 32, 64});
+    lines_completed = &registry.counter(
+        "engine.pipelined.aes.lines_completed",
+        "64-byte keystream lines completed by the AES pipeline");
 }
 
 Picoseconds
@@ -45,6 +53,8 @@ void
 PipelinedAesEngine::clock()
 {
     ++cycle;
+    queue_depth_dist->sample(
+        static_cast<double>(ingest_queue.size()));
     const uint8_t *sched = aes.schedule().data();
     unsigned nr = static_cast<unsigned>(aes.rounds());
 
@@ -94,6 +104,7 @@ PipelinedAesEngine::clock()
             if (++asm_entry.done == 4) {
                 completions.push_back(
                     {asm_entry.req_id, cycle, asm_entry.bytes});
+                lines_completed->add();
                 asm_entry.done = ~0u; // mark consumed
             }
             break;
@@ -188,6 +199,15 @@ PipelinedChaChaEngine::PipelinedChaChaEngine(
     nonce_words[1] = loadLE32(&nonce[4]);
     // load + 2 per round + final add.
     stages.resize(2 * static_cast<size_t>(rounds) + 2);
+    auto &registry = obs::StatRegistry::global();
+    queue_depth_dist = &registry.distribution(
+        "engine.pipelined.chacha.queue_depth",
+        "counters waiting at the ChaCha ingest port, sampled per "
+        "clock",
+        {0, 1, 2, 4, 8, 16, 32, 64});
+    lines_completed = &registry.counter(
+        "engine.pipelined.chacha.lines_completed",
+        "64-byte keystream lines completed by the ChaCha pipeline");
 }
 
 Picoseconds
@@ -209,6 +229,8 @@ void
 PipelinedChaChaEngine::clock()
 {
     ++cycle;
+    queue_depth_dist->sample(
+        static_cast<double>(ingest_queue.size()));
     size_t depth_stages = stages.size();
 
     // Shift back-to-front, applying each stage's combinational work
@@ -262,6 +284,7 @@ PipelinedChaChaEngine::clock()
         for (int i = 0; i < 16; ++i)
             storeLE32(&lc.keystream[4 * i], out.x[i]);
         completions.push_back(lc);
+        lines_completed->add();
     }
 }
 

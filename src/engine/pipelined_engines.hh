@@ -37,6 +37,7 @@
 #include "crypto/aes.hh"
 #include "crypto/chacha.hh"
 #include "engine/cipher_engine.hh"
+#include "obs/stats.hh"
 
 namespace coldboot::engine
 {
@@ -134,6 +135,10 @@ class PipelinedAesEngine : public PipelinedEngine
     };
     std::vector<Assembly> assembling;
     std::vector<LineCompletion> completions;
+    /** `engine.pipelined.aes.queue_depth`, sampled every clock. */
+    obs::Distribution *queue_depth_dist;
+    /** `engine.pipelined.aes.lines_completed`. */
+    obs::Counter *lines_completed;
     uint64_t cycle = 0;
 };
 
@@ -176,6 +181,10 @@ class PipelinedChaChaEngine : public PipelinedEngine
     std::vector<StageReg> stages;
     std::vector<std::pair<uint64_t, uint64_t>> ingest_queue;
     std::vector<LineCompletion> completions;
+    /** `engine.pipelined.chacha.queue_depth`, sampled every clock. */
+    obs::Distribution *queue_depth_dist;
+    /** `engine.pipelined.chacha.lines_completed`. */
+    obs::Counter *lines_completed;
     uint64_t cycle = 0;
 };
 

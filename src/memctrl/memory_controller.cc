@@ -25,8 +25,19 @@ MemoryController::MemoryController(CpuGeneration gen, unsigned channels,
 {
     if (!factory)
         factory = defaultScramblerFactory(gen);
-    for (unsigned c = 0; c < channels; ++c)
+    auto &registry = obs::StatRegistry::global();
+    for (unsigned c = 0; c < channels; ++c) {
         scramblers.push_back(factory(seed, c));
+        std::string prefix = "memctrl.ch" + std::to_string(c);
+        chan_counters.push_back(ChannelCounters{
+            &registry.counter(prefix + ".reads",
+                              "CPU-side 64-byte line reads"),
+            &registry.counter(prefix + ".writes",
+                              "CPU-side 64-byte line writes"),
+            &registry.counter(prefix + ".bytes_scrambled",
+                              "bytes passed through the (de)scrambler "
+                              "in either direction")});
+    }
 }
 
 void
@@ -102,9 +113,11 @@ MemoryController::writeLine(uint64_t phys_addr,
     if (!module)
         cb_fatal("writeLine: channel %u has no DIMM", channel);
 
+    chan_counters[channel].writes->add();
     uint8_t on_wire[lineBytes];
     if (scrambling) {
         scramblers[channel]->apply(phys_addr, data, on_wire);
+        chan_counters[channel].bytes_scrambled->add(lineBytes);
     } else {
         std::copy(data.begin(), data.end(), on_wire);
     }
@@ -121,9 +134,12 @@ MemoryController::readLine(uint64_t phys_addr,
     if (!module)
         cb_fatal("readLine: channel %u has no DIMM", channel);
 
+    chan_counters[channel].reads->add();
     module->read(amap.moduleAddress(phys_addr), out);
-    if (scrambling)
+    if (scrambling) {
         scramblers[channel]->apply(phys_addr, out, out);
+        chan_counters[channel].bytes_scrambled->add(lineBytes);
+    }
 }
 
 void

@@ -20,6 +20,7 @@
 #include "dram/dram_module.hh"
 #include "memctrl/address_map.hh"
 #include "memctrl/scrambler.hh"
+#include "obs/stats.hh"
 
 namespace coldboot::memctrl
 {
@@ -102,9 +103,23 @@ class MemoryController
   private:
     void checkLine(uint64_t phys_addr, size_t len) const;
 
+    /**
+     * Registry-backed per-channel traffic counters
+     * (`memctrl.chN.{reads,writes,bytes_scrambled}`). Resolved once
+     * at construction; the Counter references stay valid for the
+     * registry's lifetime, so the hot path is a relaxed atomic add.
+     */
+    struct ChannelCounters
+    {
+        obs::Counter *reads;
+        obs::Counter *writes;
+        obs::Counter *bytes_scrambled;
+    };
+
     AddressMap amap;
     std::vector<std::unique_ptr<Scrambler>> scramblers;
     std::vector<std::shared_ptr<dram::DramModule>> dimms;
+    std::vector<ChannelCounters> chan_counters;
     bool scrambling;
 };
 

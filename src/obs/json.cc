@@ -1,0 +1,253 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace coldboot::obs::json
+{
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+namespace
+{
+
+/** Cursor over the input with the usual recursive-descent helpers. */
+struct Parser
+{
+    std::string_view text;
+    size_t pos = 0;
+    bool failed = false;
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    Value
+    fail()
+    {
+        failed = true;
+        return Value{};
+    }
+
+    Value
+    parseValue()
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail();
+        char c = text[pos];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (c == 't' || c == 'f')
+            return parseBool();
+        if (c == 'n')
+            return parseNull();
+        return parseNumber();
+    }
+
+    Value
+    parseObject()
+    {
+        Value v;
+        v.kind = Value::Kind::Object;
+        if (!consume('{'))
+            return fail();
+        if (consume('}'))
+            return v;
+        for (;;) {
+            Value key = parseString();
+            if (failed || !consume(':'))
+                return fail();
+            v.object[key.str] = parseValue();
+            if (failed)
+                return fail();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return v;
+            return fail();
+        }
+    }
+
+    Value
+    parseArray()
+    {
+        Value v;
+        v.kind = Value::Kind::Array;
+        if (!consume('['))
+            return fail();
+        if (consume(']'))
+            return v;
+        for (;;) {
+            v.array.push_back(parseValue());
+            if (failed)
+                return fail();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return v;
+            return fail();
+        }
+    }
+
+    Value
+    parseString()
+    {
+        Value v;
+        v.kind = Value::Kind::String;
+        if (!consume('"'))
+            return fail();
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c != '\\') {
+                v.str += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return fail();
+            char esc = text[pos++];
+            switch (esc) {
+              case '"': v.str += '"'; break;
+              case '\\': v.str += '\\'; break;
+              case '/': v.str += '/'; break;
+              case 'b': v.str += '\b'; break;
+              case 'f': v.str += '\f'; break;
+              case 'n': v.str += '\n'; break;
+              case 'r': v.str += '\r'; break;
+              case 't': v.str += '\t'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail();
+                char hex[5] = {text[pos], text[pos + 1],
+                               text[pos + 2], text[pos + 3], 0};
+                char *end = nullptr;
+                unsigned long cp = std::strtoul(hex, &end, 16);
+                if (end != hex + 4)
+                    return fail();
+                pos += 4;
+                v.str += cp < 0x80
+                             ? static_cast<char>(cp)
+                             : '?'; // non-ASCII: placeholder
+                break;
+              }
+              default:
+                return fail();
+            }
+        }
+        if (pos >= text.size())
+            return fail();
+        ++pos; // closing quote
+        return v;
+    }
+
+    Value
+    parseBool()
+    {
+        Value v;
+        v.kind = Value::Kind::Bool;
+        if (text.substr(pos, 4) == "true") {
+            v.boolean = true;
+            pos += 4;
+            return v;
+        }
+        if (text.substr(pos, 5) == "false") {
+            v.boolean = false;
+            pos += 5;
+            return v;
+        }
+        return fail();
+    }
+
+    Value
+    parseNull()
+    {
+        if (text.substr(pos, 4) == "null") {
+            pos += 4;
+            return Value{};
+        }
+        return fail();
+    }
+
+    Value
+    parseNumber()
+    {
+        size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '-' ||
+                text[pos] == '+'))
+            ++pos;
+        if (pos == start)
+            return fail();
+        std::string num(text.substr(start, pos - start));
+        char *end = nullptr;
+        Value v;
+        v.kind = Value::Kind::Number;
+        v.number = std::strtod(num.c_str(), &end);
+        if (end != num.c_str() + num.size())
+            return fail();
+        return v;
+    }
+};
+
+} // anonymous namespace
+
+std::optional<Value>
+parse(std::string_view text)
+{
+    Parser p{text};
+    Value v = p.parseValue();
+    if (p.failed)
+        return std::nullopt;
+    p.skipWs();
+    if (p.pos != text.size())
+        return std::nullopt; // trailing garbage
+    return v;
+}
+
+std::optional<Value>
+parseFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return std::nullopt;
+    std::string text;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    return parse(text);
+}
+
+} // namespace coldboot::obs::json

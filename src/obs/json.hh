@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser.
+ *
+ * Exists so the observability exports (stats JSON, Chrome traces)
+ * can be validated in-tree - by test_obs's round-trip tests and the
+ * coldboot-tool smoke test - without a Python or third-party JSON
+ * dependency. Supports the full JSON grammar the exporters emit:
+ * objects, arrays, strings (with the common escapes), numbers,
+ * booleans and null. Not a general-purpose parser: \uXXXX escapes
+ * outside the ASCII range are replaced with '?'.
+ */
+
+#ifndef COLDBOOT_OBS_JSON_HH
+#define COLDBOOT_OBS_JSON_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coldboot::obs::json
+{
+
+/** A parsed JSON value (tree). */
+struct Value
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Value> array;
+    std::map<std::string, Value> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const;
+};
+
+/**
+ * Parse a complete JSON document (trailing whitespace allowed).
+ * @return The parsed tree, or std::nullopt on any syntax error.
+ */
+std::optional<Value> parse(std::string_view text);
+
+/** Read a whole file and parse it; nullopt on I/O or syntax error. */
+std::optional<Value> parseFile(const std::string &path);
+
+} // namespace coldboot::obs::json
+
+#endif // COLDBOOT_OBS_JSON_HH

@@ -1,0 +1,199 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "obs/stats.hh"
+
+namespace coldboot::obs
+{
+
+namespace
+{
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+PhaseTracer::PhaseTracer() : epoch(std::chrono::steady_clock::now())
+{
+}
+
+PhaseTracer &
+PhaseTracer::global()
+{
+    static PhaseTracer instance;
+    return instance;
+}
+
+double
+PhaseTracer::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+uint32_t
+PhaseTracer::tidOf(std::thread::id id)
+{
+    // Small dense thread ids, first-seen order (called under mu).
+    auto it =
+        std::find(known_threads.begin(), known_threads.end(), id);
+    if (it != known_threads.end())
+        return static_cast<uint32_t>(it - known_threads.begin());
+    known_threads.push_back(id);
+    return static_cast<uint32_t>(known_threads.size() - 1);
+}
+
+void
+PhaseTracer::recordSpan(const std::string &name, double ts_us,
+                        double dur_us)
+{
+    if (!recording)
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    if (buffer.size() >= maxEvents)
+        return;
+    buffer.push_back(TraceEvent{name, ts_us, dur_us,
+                                tidOf(std::this_thread::get_id())});
+}
+
+size_t
+PhaseTracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return buffer.size();
+}
+
+std::vector<TraceEvent>
+PhaseTracer::events() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return buffer;
+}
+
+std::string
+PhaseTracer::chromeTraceJson() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::string out = "[";
+    for (size_t i = 0; i < buffer.size(); ++i) {
+        const TraceEvent &e = buffer[i];
+        out += i ? ",\n " : "\n ";
+        out += "{\"name\": \"" + jsonEscape(e.name) +
+               "\", \"ph\": \"X\", \"ts\": " + jsonNumber(e.ts_us) +
+               ", \"dur\": " + jsonNumber(e.dur_us) +
+               ", \"pid\": 1, \"tid\": " + std::to_string(e.tid) +
+               "}";
+    }
+    out += "\n]\n";
+    return out;
+}
+
+void
+PhaseTracer::writeTraceFile(const std::string &path) const
+{
+    std::string json = chromeTraceJson();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        cb_fatal("cannot open trace output '%s'", path.c_str());
+    if (std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+        std::fclose(f);
+        cb_fatal("short write to trace output '%s'", path.c_str());
+    }
+    std::fclose(f);
+}
+
+void
+PhaseTracer::resetForTest()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    buffer.clear();
+    known_threads.clear();
+    epoch = std::chrono::steady_clock::now();
+}
+
+//
+// ScopedSpan
+//
+
+ScopedSpan::ScopedSpan(std::string name_, PhaseTracer &tracer_)
+    : tracer(tracer_), name(std::move(name_)),
+      start_us(tracer_.nowUs())
+{
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    stop();
+}
+
+double
+ScopedSpan::stop()
+{
+    if (!done) {
+        done = true;
+        dur_us = tracer.nowUs() - start_us;
+        tracer.recordSpan(name, start_us, dur_us);
+    }
+    return dur_us / 1e6;
+}
+
+//
+// ScopedTimer
+//
+
+ScopedTimer::ScopedTimer(Distribution &dist_)
+    : dist(dist_), start(std::chrono::steady_clock::now())
+{
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    stop();
+}
+
+double
+ScopedTimer::stop()
+{
+    if (!done) {
+        done = true;
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+        dist.sample(elapsed);
+    }
+    return elapsed;
+}
+
+} // namespace coldboot::obs

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Phase tracing: named wall-clock spans recorded into a process-global
+ * buffer and exportable as Chrome `trace_event` JSON (an array of
+ * {"name", "ph": "X", "ts", "dur", "pid", "tid"} complete events that
+ * chrome://tracing and Perfetto load directly).
+ *
+ * ScopedSpan is the usual entry point: construct it at the top of a
+ * phase and the span is recorded when it goes out of scope (or when
+ * stop() is called, which also returns the duration for derived
+ * stats such as throughput). ScopedTimer is the registry-side
+ * sibling: it samples its elapsed seconds into a Distribution.
+ */
+
+#ifndef COLDBOOT_OBS_TRACE_HH
+#define COLDBOOT_OBS_TRACE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace coldboot::obs
+{
+
+class Distribution;
+
+/** One completed span, timestamps in microseconds since the epoch. */
+struct TraceEvent
+{
+    std::string name;
+    double ts_us;
+    double dur_us;
+    uint32_t tid;
+};
+
+/**
+ * Thread-safe recorder of completed spans. Recording is enabled by
+ * default and cheap (a mutex push per span; spans are per-phase, not
+ * per-event); the buffer is bounded so a runaway loop cannot exhaust
+ * memory.
+ */
+class PhaseTracer
+{
+  public:
+    PhaseTracer();
+
+    /** The process-global tracer instance. */
+    static PhaseTracer &global();
+
+    void setEnabled(bool on) { recording = on; }
+    bool enabled() const { return recording; }
+
+    /** Microseconds since the tracer epoch. */
+    double nowUs() const;
+
+    /**
+     * Record a completed span. The calling thread's id is attached;
+     * silently dropped when disabled or the buffer is full.
+     */
+    void recordSpan(const std::string &name, double ts_us,
+                    double dur_us);
+
+    /** Number of spans currently buffered. */
+    size_t eventCount() const;
+
+    /** Copy of the buffered events (tests and custom exporters). */
+    std::vector<TraceEvent> events() const;
+
+    /**
+     * Chrome trace_event JSON: a bare array of complete ("X") events
+     * with name/ph/ts/dur/pid/tid fields.
+     */
+    std::string chromeTraceJson() const;
+
+    /** Write chromeTraceJson() to @p path (cb_fatal on I/O error). */
+    void writeTraceFile(const std::string &path) const;
+
+    /** Drop all buffered events and restart the epoch. */
+    void resetForTest();
+
+  private:
+    static constexpr size_t maxEvents = 1u << 20;
+
+    uint32_t tidOf(std::thread::id id);
+
+    mutable std::mutex mu;
+    std::vector<TraceEvent> buffer;
+    std::vector<std::thread::id> known_threads;
+    std::chrono::steady_clock::time_point epoch;
+    bool recording = true;
+};
+
+/**
+ * RAII span: records a complete trace event over its lifetime.
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(std::string name,
+                        PhaseTracer &tracer = PhaseTracer::global());
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    ~ScopedSpan();
+
+    /**
+     * End the span now and record it; idempotent.
+     * @return Span duration in seconds.
+     */
+    double stop();
+
+  private:
+    PhaseTracer &tracer;
+    std::string name;
+    double start_us;
+    double dur_us = 0.0;
+    bool done = false;
+};
+
+/**
+ * RAII timer: samples its elapsed wall-clock seconds into a
+ * Distribution when it goes out of scope (or at stop()).
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Distribution &dist);
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer();
+
+    /**
+     * Sample now instead of at destruction; idempotent.
+     * @return Elapsed seconds.
+     */
+    double stop();
+
+  private:
+    Distribution &dist;
+    std::chrono::steady_clock::time_point start;
+    double elapsed = 0.0;
+    bool done = false;
+};
+
+} // namespace coldboot::obs
+
+#endif // COLDBOOT_OBS_TRACE_HH

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Unit tests for the observability layer: counter and histogram
+ * math, concurrent increments, the JSON export round-trip (through
+ * the in-tree parser) and the Chrome trace exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+
+using namespace coldboot;
+using namespace coldboot::obs;
+
+TEST(Counter, AddAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Distribution, EmptySnapshot)
+{
+    Distribution d;
+    auto s = d.snapshot();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.sum, 0.0);
+    EXPECT_EQ(s.mean, 0.0);
+    EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Distribution, SingleSampleHasZeroStddev)
+{
+    Distribution d;
+    d.sample(7.5);
+    auto s = d.snapshot();
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.min, 7.5);
+    EXPECT_DOUBLE_EQ(s.max, 7.5);
+    EXPECT_DOUBLE_EQ(s.mean, 7.5);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Distribution, MeanAndPopulationStddev)
+{
+    Distribution d;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    auto s = d.snapshot();
+    EXPECT_EQ(s.count, 8u);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    // Canonical population-stddev example: sigma = 2.
+    EXPECT_NEAR(s.stddev, 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Distribution, BucketEdgesAreHalfOpen)
+{
+    // Buckets: (-inf,0) [0,10) [10,20) [20,+inf)
+    Distribution d({0.0, 10.0, 20.0});
+    d.sample(-1.0);  // underflow
+    d.sample(0.0);   // [0,10) - on-edge goes to the upper bucket
+    d.sample(9.999); // [0,10)
+    d.sample(10.0);  // [10,20)
+    d.sample(20.0);  // overflow [20,+inf)
+    d.sample(25.0);  // overflow
+    auto s = d.snapshot();
+    ASSERT_EQ(s.bucket_edges.size(), 3u);
+    ASSERT_EQ(s.bucket_counts.size(), 4u);
+    EXPECT_EQ(s.bucket_counts[0], 1u);
+    EXPECT_EQ(s.bucket_counts[1], 2u);
+    EXPECT_EQ(s.bucket_counts[2], 1u);
+    EXPECT_EQ(s.bucket_counts[3], 2u);
+}
+
+TEST(Distribution, ResetClearsEverything)
+{
+    Distribution d({1.0});
+    d.sample(0.5);
+    d.sample(1.5);
+    d.reset();
+    auto s = d.snapshot();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_EQ(s.bucket_counts[0], 0u);
+    EXPECT_EQ(s.bucket_counts[1], 0u);
+}
+
+TEST(Rate, CountsEvents)
+{
+    Rate r;
+    r.add(10);
+    r.add(5);
+    EXPECT_EQ(r.value(), 15u);
+    EXPECT_GE(r.seconds(), 0.0);
+    EXPECT_GE(r.perSecond(), 0.0);
+}
+
+TEST(Registry, SameNameReturnsSameInstance)
+{
+    StatRegistry reg;
+    Counter &a = reg.counter("layer.comp.metric", "desc");
+    Counter &b = reg.counter("layer.comp.metric");
+    EXPECT_EQ(&a, &b);
+    a.add(3);
+    EXPECT_EQ(reg.counterValue("layer.comp.metric"), 3u);
+    EXPECT_TRUE(reg.has("layer.comp.metric"));
+    EXPECT_FALSE(reg.has("layer.comp.other"));
+}
+
+TEST(Registry, ConcurrentIncrementsAreExact)
+{
+    StatRegistry reg;
+    Counter &c = reg.counter("test.concurrent.counter");
+    Distribution &d = reg.distribution("test.concurrent.dist");
+    constexpr int threads = 8;
+    constexpr int per_thread = 10000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&c, &d] {
+            for (int i = 0; i < per_thread; ++i) {
+                c.add();
+                d.sample(1.0);
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    EXPECT_EQ(c.value(),
+              static_cast<uint64_t>(threads) * per_thread);
+    auto s = d.snapshot();
+    EXPECT_EQ(s.count, static_cast<uint64_t>(threads) * per_thread);
+    EXPECT_DOUBLE_EQ(s.mean, 1.0);
+}
+
+TEST(Registry, ResetForTestZeroesButKeepsReferences)
+{
+    StatRegistry reg;
+    Counter &c = reg.counter("a.b.c");
+    c.add(9);
+    reg.resetForTest();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(&c, &reg.counter("a.b.c"));
+    EXPECT_TRUE(reg.has("a.b.c"));
+}
+
+TEST(Registry, ScalarStoresFiniteValues)
+{
+    StatRegistry reg;
+    reg.setScalar("bench.x.value", 3.25, "a figure");
+    EXPECT_DOUBLE_EQ(reg.scalarValue("bench.x.value"), 3.25);
+    // Non-finite values must never reach the JSON dump.
+    reg.setScalar("bench.x.bad", std::nan(""));
+    EXPECT_DOUBLE_EQ(reg.scalarValue("bench.x.bad"), 0.0);
+    reg.setScalar("bench.x.inf", INFINITY);
+    EXPECT_DOUBLE_EQ(reg.scalarValue("bench.x.inf"), 0.0);
+}
+
+TEST(Registry, JsonRoundTrip)
+{
+    StatRegistry reg;
+    reg.counter("attack.test.blocks", "blocks").add(123);
+    Distribution &d =
+        reg.distribution("engine.test.lat_ns", "ns", {0.0, 12.5});
+    d.sample(5.0);
+    d.sample(20.0);
+    reg.rate("attack.test.runs").add(2);
+    reg.setScalar("bench.test.figure", 1.5);
+
+    auto doc = json::parse(reg.dumpJson());
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->isObject());
+
+    const auto *meta = doc->find("meta");
+    ASSERT_NE(meta, nullptr);
+    const auto *wall = meta->find("wall_seconds");
+    ASSERT_NE(wall, nullptr);
+    EXPECT_GE(wall->number, 0.0);
+
+    const auto *stats = doc->find("stats");
+    ASSERT_NE(stats, nullptr);
+
+    const auto *c = stats->find("attack.test.blocks");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->find("type")->str, "counter");
+    EXPECT_DOUBLE_EQ(c->find("value")->number, 123.0);
+    EXPECT_EQ(c->find("desc")->str, "blocks");
+
+    const auto *dd = stats->find("engine.test.lat_ns");
+    ASSERT_NE(dd, nullptr);
+    EXPECT_EQ(dd->find("type")->str, "distribution");
+    EXPECT_DOUBLE_EQ(dd->find("count")->number, 2.0);
+    EXPECT_DOUBLE_EQ(dd->find("mean")->number, 12.5);
+    ASSERT_NE(dd->find("bucket_counts"), nullptr);
+    ASSERT_EQ(dd->find("bucket_counts")->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(dd->find("bucket_counts")->array[1].number,
+                     1.0);
+    EXPECT_DOUBLE_EQ(dd->find("bucket_counts")->array[2].number,
+                     1.0);
+
+    const auto *r = stats->find("attack.test.runs");
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->find("type")->str, "rate");
+    EXPECT_DOUBLE_EQ(r->find("value")->number, 2.0);
+    ASSERT_NE(r->find("per_second"), nullptr);
+
+    const auto *s = stats->find("bench.test.figure");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->find("type")->str, "scalar");
+    EXPECT_DOUBLE_EQ(s->find("value")->number, 1.5);
+}
+
+TEST(Registry, TextDumpContainsEveryStat)
+{
+    StatRegistry reg;
+    reg.counter("z.last.metric").add(1);
+    reg.counter("a.first.metric").add(2);
+    std::string text = reg.dumpText();
+    EXPECT_NE(text.find("a.first.metric"), std::string::npos);
+    EXPECT_NE(text.find("z.last.metric"), std::string::npos);
+    // Name-sorted dump: a.* precedes z.*.
+    EXPECT_LT(text.find("a.first.metric"), text.find("z.last.metric"));
+}
+
+TEST(Tracer, ScopedSpanRecordsCompleteEvent)
+{
+    PhaseTracer tracer;
+    {
+        ScopedSpan span("phase.test", tracer);
+    }
+    ASSERT_EQ(tracer.eventCount(), 1u);
+    auto events = tracer.events();
+    EXPECT_EQ(events[0].name, "phase.test");
+    EXPECT_GE(events[0].dur_us, 0.0);
+}
+
+TEST(Tracer, StopIsIdempotentAndReturnsSeconds)
+{
+    PhaseTracer tracer;
+    ScopedSpan span("phase.stop", tracer);
+    double secs = span.stop();
+    EXPECT_GE(secs, 0.0);
+    EXPECT_DOUBLE_EQ(span.stop(), secs);
+    ASSERT_EQ(tracer.eventCount(), 1u);
+}
+
+TEST(Tracer, DisabledTracerDropsSpans)
+{
+    PhaseTracer tracer;
+    tracer.setEnabled(false);
+    {
+        ScopedSpan span("phase.dropped", tracer);
+    }
+    EXPECT_EQ(tracer.eventCount(), 0u);
+}
+
+TEST(Tracer, ChromeTraceJsonHasRequiredFields)
+{
+    PhaseTracer tracer;
+    {
+        ScopedSpan a("mine", tracer);
+        ScopedSpan b("search", tracer);
+    }
+    auto doc = json::parse(tracer.chromeTraceJson());
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->isArray());
+    ASSERT_EQ(doc->array.size(), 2u);
+    for (const auto &ev : doc->array) {
+        ASSERT_TRUE(ev.isObject());
+        ASSERT_NE(ev.find("name"), nullptr);
+        ASSERT_NE(ev.find("ph"), nullptr);
+        EXPECT_EQ(ev.find("ph")->str, "X");
+        ASSERT_NE(ev.find("ts"), nullptr);
+        ASSERT_NE(ev.find("dur"), nullptr);
+        ASSERT_NE(ev.find("pid"), nullptr);
+        ASSERT_NE(ev.find("tid"), nullptr);
+        EXPECT_GE(ev.find("ts")->number, 0.0);
+        EXPECT_GE(ev.find("dur")->number, 0.0);
+    }
+}
+
+TEST(Tracer, ResetForTestDropsEvents)
+{
+    PhaseTracer tracer;
+    tracer.recordSpan("x", 0.0, 1.0);
+    tracer.resetForTest();
+    EXPECT_EQ(tracer.eventCount(), 0u);
+}
+
+TEST(Tracer, ScopedTimerSamplesDistribution)
+{
+    Distribution d;
+    {
+        ScopedTimer t(d);
+    }
+    auto s = d.snapshot();
+    ASSERT_EQ(s.count, 1u);
+    EXPECT_GE(s.min, 0.0);
+}
+
+TEST(Json, ParsesScalarsAndNesting)
+{
+    auto doc = json::parse(
+        R"({"a": [1, -2.5, 1e3], "b": {"c": "x\n"}, "d": true,)"
+        R"( "e": null})");
+    ASSERT_TRUE(doc.has_value());
+    const auto *a = doc->find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(a->array[0].number, 1.0);
+    EXPECT_DOUBLE_EQ(a->array[1].number, -2.5);
+    EXPECT_DOUBLE_EQ(a->array[2].number, 1000.0);
+    EXPECT_EQ(doc->find("b")->find("c")->str, "x\n");
+    EXPECT_TRUE(doc->find("d")->boolean);
+    EXPECT_TRUE(doc->find("e")->isNull());
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_FALSE(json::parse("{").has_value());
+    EXPECT_FALSE(json::parse("[1,]").has_value());
+    EXPECT_FALSE(json::parse("{\"a\": }").has_value());
+    EXPECT_FALSE(json::parse("tru").has_value());
+    EXPECT_FALSE(json::parse("{} trailing").has_value());
+}

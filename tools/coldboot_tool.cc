@@ -32,6 +32,8 @@
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "crypto/xts.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "dram/dram_module.hh"
 #include "platform/coldboot.hh"
 #include "platform/machine.hh"
@@ -56,7 +58,11 @@ usage()
         "  coldboot-tool mine <dump.img> [top_n]\n"
         "  coldboot-tool info <dump.img>\n"
         "  coldboot-tool decrypt <volume.bin> <data_key_hex>"
-        " <tweak_key_hex> <sector>\n");
+        " <tweak_key_hex> <sector>\n"
+        "global flags (any command, any position):\n"
+        "  --stats-json <file>   write the stats registry as JSON\n"
+        "  --trace <file>        write phase spans as Chrome"
+        " trace_event JSON\n");
     return 2;
 }
 
@@ -142,6 +148,8 @@ cmdAttack(int argc, char **argv)
                     toHex({pair.data_key.data(), 32}).c_str(),
                     toHex({pair.tweak_key.data(), 32}).c_str());
     }
+    std::printf("\n--- stats ---\n%s",
+                obs::StatRegistry::global().dumpText().c_str());
     return report.xts_pairs.empty() ? 1 : 0;
 }
 
@@ -165,6 +173,8 @@ cmdMine(int argc, char **argv)
         std::printf("#%2zu x%-5zu %s...\n", i, mined[i].occurrences,
                     toHex({mined[i].key.data(), 16}).c_str());
     }
+    std::printf("\n--- stats ---\n%s",
+                obs::StatRegistry::global().dumpText().c_str());
     return 0;
 }
 
@@ -223,18 +233,52 @@ cmdDecrypt(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
+    // Extract the global observability flags wherever they appear so
+    // every command accepts them; what remains is dispatched as
+    // before.
+    std::string stats_path, trace_path;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--stats-json" || arg == "--trace") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a file argument\n",
+                             arg.c_str());
+                return usage();
+            }
+            (arg == "--stats-json" ? stats_path : trace_path) =
+                argv[++i];
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+
+    if (args.size() < 2)
         return usage();
-    std::string cmd = argv[1];
+    std::string cmd = args[1];
+    int sub_argc = static_cast<int>(args.size()) - 2;
+    char **sub_argv = args.data() + 2;
+
+    int rc;
     if (cmd == "simulate-victim")
-        return cmdSimulateVictim(argc - 2, argv + 2);
-    if (cmd == "attack")
-        return cmdAttack(argc - 2, argv + 2);
-    if (cmd == "mine")
-        return cmdMine(argc - 2, argv + 2);
-    if (cmd == "info")
-        return cmdInfo(argc - 2, argv + 2);
-    if (cmd == "decrypt")
-        return cmdDecrypt(argc - 2, argv + 2);
-    return usage();
+        rc = cmdSimulateVictim(sub_argc, sub_argv);
+    else if (cmd == "attack")
+        rc = cmdAttack(sub_argc, sub_argv);
+    else if (cmd == "mine")
+        rc = cmdMine(sub_argc, sub_argv);
+    else if (cmd == "info")
+        rc = cmdInfo(sub_argc, sub_argv);
+    else if (cmd == "decrypt")
+        rc = cmdDecrypt(sub_argc, sub_argv);
+    else
+        return usage();
+
+    // Written even when the command "failed" (e.g. no keys found):
+    // the stats of an unsuccessful run are exactly what a regression
+    // trajectory wants to capture.
+    if (!stats_path.empty())
+        obs::StatRegistry::global().writeJsonFile(stats_path);
+    if (!trace_path.empty())
+        obs::PhaseTracer::global().writeTraceFile(trace_path);
+    return rc;
 }
