@@ -24,6 +24,7 @@
 #include "common/units.hh"
 #include "crypto/aes.hh"
 #include "memctrl/scrambler.hh"
+#include "obs/bench.hh"
 #include "platform/memory_image.hh"
 #include "platform/workload.hh"
 
@@ -81,15 +82,21 @@ makeMiniDump(uint64_t seed, unsigned pool_keys, double flip_rate)
 }
 
 void
-ablateRepair()
+ablateRepair(obs::bench::BenchContext &ctx)
 {
+    const int trials = ctx.pick(10, 3);
+    std::vector<double> rates =
+        ctx.smoke() ? std::vector<double>{0.01, 0.02}
+                    : std::vector<double>{0.005, 0.01, 0.02, 0.03,
+                                          0.04};
     std::printf("A1: schedule repair on/off - recovery success over "
-                "10 trials per point\n");
+                "%d trials per point\n",
+                trials);
     std::printf("%12s %14s %14s\n", "flip rate", "repair on",
                 "repair off");
-    for (double rate : {0.005, 0.01, 0.02, 0.03, 0.04}) {
+    for (double rate : rates) {
         int ok_on = 0, ok_off = 0;
-        for (int trial = 0; trial < 10; ++trial) {
+        for (int trial = 0; trial < trials; ++trial) {
             auto m = makeMiniDump(1000 + trial, 1024, rate);
             for (bool repair : {true, false}) {
                 SearchParams params;
@@ -101,8 +108,16 @@ ablateRepair()
                 (repair ? ok_on : ok_off) += ok;
             }
         }
-        std::printf("%11.1f%% %13d/10 %13d/10\n", rate * 100, ok_on,
-                    ok_off);
+        std::printf("%11.1f%% %11d/%-2d %11d/%-2d\n", rate * 100,
+                    ok_on, trials, ok_off, trials);
+        if (rate == 0.02) {
+            ctx.report("ablation.repair_on.recovered_2pct",
+                       static_cast<double>(ok_on) / trials,
+                       "recovery rate at 2% decay, repair enabled");
+            ctx.report("ablation.repair_off.recovered_2pct",
+                       static_cast<double>(ok_off) / trials,
+                       "recovery rate at 2% decay, repair disabled");
+        }
     }
     std::printf("Expected: repair extends recovery to realistic "
                 "cooled-transfer decay rates\n(~2%%); without it, "
@@ -110,7 +125,7 @@ ablateRepair()
 }
 
 void
-ablatePerCheckCap()
+ablatePerCheckCap(obs::bench::BenchContext &ctx)
 {
     std::printf("A2: per-check litmus cap - placement accuracy on "
                 "decayed schedule blocks\n");
@@ -119,9 +134,9 @@ ablatePerCheckCap()
     rng.fillBytes(key);
     auto sched = crypto::aesExpandKey(key);
 
+    const int trials = ctx.pick(2000, 300);
     for (unsigned cap : {12u, 32u, 512u}) {
         int correct = 0, congruent = 0, incongruent = 0, missed = 0;
-        const int trials = 2000;
         for (int t = 0; t < trials; ++t) {
             unsigned placement = static_cast<unsigned>(
                 rng.nextBelow(12));
@@ -148,6 +163,10 @@ ablatePerCheckCap()
         std::printf("  cap=%3u: correct %4d  wrong-congruent %4d  "
                     "wrong-incongruent %4d  missed %4d\n",
                     cap, correct, congruent, incongruent, missed);
+        if (cap == 12)
+            ctx.report("ablation.litmus_cap12.incongruent",
+                       static_cast<double>(incongruent),
+                       "wrong-incongruent placements accepted");
     }
     std::printf(
         "Expected: wrong placements are almost entirely mod-8"
@@ -160,31 +179,35 @@ ablatePerCheckCap()
 }
 
 void
-ablateEntropyGuard()
+ablateEntropyGuard(obs::bench::BenchContext &ctx)
 {
     std::printf("A3: entropy guard - how much plaintext it filters "
                 "before the litmus\n");
     platform::WorkloadParams wp;
     std::vector<uint8_t> page(wp.page_bytes);
     uint64_t guarded = 0, total = 0;
-    for (unsigned p = 0; p < 512; ++p) {
+    const unsigned pages = ctx.pick(512u, 64u);
+    for (unsigned p = 0; p < pages; ++p) {
         platform::generatePage(wp, 900, p, page);
         for (size_t off = 0; off + 64 <= page.size(); off += 64) {
             ++total;
             guarded += !plausibleScheduleEntropy({&page[off], 64});
         }
     }
+    double guarded_pct = 100.0 * static_cast<double>(guarded) /
+                         static_cast<double>(total);
     std::printf("  workload blocks rejected before litmus: %llu of "
                 "%llu (%.1f%%)\n",
                 static_cast<unsigned long long>(guarded),
-                static_cast<unsigned long long>(total),
-                100.0 * static_cast<double>(guarded) /
-                    static_cast<double>(total));
+                static_cast<unsigned long long>(total), guarded_pct);
+    ctx.report("ablation.entropy_guard.rejected_pct", guarded_pct,
+               "workload blocks filtered before the litmus test");
 
     // And it never rejects real schedule material:
     Xoshiro256StarStar rng(901);
     int rejected_real = 0;
-    for (int t = 0; t < 500; ++t) {
+    const int schedules = ctx.pick(500, 50);
+    for (int t = 0; t < schedules; ++t) {
         std::vector<uint8_t> key(32);
         rng.fillBytes(key);
         auto sched = crypto::aesExpandKey(key);
@@ -194,16 +217,22 @@ ablateEntropyGuard()
     }
     std::printf("  real schedule windows rejected: %d\n\n",
                 rejected_real);
+    ctx.report("ablation.entropy_guard.rejected_real",
+               static_cast<double>(rejected_real),
+               "real schedule windows wrongly rejected (want 0)");
 }
 
 void
-ablatePoolSize()
+ablatePoolSize(obs::bench::BenchContext &ctx)
 {
     std::printf("A4: candidate-pool size vs scan cost (64 KiB dump)\n");
     std::printf("%12s %12s %14s\n", "pool keys", "seconds",
                 "rel. cost");
+    std::vector<unsigned> pools =
+        ctx.smoke() ? std::vector<unsigned>{16u, 256u}
+                    : std::vector<unsigned>{16u, 256u, 1024u, 4096u};
     double base = 0;
-    for (unsigned pool : {16u, 256u, 1024u, 4096u}) {
+    for (unsigned pool : pools) {
         auto m = makeMiniDump(1234, std::min(pool, 1024u), 0.0);
         // Pad the pool with keys from other seeds to reach `pool`.
         memctrl::Ddr4Scrambler other(4321, 1);
@@ -226,6 +255,10 @@ ablatePoolSize()
             base = secs;
         std::printf("%12u %12.3f %13.1fx\n", pool, secs,
                     secs / base);
+        ctx.report("ablation.pool_" + std::to_string(pool) +
+                       ".rel_cost",
+                   base > 0 ? secs / base : 0.0,
+                   "scan cost relative to the 16-key pool");
     }
     std::printf("Expected: cost scales linearly with the pool - the "
                 "256x larger DDR4 pool\nis exactly why the paper's "
@@ -235,13 +268,11 @@ ablatePoolSize()
 
 } // anonymous namespace
 
-int
-main()
+COLDBOOT_BENCH(ablation)
 {
     std::printf("Ablations of attack design choices\n\n");
-    ablateRepair();
-    ablatePerCheckCap();
-    ablateEntropyGuard();
-    ablatePoolSize();
-    return 0;
+    ablateRepair(ctx);
+    ablatePerCheckCap(ctx);
+    ablateEntropyGuard(ctx);
+    ablatePoolSize(ctx);
 }

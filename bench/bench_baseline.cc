@@ -24,6 +24,7 @@
 #include "common/units.hh"
 #include "crypto/aes.hh"
 #include "dram/dram_module.hh"
+#include "obs/bench.hh"
 #include "platform/coldboot.hh"
 #include "platform/machine.hh"
 #include "platform/workload.hh"
@@ -38,24 +39,28 @@ namespace
 struct Scenario
 {
     const char *label;
+    const char *key;
     const char *cpu;
     bool descramble_ddr3;
 };
 
 void
-run(const Scenario &sc, uint64_t seed)
+run(obs::bench::BenchContext &ctx, const Scenario &sc, uint64_t seed)
 {
+    const uint64_t capacity = ctx.pick(MiB(4), MiB(2));
+    const uint64_t keytable_addr = capacity * 3 / 4 + 16;
     Machine victim(cpuModelByName(sc.cpu), BiosConfig{}, 1, seed);
     bool ddr4 = memctrl::cpuUsesDdr4(victim.model().generation);
     victim.installDimm(0, std::make_shared<dram::DramModule>(
                               ddr4 ? dram::Generation::DDR4
                                    : dram::Generation::DDR3,
-                              MiB(4), dram::DecayParams{}, seed + 1));
+                              capacity, dram::DecayParams{},
+                              seed + 1));
     victim.boot();
     fillWorkload(victim, {}, seed + 2);
     auto vf = volume::VolumeFile::create("pw", 8, seed + 3);
-    auto mounted =
-        volume::MountedVolume::mount(victim, vf, "pw", MiB(3) + 16);
+    auto mounted = volume::MountedVolume::mount(victim, vf, "pw",
+                                                keytable_addr);
     std::vector<uint8_t> expected(mounted->masterKeys().begin(),
                                   mounted->masterKeys().end());
 
@@ -73,6 +78,11 @@ run(const Scenario &sc, uint64_t seed)
     // Baseline.
     attack::BaselineParams bp;
     bp.max_bit_errors = 160;
+    if (ctx.smoke()) {
+        bp.scan_start =
+            keytable_addr > KiB(64) ? keytable_addr - KiB(64) : 0;
+        bp.scan_bytes = KiB(192);
+    }
     auto baseline = attack::haldermanSearch(cold.dump, bp);
     int baseline_hits = 0;
     for (const auto &k : baseline)
@@ -83,7 +93,7 @@ run(const Scenario &sc, uint64_t seed)
     // Paper attack (only meaningful on the scrambled DDR4 dump, but
     // run everywhere for completeness).
     attack::PipelineParams pp;
-    pp.search.scan_start = MiB(3) - KiB(64);
+    pp.search.scan_start = keytable_addr - KiB(64);
     pp.search.scan_bytes = KiB(128);
     auto report = attack::runColdBootAttack(cold.dump, pp);
     int paper_hits = 0;
@@ -95,20 +105,31 @@ run(const Scenario &sc, uint64_t seed)
     std::printf("%-34s baseline keys: %d/2   paper attack pairs: "
                 "%d/1\n",
                 sc.label, baseline_hits, paper_hits);
+    ctx.report(std::string("baseline.") + sc.key + ".baseline_keys",
+               static_cast<double>(baseline_hits),
+               "XTS halves found by the Halderman baseline (of 2)");
+    ctx.report(std::string("baseline.") + sc.key + ".paper_pairs",
+               static_cast<double>(paper_hits),
+               "XTS pairs recovered by the paper attack (of 1)");
 }
 
 } // anonymous namespace
 
-int
-main()
+COLDBOOT_BENCH(baseline)
 {
     setLogLevel(LogLevel::Warn);
     std::printf("Baseline (Halderman 2008) vs the paper's litmus "
                 "attack\n\n");
-    run({"DDR3 dump, raw (scrambled)", "i5-2540M", false}, 8000);
-    run({"DDR3 dump + universal-key descramble", "i5-2540M", true},
+    run(ctx, {"DDR3 dump, raw (scrambled)", "ddr3_raw", "i5-2540M",
+              false},
         8000);
-    run({"DDR4 dump, raw (scrambled)", "i5-6400", false}, 8200);
+    run(ctx, {"DDR3 dump + universal-key descramble",
+              "ddr3_descrambled", "i5-2540M", true},
+        8000);
+    run(ctx, {"DDR4 dump, raw (scrambled)", "ddr4_raw", "i5-6400",
+              false},
+        8200);
+    ctx.setBytesProcessed(3 * ctx.pick(MiB(4), MiB(2)));
 
     std::printf(
         "\nExpected shape: the baseline finds both XTS keys only on"
@@ -118,5 +139,4 @@ main()
         "paper introduces. (On DDR3 the paper attack reports no pair:"
         " its litmus\ntargets the DDR4 scrambler structure; DDR3 falls"
         " to the simpler universal-key\npath above.)\n");
-    return 0;
 }

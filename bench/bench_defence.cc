@@ -16,6 +16,7 @@
 #include "common/units.hh"
 #include "dram/dram_module.hh"
 #include "engine/encrypted_controller.hh"
+#include "obs/bench.hh"
 #include "platform/coldboot.hh"
 #include "platform/machine.hh"
 #include "platform/workload.hh"
@@ -35,8 +36,11 @@ struct Config
 };
 
 void
-runConfig(const Config &config, uint64_t seed)
+runConfig(obs::bench::BenchContext &ctx, const Config &config,
+          uint64_t seed)
 {
+    const uint64_t capacity = ctx.pick(MiB(4), MiB(2));
+    const uint64_t keytable_addr = capacity * 3 / 4 + 16;
     Machine victim =
         config.factory
             ? Machine(cpuModelByName("i5-6400"), BiosConfig{}, 1,
@@ -44,13 +48,13 @@ runConfig(const Config &config, uint64_t seed)
             : Machine(cpuModelByName("i5-6400"), BiosConfig{}, 1,
                       seed);
     victim.installDimm(0, std::make_shared<dram::DramModule>(
-                              dram::Generation::DDR4, MiB(4),
+                              dram::Generation::DDR4, capacity,
                               dram::DecayParams{}, seed + 1));
     victim.boot();
     fillWorkload(victim, {}, seed + 2);
     auto vf = volume::VolumeFile::create("pw", 8, seed + 3);
-    auto mounted =
-        volume::MountedVolume::mount(victim, vf, "pw", MiB(3) + 16);
+    auto mounted = volume::MountedVolume::mount(victim, vf, "pw",
+                                                keytable_addr);
     std::vector<uint8_t> expected(mounted->masterKeys().begin(),
                                   mounted->masterKeys().end());
 
@@ -61,7 +65,7 @@ runConfig(const Config &config, uint64_t seed)
     auto cold = coldBootTransfer(victim, attacker, 0);
 
     PipelineParams params;
-    params.search.scan_start = MiB(3) - KiB(64);
+    params.search.scan_start = keytable_addr - KiB(64);
     params.search.scan_bytes = KiB(192);
     auto report = runColdBootAttack(cold.dump, params);
 
@@ -82,25 +86,30 @@ runConfig(const Config &config, uint64_t seed)
                 config.label, report.mined_keys.size(),
                 top_occurrence, report.recovered.size(),
                 recovered ? "RECOVERED" : "safe");
+    ctx.report(std::string("defence.") + config.label +
+                   ".master_keys_recovered",
+               recovered ? 1.0 : 0.0,
+               "1 when the attack recovered the XTS master keys");
 }
 
 } // anonymous namespace
 
-int
-main()
+COLDBOOT_BENCH(defence)
 {
     std::printf("E9: same attack, three memory protections "
-                "(4 MiB victim, cooled transfer)\n\n");
-    runConfig({"ddr4-scrambler", {}}, 7000);
-    runConfig({"chacha8-encryption",
-               engine::chachaEncryptionFactory(8)},
+                "(%llu MiB victim, cooled transfer)\n\n",
+                static_cast<unsigned long long>(
+                    ctx.pick(MiB(4), MiB(2)) >> 20));
+    runConfig(ctx, {"ddr4-scrambler", {}}, 7000);
+    runConfig(ctx, {"chacha8-encryption",
+                    engine::chachaEncryptionFactory(8)},
               7100);
-    runConfig({"aes128-ctr-encryption",
-               engine::aesCtrEncryptionFactory(16)},
+    runConfig(ctx, {"aes128-ctr-encryption",
+                    engine::aesCtrEncryptionFactory(16)},
               7200);
+    ctx.setBytesProcessed(3 * ctx.pick(MiB(4), MiB(2)));
 
     std::printf("\nExpected shape: the scrambler falls (master keys "
                 "recovered); both strong\ncipher configurations "
                 "yield no key tables and no usable key clusters.\n");
-    return 0;
 }

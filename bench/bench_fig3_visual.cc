@@ -16,7 +16,8 @@
  * The quantitative proxy for "visible correlations" is the number of
  * duplicate 64-byte line pairs: structure in the source survives
  * scrambling when many lines share a scrambler key.
- * PGM renders are written to /tmp/coldboot_fig3_*.pgm.
+ * PGM renders are written to /tmp/coldboot_fig3_*.pgm (full profile
+ * only; the smoke profile skips the file writes).
  */
 
 #include <cstdio>
@@ -24,6 +25,7 @@
 
 #include "common/units.hh"
 #include "dram/dram_module.hh"
+#include "obs/bench.hh"
 #include "platform/machine.hh"
 
 using namespace coldboot;
@@ -32,16 +34,15 @@ using namespace coldboot::platform;
 namespace
 {
 
-constexpr uint64_t imageBytes = MiB(1);
 constexpr size_t imageWidth = 512;
 
 /** A synthetic "photo": flat sky, gradient, repeating texture. */
 MemoryImage
-makeSourceImage()
+makeSourceImage(uint64_t image_bytes)
 {
-    MemoryImage img(imageBytes);
+    MemoryImage img(image_bytes);
     auto bytes = img.bytesMutable();
-    size_t height = imageBytes / imageWidth;
+    size_t height = image_bytes / imageWidth;
     for (size_t y = 0; y < height; ++y) {
         for (size_t x = 0; x < imageWidth; ++x) {
             uint8_t v;
@@ -67,6 +68,7 @@ struct Capture
 Capture
 captureFor(const char *cpu_name, const MemoryImage &src, uint64_t seed)
 {
+    uint64_t image_bytes = src.size();
     BiosConfig bios;
     bios.boot_pollution_bytes = 0;
     Machine machine(cpuModelByName(cpu_name), bios, 1, seed);
@@ -74,14 +76,14 @@ captureFor(const char *cpu_name, const MemoryImage &src, uint64_t seed)
         memctrl::cpuUsesDdr4(machine.model().generation);
     auto dimm = std::make_shared<dram::DramModule>(
         ddr4 ? dram::Generation::DDR4 : dram::Generation::DDR3,
-        imageBytes, dram::DecayParams{}, seed + 1);
+        image_bytes, dram::DecayParams{}, seed + 1);
     machine.installDimm(0, dimm);
     machine.boot();
     machine.writePhys(0, src.bytes());
 
     Capture cap;
     // (b)/(d): raw DRAM contents.
-    MemoryImage raw(imageBytes);
+    MemoryImage raw(image_bytes);
     dimm->read(0, raw.bytesMutable());
     cap.scrambled = std::move(raw);
 
@@ -93,41 +95,49 @@ captureFor(const char *cpu_name, const MemoryImage &src, uint64_t seed)
 }
 
 void
-report(const char *label, const MemoryImage &img, const char *path)
+report(obs::bench::BenchContext &ctx, const char *label,
+       const char *key, const MemoryImage &img, const char *path,
+       bool save)
 {
-    img.savePgm(path, imageWidth);
+    if (save)
+        img.savePgm(path, imageWidth);
     std::printf("%-28s dup-line-pairs=%-10zu ones=%.3f  -> %s\n",
                 label, img.duplicateLinePairs(), img.onesFraction(),
-                path);
+                save ? path : "(not saved)");
+    ctx.report(std::string("fig3.") + key + ".dup_line_pairs",
+               static_cast<double>(img.duplicateLinePairs()),
+               "duplicate 64-byte line pairs (structure proxy)");
 }
 
 } // anonymous namespace
 
-int
-main()
+COLDBOOT_BENCH(fig3_visual)
 {
     std::printf("E2: Figure 3 visual comparison (structure proxy: "
                 "duplicate 64-byte line pairs)\n\n");
-    MemoryImage src = makeSourceImage();
-    report("(a) original", src, "/tmp/coldboot_fig3_a_original.pgm");
+    const uint64_t image_bytes = ctx.pick(MiB(1), KiB(256));
+    const bool save = !ctx.smoke();
+    MemoryImage src = makeSourceImage(image_bytes);
+    report(ctx, "(a) original", "a_original", src,
+           "/tmp/coldboot_fig3_a_original.pgm", save);
 
     Capture ddr3 = captureFor("i5-2540M", src, 1111);
-    report("(b) DDR3 scrambled", ddr3.scrambled,
-           "/tmp/coldboot_fig3_b_ddr3.pgm");
-    report("(c) DDR3 reread after boot", ddr3.reread,
-           "/tmp/coldboot_fig3_c_ddr3_reboot.pgm");
+    report(ctx, "(b) DDR3 scrambled", "b_ddr3", ddr3.scrambled,
+           "/tmp/coldboot_fig3_b_ddr3.pgm", save);
+    report(ctx, "(c) DDR3 reread after boot", "c_ddr3_reboot",
+           ddr3.reread, "/tmp/coldboot_fig3_c_ddr3_reboot.pgm", save);
 
     Capture ddr4 = captureFor("i5-6400", src, 2222);
-    report("(d) DDR4 scrambled", ddr4.scrambled,
-           "/tmp/coldboot_fig3_d_ddr4.pgm");
-    report("(e) DDR4 reread after boot", ddr4.reread,
-           "/tmp/coldboot_fig3_e_ddr4_reboot.pgm");
+    report(ctx, "(d) DDR4 scrambled", "d_ddr4", ddr4.scrambled,
+           "/tmp/coldboot_fig3_d_ddr4.pgm", save);
+    report(ctx, "(e) DDR4 reread after boot", "e_ddr4_reboot",
+           ddr4.reread, "/tmp/coldboot_fig3_e_ddr4_reboot.pgm", save);
 
+    ctx.setBytesProcessed(5 * image_bytes);
     std::printf(
         "\nExpected shape: (a) huge duplicate count (structured"
         " source);\n(b) large (16-key DDR3 pool preserves repeats);"
         " (c) large (universal key\nfactoring keeps all structure);"
         " (d) ~256x smaller than (b) (4096-key pool);\n(e) small"
         " (no universal key on DDR4).\n");
-    return 0;
 }

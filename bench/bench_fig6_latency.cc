@@ -17,39 +17,37 @@
 #include "dram/bank_timing.hh"
 #include "dram/timing.hh"
 #include "engine/latency_sim.hh"
-#include "obs/stats.hh"
+#include "obs/bench.hh"
 
 using namespace coldboot;
 using namespace coldboot::engine;
 
-int
-main()
+COLDBOOT_BENCH(fig6_latency)
 {
     const auto &grade = dram::ddr4_2400();
     std::printf("E7: Figure 6 decryption latency vs utilization "
                 "(%s, CAS %.2f ns, up to 18 back-to-back CAS)\n\n",
                 grade.name.c_str(), psToNs(grade.casLatencyPs()));
 
-    std::vector<double> utils = {0.1, 0.2, 0.3, 0.4, 0.5,
-                                 0.6, 0.7, 0.8, 0.9, 1.0};
+    std::vector<double> utils =
+        ctx.smoke() ? std::vector<double>{0.2, 0.6, 1.0}
+                    : std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5,
+                                          0.6, 0.7, 0.8, 0.9, 1.0};
     auto rows = figure6Sweep(grade, utils);
 
-    // Headline figures through the stats registry (one code path
-    // with the CLI/test exports): the full-load point per engine.
-    auto &registry = obs::StatRegistry::global();
+    // Headline figures as report sections: the full-load point per
+    // engine.
     for (const auto &row : rows) {
         if (row.utilization != 1.0)
             continue;
-        std::string prefix = std::string("bench.fig6.") +
+        std::string prefix = std::string("fig6.") +
                              cipherKindName(row.kind);
-        registry.setScalar(
-            prefix + ".max_keystream_latency_ns_u100",
-            psToNs(row.result.max_keystream_latency_ps),
-            "worst keystream latency at 100% utilization");
-        registry.setScalar(
-            prefix + ".max_window_exposure_ns_u100",
-            psToNs(row.result.max_window_exposure_ps),
-            "worst own-window exposure at 100% utilization");
+        ctx.report(prefix + ".max_keystream_latency_ns_u100",
+                   psToNs(row.result.max_keystream_latency_ps),
+                   "worst keystream latency at 100% utilization");
+        ctx.report(prefix + ".max_window_exposure_ns_u100",
+                   psToNs(row.result.max_window_exposure_ps),
+                   "worst own-window exposure at 100% utilization");
     }
 
     std::printf("%-10s", "util");
@@ -101,7 +99,7 @@ main()
                 "simulator, 64 row-buffer hits):\n");
     auto params = dram::BankTimingParams::forGrade(grade);
     dram::BankTimingSimulator bank_sim(params);
-    auto burst = bank_sim.simulateRowHitBurst(64);
+    auto burst = bank_sim.simulateRowHitBurst(ctx.pick(64u, 16u));
     for (const auto &spec : tableIIEngines()) {
         Picoseconds exp = dram::engineExposureOverStream(
             burst, params, spec.periodPs(), spec.depthCycles(),
@@ -119,6 +117,4 @@ main()
         "\nprotocol-limited command rate (one CAS per tCCD) even AES"
         " hides fully -\nthe paper's AES queueing penalty needs"
         " command bursts faster than the\ndata bus can serve.\n");
-    obs::flushEnvRequestedOutputs();
-    return 0;
 }

@@ -19,9 +19,9 @@
 
 #include "attack/key_miner.hh"
 #include "common/units.hh"
-#include "obs/stats.hh"
 #include "dram/dram_module.hh"
 #include "memctrl/scrambler.hh"
+#include "obs/bench.hh"
 #include "platform/coldboot.hh"
 #include "platform/machine.hh"
 #include "platform/workload.hh"
@@ -30,13 +30,22 @@ using namespace coldboot;
 using namespace coldboot::platform;
 using namespace coldboot::attack;
 
-int
-main()
+COLDBOOT_BENCH(key_mining)
 {
-    // Victim: 16 MiB Skylake DDR4 machine under a mixed workload.
+    // Victim: a Skylake DDR4 machine under a mixed workload. The
+    // smoke profile shrinks the dump and the prefix sweep; the
+    // mined-key curve shape survives because keys repeat every
+    // 4096 lines (256 KiB).
+    const uint64_t victim_bytes = ctx.pick(MiB(16), MiB(2));
+    std::vector<uint64_t> prefixes =
+        ctx.smoke()
+            ? std::vector<uint64_t>{MiB(1), MiB(2)}
+            : std::vector<uint64_t>{MiB(1), MiB(2), MiB(4), MiB(8),
+                                    MiB(16)};
+
     Machine victim(cpuModelByName("i5-6400"), BiosConfig{}, 1, 501);
     victim.installDimm(0, std::make_shared<dram::DramModule>(
-                              dram::Generation::DDR4, MiB(16),
+                              dram::Generation::DDR4, victim_bytes,
                               dram::DecayParams{}, 502));
     victim.boot();
     fillWorkload(victim, {}, 503);
@@ -69,8 +78,8 @@ main()
     std::printf("%10s %12s %12s %10s %10s %9s\n", "prefix", "litmus",
                 "candidates", "true-keys", "exact", "MiB/s");
 
-    for (uint64_t prefix :
-         {MiB(1), MiB(2), MiB(4), MiB(8), MiB(16)}) {
+    uint64_t scanned_bytes = 0;
+    for (uint64_t prefix : prefixes) {
         MinerParams params;
         params.scan_limit_bytes = prefix;
         MinerStats stats;
@@ -79,6 +88,7 @@ main()
         double secs = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
+        scanned_bytes += prefix;
 
         // Score: how many of the 4096 true keys were mined exactly?
         size_t exact = 0;
@@ -99,20 +109,17 @@ main()
                     mined.size(), 4096u, exact,
                     mib_s);
 
-        std::string prefix_name =
-            "bench.key_mining.prefix_mib_" +
-            std::to_string(prefix >> 20);
-        auto &registry = obs::StatRegistry::global();
-        registry.setScalar(prefix_name + ".exact_keys",
-                           static_cast<double>(exact),
-                           "ground-truth keys mined exactly");
-        registry.setScalar(prefix_name + ".mib_per_second", mib_s,
-                           "mining scan throughput");
+        std::string prefix_name = "key_mining.prefix_mib_" +
+                                  std::to_string(prefix >> 20);
+        ctx.report(prefix_name + ".exact_keys",
+                   static_cast<double>(exact),
+                   "ground-truth keys mined exactly");
+        ctx.report(prefix_name + ".mib_per_second", mib_s,
+                   "mining scan throughput");
     }
+    ctx.setBytesProcessed(scanned_bytes);
 
     std::printf("\nExpected shape: the exact-key count approaches "
                 "4096 well before the\n16 MB prefix (the paper mined "
                 "all keys from <16 MB of a loaded system).\n");
-    obs::flushEnvRequestedOutputs();
-    return 0;
 }

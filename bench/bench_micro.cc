@@ -1,27 +1,34 @@
 /**
  * @file
- * E10 - microbenchmarks of the crypto and attack kernels
- * (google-benchmark). These quantify the building blocks behind the
- * attack-performance paragraph: AES block/expansion throughput, the
- * litmus tests, ChaCha keystream generation, XTS sector crypto and
- * the key-mining scan rate.
+ * E10 - microbenchmarks of the crypto and attack kernels. These
+ * quantify the building blocks behind the attack-performance
+ * paragraph: AES block/expansion throughput, the litmus tests,
+ * ChaCha keystream generation, XTS sector crypto and the key-mining
+ * scan rate.
+ *
+ * Each kernel runs a fixed iteration count (scaled down under the
+ * smoke profile) and reports per-op latency and throughput as report
+ * sections; the harness-level wall_ns statistics cover the whole
+ * suite.
  */
 
-#include <benchmark/benchmark.h>
-
+#include <chrono>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "attack/key_miner.hh"
 #include "attack/litmus.hh"
 #include "common/bits.hh"
 #include "common/rng.hh"
+#include "common/units.hh"
 #include "crypto/aes.hh"
 #include "crypto/aes_ttable.hh"
 #include "crypto/chacha.hh"
 #include "crypto/sha256.hh"
 #include "crypto/xts.hh"
 #include "memctrl/scrambler.hh"
+#include "obs/bench.hh"
 #include "platform/memory_image.hh"
 
 using namespace coldboot;
@@ -29,210 +36,226 @@ using namespace coldboot;
 namespace
 {
 
-void
-BM_AesEncryptBlock(benchmark::State &state)
+template <typename T>
+inline void
+doNotOptimize(const T &value)
 {
-    std::vector<uint8_t> key(static_cast<size_t>(state.range(0)));
-    Xoshiro256StarStar rng(1);
-    rng.fillBytes(key);
-    crypto::Aes aes(key);
-    uint8_t block[16] = {};
-    for (auto _ : state) {
-        aes.encryptBlock(block, block);
-        benchmark::DoNotOptimize(block);
-    }
-    state.SetBytesProcessed(
-        static_cast<int64_t>(state.iterations()) * 16);
+    asm volatile("" : : "g"(&value) : "memory");
 }
-BENCHMARK(BM_AesEncryptBlock)->Arg(16)->Arg(32);
 
-void
-BM_FastAesEncryptBlock(benchmark::State &state)
+/**
+ * Time `iters` calls of `body`, print one table row and report
+ * ns/op (plus MiB/s when bytes_per_iter > 0).
+ */
+template <typename Fn>
+uint64_t
+kernel(obs::bench::BenchContext &ctx, const std::string &name,
+       uint64_t iters, uint64_t bytes_per_iter, Fn &&body)
 {
-    std::vector<uint8_t> key(static_cast<size_t>(state.range(0)));
-    Xoshiro256StarStar rng(1);
-    rng.fillBytes(key);
-    crypto::FastAes aes(key);
-    uint8_t block[16] = {};
-    for (auto _ : state) {
-        aes.encryptBlock(block, block);
-        benchmark::DoNotOptimize(block);
+    auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < iters; ++i)
+        body(i);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    double ns_per_op = secs * 1e9 / static_cast<double>(iters);
+    std::printf("%-26s %12llu it %12.1f ns/op", name.c_str(),
+                static_cast<unsigned long long>(iters), ns_per_op);
+    ctx.report("micro." + name + ".ns_per_op", ns_per_op,
+               "per-iteration latency");
+    if (bytes_per_iter > 0 && secs > 0) {
+        double mib_s = static_cast<double>(iters * bytes_per_iter) /
+                       (1 << 20) / secs;
+        std::printf(" %12.1f MiB/s", mib_s);
+        ctx.report("micro." + name + ".mib_per_second", mib_s,
+                   "kernel throughput");
     }
-    state.SetBytesProcessed(
-        static_cast<int64_t>(state.iterations()) * 16);
+    std::printf("\n");
+    return iters * bytes_per_iter;
 }
-BENCHMARK(BM_FastAesEncryptBlock)->Arg(16)->Arg(32);
-
-void
-BM_AesKeyExpansion(benchmark::State &state)
-{
-    std::vector<uint8_t> key(static_cast<size_t>(state.range(0)));
-    Xoshiro256StarStar rng(2);
-    rng.fillBytes(key);
-    for (auto _ : state) {
-        auto sched = crypto::aesExpandKey(key);
-        benchmark::DoNotOptimize(sched);
-    }
-}
-BENCHMARK(BM_AesKeyExpansion)->Arg(16)->Arg(32);
-
-void
-BM_ChaChaKeystream(benchmark::State &state)
-{
-    std::vector<uint8_t> key(32), nonce(8);
-    Xoshiro256StarStar rng(3);
-    rng.fillBytes(key);
-    rng.fillBytes(nonce);
-    crypto::ChaCha chacha(key, nonce,
-                          static_cast<int>(state.range(0)));
-    uint8_t out[64];
-    uint64_t counter = 0;
-    for (auto _ : state) {
-        chacha.keystreamBlock(counter++, out);
-        benchmark::DoNotOptimize(out);
-    }
-    state.SetBytesProcessed(
-        static_cast<int64_t>(state.iterations()) * 64);
-}
-BENCHMARK(BM_ChaChaKeystream)->Arg(8)->Arg(12)->Arg(20);
-
-void
-BM_XtsSector(benchmark::State &state)
-{
-    std::vector<uint8_t> k1(32), k2(32);
-    Xoshiro256StarStar rng(4);
-    rng.fillBytes(k1);
-    rng.fillBytes(k2);
-    crypto::XtsAes xts(k1, k2);
-    std::vector<uint8_t> sector(512);
-    rng.fillBytes(sector);
-    uint64_t n = 0;
-    for (auto _ : state) {
-        xts.encryptSector(n++, sector, sector);
-        benchmark::DoNotOptimize(sector.data());
-    }
-    state.SetBytesProcessed(
-        static_cast<int64_t>(state.iterations()) * 512);
-}
-BENCHMARK(BM_XtsSector);
-
-void
-BM_Sha256(benchmark::State &state)
-{
-    std::vector<uint8_t> data(
-        static_cast<size_t>(state.range(0)));
-    Xoshiro256StarStar rng(5);
-    rng.fillBytes(data);
-    for (auto _ : state) {
-        auto digest = crypto::Sha256::digest(data);
-        benchmark::DoNotOptimize(digest);
-    }
-    state.SetBytesProcessed(
-        static_cast<int64_t>(state.iterations()) * state.range(0));
-}
-BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096);
-
-void
-BM_ScramblerKeyLitmus(benchmark::State &state)
-{
-    memctrl::Ddr4Scrambler scr(42, 0);
-    uint8_t key[64];
-    scr.poolKey(7, key);
-    for (auto _ : state) {
-        bool hit = attack::scramblerKeyLitmus({key, 64}, 32);
-        benchmark::DoNotOptimize(hit);
-    }
-    state.SetBytesProcessed(
-        static_cast<int64_t>(state.iterations()) * 64);
-}
-BENCHMARK(BM_ScramblerKeyLitmus);
-
-void
-BM_AesKeyLitmusMiss(benchmark::State &state)
-{
-    // The dominant cost of the dump scan: litmus on random blocks.
-    Xoshiro256StarStar rng(6);
-    uint8_t block[64];
-    std::span<uint8_t> span(block, 64);
-    rng.fillBytes(span);
-    for (auto _ : state) {
-        auto hit = attack::aesKeyLitmus(
-            {block, 64}, crypto::AesKeySize::Aes256, 32, 12);
-        benchmark::DoNotOptimize(hit);
-    }
-    state.SetBytesProcessed(
-        static_cast<int64_t>(state.iterations()) * 64);
-}
-BENCHMARK(BM_AesKeyLitmusMiss);
-
-void
-BM_AesKeyLitmusHit(benchmark::State &state)
-{
-    Xoshiro256StarStar rng(7);
-    std::vector<uint8_t> key(32);
-    rng.fillBytes(key);
-    auto sched = crypto::aesExpandKey(key);
-    for (auto _ : state) {
-        auto hit = attack::aesKeyLitmus(
-            {&sched[16], 64}, crypto::AesKeySize::Aes256, 32, 12);
-        benchmark::DoNotOptimize(hit);
-    }
-}
-BENCHMARK(BM_AesKeyLitmusHit);
-
-void
-BM_HammingDistance64(benchmark::State &state)
-{
-    uint8_t a[64], b[64];
-    Xoshiro256StarStar rng(8);
-    std::span<uint8_t> sa(a, 64), sb(b, 64);
-    rng.fillBytes(sa);
-    rng.fillBytes(sb);
-    for (auto _ : state) {
-        auto d = hammingDistance(sa, sb);
-        benchmark::DoNotOptimize(d);
-    }
-}
-BENCHMARK(BM_HammingDistance64);
-
-void
-BM_KeyMining(benchmark::State &state)
-{
-    // Scan rate over a synthetic scrambled dump (64 distinct keys
-    // planted in noise).
-    platform::MemoryImage dump(static_cast<size_t>(state.range(0)));
-    Xoshiro256StarStar rng(9);
-    rng.fillBytes(dump.bytesMutable());
-    memctrl::Ddr4Scrambler scr(10, 0);
-    auto bytes = dump.bytesMutable();
-    for (unsigned k = 0; k < 64; ++k) {
-        uint8_t key[64];
-        scr.poolKey(k * 64, key);
-        for (unsigned copy = 0; copy < 4; ++copy)
-            memcpy(&bytes[((k * 4 + copy) * 131 % dump.lines()) * 64],
-                   key, 64);
-    }
-    for (auto _ : state) {
-        auto mined = attack::mineScramblerKeys(dump);
-        benchmark::DoNotOptimize(mined);
-    }
-    state.SetBytesProcessed(
-        static_cast<int64_t>(state.iterations()) * state.range(0));
-}
-BENCHMARK(BM_KeyMining)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
-
-void
-BM_Ddr4ScramblerReseed(benchmark::State &state)
-{
-    memctrl::Ddr4Scrambler scr(1, 0);
-    uint64_t seed = 2;
-    for (auto _ : state) {
-        scr.reseed(seed++);
-        benchmark::DoNotOptimize(scr);
-    }
-}
-BENCHMARK(BM_Ddr4ScramblerReseed)->Unit(benchmark::kMillisecond);
 
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+COLDBOOT_BENCH(micro)
+{
+    std::printf("E10: crypto and attack kernel microbenchmarks\n\n");
+    // Fast kernels get a large fixed count; the smoke profile trims
+    // everything to a sanity-check scale.
+    const uint64_t fast = ctx.pick(uint64_t{1} << 16, uint64_t{1}
+                                                          << 12);
+    uint64_t total_bytes = 0;
+
+    for (size_t key_bytes : {16u, 32u}) {
+        std::vector<uint8_t> key(key_bytes);
+        Xoshiro256StarStar rng(1);
+        rng.fillBytes(key);
+        crypto::Aes aes(key);
+        uint8_t block[16] = {};
+        total_bytes += kernel(
+            ctx, "aes" + std::to_string(key_bytes * 8) + "_block",
+            fast, 16, [&](uint64_t) {
+                aes.encryptBlock(block, block);
+                doNotOptimize(block);
+            });
+    }
+
+    for (size_t key_bytes : {16u, 32u}) {
+        std::vector<uint8_t> key(key_bytes);
+        Xoshiro256StarStar rng(1);
+        rng.fillBytes(key);
+        crypto::FastAes aes(key);
+        uint8_t block[16] = {};
+        total_bytes += kernel(
+            ctx,
+            "fast_aes" + std::to_string(key_bytes * 8) + "_block",
+            fast, 16, [&](uint64_t) {
+                aes.encryptBlock(block, block);
+                doNotOptimize(block);
+            });
+    }
+
+    for (size_t key_bytes : {16u, 32u}) {
+        std::vector<uint8_t> key(key_bytes);
+        Xoshiro256StarStar rng(2);
+        rng.fillBytes(key);
+        kernel(ctx,
+               "aes" + std::to_string(key_bytes * 8) + "_expand",
+               fast / 4, 0, [&](uint64_t) {
+                   auto sched = crypto::aesExpandKey(key);
+                   doNotOptimize(sched);
+               });
+    }
+
+    for (int rounds : {8, 12, 20}) {
+        std::vector<uint8_t> key(32), nonce(8);
+        Xoshiro256StarStar rng(3);
+        rng.fillBytes(key);
+        rng.fillBytes(nonce);
+        crypto::ChaCha chacha(key, nonce, rounds);
+        uint8_t out[64];
+        total_bytes += kernel(
+            ctx, "chacha" + std::to_string(rounds) + "_keystream",
+            fast, 64, [&](uint64_t i) {
+                chacha.keystreamBlock(i, out);
+                doNotOptimize(out);
+            });
+    }
+
+    {
+        std::vector<uint8_t> k1(32), k2(32);
+        Xoshiro256StarStar rng(4);
+        rng.fillBytes(k1);
+        rng.fillBytes(k2);
+        crypto::XtsAes xts(k1, k2);
+        std::vector<uint8_t> sector(512);
+        rng.fillBytes(sector);
+        total_bytes += kernel(ctx, "xts_sector", fast / 4, 512,
+                              [&](uint64_t i) {
+                                  xts.encryptSector(i, sector,
+                                                    sector);
+                                  doNotOptimize(sector.data());
+                              });
+    }
+
+    for (size_t bytes : {64u, 4096u}) {
+        std::vector<uint8_t> data(bytes);
+        Xoshiro256StarStar rng(5);
+        rng.fillBytes(data);
+        total_bytes += kernel(
+            ctx, "sha256_" + std::to_string(bytes), fast / 4, bytes,
+            [&](uint64_t) {
+                auto digest = crypto::Sha256::digest(data);
+                doNotOptimize(digest);
+            });
+    }
+
+    {
+        memctrl::Ddr4Scrambler scr(42, 0);
+        uint8_t key[64];
+        scr.poolKey(7, key);
+        total_bytes += kernel(ctx, "scrambler_key_litmus", fast, 64,
+                              [&](uint64_t) {
+                                  bool hit = attack::scramblerKeyLitmus(
+                                      {key, 64}, 32);
+                                  doNotOptimize(hit);
+                              });
+    }
+
+    {
+        // The dominant cost of the dump scan: litmus on random
+        // blocks.
+        Xoshiro256StarStar rng(6);
+        uint8_t block[64];
+        std::span<uint8_t> span(block, 64);
+        rng.fillBytes(span);
+        total_bytes += kernel(
+            ctx, "aes_key_litmus_miss", fast, 64, [&](uint64_t) {
+                auto hit = attack::aesKeyLitmus(
+                    {block, 64}, crypto::AesKeySize::Aes256, 32, 12);
+                doNotOptimize(hit);
+            });
+    }
+
+    {
+        Xoshiro256StarStar rng(7);
+        std::vector<uint8_t> key(32);
+        rng.fillBytes(key);
+        auto sched = crypto::aesExpandKey(key);
+        kernel(ctx, "aes_key_litmus_hit", fast / 4, 0,
+               [&](uint64_t) {
+                   auto hit = attack::aesKeyLitmus(
+                       {&sched[16], 64}, crypto::AesKeySize::Aes256,
+                       32, 12);
+                   doNotOptimize(hit);
+               });
+    }
+
+    {
+        uint8_t a[64], b[64];
+        Xoshiro256StarStar rng(8);
+        std::span<uint8_t> sa(a, 64), sb(b, 64);
+        rng.fillBytes(sa);
+        rng.fillBytes(sb);
+        kernel(ctx, "hamming_distance64", fast, 0, [&](uint64_t) {
+            auto d = hammingDistance(sa, sb);
+            doNotOptimize(d);
+        });
+    }
+
+    {
+        // Scan rate over a synthetic scrambled dump (64 distinct
+        // keys planted in noise).
+        const size_t dump_bytes = ctx.pick(MiB(1), KiB(256));
+        platform::MemoryImage dump(dump_bytes);
+        Xoshiro256StarStar rng(9);
+        rng.fillBytes(dump.bytesMutable());
+        memctrl::Ddr4Scrambler scr(10, 0);
+        auto bytes = dump.bytesMutable();
+        for (unsigned k = 0; k < 64; ++k) {
+            uint8_t key[64];
+            scr.poolKey(k * 64, key);
+            for (unsigned copy = 0; copy < 4; ++copy)
+                memcpy(
+                    &bytes[((k * 4 + copy) * 131 % dump.lines()) *
+                           64],
+                    key, 64);
+        }
+        total_bytes += kernel(ctx, "key_mining", ctx.pick(4, 1),
+                              dump_bytes, [&](uint64_t) {
+                                  auto mined =
+                                      attack::mineScramblerKeys(dump);
+                                  doNotOptimize(mined);
+                              });
+    }
+
+    {
+        memctrl::Ddr4Scrambler scr(1, 0);
+        kernel(ctx, "ddr4_scrambler_reseed", ctx.pick(64, 8), 0,
+               [&](uint64_t i) {
+                   scr.reseed(i + 2);
+                   doNotOptimize(scr);
+               });
+    }
+
+    ctx.setBytesProcessed(total_bytes);
+}

@@ -16,12 +16,14 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "attack/litmus.hh"
 #include "common/hex.hh"
 #include "common/units.hh"
 #include "dram/dram_module.hh"
 #include "memctrl/address_map.hh"
+#include "obs/bench.hh"
 #include "platform/coldboot.hh"
 #include "platform/machine.hh"
 
@@ -87,8 +89,7 @@ analyzeModel(const CpuModel &model, uint64_t seed)
 
 } // anonymous namespace
 
-int
-main()
+COLDBOOT_BENCH(table1_scramblers)
 {
     std::printf("E1: Table I platforms and scrambler properties\n");
     std::printf("%-10s %-12s %-5s %8s %10s %8s %8s %7s\n", "model",
@@ -97,9 +98,22 @@ main()
     std::printf("%.96s\n",
                 "-----------------------------------------------------"
                 "-------------------------------------------");
+    // The smoke profile keeps one model per DRAM generation; the
+    // shape (16-key DDR3 vs 4096-key DDR4) is per-generation.
+    std::vector<CpuModel> models;
+    bool have_ddr3 = false, have_ddr4 = false;
     for (const auto &model : cpuModelTable()) {
         bool ddr4 = memctrl::cpuUsesDdr4(model.generation);
+        if (ctx.smoke() && (ddr4 ? have_ddr4 : have_ddr3))
+            continue;
+        (ddr4 ? have_ddr4 : have_ddr3) = true;
+        models.push_back(model);
+    }
+    uint64_t total_bytes = 0;
+    for (const auto &model : models) {
+        bool ddr4 = memctrl::cpuUsesDdr4(model.generation);
         Analysis a = analyzeModel(model, 0xC0FFEE);
+        total_bytes += 2 * MiB(1);
         std::printf("%-10s %-12s %-5s %8zu %10s %8s %8s %7s\n",
                     model.name.c_str(),
                     memctrl::cpuGenerationName(model.generation),
@@ -108,10 +122,13 @@ main()
                     a.litmus_all_pass ? "pass" : "n/a",
                     a.sharing_stable ? "stable" : "broken",
                     ddr4 ? "4096" : "16");
+        ctx.report("table1." + model.name + ".distinct_keys",
+                   static_cast<double>(a.distinct_keys),
+                   "distinct 64-byte scrambler keys per channel");
     }
+    ctx.setBytesProcessed(total_bytes);
     std::printf("\nExpected shape: DDR3 parts expose 16 keys and one"
                 " universal reboot-XOR key;\nSkylake DDR4 parts expose"
                 " 4096 keys, no universal key, litmus invariants hold,"
                 "\nand key sharing stays stable across reboots.\n");
-    return 0;
 }

@@ -14,13 +14,12 @@
 #include "common/units.hh"
 #include "dram/timing.hh"
 #include "engine/cipher_engine.hh"
-#include "obs/stats.hh"
+#include "obs/bench.hh"
 
 using namespace coldboot;
 using namespace coldboot::engine;
 
-int
-main()
+COLDBOOT_BENCH(table2_ciphers)
 {
     std::printf("E6: Table II cipher engine performance (45 nm "
                 "model)\n\n");
@@ -43,7 +42,6 @@ main()
     };
 
     Picoseconds window = dram::ddr4MinCasPs();
-    auto &registry = obs::StatRegistry::global();
     for (const auto &row : paper) {
         const EngineSpec &spec = engineSpec(row.kind);
         std::printf("%-10s %10.2f %10d %12.2f %12.2f %12.1f %10s\n",
@@ -52,17 +50,15 @@ main()
                     psToNs(spec.pipelineDelayPs()), row.delay_ns,
                     spec.throughputGBs(),
                     spec.pipelineDelayPs() <= window ? "yes" : "no");
-        std::string prefix = std::string("bench.table2.") +
+        std::string prefix = std::string("table2.") +
                              cipherKindName(spec.kind);
-        registry.setScalar(prefix + ".max_freq_ghz",
-                           spec.max_freq_ghz,
-                           "modeled maximum clock frequency");
-        registry.setScalar(prefix + ".pipeline_delay_ns",
-                           psToNs(spec.pipelineDelayPs()),
-                           "modeled maximum pipeline delay");
-        registry.setScalar(prefix + ".throughput_gbs",
-                           spec.throughputGBs(),
-                           "derived keystream throughput");
+        ctx.report(prefix + ".max_freq_ghz", spec.max_freq_ghz,
+                   "modeled maximum clock frequency");
+        ctx.report(prefix + ".pipeline_delay_ns",
+                   psToNs(spec.pipelineDelayPs()),
+                   "modeled maximum pipeline delay");
+        ctx.report(prefix + ".throughput_gbs", spec.throughputGBs(),
+                   "derived keystream throughput");
     }
 
     std::printf("\nStandard DDR4 CAS window: %.2f .. %.2f ns over "
@@ -72,6 +68,4 @@ main()
     std::printf("Expected shape: AES-128, AES-256 and ChaCha8 fit "
                 "under the 12.5 ns floor;\nChaCha12 and ChaCha20 do "
                 "not.\n");
-    obs::flushEnvRequestedOutputs();
-    return 0;
 }

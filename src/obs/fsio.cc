@@ -1,0 +1,44 @@
+#include "obs/fsio.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "common/logging.hh"
+
+namespace coldboot::obs
+{
+
+void
+writeFileCreatingDirs(const std::string &path,
+                      std::string_view content, const char *what)
+{
+    std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+        if (ec)
+            cb_fatal("cannot create directory '%s' for %s '%s': %s",
+                     parent.c_str(), what, path.c_str(),
+                     ec.message().c_str());
+    }
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        cb_fatal("cannot open %s '%s': %s", what, path.c_str(),
+                 std::strerror(errno));
+    if (std::fwrite(content.data(), 1, content.size(), f) !=
+        content.size()) {
+        int err = errno;
+        std::fclose(f);
+        cb_fatal("short write to %s '%s': %s", what, path.c_str(),
+                 std::strerror(err));
+    }
+    if (std::fclose(f) != 0)
+        cb_fatal("cannot finish writing %s '%s': %s", what,
+                 path.c_str(), std::strerror(errno));
+}
+
+} // namespace coldboot::obs

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * File output helper shared by every observability exporter (stats
+ * JSON, Chrome traces, BENCH.json): creates missing parent
+ * directories and turns I/O failures into clear fatal errors instead
+ * of a bare "cannot open".
+ */
+
+#ifndef COLDBOOT_OBS_FSIO_HH
+#define COLDBOOT_OBS_FSIO_HH
+
+#include <string>
+#include <string_view>
+
+namespace coldboot::obs
+{
+
+/**
+ * Write @p content to @p path, creating missing parent directories
+ * first. @p what names the output in error messages ("stats output",
+ * "trace output", ...). cb_fatal (exit 1) with the OS error string
+ * when the directory cannot be created or the file cannot be
+ * written.
+ */
+void writeFileCreatingDirs(const std::string &path,
+                           std::string_view content,
+                           const char *what);
+
+} // namespace coldboot::obs
+
+#endif // COLDBOOT_OBS_FSIO_HH

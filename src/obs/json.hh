@@ -55,6 +55,19 @@ std::optional<Value> parse(std::string_view text);
 /** Read a whole file and parse it; nullopt on I/O or syntax error. */
 std::optional<Value> parseFile(const std::string &path);
 
+//
+// Emission helpers shared by the JSON writers (stats registry, bench
+// harness): the one escaping/number-rendering code path that
+// guarantees every in-tree exporter emits what the in-tree parser
+// accepts.
+//
+
+/** Escape for embedding inside a JSON string (quotes not added). */
+std::string escape(const std::string &s);
+
+/** Render a double as a JSON number (non-finite values become 0). */
+std::string number(double v);
+
 } // namespace coldboot::obs::json
 
 #endif // COLDBOOT_OBS_JSON_HH

@@ -1,0 +1,168 @@
+#include "obs/perf.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace coldboot::obs
+{
+
+PerfSample &
+PerfSample::operator+=(const PerfSample &other)
+{
+    available = available && other.available;
+    cycles += other.cycles;
+    instructions += other.instructions;
+    cache_references += other.cache_references;
+    cache_misses += other.cache_misses;
+    branches += other.branches;
+    branch_misses += other.branch_misses;
+    return *this;
+}
+
+#ifdef __linux__
+
+namespace
+{
+
+/** The fixed event set, group leader first. */
+constexpr uint64_t eventConfigs[] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_REFERENCES,
+    PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_INSTRUCTIONS,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+static_assert(sizeof(eventConfigs) / sizeof(eventConfigs[0]) ==
+              PerfCounters::eventCount);
+
+int
+perfEventOpen(perf_event_attr *attr, pid_t pid, int cpu, int group_fd)
+{
+    return static_cast<int>(syscall(SYS_perf_event_open, attr, pid,
+                                    cpu, group_fd, 0ul));
+}
+
+} // anonymous namespace
+
+PerfCounters::PerfCounters()
+{
+    fds.fill(-1);
+    if (const char *dis = std::getenv("COLDBOOT_PERF_DISABLE");
+        dis && *dis && std::strcmp(dis, "0") != 0) {
+        reason = "disabled by COLDBOOT_PERF_DISABLE";
+        return;
+    }
+
+    for (size_t i = 0; i < eventCount; ++i) {
+        perf_event_attr attr{};
+        attr.type = PERF_TYPE_HARDWARE;
+        attr.size = sizeof(attr);
+        attr.config = eventConfigs[i];
+        attr.disabled = i == 0; // leader starts the group
+        attr.exclude_kernel = 1;
+        attr.exclude_hv = 1;
+        attr.read_format = PERF_FORMAT_GROUP |
+                           PERF_FORMAT_TOTAL_TIME_ENABLED |
+                           PERF_FORMAT_TOTAL_TIME_RUNNING;
+        int fd = perfEventOpen(&attr, 0, -1, i == 0 ? -1 : fds[0]);
+        if (fd < 0) {
+            reason = std::string("perf_event_open failed: ") +
+                     std::strerror(errno);
+            for (size_t j = 0; j < i; ++j) {
+                close(fds[j]);
+                fds[j] = -1;
+            }
+            return;
+        }
+        fds[i] = fd;
+    }
+    group_fd = fds[0];
+}
+
+PerfCounters::~PerfCounters()
+{
+    for (int fd : fds)
+        if (fd >= 0)
+            close(fd);
+}
+
+void
+PerfCounters::start()
+{
+    if (!available())
+        return;
+    ioctl(group_fd, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(group_fd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfSample
+PerfCounters::stop()
+{
+    PerfSample s;
+    if (!available())
+        return s;
+    ioctl(group_fd, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+
+    // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running,
+    // then one value per event.
+    uint64_t buf[3 + eventCount];
+    ssize_t want = sizeof(buf);
+    if (read(group_fd, buf, sizeof(buf)) != want || buf[0] != eventCount)
+        return s;
+
+    // Counters can be multiplexed off-core; scale to time_enabled so
+    // the counts estimate the full window.
+    double scale = 1.0;
+    if (buf[2] == 0)
+        return s; // never scheduled: no usable data
+    if (buf[2] < buf[1])
+        scale = static_cast<double>(buf[1]) /
+                static_cast<double>(buf[2]);
+
+    auto scaled = [&](size_t i) {
+        return static_cast<uint64_t>(
+            static_cast<double>(buf[3 + i]) * scale);
+    };
+    s.available = true;
+    s.cycles = scaled(0);
+    s.instructions = scaled(1);
+    s.cache_references = scaled(2);
+    s.cache_misses = scaled(3);
+    s.branches = scaled(4);
+    s.branch_misses = scaled(5);
+    return s;
+}
+
+#else // !__linux__
+
+PerfCounters::PerfCounters()
+    : reason("not supported on this platform")
+{
+    fds.fill(-1);
+}
+
+PerfCounters::~PerfCounters() = default;
+
+void
+PerfCounters::start()
+{
+}
+
+PerfSample
+PerfCounters::stop()
+{
+    return {};
+}
+
+#endif // __linux__
+
+} // namespace coldboot::obs

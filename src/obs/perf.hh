@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Hardware performance counters via `perf_event_open(2)`, with a
+ * graceful portable fallback.
+ *
+ * The bench harness wants cycles / instructions / cache and branch
+ * miss counts per benchmark repetition, but the syscall is Linux-only
+ * and frequently denied (containers, CI runners, hardened
+ * `perf_event_paranoid` settings, VMs without a PMU). PerfCounters
+ * therefore never fails: when any event cannot be opened the whole
+ * group reports `available() == false` and every sample carries
+ * `available = false`, which the JSON exporters translate into
+ * `"counters": {"available": false}` so downstream tooling can tell
+ * "zero misses" from "could not measure".
+ *
+ * Setting the environment variable `COLDBOOT_PERF_DISABLE=1` forces
+ * the fallback path deterministically (used by the tests to exercise
+ * it on machines where the syscall would succeed).
+ */
+
+#ifndef COLDBOOT_OBS_PERF_HH
+#define COLDBOOT_OBS_PERF_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace coldboot::obs
+{
+
+/** One reading of the counter group over a start()..stop() window. */
+struct PerfSample
+{
+    /** False when the counters could not be opened (or were scaled
+     *  to zero running time); every count below is then 0. */
+    bool available = false;
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t cache_references = 0;
+    uint64_t cache_misses = 0;
+    uint64_t branches = 0;
+    uint64_t branch_misses = 0;
+
+    /** Instructions per cycle; 0 when cycles is 0. */
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Field-wise sum (for aggregating repetitions). */
+    PerfSample &operator+=(const PerfSample &other);
+};
+
+/**
+ * A group of hardware counters read together so all counts cover the
+ * same instruction window. Open once, then start()/stop() around each
+ * measured region; stop() returns the counts for that region.
+ */
+class PerfCounters
+{
+  public:
+    PerfCounters();
+    ~PerfCounters();
+
+    PerfCounters(const PerfCounters &) = delete;
+    PerfCounters &operator=(const PerfCounters &) = delete;
+
+    /** Whether the full counter group opened successfully. */
+    bool available() const { return group_fd >= 0; }
+
+    /**
+     * Why the counters are unavailable ("" when available):
+     * "disabled by COLDBOOT_PERF_DISABLE", "perf_event_open failed:
+     * <errno string>", or "not supported on this platform".
+     */
+    const std::string &unavailableReason() const { return reason; }
+
+    /** Reset and enable the group (no-op when unavailable). */
+    void start();
+
+    /**
+     * Disable the group and read it. When unavailable, returns a
+     * sample with `available == false`.
+     */
+    PerfSample stop();
+
+    /** Number of events in the fixed group. */
+    static constexpr size_t eventCount = 6;
+
+  private:
+    int group_fd = -1;
+    std::array<int, eventCount> fds{};
+    std::string reason;
+};
+
+} // namespace coldboot::obs
+
+#endif // COLDBOOT_OBS_PERF_HH

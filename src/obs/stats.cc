@@ -6,6 +6,8 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "obs/fsio.hh"
+#include "obs/json.hh"
 #include "obs/trace.hh"
 
 namespace coldboot::obs
@@ -14,41 +16,13 @@ namespace coldboot::obs
 namespace
 {
 
-/** JSON string escaper (control chars, quotes, backslashes). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
+using json::escape;
 
 /** Render a double as JSON (non-finite values become 0). */
 std::string
 jsonNumber(double v)
 {
-    if (!std::isfinite(v))
-        v = 0.0;
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
+    return json::number(v);
 }
 
 } // anonymous namespace
@@ -352,8 +326,8 @@ StatRegistry::dumpJson() const
         const Entry &e = *kv.second;
         out += first ? "\n" : ",\n";
         first = false;
-        out += "    \"" + jsonEscape(kv.first) + "\": {";
-        out += "\"desc\": \"" + jsonEscape(e.desc) + "\", ";
+        out += "    \"" + escape(kv.first) + "\": {";
+        out += "\"desc\": \"" + escape(e.desc) + "\", ";
         switch (e.kind) {
           case Kind::CounterKind:
             out += "\"type\": \"counter\", \"value\": " +
@@ -407,15 +381,7 @@ StatRegistry::dumpJson() const
 void
 StatRegistry::writeJsonFile(const std::string &path) const
 {
-    std::string json = dumpJson();
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        cb_fatal("cannot open stats output '%s'", path.c_str());
-    if (std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
-        std::fclose(f);
-        cb_fatal("short write to stats output '%s'", path.c_str());
-    }
-    std::fclose(f);
+    writeFileCreatingDirs(path, dumpJson(), "stats output");
 }
 
 void

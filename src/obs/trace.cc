@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "obs/fsio.hh"
 #include "obs/stats.hh"
 
 namespace coldboot::obs
@@ -123,15 +124,7 @@ PhaseTracer::chromeTraceJson() const
 void
 PhaseTracer::writeTraceFile(const std::string &path) const
 {
-    std::string json = chromeTraceJson();
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        cb_fatal("cannot open trace output '%s'", path.c_str());
-    if (std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
-        std::fclose(f);
-        cb_fatal("short write to trace output '%s'", path.c_str());
-    }
-    std::fclose(f);
+    writeFileCreatingDirs(path, chromeTraceJson(), "trace output");
 }
 
 void

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Perf-regression gate over two coldboot-bench BENCH.json files.
+ *
+ * Usage:
+ *   bench_compare [options] BASELINE.json CANDIDATE.json
+ *   bench_compare --self BENCH.json
+ *
+ * For every benchmark present in the baseline the candidate's median
+ * wall time is compared against the baseline median. A benchmark
+ * regresses when BOTH hold:
+ *
+ *   cand_median > base_median * (1 + threshold)          and
+ *   cand_median - base_median >
+ *       max(min_ns, mad_factor * base_mad)
+ *
+ * i.e. the slowdown must be large relatively AND clear the noise
+ * floor measured by the baseline's own median-absolute-deviation.
+ * A benchmark missing from the candidate is a failure (a silently
+ * dropped bench must not pass the gate). Schema versions must match.
+ *
+ * Exit status: 0 = no regressions, 1 = regression or missing bench,
+ * 2 = usage or file/schema error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+using coldboot::obs::json::Value;
+
+namespace
+{
+
+struct Options
+{
+    double threshold = 0.30;  // relative slowdown gate
+    double mad_factor = 3.0;  // noise floor in baseline MADs
+    double min_ns = 100e3;    // absolute noise floor, ns
+    bool self = false;
+    std::string baseline_path;
+    std::string candidate_path;
+};
+
+void
+usage(FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: bench_compare [options] BASELINE.json CANDIDATE.json\n"
+        "       bench_compare [options] --self BENCH.json\n"
+        "\n"
+        "options:\n"
+        "  --threshold FRAC   relative slowdown gate "
+        "(default 0.30 = 30%%)\n"
+        "  --mad-factor X     noise floor in baseline MADs "
+        "(default 3)\n"
+        "  --min-ns NS        absolute noise floor in ns "
+        "(default 100000)\n"
+        "  --self             compare one file against itself "
+        "(sanity gate)\n");
+}
+
+struct BenchRow
+{
+    std::string name;
+    double median = 0.0;
+    double mad = 0.0;
+};
+
+/** Extract {name, wall_ns.median, wall_ns.mad} rows or die. */
+std::vector<BenchRow>
+loadRows(const Value &doc, const std::string &path)
+{
+    std::vector<BenchRow> rows;
+    const Value *benches = doc.find("benches");
+    if (!benches || !benches->isArray()) {
+        std::fprintf(stderr,
+                     "bench_compare: %s: no 'benches' array\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    for (const auto &b : benches->array) {
+        const Value *name = b.find("name");
+        const Value *wall = b.find("wall_ns");
+        const Value *median = wall ? wall->find("median") : nullptr;
+        const Value *mad = wall ? wall->find("mad") : nullptr;
+        if (!name || !name->isString() || !median ||
+            !median->isNumber()) {
+            std::fprintf(stderr,
+                         "bench_compare: %s: bench entry missing "
+                         "name or wall_ns.median\n",
+                         path.c_str());
+            std::exit(2);
+        }
+        BenchRow row;
+        row.name = name->str;
+        row.median = median->number;
+        row.mad = mad && mad->isNumber() ? mad->number : 0.0;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+Value
+loadDoc(const std::string &path)
+{
+    auto doc = coldboot::obs::json::parseFile(path);
+    if (!doc) {
+        std::fprintf(stderr,
+                     "bench_compare: cannot read or parse %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    return *doc;
+}
+
+double
+schemaVersion(const Value &doc, const std::string &path)
+{
+    const Value *v = doc.find("schema_version");
+    if (!v || !v->isNumber()) {
+        std::fprintf(stderr,
+                     "bench_compare: %s: missing schema_version\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    return v->number;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto needValue = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "bench_compare: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--threshold") {
+            opt.threshold = std::strtod(needValue("--threshold"),
+                                        nullptr);
+        } else if (arg == "--mad-factor") {
+            opt.mad_factor = std::strtod(needValue("--mad-factor"),
+                                         nullptr);
+        } else if (arg == "--min-ns") {
+            opt.min_ns = std::strtod(needValue("--min-ns"), nullptr);
+        } else if (arg == "--self") {
+            opt.self = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr,
+                         "bench_compare: unknown option %s\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (opt.self ? positional.size() != 1 : positional.size() != 2) {
+        usage(stderr);
+        return 2;
+    }
+    opt.baseline_path = positional[0];
+    opt.candidate_path = opt.self ? positional[0] : positional[1];
+
+    Value base_doc = loadDoc(opt.baseline_path);
+    Value cand_doc = loadDoc(opt.candidate_path);
+    double base_schema = schemaVersion(base_doc, opt.baseline_path);
+    double cand_schema = schemaVersion(cand_doc, opt.candidate_path);
+    if (base_schema != cand_schema) {
+        std::fprintf(stderr,
+                     "bench_compare: schema mismatch: %s is v%g, "
+                     "%s is v%g\n",
+                     opt.baseline_path.c_str(), base_schema,
+                     opt.candidate_path.c_str(), cand_schema);
+        return 2;
+    }
+
+    auto base_rows = loadRows(base_doc, opt.baseline_path);
+    auto cand_rows = loadRows(cand_doc, opt.candidate_path);
+
+    std::printf("%-24s %14s %14s %9s  %s\n", "bench",
+                "base median", "cand median", "delta", "verdict");
+    int regressions = 0;
+    for (const auto &base : base_rows) {
+        const BenchRow *cand = nullptr;
+        for (const auto &row : cand_rows)
+            if (row.name == base.name)
+                cand = &row;
+        if (!cand) {
+            std::printf("%-24s %14.0f %14s %9s  MISSING\n",
+                        base.name.c_str(), base.median, "-", "-");
+            ++regressions;
+            continue;
+        }
+        double delta = cand->median - base.median;
+        double rel = base.median > 0 ? delta / base.median : 0.0;
+        double noise_floor =
+            std::max(opt.min_ns, opt.mad_factor * base.mad);
+        bool regressed = cand->median >
+                             base.median * (1.0 + opt.threshold) &&
+                         delta > noise_floor;
+        regressions += regressed;
+        std::printf("%-24s %14.0f %14.0f %+8.1f%%  %s\n",
+                    base.name.c_str(), base.median, cand->median,
+                    100.0 * rel, regressed ? "REGRESSED" : "ok");
+    }
+
+    if (regressions) {
+        std::printf("\n%d regression%s (threshold %.0f%%, noise "
+                    "floor max(%.0f ns, %.1f MAD))\n",
+                    regressions, regressions == 1 ? "" : "s",
+                    100.0 * opt.threshold, opt.min_ns,
+                    opt.mad_factor);
+        return 1;
+    }
+    std::printf("\nno regressions (threshold %.0f%%, noise floor "
+                "max(%.0f ns, %.1f MAD))\n",
+                100.0 * opt.threshold, opt.min_ns, opt.mad_factor);
+    return 0;
+}
