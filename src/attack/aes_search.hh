@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "attack/key_miner.hh"
+#include "common/secure.hh"
 #include "crypto/aes.hh"
 #include "platform/memory_image.hh"
 
@@ -31,6 +32,15 @@ namespace coldboot::attack
 /** One recovered AES key. */
 struct RecoveredAesKey
 {
+    RecoveredAesKey() = default;
+    RecoveredAesKey(const RecoveredAesKey &) = default;
+    RecoveredAesKey(RecoveredAesKey &&) = default;
+    RecoveredAesKey &operator=(const RecoveredAesKey &) = default;
+    RecoveredAesKey &operator=(RecoveredAesKey &&) = default;
+
+    /** Scrub the recovered master key when this copy dies. */
+    ~RecoveredAesKey() { secureWipe(master); }
+
     /** The raw master key (16/24/32 bytes). */
     std::vector<uint8_t> master;
     /** AES variant. */

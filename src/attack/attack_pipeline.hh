@@ -14,6 +14,7 @@
 
 #include "attack/aes_search.hh"
 #include "attack/key_miner.hh"
+#include "common/secure.hh"
 #include "platform/memory_image.hh"
 
 namespace coldboot::attack
@@ -37,10 +38,23 @@ struct PipelineParams
 /** A recovered XTS master-key pair (e.g. a VeraCrypt volume key). */
 struct RecoveredXtsKeys
 {
+    RecoveredXtsKeys() = default;
+    RecoveredXtsKeys(const RecoveredXtsKeys &) = default;
+    RecoveredXtsKeys(RecoveredXtsKeys &&) = default;
+    RecoveredXtsKeys &operator=(const RecoveredXtsKeys &) = default;
+    RecoveredXtsKeys &operator=(RecoveredXtsKeys &&) = default;
+
+    /** Scrub both recovered keys when this copy dies. */
+    ~RecoveredXtsKeys()
+    {
+        secureWipe(data_key);
+        secureWipe(tweak_key);
+    }
+
     std::vector<uint8_t> data_key;
     std::vector<uint8_t> tweak_key;
     /** Dump offset of the data-key schedule. */
-    uint64_t table_offset;
+    uint64_t table_offset = 0;
 };
 
 /**

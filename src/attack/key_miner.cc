@@ -217,6 +217,16 @@ mineScramblerKeys(const platform::MemoryImage &dump,
                   return a.occurrences > b.occurrences;
               });
 
+    // Scrub the intermediate key copies (cluster representatives,
+    // per-bit vote tallies, majority keys) before they are freed -
+    // the reported MinedKeys scrub themselves on destruction.
+    for (auto &c : clusters) {
+        secureWipe(c.representative.data(), c.representative.size());
+        secureWipe(c.one_votes.data(), sizeof(c.one_votes));
+    }
+    for (auto &m : majorities)
+        secureWipe(m.data(), m.size());
+
     local.clusters = clusters.size();
     local.keys_reported = out.size();
 

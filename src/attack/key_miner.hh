@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/secure.hh"
 #include "platform/memory_image.hh"
 
 namespace coldboot::attack
@@ -26,12 +27,27 @@ namespace coldboot::attack
 /** One mined candidate scrambler key. */
 struct MinedKey
 {
+    MinedKey() = default;
+    MinedKey(const std::array<uint8_t, 64> &key_, size_t occurrences_,
+             uint64_t first_offset_)
+        : key(key_), occurrences(occurrences_),
+          first_offset(first_offset_)
+    {
+    }
+    MinedKey(const MinedKey &) = default;
+    MinedKey(MinedKey &&) = default;
+    MinedKey &operator=(const MinedKey &) = default;
+    MinedKey &operator=(MinedKey &&) = default;
+
+    /** Every copy of a mined key is scrubbed when it dies. */
+    ~MinedKey() { secureWipe(key.data(), key.size()); }
+
     /** Majority-voted 64-byte key. */
-    std::array<uint8_t, 64> key;
+    std::array<uint8_t, 64> key{};
     /** Number of dump blocks that contributed to this cluster. */
-    size_t occurrences;
+    size_t occurrences = 0;
     /** Dump offset of the first contributing block. */
-    uint64_t first_offset;
+    uint64_t first_offset = 0;
 };
 
 /** Key-miner tuning. */

@@ -25,10 +25,13 @@ std::string
 timestampNow()
 {
     struct timeval tv;
+    // coldboot-lint: allow(no-wallclock-in-sim) -- log timestamp, not sim
     gettimeofday(&tv, nullptr);
     struct tm tm_buf;
+    // coldboot-lint: allow(no-wallclock-in-sim) -- formats the log stamp
     localtime_r(&tv.tv_sec, &tm_buf);
     char buf[40];
+    // coldboot-lint: allow(no-wallclock-in-sim) -- formats the log stamp
     size_t len = strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%S",
                           &tm_buf);
     std::snprintf(buf + len, sizeof(buf) - len, ".%03d",

@@ -1,0 +1,21 @@
+#include "common/secure.hh"
+
+namespace coldboot
+{
+
+void
+secureWipe(void *p, size_t n)
+{
+    if (p == nullptr || n == 0)
+        return;
+    // Volatile qualifies each store so the compiler must emit it; the
+    // trailing asm barrier tells the optimizer the memory is observed,
+    // which stops the whole loop from being treated as a dead store
+    // even under LTO.
+    volatile uint8_t *bytes = static_cast<volatile uint8_t *>(p);
+    for (size_t i = 0; i < n; ++i)
+        bytes[i] = 0;
+    __asm__ __volatile__("" : : "r"(p) : "memory");
+}
+
+} // namespace coldboot

@@ -75,6 +75,7 @@ AesCtrMemoryEncryptor::AesCtrMemoryEncryptor(uint64_t seed,
     : chan(channel), key_len(key_bytes)
 {
     if (key_bytes != 16 && key_bytes != 24 && key_bytes != 32)
+        // coldboot-lint: allow(log-no-secrets) -- key length, not bytes
         cb_fatal("AesCtrMemoryEncryptor: bad key length %zu",
                  key_bytes);
     rekey(seed);

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/secure.hh"
 #include "crypto/sha256.hh"
 
 namespace coldboot::volume
@@ -28,15 +29,18 @@ constexpr char headerMagic[4] = {'C', 'B', 'V', 'C'};
 
 struct HeaderFields
 {
-    uint32_t iterations;
-    uint8_t master[64];
-    uint64_t sectors;
+    uint32_t iterations = 0;
+    uint8_t master[64] = {};
+    uint64_t sectors = 0;
+
+    /** Header fields carry the master keys; scrub them on exit. */
+    ~HeaderFields() { secureWipe(master, sizeof(master)); }
 };
 
 void
 packHeaderBody(const HeaderFields &fields, uint8_t body[headerBodyBytes])
 {
-    std::memset(body, 0, headerBodyBytes);
+    secureWipe(body, headerBodyBytes);
     std::memcpy(body, headerMagic, 4);
     body[4] = 1;
     for (int i = 0; i < 4; ++i)
@@ -128,6 +132,10 @@ VolumeFile::create(const std::string &passphrase, uint64_t data_sectors,
     cryptHeaderBody(header_keys, {body, headerBodyBytes},
                     {vf.blob.data() + saltBytes, headerBodyBytes},
                     true);
+    // The plaintext header body and the derived header keys are key
+    // material; scrub both before they leave scope.
+    secureWipe(body, headerBodyBytes);
+    secureWipe(header_keys);
 
     // Fresh volumes hold encrypted zeros (like a formatted volume):
     // encrypt the all-zero plaintext of each sector.
@@ -184,6 +192,7 @@ MountedVolume::MountedVolume(platform::Machine &m, VolumeFile &f,
                     tweak_sched.end());
         cb_assert(blob.size() == keytableBytes(), "keytable size");
         machine->writePhysBytes(keytable_addr, blob);
+        secureWipe(blob); // driver-side staging copy of the schedules
     }
     // KeyStorage::Registers: nothing touches DRAM; the schedules
     // live only in the driver context (modeling debug/MSR-register
@@ -208,10 +217,14 @@ MountedVolume::mount(platform::Machine &machine, VolumeFile &file,
     cryptHeaderBody(header_keys,
                     {file.blob.data() + saltBytes, headerBodyBytes},
                     {body, headerBodyBytes}, false);
+    secureWipe(header_keys);
     HeaderFields fields;
-    if (!unpackHeaderBody(body, fields))
+    bool ok = unpackHeaderBody(body, fields);
+    secureWipe(body, headerBodyBytes);
+    if (!ok)
         return std::nullopt; // wrong passphrase (or corrupt header)
 
+    // fields.master is scrubbed by ~HeaderFields on return.
     return MountedVolume(machine, file, fields.master, keytable_addr,
                          storage);
 }
@@ -244,9 +257,16 @@ MountedVolume::unmount()
         std::vector<uint8_t> zeros(keytableBytes(), 0);
         machine->writePhysBytes(keytable_addr, zeros);
     }
-    std::memset(master, 0, sizeof(master));
+    secureWipe(master, sizeof(master));
     xts.reset();
     mounted = false;
+}
+
+MountedVolume::~MountedVolume()
+{
+    // Belt and braces: even without an explicit unmount(), the
+    // driver-context key copy must not outlive the mount object.
+    secureWipe(master, sizeof(master));
 }
 
 } // namespace coldboot::volume

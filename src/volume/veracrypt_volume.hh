@@ -133,6 +133,17 @@ class MountedVolume
           const std::string &passphrase, uint64_t keytable_addr,
           KeyStorage storage = KeyStorage::Ram);
 
+    MountedVolume(MountedVolume &&) = default;
+    MountedVolume &operator=(MountedVolume &&) = default;
+
+    /**
+     * Wipes the driver-context master-key copy (securely - see
+     * common/secure.hh). Does not touch machine RAM: explicitly
+     * unmount() for the full scrub, which is the interesting
+     * distinction for the attack model.
+     */
+    ~MountedVolume();
+
     /** Read and decrypt one sector. */
     void readSector(uint64_t sector, std::span<uint8_t> out) const;
 

@@ -1,0 +1,640 @@
+/**
+ * @file
+ * Tests for coldboot-lint: tokenizer edge cases, every rule's
+ * positive and negative cases, suppression handling, per-directory
+ * config, tree walking, and the JSON/SARIF emitters round-tripped
+ * through the in-tree obs::json parser.
+ *
+ * All violation samples live inside raw string literals, so this
+ * file itself stays lint-clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "lint/engine.hh"
+#include "lint/lexer.hh"
+#include "lint/rules.hh"
+#include "obs/json.hh"
+
+namespace fs = std::filesystem;
+using namespace coldboot;
+using namespace coldboot::lint;
+
+namespace
+{
+
+/** Findings for one in-memory source with no rules disabled. */
+std::vector<Finding>
+lintOf(const std::string &path, const std::string &src)
+{
+    return lintSource(path, src);
+}
+
+/** Count findings for a given rule. */
+size_t
+countRule(const std::vector<Finding> &findings, const std::string &rule)
+{
+    size_t n = 0;
+    for (const auto &f : findings)
+        n += f.rule == rule;
+    return n;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------
+// Tokenizer.
+// ---------------------------------------------------------------
+
+TEST(LintLexer, IdentifiersAndPositions)
+{
+    auto lexed = lex("foo bar\n  baz");
+    ASSERT_EQ(lexed.tokens.size(), 3u);
+    EXPECT_EQ(lexed.tokens[0].text, "foo");
+    EXPECT_EQ(lexed.tokens[0].line, 1);
+    EXPECT_EQ(lexed.tokens[0].col, 1);
+    EXPECT_EQ(lexed.tokens[1].text, "bar");
+    EXPECT_EQ(lexed.tokens[1].col, 5);
+    EXPECT_EQ(lexed.tokens[2].text, "baz");
+    EXPECT_EQ(lexed.tokens[2].line, 2);
+    EXPECT_EQ(lexed.tokens[2].col, 3);
+}
+
+TEST(LintLexer, LineCommentsAreNotTokens)
+{
+    auto lexed = lex("a // memset(master_key)\nb");
+    ASSERT_EQ(lexed.tokens.size(), 2u);
+    EXPECT_EQ(lexed.tokens[0].text, "a");
+    EXPECT_EQ(lexed.tokens[1].text, "b");
+    ASSERT_EQ(lexed.comments.size(), 1u);
+    EXPECT_EQ(lexed.comments[0].line, 1);
+    EXPECT_NE(lexed.comments[0].text.find("memset"),
+              std::string::npos);
+}
+
+TEST(LintLexer, BlockCommentsSpanLines)
+{
+    auto lexed = lex("a /* one\ntwo */ b");
+    ASSERT_EQ(lexed.tokens.size(), 2u);
+    EXPECT_EQ(lexed.tokens[1].text, "b");
+    EXPECT_EQ(lexed.tokens[1].line, 2);
+    ASSERT_EQ(lexed.comments.size(), 1u);
+    EXPECT_EQ(lexed.comments[0].line, 1);
+}
+
+TEST(LintLexer, StringLiteralContentsNotTokenized)
+{
+    auto lexed = lex(R"lit(x = "memset(master_key, 0, 64)";)lit");
+    for (const auto &t : lexed.tokens)
+        EXPECT_NE(t.text, "memset");
+    // Escaped quote stays inside the literal.
+    auto esc = lex(R"lit(y = "a\"memset\"b"; z)lit");
+    ASSERT_FALSE(esc.tokens.empty());
+    EXPECT_EQ(esc.tokens.back().text, "z");
+}
+
+TEST(LintLexer, RawStringContentsNotTokenized)
+{
+    std::string src = "auto s = R\"lint(memset(master, 0, 4) "
+                      "\"inner\" )x\" )lint\"; tail";
+    auto lexed = lex(src);
+    bool saw_memset = false, saw_tail = false;
+    for (const auto &t : lexed.tokens) {
+        saw_memset |= t.text == "memset";
+        saw_tail |= t.text == "tail";
+    }
+    EXPECT_FALSE(saw_memset);
+    EXPECT_TRUE(saw_tail);
+}
+
+TEST(LintLexer, CharLiteralsAndDigitSeparators)
+{
+    auto lexed = lex("char c = 'x'; int n = 1'000'000; a");
+    EXPECT_EQ(lexed.tokens.back().text, "a");
+    bool saw_number = false;
+    for (const auto &t : lexed.tokens)
+        if (t.kind == TokKind::Number)
+            saw_number = t.text == "1'000'000";
+    EXPECT_TRUE(saw_number);
+}
+
+TEST(LintLexer, PreprocessorDirectiveIsOneToken)
+{
+    auto lexed = lex("#include <sys/time.h>\nint x;");
+    ASSERT_GE(lexed.tokens.size(), 1u);
+    EXPECT_EQ(lexed.tokens[0].kind, TokKind::Preprocessor);
+    // 'time' inside the include path must not be an identifier.
+    for (size_t i = 1; i < lexed.tokens.size(); ++i)
+        EXPECT_NE(lexed.tokens[i].text, "time");
+}
+
+TEST(LintLexer, PreprocessorContinuationJoined)
+{
+    auto lexed = lex("#define M(a) \\\n    (a + 1)\nint y;");
+    ASSERT_GE(lexed.tokens.size(), 2u);
+    EXPECT_EQ(lexed.tokens[0].kind, TokKind::Preprocessor);
+    EXPECT_NE(lexed.tokens[0].text.find("(a + 1)"),
+              std::string::npos);
+    EXPECT_EQ(lexed.tokens[1].text, "int");
+}
+
+// ---------------------------------------------------------------
+// secret-wipe.
+// ---------------------------------------------------------------
+
+TEST(LintRules, SecretWipePositive)
+{
+    auto f = lintOf("a.cc", R"(
+void scrub(unsigned char *master_key) {
+    std::memset(master_key, 0, 64);
+})");
+    ASSERT_EQ(countRule(f, "secret-wipe"), 1u);
+    EXPECT_EQ(f[0].line, 3);
+
+    auto g = lintOf("a.cc", "bzero(secret_buf, n);");
+    EXPECT_EQ(countRule(g, "secret-wipe"), 1u);
+
+    // The builtin spelling is just as elidable as the std one.
+    auto h = lintOf("a.cc", "__builtin_memset(master_key, 0, 64);");
+    EXPECT_EQ(countRule(h, "secret-wipe"), 1u);
+}
+
+TEST(LintRules, SecretWipeNegative)
+{
+    // Non-secret identifiers are fine to memset.
+    auto f = lintOf("a.cc", "std::memset(buffer, 0, n);");
+    EXPECT_EQ(countRule(f, "secret-wipe"), 0u);
+    // Mentions in comments and strings are not calls.
+    auto g = lintOf("a.cc",
+                    "// std::memset(master, 0, 64)\n"
+                    "const char *s = \"memset(master, 0, 64)\";");
+    EXPECT_EQ(countRule(g, "secret-wipe"), 0u);
+    // secureWipe itself is the fix, not a finding.
+    auto h = lintOf("a.cc", "secureWipe(master_key, 64);");
+    EXPECT_EQ(countRule(h, "secret-wipe"), 0u);
+}
+
+// ---------------------------------------------------------------
+// banned-api.
+// ---------------------------------------------------------------
+
+TEST(LintRules, BannedApiPositive)
+{
+    auto f = lintOf("a.cc", R"(
+int x = rand();
+char b[8]; sprintf(b, "%d", x);
+system("ls");
+char *p = new char[32];
+)");
+    EXPECT_EQ(countRule(f, "banned-api"), 4u);
+}
+
+TEST(LintRules, BannedApiNegative)
+{
+    auto f = lintOf("a.cc", R"(
+int random_value = myRandom();
+auto widget = new Widget();
+auto obj = new Thing(arg1, arg2);
+int srandom = 3; (void)srandom;
+snprintf(buf, sizeof(buf), "%d", 1);
+)");
+    EXPECT_EQ(countRule(f, "banned-api"), 0u);
+}
+
+// ---------------------------------------------------------------
+// no-wallclock-in-sim.
+// ---------------------------------------------------------------
+
+TEST(LintRules, WallclockPositive)
+{
+    auto f = lintOf("a.cc", R"(
+time_t t = time(nullptr);
+auto n = std::chrono::system_clock::now();
+std::random_device rd;
+)");
+    EXPECT_EQ(countRule(f, "no-wallclock-in-sim"), 3u);
+}
+
+TEST(LintRules, WallclockNegative)
+{
+    auto f = lintOf("a.cc", R"(
+auto t0 = std::chrono::steady_clock::now();
+engine.clock();
+sim.time(5);
+uint64_t sim_time = 7;
+)");
+    EXPECT_EQ(countRule(f, "no-wallclock-in-sim"), 0u);
+}
+
+// ---------------------------------------------------------------
+// include-hygiene.
+// ---------------------------------------------------------------
+
+TEST(LintRules, HeaderGuardMissing)
+{
+    auto f = lintOf("a.hh", "int x;\n");
+    EXPECT_EQ(countRule(f, "include-hygiene"), 1u);
+    // Same content in a .cc is fine.
+    auto g = lintOf("a.cc", "int x;\n");
+    EXPECT_EQ(countRule(g, "include-hygiene"), 0u);
+}
+
+TEST(LintRules, HeaderGuardVariantsAccepted)
+{
+    auto pragma = lintOf("a.hh", "#pragma once\nint x;\n");
+    EXPECT_EQ(countRule(pragma, "include-hygiene"), 0u);
+    auto classic = lintOf("a.hh",
+                          "#ifndef A_HH\n#define A_HH\nint x;\n"
+                          "#endif\n");
+    EXPECT_EQ(countRule(classic, "include-hygiene"), 0u);
+    // Guard macro mismatch is not a guard.
+    auto broken = lintOf("a.hh",
+                         "#ifndef A_HH\n#define OTHER_HH\nint x;\n"
+                         "#endif\n");
+    EXPECT_EQ(countRule(broken, "include-hygiene"), 1u);
+}
+
+TEST(LintRules, UsingNamespaceInHeader)
+{
+    std::string guarded = "#pragma once\nusing namespace std;\n";
+    auto f = lintOf("a.hh", guarded);
+    EXPECT_EQ(countRule(f, "include-hygiene"), 1u);
+    // In a .cc it is allowed (style handled elsewhere).
+    auto g = lintOf("a.cc", "using namespace std;\n");
+    EXPECT_EQ(countRule(g, "include-hygiene"), 0u);
+    // `using x = y;` aliases are fine in headers.
+    auto h = lintOf("a.hh", "#pragma once\nusing T = int;\n");
+    EXPECT_EQ(countRule(h, "include-hygiene"), 0u);
+}
+
+// ---------------------------------------------------------------
+// log-no-secrets.
+// ---------------------------------------------------------------
+
+TEST(LintRules, LogNoSecretsPositive)
+{
+    auto f = lintOf("a.cc",
+                    "cb_inform(\"key=%s\", toHex(master_key));");
+    EXPECT_EQ(countRule(f, "log-no-secrets"), 1u);
+    auto g = lintOf("a.cc", "LOG_INFO(\"%p\", secret_ptr);");
+    EXPECT_EQ(countRule(g, "log-no-secrets"), 1u);
+}
+
+TEST(LintRules, LogNoSecretsNegative)
+{
+    // Sizes and counts of key material are not key material.
+    auto f = lintOf(
+        "a.cc", "cb_inform(\"%zu keys\", mined_keys.size());");
+    EXPECT_EQ(countRule(f, "log-no-secrets"), 0u);
+    // Literals mentioning "key" are fine.
+    auto g = lintOf("a.cc", "cb_inform(\"master key recovered\");");
+    EXPECT_EQ(countRule(g, "log-no-secrets"), 0u);
+    // Non-logging calls are out of scope for this rule.
+    auto h = lintOf("a.cc", "store(master_key);");
+    EXPECT_EQ(countRule(h, "log-no-secrets"), 0u);
+}
+
+TEST(LintRules, LooksSecret)
+{
+    EXPECT_TRUE(looksSecret("master_key"));
+    EXPECT_TRUE(looksSecret("PassPhrase"));
+    EXPECT_TRUE(looksSecret("the_secret"));
+    EXPECT_FALSE(looksSecret("buffer"));
+    EXPECT_FALSE(looksSecret("recovered"));
+}
+
+// ---------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------
+
+TEST(LintSuppression, SameLineAndLineAbove)
+{
+    std::string same =
+        "std::memset(master_key, 0, 64); "
+        "// coldboot-lint: allow(secret-wipe) -- test fixture\n";
+    EXPECT_EQ(countRule(lintOf("a.cc", same), "secret-wipe"), 0u);
+
+    std::string above =
+        "// coldboot-lint: allow(secret-wipe) -- test fixture\n"
+        "std::memset(master_key, 0, 64);\n";
+    EXPECT_EQ(countRule(lintOf("a.cc", above), "secret-wipe"), 0u);
+}
+
+TEST(LintSuppression, WrongRuleDoesNotSuppress)
+{
+    std::string src =
+        "// coldboot-lint: allow(banned-api) -- wrong rule\n"
+        "std::memset(master_key, 0, 64);\n";
+    EXPECT_EQ(countRule(lintOf("a.cc", src), "secret-wipe"), 1u);
+}
+
+TEST(LintSuppression, TooFarAwayDoesNotSuppress)
+{
+    std::string src =
+        "// coldboot-lint: allow(secret-wipe) -- too far\n"
+        "int x;\n"
+        "std::memset(master_key, 0, 64);\n";
+    EXPECT_EQ(countRule(lintOf("a.cc", src), "secret-wipe"), 1u);
+}
+
+TEST(LintSuppression, MissingJustificationIsAFinding)
+{
+    std::string src =
+        "// coldboot-lint: allow(secret-wipe)\n"
+        "std::memset(master_key, 0, 64);\n";
+    auto f = lintOf("a.cc", src);
+    EXPECT_EQ(countRule(f, "bad-suppression"), 1u);
+    // And the malformed suppression does not waive the finding.
+    EXPECT_EQ(countRule(f, "secret-wipe"), 1u);
+}
+
+TEST(LintSuppression, UnknownRuleIsAFinding)
+{
+    std::string src =
+        "// coldboot-lint: allow(no-such-rule) -- why\nint x;\n";
+    EXPECT_EQ(countRule(lintOf("a.cc", src), "bad-suppression"), 1u);
+}
+
+TEST(LintSuppression, ProseMentionIsNotASuppression)
+{
+    std::string src =
+        "// see the coldboot-lint: allow(secret-wipe) syntax\n"
+        "int x;\n";
+    EXPECT_EQ(countRule(lintOf("a.cc", src), "bad-suppression"), 0u);
+}
+
+// ---------------------------------------------------------------
+// Rule catalog and disabling.
+// ---------------------------------------------------------------
+
+TEST(LintRules, CatalogKnowsEveryRule)
+{
+    EXPECT_GE(ruleCatalog().size(), 6u);
+    EXPECT_TRUE(isKnownRule("secret-wipe"));
+    EXPECT_TRUE(isKnownRule("banned-api"));
+    EXPECT_TRUE(isKnownRule("no-wallclock-in-sim"));
+    EXPECT_TRUE(isKnownRule("include-hygiene"));
+    EXPECT_TRUE(isKnownRule("log-no-secrets"));
+    EXPECT_TRUE(isKnownRule("bad-suppression"));
+    EXPECT_FALSE(isKnownRule("no-such-rule"));
+}
+
+TEST(LintRules, DisabledRuleProducesNothing)
+{
+    std::string src = "std::memset(master_key, 0, 64);";
+    auto f = lintSource("a.cc", src, {"secret-wipe"});
+    EXPECT_EQ(countRule(f, "secret-wipe"), 0u);
+}
+
+// ---------------------------------------------------------------
+// Tree walking and per-directory config.
+// ---------------------------------------------------------------
+
+class LintTreeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        root = fs::temp_directory_path() / "coldboot_lint_gtest";
+        fs::remove_all(root);
+        fs::create_directories(root / "src");
+    }
+
+    void TearDown() override { fs::remove_all(root); }
+
+    void
+    write(const std::string &rel, const std::string &content)
+    {
+        fs::path p = root / rel;
+        fs::create_directories(p.parent_path());
+        std::ofstream out(p);
+        out << content;
+    }
+
+    fs::path root;
+};
+
+TEST_F(LintTreeTest, FindsViolationsWithRelativePaths)
+{
+    write("src/bad.cc", "std::memset(master_key, 0, 64);\n");
+    write("src/good.cc", "int x;\n");
+
+    LintOptions options;
+    options.root = root.string();
+    options.paths = {"src"};
+    auto result = lintTree(options);
+    ASSERT_FALSE(result.internal_error);
+    EXPECT_EQ(result.files_scanned, 2u);
+    ASSERT_EQ(result.findings.size(), 1u);
+    EXPECT_EQ(result.findings[0].file, "src/bad.cc");
+    EXPECT_EQ(result.findings[0].rule, "secret-wipe");
+    EXPECT_EQ(result.findings[0].line, 1);
+}
+
+TEST_F(LintTreeTest, PerDirectoryConfigDisables)
+{
+    write("src/.coldboot-lint", "# config\ndisable secret-wipe\n");
+    write("src/bad.cc", "std::memset(master_key, 0, 64);\n");
+
+    LintOptions options;
+    options.root = root.string();
+    options.paths = {"src"};
+    auto result = lintTree(options);
+    ASSERT_FALSE(result.internal_error);
+    EXPECT_TRUE(result.findings.empty());
+}
+
+TEST_F(LintTreeTest, ConfigFileSubstringScopesTheDisable)
+{
+    write("src/.coldboot-lint", "disable secret-wipe smoke_\n");
+    write("src/smoke_a.cc", "std::memset(master_key, 0, 64);\n");
+    write("src/real.cc", "std::memset(master_key, 0, 64);\n");
+
+    LintOptions options;
+    options.root = root.string();
+    options.paths = {"src"};
+    auto result = lintTree(options);
+    ASSERT_FALSE(result.internal_error);
+    ASSERT_EQ(result.findings.size(), 1u);
+    EXPECT_EQ(result.findings[0].file, "src/real.cc");
+}
+
+TEST_F(LintTreeTest, ConfigAppliesToSubdirectories)
+{
+    write(".coldboot-lint", "disable secret-wipe\n");
+    write("src/deep/bad.cc", "std::memset(master_key, 0, 64);\n");
+
+    LintOptions options;
+    options.root = root.string();
+    options.paths = {"src"};
+    auto result = lintTree(options);
+    ASSERT_FALSE(result.internal_error);
+    EXPECT_TRUE(result.findings.empty());
+}
+
+TEST_F(LintTreeTest, BrokenConfigIsInternalError)
+{
+    write("src/.coldboot-lint", "disable no-such-rule\n");
+    write("src/a.cc", "int x;\n");
+
+    LintOptions options;
+    options.root = root.string();
+    options.paths = {"src"};
+    auto result = lintTree(options);
+    EXPECT_TRUE(result.internal_error);
+    EXPECT_NE(result.error_message.find("unknown rule"),
+              std::string::npos);
+}
+
+TEST_F(LintTreeTest, MissingPathIsInternalError)
+{
+    LintOptions options;
+    options.root = root.string();
+    options.paths = {"nope"};
+    auto result = lintTree(options);
+    EXPECT_TRUE(result.internal_error);
+}
+
+TEST_F(LintTreeTest, NonSourceFilesIgnored)
+{
+    write("src/notes.md", "std::memset(master_key, 0, 64);\n");
+    write("src/data.json", "{\"memset\": \"master_key\"}\n");
+
+    LintOptions options;
+    options.root = root.string();
+    options.paths = {"src"};
+    auto result = lintTree(options);
+    ASSERT_FALSE(result.internal_error);
+    EXPECT_EQ(result.files_scanned, 0u);
+    EXPECT_TRUE(result.findings.empty());
+}
+
+// ---------------------------------------------------------------
+// Emitters, round-tripped through the in-tree JSON parser.
+// ---------------------------------------------------------------
+
+namespace
+{
+
+LintResult
+sampleResult()
+{
+    LintResult r;
+    r.files_scanned = 2;
+    r.findings.push_back({"secret-wipe", "src/a.cc", 3, 10,
+                          "memset on 'master_key' may be optimized "
+                          "away; use secureWipe()"});
+    r.findings.push_back({"banned-api", "src/b\"quote.cc", 7, 1,
+                          "'sprintf' is banned: \"why\""});
+    return r;
+}
+
+} // anonymous namespace
+
+TEST(LintEmit, TextFormat)
+{
+    auto text = emitText(sampleResult());
+    EXPECT_NE(text.find("src/a.cc:3:10: [secret-wipe]"),
+              std::string::npos);
+    EXPECT_NE(text.find("2 file(s) scanned, 2 finding(s)"),
+              std::string::npos);
+}
+
+TEST(LintEmit, JsonRoundTrip)
+{
+    auto parsed = obs::json::parse(emitJson(sampleResult()));
+    ASSERT_TRUE(parsed.has_value());
+    const auto *tool = parsed->find("tool");
+    ASSERT_NE(tool, nullptr);
+    EXPECT_EQ(tool->str, "coldboot-lint");
+    const auto *version = parsed->find("version");
+    ASSERT_NE(version, nullptr);
+    EXPECT_EQ(version->str, lintVersion());
+    const auto *scanned = parsed->find("files_scanned");
+    ASSERT_NE(scanned, nullptr);
+    EXPECT_EQ(scanned->number, 2.0);
+
+    const auto *findings = parsed->find("findings");
+    ASSERT_NE(findings, nullptr);
+    ASSERT_TRUE(findings->isArray());
+    ASSERT_EQ(findings->array.size(), 2u);
+    const auto &f0 = findings->array[0];
+    EXPECT_EQ(f0.find("rule")->str, "secret-wipe");
+    EXPECT_EQ(f0.find("file")->str, "src/a.cc");
+    EXPECT_EQ(f0.find("line")->number, 3.0);
+    EXPECT_EQ(f0.find("col")->number, 10.0);
+    // The escaped quote in the second finding must survive.
+    const auto &f1 = findings->array[1];
+    EXPECT_EQ(f1.find("file")->str, "src/b\"quote.cc");
+    EXPECT_NE(f1.find("message")->str.find("\"why\""),
+              std::string::npos);
+}
+
+TEST(LintEmit, SarifRoundTrip)
+{
+    auto parsed = obs::json::parse(emitSarif(sampleResult()));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->find("version")->str, "2.1.0");
+
+    const auto *runs = parsed->find("runs");
+    ASSERT_NE(runs, nullptr);
+    ASSERT_EQ(runs->array.size(), 1u);
+    const auto &run = runs->array[0];
+
+    const auto &driver = *run.find("tool")->find("driver");
+    EXPECT_EQ(driver.find("name")->str, "coldboot-lint");
+    // Every catalog rule is declared.
+    EXPECT_EQ(driver.find("rules")->array.size(),
+              ruleCatalog().size());
+
+    const auto *results = run.find("results");
+    ASSERT_NE(results, nullptr);
+    ASSERT_EQ(results->array.size(), 2u);
+    const auto &r0 = results->array[0];
+    EXPECT_EQ(r0.find("ruleId")->str, "secret-wipe");
+    EXPECT_EQ(r0.find("level")->str, "error");
+    const auto &loc =
+        *r0.find("locations")->array[0].find("physicalLocation");
+    EXPECT_EQ(loc.find("artifactLocation")->find("uri")->str,
+              "src/a.cc");
+    EXPECT_EQ(loc.find("region")->find("startLine")->number, 3.0);
+    EXPECT_EQ(loc.find("region")->find("startColumn")->number, 10.0);
+}
+
+TEST(LintEmit, EmptyResultIsCleanJson)
+{
+    LintResult empty;
+    auto parsed = obs::json::parse(emitJson(empty));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->find("findings")->array.empty());
+    auto sarif = obs::json::parse(emitSarif(empty));
+    ASSERT_TRUE(sarif.has_value());
+    EXPECT_TRUE(sarif->find("runs")
+                    ->array[0]
+                    .find("results")
+                    ->array.empty());
+}
+
+// ---------------------------------------------------------------
+// The real tree must be clean (mirrors the lint_tree ctest, but
+// through the library API so failures show in unit-test output).
+// ---------------------------------------------------------------
+
+TEST(LintTree, RealTreeIsClean)
+{
+    // The source tree location is baked in by CMake.
+#ifdef COLDBOOT_SOURCE_DIR
+    LintOptions options;
+    options.root = COLDBOOT_SOURCE_DIR;
+    auto result = lintTree(options);
+    ASSERT_FALSE(result.internal_error) << result.error_message;
+    EXPECT_GT(result.files_scanned, 100u);
+    EXPECT_TRUE(result.findings.empty()) << emitText(result);
+#else
+    GTEST_SKIP() << "COLDBOOT_SOURCE_DIR not defined";
+#endif
+}

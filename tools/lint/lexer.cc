@@ -1,0 +1,257 @@
+#include "lint/lexer.hh"
+
+#include <cctype>
+
+namespace coldboot::lint
+{
+
+namespace
+{
+
+/** Cursor over the source with line/column bookkeeping. */
+struct Cursor
+{
+    std::string_view src;
+    size_t pos = 0;
+    int line = 1;
+    int col = 1;
+
+    bool done() const { return pos >= src.size(); }
+    char peek(size_t ahead = 0) const
+    {
+        return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = src[pos++];
+        if (c == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+        return c;
+    }
+};
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identCont(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Consume a quoted literal body; handles \-escapes, stops at EOL. */
+std::string
+consumeQuoted(Cursor &cur, char quote)
+{
+    std::string body;
+    while (!cur.done()) {
+        char c = cur.peek();
+        if (c == '\\' && cur.pos + 1 < cur.src.size()) {
+            body.push_back(cur.advance());
+            body.push_back(cur.advance());
+            continue;
+        }
+        if (c == quote) {
+            cur.advance();
+            break;
+        }
+        if (c == '\n')
+            break; // unterminated; tolerate and resync
+        body.push_back(cur.advance());
+    }
+    return body;
+}
+
+/** Consume R"delim( ... )delim" after the opening quote. */
+std::string
+consumeRawString(Cursor &cur)
+{
+    // cur sits just past the '"'. Read the delimiter.
+    std::string delim;
+    while (!cur.done() && cur.peek() != '(' && cur.peek() != '\n' &&
+           delim.size() < 16)
+        delim.push_back(cur.advance());
+    if (cur.peek() == '(')
+        cur.advance();
+    std::string closer = ")" + delim + "\"";
+    std::string body;
+    while (!cur.done()) {
+        if (cur.src.compare(cur.pos, closer.size(), closer) == 0) {
+            for (size_t i = 0; i < closer.size(); ++i)
+                cur.advance();
+            break;
+        }
+        body.push_back(cur.advance());
+    }
+    return body;
+}
+
+/** String-literal prefixes whose next char may be a quote. */
+bool
+isStringPrefix(const std::string &ident, bool &raw)
+{
+    raw = ident == "R" || ident == "u8R" || ident == "uR" ||
+          ident == "LR" || ident == "UR";
+    return raw || ident == "u8" || ident == "u" || ident == "L" ||
+           ident == "U";
+}
+
+} // anonymous namespace
+
+LexResult
+lex(std::string_view source)
+{
+    LexResult out;
+    Cursor cur{source};
+    bool at_line_start = true; // only whitespace seen on this line
+
+    while (!cur.done()) {
+        char c = cur.peek();
+        int tok_line = cur.line;
+        int tok_col = cur.col;
+
+        // Whitespace.
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n' ||
+            c == '\f' || c == '\v') {
+            if (c == '\n')
+                at_line_start = true;
+            cur.advance();
+            continue;
+        }
+
+        // Comments.
+        if (c == '/' && cur.peek(1) == '/') {
+            cur.advance();
+            cur.advance();
+            std::string body;
+            while (!cur.done() && cur.peek() != '\n')
+                body.push_back(cur.advance());
+            out.comments.push_back({body, tok_line});
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            cur.advance();
+            cur.advance();
+            std::string body;
+            while (!cur.done()) {
+                if (cur.peek() == '*' && cur.peek(1) == '/') {
+                    cur.advance();
+                    cur.advance();
+                    break;
+                }
+                body.push_back(cur.advance());
+            }
+            out.comments.push_back({body, tok_line});
+            continue;
+        }
+
+        // Preprocessor directive: '#' first on the line; join
+        // backslash continuations into one token.
+        if (c == '#' && at_line_start) {
+            std::string text;
+            while (!cur.done()) {
+                char d = cur.peek();
+                if (d == '\n') {
+                    if (!text.empty() && text.back() == '\\') {
+                        text.pop_back();
+                        text.push_back(' ');
+                        cur.advance();
+                        continue;
+                    }
+                    break;
+                }
+                if (d == '/' && cur.peek(1) == '/')
+                    break; // trailing comment; next loop collects it
+                text.push_back(cur.advance());
+            }
+            out.tokens.push_back(
+                {TokKind::Preprocessor, text, tok_line, tok_col});
+            at_line_start = false;
+            continue;
+        }
+        at_line_start = false;
+
+        // Identifiers (and string-literal prefixes).
+        if (identStart(c)) {
+            std::string ident;
+            while (!cur.done() && identCont(cur.peek()))
+                ident.push_back(cur.advance());
+            bool raw = false;
+            if (cur.peek() == '"' && isStringPrefix(ident, raw)) {
+                cur.advance(); // opening quote
+                std::string body = raw ? consumeRawString(cur)
+                                       : consumeQuoted(cur, '"');
+                out.tokens.push_back(
+                    {TokKind::String, body, tok_line, tok_col});
+                continue;
+            }
+            if (cur.peek() == '\'' &&
+                (ident == "u8" || ident == "u" || ident == "L" ||
+                 ident == "U")) {
+                cur.advance();
+                std::string body = consumeQuoted(cur, '\'');
+                out.tokens.push_back(
+                    {TokKind::CharLit, body, tok_line, tok_col});
+                continue;
+            }
+            out.tokens.push_back(
+                {TokKind::Identifier, ident, tok_line, tok_col});
+            continue;
+        }
+
+        // Numbers (digit separators, hex, exponents).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(cur.peek(1))))) {
+            std::string num;
+            while (!cur.done()) {
+                char d = cur.peek();
+                if (identCont(d) || d == '.' || d == '\'') {
+                    num.push_back(cur.advance());
+                    if ((d == 'e' || d == 'E' || d == 'p' ||
+                         d == 'P') &&
+                        (cur.peek() == '+' || cur.peek() == '-'))
+                        num.push_back(cur.advance());
+                    continue;
+                }
+                break;
+            }
+            out.tokens.push_back(
+                {TokKind::Number, num, tok_line, tok_col});
+            continue;
+        }
+
+        // Plain string and char literals.
+        if (c == '"') {
+            cur.advance();
+            std::string body = consumeQuoted(cur, '"');
+            out.tokens.push_back(
+                {TokKind::String, body, tok_line, tok_col});
+            continue;
+        }
+        if (c == '\'') {
+            cur.advance();
+            std::string body = consumeQuoted(cur, '\'');
+            out.tokens.push_back(
+                {TokKind::CharLit, body, tok_line, tok_col});
+            continue;
+        }
+
+        // Everything else: one punctuation character per token.
+        cur.advance();
+        out.tokens.push_back(
+            {TokKind::Punct, std::string(1, c), tok_line, tok_col});
+    }
+    return out;
+}
+
+} // namespace coldboot::lint

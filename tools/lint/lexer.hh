@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal C++ tokenizer for coldboot-lint.
+ *
+ * Not a compiler front end: the rule engine only needs a faithful
+ * stream of identifiers, punctuation and preprocessor directives with
+ * accurate line/column positions, plus the guarantee that nothing
+ * inside comments, string literals (including raw strings), or char
+ * literals ever reaches a rule. Comments are collected separately so
+ * the engine can honor `// coldboot-lint: allow(<rule>) -- why`
+ * suppressions.
+ */
+
+#ifndef COLDBOOT_TOOLS_LINT_LEXER_HH
+#define COLDBOOT_TOOLS_LINT_LEXER_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coldboot::lint
+{
+
+/** Token classification; exactly what the rules need, nothing more. */
+enum class TokKind {
+    Identifier,   ///< identifiers and keywords
+    Number,       ///< numeric literals (incl. digit separators)
+    String,       ///< string literal (text is the decoded-ish body)
+    CharLit,      ///< character literal
+    Punct,        ///< single punctuation character
+    Preprocessor, ///< one whole directive (continuations joined)
+};
+
+/** One token with its source position (1-based line and column). */
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line = 0;
+    int col = 0;
+};
+
+/** One comment (line or block), for suppression scanning. */
+struct Comment
+{
+    std::string text; ///< body without the // or /* */ markers
+    int line = 0;     ///< line the comment starts on
+};
+
+/** Tokenization result: token stream plus the comment sidecar. */
+struct LexResult
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+};
+
+/**
+ * Tokenize @p source. Never fails: unterminated literals are
+ * consumed to end of line/file, unknown bytes become Punct tokens.
+ */
+LexResult lex(std::string_view source);
+
+} // namespace coldboot::lint
+
+#endif // COLDBOOT_TOOLS_LINT_LEXER_HH

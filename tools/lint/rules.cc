@@ -1,0 +1,371 @@
+#include "lint/rules.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace coldboot::lint
+{
+
+namespace
+{
+
+const std::vector<RuleInfo> catalog = {
+    {"secret-wipe",
+     "memset/bzero on key-material identifiers can be elided by the "
+     "optimizer; use secureWipe() from common/secure.hh"},
+    {"banned-api",
+     "rand/strcpy/sprintf/gets/system and raw new[] are "
+     "non-deterministic or overflow-prone"},
+    {"no-wallclock-in-sim",
+     "wall-clock time and OS entropy break seeded determinism; use "
+     "common/rng and steady_clock"},
+    {"include-hygiene",
+     "headers need an include guard and must not contain "
+     "'using namespace'"},
+    {"log-no-secrets",
+     "key-material identifiers must not be passed to logging calls"},
+    {"bad-suppression",
+     "malformed 'coldboot-lint: allow(<rule>) -- <why>' comment"},
+};
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(), [](char c) {
+        return static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    });
+    return out;
+}
+
+bool
+isHeaderPath(const std::string &path)
+{
+    auto ends_with = [&](const char *suffix) {
+        std::string_view sv(suffix);
+        return path.size() >= sv.size() &&
+               path.compare(path.size() - sv.size(), sv.size(), sv) ==
+                   0;
+    };
+    return ends_with(".hh") || ends_with(".h") || ends_with(".hpp");
+}
+
+/** Index of the matching ')' for the '(' at @p open, or npos. */
+size_t
+matchParen(const std::vector<Token> &toks, size_t open)
+{
+    int depth = 0;
+    for (size_t i = open; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Punct)
+            continue;
+        if (toks[i].text == "(")
+            ++depth;
+        else if (toks[i].text == ")" && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+/** Is token @p i an identifier with text @p t followed by '(' ? */
+bool
+isCall(const std::vector<Token> &toks, size_t i, const char *t)
+{
+    return toks[i].kind == TokKind::Identifier && toks[i].text == t &&
+           i + 1 < toks.size() &&
+           toks[i + 1].kind == TokKind::Punct &&
+           toks[i + 1].text == "(";
+}
+
+/** Member access right before token @p i (foo.time() is not ::time). */
+bool
+precededByDot(const std::vector<Token> &toks, size_t i)
+{
+    return i > 0 && toks[i - 1].kind == TokKind::Punct &&
+           toks[i - 1].text == ".";
+}
+
+void
+ruleSecretWipe(const std::string &path, const std::vector<Token> &toks,
+               std::vector<Finding> &out)
+{
+    // explicit_bzero is deliberately absent: it is a guaranteed
+    // wipe, not an elidable one (just non-portable).
+    static const char *wipers[] = {"memset", "bzero",
+                                   "__builtin_memset"};
+    for (size_t i = 0; i < toks.size(); ++i) {
+        for (const char *fn : wipers) {
+            if (!isCall(toks, i, fn))
+                continue;
+            size_t close = matchParen(toks, i + 1);
+            if (close == std::string::npos)
+                continue;
+            for (size_t a = i + 2; a < close; ++a) {
+                if (toks[a].kind == TokKind::Identifier &&
+                    looksSecret(toks[a].text)) {
+                    out.push_back(
+                        {"secret-wipe", path, toks[i].line,
+                         toks[i].col,
+                         std::string(fn) + " on '" + toks[a].text +
+                             "' may be optimized away; use "
+                             "secureWipe() (common/secure.hh)"});
+                    break;
+                }
+            }
+        }
+    }
+}
+
+void
+ruleBannedApi(const std::string &path, const std::vector<Token> &toks,
+              std::vector<Finding> &out)
+{
+    static const struct
+    {
+        const char *fn;
+        const char *why;
+    } banned[] = {
+        {"rand", "not seedable per-experiment; use common/rng"},
+        {"srand", "global RNG state; use common/rng"},
+        {"strcpy", "unbounded copy; use std::string or std::copy"},
+        {"strcat", "unbounded append; use std::string"},
+        {"sprintf", "unbounded format; use snprintf or std::format"},
+        {"vsprintf", "unbounded format; use vsnprintf"},
+        {"gets", "unbounded read; use std::getline"},
+        {"system", "shell injection surface; spawn nothing"},
+    };
+    for (size_t i = 0; i < toks.size(); ++i) {
+        for (const auto &b : banned) {
+            if (isCall(toks, i, b.fn) && !precededByDot(toks, i)) {
+                out.push_back({"banned-api", path, toks[i].line,
+                               toks[i].col,
+                               std::string("'") + b.fn + "' is "
+                               "banned: " + b.why});
+            }
+        }
+        // Raw array new: `new T[n]` (vector/unique_ptr<T[]> instead).
+        if (toks[i].kind == TokKind::Identifier &&
+            toks[i].text == "new") {
+            for (size_t j = i + 1;
+                 j < toks.size() && j < i + 12; ++j) {
+                if (toks[j].kind == TokKind::Punct) {
+                    const std::string &p = toks[j].text;
+                    if (p == "[") {
+                        out.push_back(
+                            {"banned-api", path, toks[i].line,
+                             toks[i].col,
+                             "raw new[] is banned outside tests; "
+                             "use std::vector or "
+                             "std::unique_ptr<T[]>"});
+                        break;
+                    }
+                    if (p == "(" || p == ";" || p == ")" ||
+                        p == "{" || p == "=" || p == ",")
+                        break;
+                }
+            }
+        }
+    }
+}
+
+void
+ruleNoWallclock(const std::string &path, const std::vector<Token> &toks,
+                std::vector<Finding> &out)
+{
+    // Deliberately not "clock": the engine layer models cycle
+    // clocks with methods of that name, and ::clock() is CPU time,
+    // not wall time.
+    static const char *calls[] = {
+        "time",      "gettimeofday", "clock_gettime",
+        "localtime", "localtime_r",  "gmtime",
+        "gmtime_r",  "strftime",     "ftime",
+        "timespec_get",
+    };
+    static const char *types[] = {"system_clock", "random_device",
+                                  "high_resolution_clock"};
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Identifier)
+            continue;
+        for (const char *fn : calls) {
+            if (isCall(toks, i, fn) && !precededByDot(toks, i)) {
+                out.push_back(
+                    {"no-wallclock-in-sim", path, toks[i].line,
+                     toks[i].col,
+                     std::string("'") + fn + "' reads the wall "
+                     "clock; simulation must be deterministic "
+                     "(steady_clock for durations, common/rng for "
+                     "entropy)"});
+            }
+        }
+        for (const char *ty : types) {
+            if (toks[i].text == ty) {
+                out.push_back(
+                    {"no-wallclock-in-sim", path, toks[i].line,
+                     toks[i].col,
+                     std::string("'") + ty + "' breaks seeded "
+                     "determinism; use steady_clock / common/rng"});
+            }
+        }
+    }
+}
+
+void
+ruleIncludeHygiene(const std::string &path,
+                   const std::vector<Token> &toks,
+                   std::vector<Finding> &out)
+{
+    if (!isHeaderPath(path))
+        return;
+
+    // Guard check over the preprocessor directives.
+    std::vector<const Token *> directives;
+    for (const auto &t : toks)
+        if (t.kind == TokKind::Preprocessor)
+            directives.push_back(&t);
+
+    auto directive_word = [](const Token &t, size_t n) {
+        // n-th whitespace-separated word after '#'.
+        std::string_view sv(t.text);
+        std::vector<std::string> words;
+        size_t i = 0;
+        while (i < sv.size() && words.size() <= n + 1) {
+            while (i < sv.size() &&
+                   (sv[i] == ' ' || sv[i] == '\t' || sv[i] == '#'))
+                ++i;
+            size_t start = i;
+            while (i < sv.size() && sv[i] != ' ' && sv[i] != '\t')
+                ++i;
+            if (i > start)
+                words.emplace_back(sv.substr(start, i - start));
+        }
+        return n < words.size() ? words[n] : std::string();
+    };
+
+    bool guarded = false;
+    for (size_t d = 0; d < directives.size() && !guarded; ++d) {
+        const std::string w0 = directive_word(*directives[d], 0);
+        if (w0 == "pragma" &&
+            directive_word(*directives[d], 1) == "once")
+            guarded = true;
+        if (w0 == "ifndef" && d + 1 < directives.size() &&
+            directive_word(*directives[d + 1], 0) == "define" &&
+            directive_word(*directives[d], 1) ==
+                directive_word(*directives[d + 1], 1) &&
+            !directive_word(*directives[d], 1).empty())
+            guarded = true;
+    }
+    if (!guarded)
+        out.push_back({"include-hygiene", path, 1, 1,
+                       "header has no include guard (#pragma once "
+                       "or #ifndef/#define pair)"});
+
+    // `using namespace` in a header leaks into every includer.
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind == TokKind::Identifier &&
+            toks[i].text == "using" &&
+            toks[i + 1].kind == TokKind::Identifier &&
+            toks[i + 1].text == "namespace") {
+            out.push_back({"include-hygiene", path, toks[i].line,
+                           toks[i].col,
+                           "'using namespace' in a header pollutes "
+                           "every includer; qualify names instead"});
+        }
+    }
+}
+
+void
+ruleLogNoSecrets(const std::string &path,
+                 const std::vector<Token> &toks,
+                 std::vector<Finding> &out)
+{
+    auto is_log_fn = [](const std::string &t) {
+        return t == "cb_inform" || t == "cb_warn" || t == "cb_fatal" ||
+               t == "cb_panic" ||
+               (t.size() > 4 && t.compare(0, 4, "LOG_") == 0);
+    };
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Identifier ||
+            !is_log_fn(toks[i].text))
+            continue;
+        if (i + 1 >= toks.size() ||
+            toks[i + 1].kind != TokKind::Punct ||
+            toks[i + 1].text != "(")
+            continue;
+        size_t close = matchParen(toks, i + 1);
+        if (close == std::string::npos)
+            continue;
+        for (size_t a = i + 2; a < close; ++a) {
+            if (toks[a].kind != TokKind::Identifier ||
+                !looksSecret(toks[a].text))
+                continue;
+            // Logging a size/count of key material is fine; only
+            // the bytes themselves are secret.
+            if (a + 2 < close && toks[a + 1].kind == TokKind::Punct &&
+                toks[a + 1].text == "." &&
+                toks[a + 2].kind == TokKind::Identifier &&
+                (toks[a + 2].text == "size" ||
+                 toks[a + 2].text == "empty" ||
+                 toks[a + 2].text == "length" ||
+                 toks[a + 2].text == "count"))
+                continue;
+            // Report at the call so a suppression comment above the
+            // (possibly multi-line) call covers it.
+            out.push_back(
+                {"log-no-secrets", path, toks[i].line, toks[i].col,
+                 "'" + toks[a].text + "' looks like key material; "
+                 "never pass secrets to " + toks[i].text + "()"});
+        }
+    }
+}
+
+} // anonymous namespace
+
+const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    return catalog;
+}
+
+bool
+isKnownRule(const std::string &id)
+{
+    for (const auto &r : catalog)
+        if (id == r.id)
+            return true;
+    return false;
+}
+
+bool
+looksSecret(const std::string &ident)
+{
+    const std::string low = lowered(ident);
+    static const char *patterns[] = {"key", "secret", "master",
+                                     "passphrase", "password"};
+    for (const char *p : patterns)
+        if (low.find(p) != std::string::npos)
+            return true;
+    return false;
+}
+
+std::vector<Finding>
+runRules(const std::string &path, const LexResult &lex,
+         const std::set<std::string> &disabled)
+{
+    std::vector<Finding> out;
+    auto enabled = [&](const char *rule) {
+        return disabled.find(rule) == disabled.end();
+    };
+    if (enabled("secret-wipe"))
+        ruleSecretWipe(path, lex.tokens, out);
+    if (enabled("banned-api"))
+        ruleBannedApi(path, lex.tokens, out);
+    if (enabled("no-wallclock-in-sim"))
+        ruleNoWallclock(path, lex.tokens, out);
+    if (enabled("include-hygiene"))
+        ruleIncludeHygiene(path, lex.tokens, out);
+    if (enabled("log-no-secrets"))
+        ruleLogNoSecrets(path, lex.tokens, out);
+    return out;
+}
+
+} // namespace coldboot::lint

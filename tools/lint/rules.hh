@@ -1,0 +1,80 @@
+/**
+ * @file
+ * coldboot-lint rule catalog and rule engine.
+ *
+ * Each rule enforces one project invariant (see README "Static
+ * analysis" for the catalog with rationale):
+ *
+ *   secret-wipe         memset/bzero on key-material identifiers -
+ *                       dead-store elimination can skip the wipe; use
+ *                       secureWipe() from common/secure.hh.
+ *   banned-api          rand/strcpy/sprintf/gets/system and raw
+ *                       new[]: non-deterministic, overflow-prone, or
+ *                       both.
+ *   no-wallclock-in-sim time()/system_clock/random_device outside
+ *                       the allowed zones - the simulator must stay
+ *                       deterministic given a seed.
+ *   include-hygiene     headers need an include guard (#pragma once
+ *                       or #ifndef/#define) and must not contain
+ *                       `using namespace`.
+ *   log-no-secrets      key-material identifiers may not be passed
+ *                       to cb_* logging / LOG_* calls.
+ *   bad-suppression     malformed `coldboot-lint: allow(...)`
+ *                       comments (wrong syntax, unknown rule, or
+ *                       missing justification).
+ */
+
+#ifndef COLDBOOT_TOOLS_LINT_RULES_HH
+#define COLDBOOT_TOOLS_LINT_RULES_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hh"
+
+namespace coldboot::lint
+{
+
+/** One rule violation. */
+struct Finding
+{
+    std::string rule;
+    std::string file; ///< path as given to the engine
+    int line = 0;
+    int col = 0;
+    std::string message;
+};
+
+/** Catalog entry: stable rule id plus a one-line description. */
+struct RuleInfo
+{
+    const char *id;
+    const char *description;
+};
+
+/** All rules, in catalog order (includes bad-suppression). */
+const std::vector<RuleInfo> &ruleCatalog();
+
+/** Whether @p id names a rule in the catalog. */
+bool isKnownRule(const std::string &id);
+
+/**
+ * Whether @p ident looks like key material (contains key / secret /
+ * master / passphrase / password, case-insensitive). Shared by
+ * secret-wipe and log-no-secrets.
+ */
+bool looksSecret(const std::string &ident);
+
+/**
+ * Run every rule not in @p disabled over one file's token stream.
+ * @p path is used for reporting and for the header-only rules
+ * (include-hygiene applies to .h/.hh/.hpp files).
+ */
+std::vector<Finding> runRules(const std::string &path,
+                              const LexResult &lex,
+                              const std::set<std::string> &disabled);
+
+} // namespace coldboot::lint
+
+#endif // COLDBOOT_TOOLS_LINT_RULES_HH
