@@ -3,14 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <numeric>
 #include <optional>
 #include <set>
-#include <thread>
 
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "attack/litmus.hh"
+#include "exec/thread_pool.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 
@@ -220,9 +221,10 @@ namespace
  * verifies.
  */
 std::optional<RecoveredAesKey>
-reconstructAt(const platform::MemoryImage &dump,
+reconstructAt(const exec::DumpSource &dump,
               const std::vector<MinedKey> &keys, uint64_t table_off,
-              const SearchParams &params, SearchStats &stats)
+              const SearchParams &params, SearchStats &stats,
+              exec::ChunkBuffer &buf)
 {
     unsigned nk = aesNk(params.key_size);
     unsigned sched_bytes =
@@ -245,9 +247,9 @@ reconstructAt(const platform::MemoryImage &dump,
         unsigned p = static_cast<unsigned>((b - table_off) / 4);
         uint32_t words[16];
         unsigned errors = 0;
-        size_t k = bestKeyForFullBlock(dump.bytes().subspan(b, 64),
-                                       keys, p, nk, total_words,
-                                       words, errors);
+        size_t k = bestKeyForFullBlock(dump.chunk(b, 64, buf), keys,
+                                       p, nk, total_words, words,
+                                       errors);
         stats.descramble_attempts += keys.size();
         if (k == SIZE_MAX || errors > 4 * params.litmus_max_bit_errors) {
             assembly_ok = false;
@@ -315,8 +317,9 @@ reconstructAt(const platform::MemoryImage &dump,
         uint64_t hi = std::min(b + 64,
                                table_off + sched_bytes);
         unsigned best_dist = ~0u;
+        auto raw = dump.chunk(b, 64, buf);
         for (const auto &mk : keys) {
-            descramble(dump.bytes().subspan(b, 64), mk.key, plain);
+            descramble(raw, mk.key, plain);
             unsigned dist = 0;
             for (uint64_t byte = lo; byte < hi; ++byte) {
                 dist += static_cast<unsigned>(std::popcount(
@@ -353,7 +356,7 @@ reconstructAt(const platform::MemoryImage &dump,
 } // anonymous namespace
 
 std::vector<RecoveredAesKey>
-searchAesKeyTables(const platform::MemoryImage &dump,
+searchAesKeyTables(const exec::DumpSource &dump,
                    const std::vector<MinedKey> &candidate_keys,
                    const SearchParams &params, SearchStats *stats)
 {
@@ -381,71 +384,85 @@ searchAesKeyTables(const platform::MemoryImage &dump,
                 aesWordFromBytes(&candidate_keys[k].key[4 * i]);
 
     // Phase 1 - scan. The scan is embarrassingly parallel (the paper
-    // notes the search "is fully parallelizable"); each worker owns a
-    // contiguous range of blocks and emits raw litmus hits.
+    // notes the search "is fully parallelizable"); it runs chunked
+    // on the work-stealing pool and the per-chunk hit lists are
+    // concatenated in ascending dump order, so the hit sequence -
+    // and everything derived from it - is byte-identical to a serial
+    // scan for any worker count.
     struct Hit
     {
         uint64_t off;
         unsigned start_word;
     };
-    unsigned nthreads = std::max(1u, params.threads);
-    std::vector<std::vector<Hit>> hits_per_thread(nthreads);
-    std::vector<uint64_t> scanned_per_thread(nthreads, 0);
-    std::vector<uint64_t> attempts_per_thread(nthreads, 0);
-
-    uint64_t total_blocks = (end - begin) / 64;
-    auto scan_range = [&](unsigned tid) {
-        uint64_t first = begin + (total_blocks * tid / nthreads) * 64;
-        uint64_t last =
-            begin + (total_blocks * (tid + 1) / nthreads) * 64;
-        auto &hits = hits_per_thread[tid];
-        for (uint64_t off = first; off + 64 <= last; off += 64) {
-            ++scanned_per_thread[tid];
-            auto raw = dump.bytes().subspan(off, 64);
-            if (isConstantBlock(raw))
-                continue;
-            uint32_t raw_words[16];
-            for (unsigned i = 0; i < 16; ++i)
-                raw_words[i] = aesWordFromBytes(&raw[4 * i]);
-            for (size_t ki = 0; ki < candidate_keys.size(); ++ki) {
-                ++attempts_per_thread[tid];
-                uint32_t plain_words[16];
-                unsigned weight = 0;
-                for (unsigned i = 0; i < 16; ++i) {
-                    plain_words[i] = raw_words[i] ^ key_words[ki][i];
-                    weight += static_cast<unsigned>(
-                        std::popcount(plain_words[i]));
-                }
-                // Entropy guard (see plausibleScheduleEntropy):
-                // rejects zero blocks, heap zeros, padding and text.
-                if (weight < 180 || weight > 332)
-                    continue;
-                auto hit = aesKeyLitmusWords(
-                    plain_words, params.key_size,
-                    params.litmus_max_bit_errors,
-                    params.litmus_max_bits_per_check);
-                if (hit)
-                    hits.push_back({off, hit->start_word});
-            }
-        }
+    struct ChunkScan
+    {
+        std::vector<Hit> hits;
+        uint64_t blocks_scanned = 0;
+        uint64_t attempts = 0;
     };
+    std::vector<Hit> all_hits;
+
+    // params.threads: 0 = the shared global pool, 1 = serial
+    // in-line, N > 1 = a dedicated pool of N workers.
+    std::unique_ptr<exec::ThreadPool> own_pool;
+    if (params.threads > 1)
+        own_pool = std::make_unique<exec::ThreadPool>(params.threads);
+    bool sequential = params.threads == 1;
+    constexpr uint64_t kScanGrain = 1ull << 20;
 
     {
         obs::ScopedSpan span("search.scan");
-        if (nthreads == 1) {
-            scan_range(0);
-        } else {
-            std::vector<std::thread> workers;
-            for (unsigned tid = 0; tid < nthreads; ++tid)
-                workers.emplace_back(scan_range, tid);
-            for (auto &w : workers)
-                w.join();
-        }
-    }
-    for (unsigned tid = 0; tid < nthreads; ++tid) {
-        local.blocks_scanned += scanned_per_thread[tid];
-        local.descramble_attempts += attempts_per_thread[tid];
-        local.litmus_hits += hits_per_thread[tid].size();
+        exec::parallelMapReduceChunks<ChunkScan>(
+            begin, end, kScanGrain,
+            [&](const exec::ChunkRange &c) {
+                thread_local exec::ChunkBuffer buf;
+                dump.prefetch(c.begin, c.end - c.begin);
+                auto bytes =
+                    dump.chunk(c.begin, c.end - c.begin, buf);
+                ChunkScan out;
+                for (uint64_t off = 0; off + 64 <= bytes.size();
+                     off += 64) {
+                    ++out.blocks_scanned;
+                    auto raw = bytes.subspan(off, 64);
+                    if (isConstantBlock(raw))
+                        continue;
+                    uint32_t raw_words[16];
+                    for (unsigned i = 0; i < 16; ++i)
+                        raw_words[i] = aesWordFromBytes(&raw[4 * i]);
+                    for (size_t ki = 0; ki < candidate_keys.size();
+                         ++ki) {
+                        ++out.attempts;
+                        uint32_t plain_words[16];
+                        unsigned weight = 0;
+                        for (unsigned i = 0; i < 16; ++i) {
+                            plain_words[i] =
+                                raw_words[i] ^ key_words[ki][i];
+                            weight += static_cast<unsigned>(
+                                std::popcount(plain_words[i]));
+                        }
+                        // Entropy guard (plausibleScheduleEntropy):
+                        // rejects zero blocks, padding and text.
+                        if (weight < 180 || weight > 332)
+                            continue;
+                        auto hit = aesKeyLitmusWords(
+                            plain_words, params.key_size,
+                            params.litmus_max_bit_errors,
+                            params.litmus_max_bits_per_check);
+                        if (hit)
+                            out.hits.push_back(
+                                {c.begin + off, hit->start_word});
+                    }
+                }
+                return out;
+            },
+            [&](ChunkScan &&s, const exec::ChunkRange &) {
+                local.blocks_scanned += s.blocks_scanned;
+                local.descramble_attempts += s.attempts;
+                local.litmus_hits += s.hits.size();
+                all_hits.insert(all_hits.end(), s.hits.begin(),
+                                s.hits.end());
+            },
+            own_pool.get(), sequential);
     }
 
     // Phase 2 - reconstruct (serial; candidate offsets are few).
@@ -457,29 +474,29 @@ searchAesKeyTables(const platform::MemoryImage &dump,
     unsigned nk = crypto::aesNk(params.key_size);
     unsigned modulus = std::lcm(4u, nk);
     unsigned max_p = (aesLitmusPlacements(params.key_size) - 1) * 4;
-    for (const auto &per_thread : hits_per_thread) {
-        for (const auto &hit : per_thread) {
-            for (unsigned s = hit.start_word % modulus; s <= max_p;
-                 s += modulus) {
-                if (params.max_reconstructions != 0 &&
-                    local.reconstructions_tried >=
-                        params.max_reconstructions)
-                    break;
-                int64_t table_off =
-                    static_cast<int64_t>(hit.off) -
-                    4 * static_cast<int64_t>(s);
-                if (table_off < 0)
-                    continue;
-                if (!tried_offsets
-                         .insert(static_cast<uint64_t>(table_off))
-                         .second)
-                    continue;
-                auto rec = reconstructAt(
-                    dump, candidate_keys,
-                    static_cast<uint64_t>(table_off), params, local);
-                if (rec && seen_masters.insert(rec->master).second)
-                    results.push_back(std::move(*rec));
-            }
+    exec::ChunkBuffer reconstruct_buf;
+    for (const auto &hit : all_hits) {
+        for (unsigned s = hit.start_word % modulus; s <= max_p;
+             s += modulus) {
+            if (params.max_reconstructions != 0 &&
+                local.reconstructions_tried >=
+                    params.max_reconstructions)
+                break;
+            int64_t table_off =
+                static_cast<int64_t>(hit.off) -
+                4 * static_cast<int64_t>(s);
+            if (table_off < 0)
+                continue;
+            if (!tried_offsets
+                     .insert(static_cast<uint64_t>(table_off))
+                     .second)
+                continue;
+            auto rec = reconstructAt(
+                dump, candidate_keys,
+                static_cast<uint64_t>(table_off), params, local,
+                reconstruct_buf);
+            if (rec && seen_masters.insert(rec->master).second)
+                results.push_back(std::move(*rec));
         }
     }
 
@@ -540,6 +557,15 @@ searchAesKeyTables(const platform::MemoryImage &dump,
     if (stats)
         *stats = local;
     return results;
+}
+
+std::vector<RecoveredAesKey>
+searchAesKeyTables(const platform::MemoryImage &dump,
+                   const std::vector<MinedKey> &candidate_keys,
+                   const SearchParams &params, SearchStats *stats)
+{
+    exec::MemoryDumpSource source(dump.bytes());
+    return searchAesKeyTables(source, candidate_keys, params, stats);
 }
 
 } // namespace coldboot::attack

@@ -24,6 +24,7 @@
 #include "attack/key_miner.hh"
 #include "common/secure.hh"
 #include "crypto/aes.hh"
+#include "exec/dump_io.hh"
 #include "platform/memory_image.hh"
 
 namespace coldboot::attack
@@ -77,8 +78,14 @@ struct SearchParams
     unsigned repair_iterations = 8;
     /** Abort after this many reconstruction attempts (0 = no cap). */
     uint64_t max_reconstructions = 4096;
-    /** Worker threads for the scan phase (1 = serial). */
-    unsigned threads = 1;
+    /**
+     * Worker threads for the scan phase: 0 (default) runs on the
+     * shared global exec::ThreadPool (sized by `--threads` /
+     * COLDBOOT_THREADS / hardware concurrency), 1 scans serially
+     * in-line, N > 1 uses a dedicated pool of N workers. The found
+     * keys are byte-identical in every mode (DESIGN.md §9).
+     */
+    unsigned threads = 0;
     /** First dump byte to scan (line aligned). */
     uint64_t scan_start = 0;
     /** Bytes to scan (0 = to end of dump). */
@@ -100,12 +107,18 @@ struct SearchStats
 /**
  * Search a scrambled dump for expanded AES key tables.
  *
- * @param dump           The scrambled memory image.
+ * @param dump           The scrambled dump (any DumpSource backend).
  * @param candidate_keys Mined scrambler keys (attack step 1 output).
  * @param params         Tuning.
  * @param stats          Optional statistics out-parameter.
  * @return Distinct recovered keys, best-verified first.
  */
+std::vector<RecoveredAesKey> searchAesKeyTables(
+    const exec::DumpSource &dump,
+    const std::vector<MinedKey> &candidate_keys,
+    const SearchParams &params = {}, SearchStats *stats = nullptr);
+
+/** Convenience overload over an in-memory image (zero-copy). */
 std::vector<RecoveredAesKey> searchAesKeyTables(
     const platform::MemoryImage &dump,
     const std::vector<MinedKey> &candidate_keys,

@@ -31,7 +31,7 @@ pairXtsKeys(const std::vector<RecoveredAesKey> &recovered)
 }
 
 PipelineReport
-runColdBootAttack(const platform::MemoryImage &dump,
+runColdBootAttack(const exec::DumpSource &dump,
                   const PipelineParams &params)
 {
     auto &registry = obs::StatRegistry::global();
@@ -112,6 +112,14 @@ runColdBootAttack(const platform::MemoryImage &dump,
                        "end-to-end scan throughput of the most "
                        "recent pipeline run");
     return report;
+}
+
+PipelineReport
+runColdBootAttack(const platform::MemoryImage &dump,
+                  const PipelineParams &params)
+{
+    exec::MemoryDumpSource source(dump.bytes());
+    return runColdBootAttack(source, params);
 }
 
 } // namespace coldboot::attack

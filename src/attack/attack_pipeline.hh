@@ -15,6 +15,7 @@
 #include "attack/aes_search.hh"
 #include "attack/key_miner.hh"
 #include "common/secure.hh"
+#include "exec/dump_io.hh"
 #include "platform/memory_image.hh"
 
 namespace coldboot::attack
@@ -82,8 +83,15 @@ struct PipelineReport
 };
 
 /**
- * Run the complete attack on a scrambled dump.
+ * Run the complete attack on a scrambled dump. The dump is streamed
+ * through its DumpSource backend (mmap, buffered pread or memory)
+ * and scanned on the global exec::ThreadPool; the recovered keys are
+ * byte-identical for any worker count (DESIGN.md §9).
  */
+PipelineReport runColdBootAttack(const exec::DumpSource &dump,
+                                 const PipelineParams &params = {});
+
+/** Convenience overload over an in-memory image (zero-copy). */
 PipelineReport runColdBootAttack(const platform::MemoryImage &dump,
                                  const PipelineParams &params = {});
 

@@ -5,12 +5,21 @@
 #include <set>
 
 #include "common/logging.hh"
+#include "exec/thread_pool.hh"
 
 namespace coldboot::attack
 {
 
+namespace
+{
+
+/** Window positions evaluated per pool task. */
+constexpr uint64_t kWindowGrain = 4096;
+
+} // anonymous namespace
+
 std::vector<BaselineKey>
-haldermanSearch(const platform::MemoryImage &image,
+haldermanSearch(const exec::DumpSource &image,
                 const BaselineParams &params)
 {
     using namespace crypto;
@@ -30,19 +39,22 @@ haldermanSearch(const platform::MemoryImage &image,
 
     std::vector<BaselineKey> out;
     std::set<std::vector<uint8_t>> seen;
-    auto bytes = image.bytes();
+    if (end < begin || end - begin < sched_bytes)
+        return out;
+    uint64_t windows = (end - begin - sched_bytes) / params.step + 1;
 
-    for (uint64_t off = begin;
-         off + sched_bytes <= end; off += params.step) {
-        // Take the window as the raw key and expand incrementally,
-        // comparing each generated word against the bytes that
-        // follow; bail out as soon as the error budget is exhausted.
+    // Evaluate one candidate window against the plaintext bytes that
+    // follow it: expand incrementally, comparing each generated word
+    // and bailing once the error budget is exhausted.
+    auto try_window = [&](std::span<const uint8_t> bytes,
+                          uint64_t local_off, uint64_t abs_off,
+                          std::vector<BaselineKey> &found) {
         uint32_t window[8];
         for (unsigned i = 0; i < nk; ++i)
-            window[i] = aesWordFromBytes(&bytes[off + 4 * i]);
+            window[i] =
+                aesWordFromBytes(&bytes[local_off + 4 * i]);
 
         unsigned errors = 0;
-        bool match = true;
         // Rolling window of the last nk words.
         uint32_t last[8];
         std::copy(window, window + nk, last);
@@ -50,31 +62,61 @@ haldermanSearch(const platform::MemoryImage &image,
             uint32_t next =
                 aesScheduleStep(last[nk - 1], last[0], i, nk);
             uint32_t observed =
-                aesWordFromBytes(&bytes[off + 4 * i]);
+                aesWordFromBytes(&bytes[local_off + 4 * i]);
             errors += static_cast<unsigned>(
                 std::popcount(next ^ observed));
-            if (errors > params.max_bit_errors) {
-                match = false;
-                break;
-            }
+            if (errors > params.max_bit_errors)
+                return;
             for (unsigned m = 0; m + 1 < nk; ++m)
                 last[m] = last[m + 1];
             last[nk - 1] = next;
         }
-        if (!match)
-            continue;
 
         BaselineKey key;
-        key.master.assign(bytes.begin() + static_cast<size_t>(off),
-                          bytes.begin() +
-                              static_cast<size_t>(off + key_len));
+        key.master.assign(
+            bytes.begin() + static_cast<size_t>(local_off),
+            bytes.begin() + static_cast<size_t>(local_off + key_len));
         key.key_size = params.key_size;
-        key.offset = off;
+        key.offset = abs_off;
         key.bit_errors = errors;
-        if (seen.insert(key.master).second)
-            out.push_back(std::move(key));
-    }
+        found.push_back(std::move(key));
+    };
+
+    // The windows overlap (each spans sched_bytes), so every chunk
+    // reads its positions plus the schedule-length tail; candidates
+    // are deduplicated during the ordered reduction, giving output
+    // byte-identical to the sequential slide.
+    exec::parallelMapReduceChunks<std::vector<BaselineKey>>(
+        0, windows, kWindowGrain,
+        [&](const exec::ChunkRange &c) {
+            thread_local exec::ChunkBuffer buf;
+            uint64_t lo = begin + c.begin * params.step;
+            uint64_t hi = std::min<uint64_t>(
+                end, begin + (c.end - 1) * params.step + sched_bytes);
+            image.prefetch(lo, hi - lo);
+            auto bytes = image.chunk(lo, hi - lo, buf);
+            std::vector<BaselineKey> found;
+            for (uint64_t w = c.begin; w < c.end; ++w) {
+                uint64_t abs_off = begin + w * params.step;
+                try_window(bytes, abs_off - lo, abs_off, found);
+            }
+            return found;
+        },
+        [&](std::vector<BaselineKey> &&found,
+            const exec::ChunkRange &) {
+            for (auto &key : found)
+                if (seen.insert(key.master).second)
+                    out.push_back(std::move(key));
+        });
     return out;
+}
+
+std::vector<BaselineKey>
+haldermanSearch(const platform::MemoryImage &image,
+                const BaselineParams &params)
+{
+    exec::MemoryDumpSource source(image.bytes());
+    return haldermanSearch(source, params);
 }
 
 } // namespace coldboot::attack

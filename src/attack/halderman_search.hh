@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "crypto/aes.hh"
+#include "exec/dump_io.hh"
 #include "platform/memory_image.hh"
 
 namespace coldboot::attack
@@ -64,12 +65,22 @@ struct BaselineParams
 };
 
 /**
- * Slide the Halderman keyfinder across a plaintext memory image.
+ * Slide the Halderman keyfinder across a plaintext memory dump.
  *
- * @param image  A *descrambled* (plaintext) image.
+ * Window positions are scanned chunked on the global
+ * exec::ThreadPool; candidates are deduplicated in ascending offset
+ * order during the ordered reduction, so the output is byte-identical
+ * to a sequential slide for any worker count (DESIGN.md §9).
+ *
+ * @param image  A *descrambled* (plaintext) dump.
  * @param params Tuning.
  * @return Keys found, deduplicated, in offset order.
  */
+std::vector<BaselineKey> haldermanSearch(
+    const exec::DumpSource &image,
+    const BaselineParams &params = {});
+
+/** Convenience overload over an in-memory image (zero-copy). */
 std::vector<BaselineKey> haldermanSearch(
     const platform::MemoryImage &image,
     const BaselineParams &params = {});

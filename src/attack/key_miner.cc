@@ -6,6 +6,7 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "attack/litmus.hh"
+#include "exec/thread_pool.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 
@@ -83,10 +84,23 @@ boundedDistance(std::span<const uint8_t> a, std::span<const uint8_t> b,
     return dist;
 }
 
+/** Litmus hits of one scan chunk, in ascending dump order. */
+struct ChunkHits
+{
+    /** (offset, block copy) - copied because buffered chunk views
+     *  are scratch memory invalidated by the next read. */
+    std::vector<std::pair<uint64_t, std::array<uint8_t, 64>>> hits;
+    uint64_t blocks_scanned = 0;
+    uint64_t constant_dropped = 0;
+};
+
+/** Scan granularity: 16 Ki blocks per task. */
+constexpr uint64_t kScanGrain = 1ull << 20;
+
 } // anonymous namespace
 
 std::vector<MinedKey>
-mineScramblerKeys(const platform::MemoryImage &dump,
+mineScramblerKeys(const exec::DumpSource &dump,
                   const MinerParams &params, MinerStats *stats)
 {
     // The registry is the system of record; the MinerStats
@@ -125,18 +139,13 @@ mineScramblerKeys(const platform::MemoryImage &dump,
         return value * 8 + chunk_idx;
     };
 
-    for (uint64_t off = 0; off + 64 <= scan_bytes; off += 64) {
-        auto block = dump.bytes().subspan(off, 64);
-        ++local.blocks_scanned;
-        if (!scramblerKeyLitmus(block, params.litmus_max_bit_errors))
-            continue;
-        if (params.drop_constant_blocks && isConstantBlock(block)) {
-            ++local.constant_dropped;
-            continue;
-        }
-        ++local.litmus_hits;
-
-        // Find a home cluster via the chunk index.
+    // Clustering is order-sensitive (a block joins the first cluster
+    // within distance), so the parallel scan only collects litmus
+    // hits per chunk; the reduction below feeds them to the
+    // clustering in ascending dump order - byte-identical to the old
+    // sequential scan for any worker count.
+    auto cluster_block = [&](std::span<const uint8_t> block,
+                             uint64_t off) {
         size_t home = SIZE_MAX;
         for (unsigned c = 0; c < 8 && home == SIZE_MAX; ++c) {
             uint64_t v = loadLE64(&block[8 * c]);
@@ -174,7 +183,44 @@ mineScramblerKeys(const platform::MemoryImage &dump,
             }
         }
         clusters[home].add(block, off);
-    }
+    };
+
+    scan_bytes &= ~63ull;
+    exec::parallelMapReduceChunks<ChunkHits>(
+        0, scan_bytes, kScanGrain,
+        [&](const exec::ChunkRange &c) {
+            thread_local exec::ChunkBuffer buf;
+            dump.prefetch(c.begin, c.end - c.begin);
+            auto bytes = dump.chunk(c.begin, c.end - c.begin, buf);
+            ChunkHits out;
+            for (uint64_t off = 0; off + 64 <= bytes.size();
+                 off += 64) {
+                auto block = bytes.subspan(off, 64);
+                ++out.blocks_scanned;
+                if (!scramblerKeyLitmus(block,
+                                        params.litmus_max_bit_errors))
+                    continue;
+                if (params.drop_constant_blocks &&
+                    isConstantBlock(block)) {
+                    ++out.constant_dropped;
+                    continue;
+                }
+                auto &hit = out.hits.emplace_back();
+                hit.first = c.begin + off;
+                std::copy(block.begin(), block.end(),
+                          hit.second.begin());
+            }
+            return out;
+        },
+        [&](ChunkHits &&h, const exec::ChunkRange &) {
+            local.blocks_scanned += h.blocks_scanned;
+            local.constant_dropped += h.constant_dropped;
+            local.litmus_hits += h.hits.size();
+            for (auto &[off, block] : h.hits) {
+                cluster_block(block, off);
+                secureWipe(block.data(), block.size());
+            }
+        });
 
     // Merge clusters whose majority keys ended up close (decay can
     // split one key across clusters when early copies were noisy).
@@ -239,6 +285,14 @@ mineScramblerKeys(const platform::MemoryImage &dump,
     if (stats)
         *stats = local;
     return out;
+}
+
+std::vector<MinedKey>
+mineScramblerKeys(const platform::MemoryImage &dump,
+                  const MinerParams &params, MinerStats *stats)
+{
+    exec::MemoryDumpSource source(dump.bytes());
+    return mineScramblerKeys(source, params, stats);
 }
 
 } // namespace coldboot::attack

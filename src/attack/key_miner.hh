@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/secure.hh"
+#include "exec/dump_io.hh"
 #include "platform/memory_image.hh"
 
 namespace coldboot::attack
@@ -84,11 +85,21 @@ struct MinerStats
 /**
  * Mine candidate scrambler keys from a dump.
  *
- * @param dump   Scrambled memory image.
+ * The block scan runs chunked on the global exec::ThreadPool;
+ * litmus hits are reduced in ascending dump order, so the clustering
+ * (and hence the reported keys) are byte-identical to a sequential
+ * run regardless of COLDBOOT_THREADS (see DESIGN.md §9).
+ *
+ * @param dump   Scrambled dump (any DumpSource backend).
  * @param params Tuning parameters.
  * @param stats  Optional statistics out-parameter.
  * @return Candidates sorted by descending occurrence count.
  */
+std::vector<MinedKey> mineScramblerKeys(
+    const exec::DumpSource &dump, const MinerParams &params = {},
+    MinerStats *stats = nullptr);
+
+/** Convenience overload over an in-memory image (zero-copy). */
 std::vector<MinedKey> mineScramblerKeys(
     const platform::MemoryImage &dump, const MinerParams &params = {},
     MinerStats *stats = nullptr);

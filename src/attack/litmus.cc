@@ -15,16 +15,21 @@ scramblerKeyLitmusScore(std::span<const uint8_t> block)
     unsigned errors = 0;
     for (unsigned base = 0; base < 64; base += 16) {
         const uint8_t *p = block.data() + base;
-        auto w = [p](unsigned byte) { return loadLE16(p + byte); };
-        // Section III-B invariants.
-        errors += std::popcount(static_cast<unsigned>(
-            (w(2) ^ w(4)) ^ (w(10) ^ w(12))));
-        errors += std::popcount(static_cast<unsigned>(
-            (w(0) ^ w(6)) ^ (w(8) ^ w(14))));
-        errors += std::popcount(static_cast<unsigned>(
-            (w(0) ^ w(4)) ^ (w(8) ^ w(12))));
-        errors += std::popcount(static_cast<unsigned>(
-            (w(0) ^ w(2)) ^ (w(8) ^ w(10))));
+        // Each 16-bit lane participates in up to three of the four
+        // Section III-B invariants; load all eight once instead of
+        // re-deriving the byte-pair offsets per equation.
+        const unsigned w0 = loadLE16(p + 0);
+        const unsigned w2 = loadLE16(p + 2);
+        const unsigned w4 = loadLE16(p + 4);
+        const unsigned w6 = loadLE16(p + 6);
+        const unsigned w8 = loadLE16(p + 8);
+        const unsigned w10 = loadLE16(p + 10);
+        const unsigned w12 = loadLE16(p + 12);
+        const unsigned w14 = loadLE16(p + 14);
+        errors += std::popcount((w2 ^ w4) ^ (w10 ^ w12));
+        errors += std::popcount((w0 ^ w6) ^ (w8 ^ w14));
+        errors += std::popcount((w0 ^ w4) ^ (w8 ^ w12));
+        errors += std::popcount((w0 ^ w2) ^ (w8 ^ w10));
     }
     return errors;
 }

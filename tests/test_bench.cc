@@ -321,6 +321,7 @@ TEST(Logging, ConcurrentLinesDoNotInterleave)
     setLogFormat(LogFormat::Plain);
     testing::internal::CaptureStderr();
     constexpr int threads = 8, lines = 50;
+    // coldboot-lint: allow(no-raw-thread) -- stressing the logger below the ThreadPool layer
     std::vector<std::thread> pool;
     for (int t = 0; t < threads; ++t)
         pool.emplace_back([t] {

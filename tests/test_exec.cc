@@ -1,0 +1,569 @@
+/**
+ * @file
+ * Execution-subsystem tests: the work-stealing ThreadPool (including
+ * a torture test with nested submits, exception propagation and
+ * shutdown-while-busy - the TSan CI leg runs these), the
+ * deterministic chunked parallel-for, the DumpSource backends, and
+ * the cross-thread-count determinism contract of the attack scans
+ * (DESIGN.md §9).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attack/aes_search.hh"
+#include "attack/key_miner.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "crypto/aes.hh"
+#include "exec/dump_io.hh"
+#include "exec/thread_pool.hh"
+#include "memctrl/scrambler.hh"
+#include "platform/memory_image.hh"
+
+namespace coldboot::exec
+{
+namespace
+{
+
+//
+// ThreadPool
+//
+
+TEST(ThreadPool, ParseThreadCount)
+{
+    EXPECT_EQ(parseThreadCount("4"), 4u);
+    EXPECT_EQ(parseThreadCount("1"), 1u);
+    EXPECT_EQ(parseThreadCount("0"), 0u);
+    EXPECT_EQ(parseThreadCount(""), 0u);
+    EXPECT_EQ(parseThreadCount(nullptr), 0u);
+    EXPECT_EQ(parseThreadCount("abc"), 0u);
+    EXPECT_EQ(parseThreadCount("4x"), 0u);
+    EXPECT_EQ(parseThreadCount("99999"), 1024u); // clamp
+}
+
+TEST(ThreadPool, ResolveHonoursOverrideAndEnv)
+{
+    setThreadOverride(5);
+    EXPECT_EQ(resolveThreadCount(), 5u);
+    setThreadOverride(0);
+
+    setenv("COLDBOOT_THREADS", "3", 1);
+    EXPECT_EQ(resolveThreadCount(), 3u);
+    // An explicit override beats the environment.
+    setThreadOverride(2);
+    EXPECT_EQ(resolveThreadCount(), 2u);
+    setThreadOverride(0);
+    unsetenv("COLDBOOT_THREADS");
+
+    EXPECT_GE(resolveThreadCount(), 1u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    constexpr int kTasks = 2000;
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(4);
+        ThreadPool::TaskGroup group(pool);
+        for (int i = 0; i < kTasks; ++i)
+            group.run([&] {
+                ran.fetch_add(1, std::memory_order_relaxed);
+            });
+        group.wait();
+        EXPECT_EQ(ran.load(), kTasks);
+        EXPECT_EQ(pool.stats().tasksExecuted(),
+                  static_cast<uint64_t>(kTasks));
+    }
+}
+
+TEST(ThreadPool, ShutdownWhileBusyDrainsQueue)
+{
+    // Fire-and-forget tasks submitted right before destruction: the
+    // graceful-shutdown contract says every one of them still runs.
+    constexpr int kTasks = 500;
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(3);
+        for (int i = 0; i < kTasks; ++i)
+            pool.submit([&, i] {
+                if (i % 50 == 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(200));
+                ran.fetch_add(1, std::memory_order_relaxed);
+            });
+    } // dtor joins after the queue is empty
+    EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToWait)
+{
+    ThreadPool pool(2);
+    ThreadPool::TaskGroup group(pool);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 64; ++i)
+        group.run([&, i] {
+            ran.fetch_add(1);
+            if (i == 13)
+                throw std::runtime_error("boom 13");
+        });
+    try {
+        group.wait();
+        FAIL() << "wait() must rethrow the task exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom 13");
+    }
+    // wait() returns only after every task completed, exception or
+    // not - the group is reusable state-wise and all tasks ran.
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, NestedSubmitsDoNotDeadlock)
+{
+    // Each outer task fans out an inner group and waits on it from a
+    // worker thread; the help-while-waiting path must keep everything
+    // moving even with more outer tasks than workers.
+    ThreadPool pool(2);
+    std::atomic<int> leaves{0};
+    ThreadPool::TaskGroup outer(pool);
+    for (int i = 0; i < 16; ++i)
+        outer.run([&] {
+            ThreadPool::TaskGroup inner(pool);
+            for (int j = 0; j < 8; ++j)
+                inner.run([&] { leaves.fetch_add(1); });
+            inner.wait();
+        });
+    outer.wait();
+    EXPECT_EQ(leaves.load(), 16 * 8);
+}
+
+TEST(ThreadPool, Torture)
+{
+    // Mixed stress: nested fan-outs, tasks of wildly different
+    // length, an exception in flight, and a shutdown racing the last
+    // submissions. Run under TSan in CI.
+    std::atomic<uint64_t> work{0};
+    for (int round = 0; round < 4; ++round) {
+        ThreadPool pool(4);
+        ThreadPool::TaskGroup group(pool);
+        for (int i = 0; i < 128; ++i)
+            group.run([&, i] {
+                if (i % 3 == 0) {
+                    ThreadPool::TaskGroup inner(pool);
+                    for (int j = 0; j < 4; ++j)
+                        inner.run([&] {
+                            work.fetch_add(
+                                1, std::memory_order_relaxed);
+                        });
+                    inner.wait();
+                } else if (i % 7 == 0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(100));
+                    work.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    work.fetch_add(1, std::memory_order_relaxed);
+                }
+            });
+        group.wait();
+
+        // An exception from a nested group surfaces at its wait and
+        // must not poison the pool for subsequent batches.
+        ThreadPool::TaskGroup faulty(pool);
+        faulty.run([] { throw std::runtime_error("torture"); });
+        EXPECT_THROW(faulty.wait(), std::runtime_error);
+
+        // Shutdown-while-busy: leave fire-and-forget work queued as
+        // the pool is destroyed.
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&] {
+                work.fetch_add(1, std::memory_order_relaxed);
+            });
+    }
+    EXPECT_GT(work.load(), 0u);
+}
+
+TEST(ThreadPool, StatsAccountForStolenWork)
+{
+    ThreadPool pool(4);
+    ThreadPool::TaskGroup group(pool);
+    for (int i = 0; i < 512; ++i)
+        group.run([] {
+            std::this_thread::sleep_for(std::chrono::microseconds(20));
+        });
+    group.wait();
+    auto stats = pool.stats();
+    EXPECT_EQ(stats.per_worker.size(), 4u);
+    EXPECT_EQ(stats.tasksExecuted(), 512u);
+    // Steal counters are interleaving-dependent; just require
+    // consistency between the two views of the same events.
+    EXPECT_GE(stats.tasksStolen(), stats.steals() > 0 ? 1u : 0u);
+}
+
+TEST(ThreadPool, ScopedGlobalOverrideSwapsAndRestores)
+{
+    ThreadPool &original = ThreadPool::global();
+    {
+        ThreadPool pool(2);
+        ThreadPool::ScopedGlobalOverride ov(pool);
+        EXPECT_EQ(&ThreadPool::global(), &pool);
+        {
+            ThreadPool inner_pool(3);
+            ThreadPool::ScopedGlobalOverride inner(inner_pool);
+            EXPECT_EQ(&ThreadPool::global(), &inner_pool);
+        }
+        EXPECT_EQ(&ThreadPool::global(), &pool);
+    }
+    EXPECT_EQ(&ThreadPool::global(), &original);
+}
+
+//
+// Chunked parallel-for
+//
+
+TEST(ParallelFor, ChunkTiling)
+{
+    EXPECT_EQ(chunkCount(0, 0, 64), 0u);
+    EXPECT_EQ(chunkCount(0, 64, 64), 1u);
+    EXPECT_EQ(chunkCount(0, 65, 64), 2u);
+    EXPECT_EQ(chunkCount(10, 10, 64), 0u);
+    EXPECT_EQ(chunkCount(0, 1000, 2000), 1u);
+
+    // Remainder chunk is the short tail, offsets are contiguous.
+    auto c0 = chunkAt(100, 300, 128, 0);
+    auto c1 = chunkAt(100, 300, 128, 1);
+    EXPECT_EQ(c0.begin, 100u);
+    EXPECT_EQ(c0.end, 228u);
+    EXPECT_EQ(c1.begin, 228u);
+    EXPECT_EQ(c1.end, 300u);
+    EXPECT_EQ(c1.index, 1u);
+}
+
+TEST(ParallelFor, VisitsEveryChunkExactlyOnce)
+{
+    constexpr uint64_t kEnd = 100000, kGrain = 777;
+    const uint64_t n = chunkCount(0, kEnd, kGrain);
+    std::vector<std::atomic<int>> visits(n);
+    std::atomic<uint64_t> covered{0};
+
+    ThreadPool pool(4);
+    parallelForChunks(
+        0, kEnd, kGrain,
+        [&](const ChunkRange &c) {
+            visits[c.index].fetch_add(1);
+            covered.fetch_add(c.end - c.begin);
+        },
+        &pool);
+
+    EXPECT_EQ(covered.load(), kEnd);
+    for (uint64_t i = 0; i < n; ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "chunk " << i;
+}
+
+TEST(ParallelFor, ExceptionPropagates)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(parallelForChunks(
+                     0, 10000, 100,
+                     [](const ChunkRange &c) {
+                         if (c.index == 7)
+                             throw std::runtime_error("chunk 7");
+                     },
+                     &pool),
+                 std::runtime_error);
+}
+
+TEST(ParallelFor, OrderedReductionIsDeterministic)
+{
+    // A non-commutative fold (string concatenation) must come out
+    // identical to the sequential run at any pool width.
+    auto run = [](ThreadPool *pool, bool sequential) {
+        std::string out;
+        parallelMapReduceChunks<std::string>(
+            0, 5000, 97,
+            [](const ChunkRange &c) {
+                return std::to_string(c.index) + ":" +
+                       std::to_string(c.end - c.begin) + ";";
+            },
+            [&](std::string &&part, const ChunkRange &) {
+                out += part;
+            },
+            pool, sequential);
+        return out;
+    };
+
+    const std::string expected = run(nullptr, true);
+    for (unsigned w : {1u, 2u, 7u}) {
+        ThreadPool pool(w);
+        EXPECT_EQ(run(&pool, false), expected) << "width " << w;
+    }
+}
+
+//
+// DumpSource
+//
+
+class DumpSourceFile
+{
+  public:
+    explicit DumpSourceFile(const std::vector<uint8_t> &bytes)
+    {
+        // Under the system temp dir: death-test children abort
+        // before ~DumpSourceFile, and their leftovers must not land
+        // in the repo tree.
+        path = (std::filesystem::temp_directory_path() /
+                "test_exec_dump.XXXXXX").string();
+        int fd = mkstemp(path.data());
+        if (fd >= 0) {
+            ssize_t n = write(fd, bytes.data(), bytes.size());
+            (void)n;
+            close(fd);
+        }
+    }
+
+    ~DumpSourceFile() { std::remove(path.c_str()); }
+
+    std::string path;
+};
+
+std::vector<uint8_t>
+patternBytes(size_t n)
+{
+    std::vector<uint8_t> bytes(n);
+    Xoshiro256StarStar rng(0xD0D0);
+    rng.fillBytes(bytes);
+    return bytes;
+}
+
+TEST(DumpSource, MemoryBackendViewsMatchInput)
+{
+    auto bytes = patternBytes(4096);
+    MemoryDumpSource src({bytes.data(), bytes.size()});
+    EXPECT_EQ(src.size(), 4096u);
+    EXPECT_EQ(src.lines(), 64u);
+    EXPECT_STREQ(src.backendName(), "memory");
+    EXPECT_EQ(src.contiguous().data(), bytes.data());
+
+    ChunkBuffer buf;
+    auto view = src.chunk(128, 256, buf);
+    EXPECT_EQ(view.data(), bytes.data() + 128); // zero-copy
+    EXPECT_EQ(view.size(), 256u);
+}
+
+TEST(DumpSource, MmapAndBufferedReturnIdenticalBytes)
+{
+    auto bytes = patternBytes(64 * 1024);
+    DumpSourceFile file(bytes);
+
+    auto mapped = openDumpSource(file.path, DumpBackend::Mmap);
+    auto buffered = openDumpSource(file.path, DumpBackend::Buffered);
+    EXPECT_STREQ(mapped->backendName(), "mmap");
+    EXPECT_STREQ(buffered->backendName(), "buffered");
+    EXPECT_EQ(mapped->size(), bytes.size());
+    EXPECT_EQ(buffered->size(), bytes.size());
+
+    // mmap exposes the whole file; buffered cannot.
+    EXPECT_EQ(mapped->contiguous().size(), bytes.size());
+    EXPECT_TRUE(buffered->contiguous().empty());
+
+    ChunkBuffer mbuf, bbuf;
+    for (uint64_t off : {uint64_t(0), uint64_t(64), uint64_t(4096),
+                         uint64_t(bytes.size() - 192)}) {
+        auto mv = mapped->chunk(off, 192, mbuf);
+        auto bv = buffered->chunk(off, 192, bbuf);
+        ASSERT_EQ(mv.size(), bv.size());
+        EXPECT_EQ(std::memcmp(mv.data(), bv.data(), mv.size()), 0)
+            << "offset " << off;
+        EXPECT_EQ(std::memcmp(mv.data(), bytes.data() + off, 192), 0);
+        // Buffered chunks land in 64-byte-aligned scratch.
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(bv.data()) % 64, 0u);
+    }
+}
+
+TEST(DumpSource, PrefetchClampsAtDumpTail)
+{
+    auto bytes = patternBytes(8192);
+    DumpSourceFile file(bytes);
+    for (auto backend : {DumpBackend::Mmap, DumpBackend::Buffered}) {
+        auto src = openDumpSource(file.path, backend);
+        // Hints past or straddling the tail are no-ops, not errors -
+        // read-ahead loops prefetch "the next chunk" unguarded.
+        src->prefetch(src->size(), 4096);
+        src->prefetch(src->size() - 64, 4096);
+        src->prefetch(src->size() + 4096, 4096);
+        src->prefetch(0, 0);
+    }
+}
+
+TEST(DumpSource, NoMmapEnvForcesBufferedInAutoMode)
+{
+    auto bytes = patternBytes(4096);
+    DumpSourceFile file(bytes);
+
+    auto plain = openDumpSource(file.path, DumpBackend::Auto);
+    EXPECT_STREQ(plain->backendName(), "mmap");
+
+    setenv("COLDBOOT_NO_MMAP", "1", 1);
+    auto forced = openDumpSource(file.path, DumpBackend::Auto);
+    unsetenv("COLDBOOT_NO_MMAP");
+    EXPECT_STREQ(forced->backendName(), "buffered");
+
+    // Explicit Mmap ignores the env knob.
+    setenv("COLDBOOT_NO_MMAP", "1", 1);
+    auto explicit_mmap = openDumpSource(file.path, DumpBackend::Mmap);
+    unsetenv("COLDBOOT_NO_MMAP");
+    EXPECT_STREQ(explicit_mmap->backendName(), "mmap");
+}
+
+TEST(DumpSource, RejectsBadSizes)
+{
+    // The process-global pool keeps worker threads alive; a plain
+    // fork()-style death test would inherit their locked mutexes and
+    // deadlock, so re-exec the statement in a fresh process instead.
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+
+    auto odd = patternBytes(100); // not a multiple of 64
+    DumpSourceFile file(odd);
+    EXPECT_DEATH(openDumpSource(file.path), "multiple of");
+    EXPECT_DEATH(openDumpSource("test_exec_nonexistent.img"),
+                 "open");
+
+    auto bytes = patternBytes(128);
+    MemoryDumpSource src({bytes.data(), bytes.size()});
+    ChunkBuffer buf;
+    EXPECT_DEATH(src.chunk(64, 128, buf), "outside");
+}
+
+TEST(DumpSource, ChunkBufferAlignsAndGrows)
+{
+    ChunkBuffer buf;
+    EXPECT_EQ(buf.capacity(), 0u);
+    uint8_t *p = buf.ensure(100);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u);
+    EXPECT_GE(buf.capacity(), 100u);
+    size_t cap = buf.capacity();
+    EXPECT_EQ(buf.ensure(50), p); // no shrink, no realloc
+    EXPECT_EQ(buf.capacity(), cap);
+    uint8_t *q = buf.ensure(1 << 20);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(q) % 64, 0u);
+    EXPECT_GE(buf.capacity(), size_t(1) << 20);
+}
+
+//
+// Determinism contract across thread counts (DESIGN.md §9)
+//
+
+/** Dump with planted scrambler keys and one scrambled AES table. */
+platform::MemoryImage
+buildAttackDump(std::vector<uint8_t> &master_out)
+{
+    platform::MemoryImage dump(MiB(4));
+    Xoshiro256StarStar rng(0x5EED);
+    rng.fillBytes(dump.bytesMutable());
+    auto out = dump.bytesMutable();
+
+    memctrl::Ddr4Scrambler scr(0xBEEF, 0);
+    uint8_t keys[4][64];
+    for (unsigned k = 0; k < 4; ++k) {
+        scr.poolKey(k * 512, keys[k]);
+        for (unsigned copy = 0; copy < 6; ++copy) {
+            size_t line = (k * 6 + copy + 11) * 397 % dump.lines();
+            std::memcpy(&out[line * 64], keys[k], 64);
+        }
+    }
+
+    master_out.assign(32, 0);
+    Xoshiro256StarStar key_rng(0x1234);
+    key_rng.fillBytes(master_out);
+    auto sched = crypto::aesExpandKey(master_out);
+    uint64_t table_off = (dump.lines() / 3) * 64;
+    for (size_t i = 0; i < sched.size(); ++i)
+        out[table_off + i] = sched[i] ^ keys[1][i % 64];
+    return dump;
+}
+
+/** Serialized mining + search output for byte-exact comparison. */
+std::string
+scanFingerprint(const platform::MemoryImage &dump)
+{
+    attack::MinerParams miner_params;
+    miner_params.scan_limit_bytes = 0;
+    auto mined = attack::mineScramblerKeys(dump, miner_params);
+
+    auto found =
+        attack::searchAesKeyTables(dump, mined, attack::SearchParams{});
+
+    std::string fp;
+    for (const auto &mk : mined) {
+        fp.append(reinterpret_cast<const char *>(mk.key.data()),
+                  mk.key.size());
+        fp += std::to_string(mk.occurrences) + "@" +
+              std::to_string(mk.first_offset) + ";";
+    }
+    for (const auto &rk : found) {
+        fp.append(reinterpret_cast<const char *>(rk.master.data()),
+                  rk.master.size());
+        fp += "@" + std::to_string(rk.table_offset) + ";";
+    }
+    return fp;
+}
+
+TEST(ExecDeterminism, MiningAndSearchIdenticalAcrossWidths)
+{
+    std::vector<uint8_t> master;
+    auto dump = buildAttackDump(master);
+
+    std::string reference;
+    for (unsigned w : {1u, 2u, 7u}) {
+        ThreadPool pool(w);
+        ThreadPool::ScopedGlobalOverride ov(pool);
+        std::string fp = scanFingerprint(dump);
+        EXPECT_FALSE(fp.empty());
+        if (reference.empty())
+            reference = fp;
+        else
+            EXPECT_EQ(fp, reference) << "width " << w;
+    }
+
+    // The planted AES master key is actually recovered, not just
+    // consistently missed.
+    EXPECT_NE(reference.find(std::string(
+                  reinterpret_cast<const char *>(master.data()),
+                  master.size())),
+              std::string::npos);
+}
+
+TEST(ExecDeterminism, EnvThreadCountMatchesExplicitPools)
+{
+    std::vector<uint8_t> master;
+    auto dump = buildAttackDump(master);
+
+    ThreadPool serial(1);
+    std::string reference;
+    {
+        ThreadPool::ScopedGlobalOverride ov(serial);
+        reference = scanFingerprint(dump);
+    }
+
+    // The COLDBOOT_THREADS env var is the ctest-facing knob; a pool
+    // sized through it must reproduce the serial fingerprint.
+    setenv("COLDBOOT_THREADS", "7", 1);
+    ThreadPool env_pool(0);
+    unsetenv("COLDBOOT_THREADS");
+    EXPECT_EQ(env_pool.workerCount(), 7u);
+    ThreadPool::ScopedGlobalOverride ov(env_pool);
+    EXPECT_EQ(scanFingerprint(dump), reference);
+}
+
+} // anonymous namespace
+} // namespace coldboot::exec

@@ -14,6 +14,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include <unistd.h>
+
 #include "lint/engine.hh"
 #include "lint/lexer.hh"
 #include "lint/rules.hh"
@@ -297,6 +299,42 @@ TEST(LintRules, LogNoSecretsNegative)
     EXPECT_EQ(countRule(h, "log-no-secrets"), 0u);
 }
 
+TEST(LintRules, NoRawThreadPositive)
+{
+    auto f = lintOf("src/attack/scan.cc",
+                    "std::thread worker(scanRange, lo, hi);");
+    EXPECT_EQ(countRule(f, "no-raw-thread"), 1u);
+    auto g = lintOf("tests/test_x.cc",
+                    "std::vector<std::jthread> pool;");
+    EXPECT_EQ(countRule(g, "no-raw-thread"), 1u);
+    auto h = lintOf("bench/b.cc",
+                    "pthread_create(&tid, nullptr, fn, arg);");
+    EXPECT_EQ(countRule(h, "no-raw-thread"), 1u);
+}
+
+TEST(LintRules, NoRawThreadNegative)
+{
+    // src/exec/ owns the raw threads behind the ThreadPool.
+    auto f = lintOf("src/exec/thread_pool.cc",
+                    "std::vector<std::thread> threads;");
+    EXPECT_EQ(countRule(f, "no-raw-thread"), 0u);
+    // Scoped members are queries, not thread construction.
+    auto g = lintOf("src/obs/trace.cc",
+                    "std::thread::id id; unsigned n = "
+                    "std::thread::hardware_concurrency();");
+    EXPECT_EQ(countRule(g, "no-raw-thread"), 0u);
+    // std::this_thread and plain identifiers named 'thread'.
+    auto h = lintOf("src/a.cc",
+                    "std::this_thread::yield(); int thread = 0;");
+    EXPECT_EQ(countRule(h, "no-raw-thread"), 0u);
+    // Suppressible like any other rule.
+    auto s = lintOf(
+        "tests/test_y.cc",
+        "// coldboot-lint: allow(no-raw-thread) -- below the pool\n"
+        "std::vector<std::thread> pool;");
+    EXPECT_EQ(countRule(s, "no-raw-thread"), 0u);
+}
+
 TEST(LintRules, LooksSecret)
 {
     EXPECT_TRUE(looksSecret("master_key"));
@@ -399,7 +437,11 @@ class LintTreeTest : public ::testing::Test
     void
     SetUp() override
     {
-        root = fs::temp_directory_path() / "coldboot_lint_gtest";
+        // Unique per process: gtest_discover_tests runs each case
+        // as its own ctest entry, and parallel ctest must not have
+        // two cases clobbering one shared fixture directory.
+        root = fs::temp_directory_path() /
+               ("coldboot_lint_gtest_" + std::to_string(getpid()));
         fs::remove_all(root);
         fs::create_directories(root / "src");
     }

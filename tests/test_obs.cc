@@ -125,6 +125,7 @@ TEST(Registry, ConcurrentIncrementsAreExact)
     Distribution &d = reg.distribution("test.concurrent.dist");
     constexpr int threads = 8;
     constexpr int per_thread = 10000;
+    // coldboot-lint: allow(no-raw-thread) -- stressing the registry below the ThreadPool layer
     std::vector<std::thread> pool;
     for (int t = 0; t < threads; ++t) {
         pool.emplace_back([&c, &d] {

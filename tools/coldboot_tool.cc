@@ -27,7 +27,11 @@
 #include <string>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "attack/attack_pipeline.hh"
+#include "exec/dump_io.hh"
+#include "exec/thread_pool.hh"
 #include "common/hex.hh"
 #include "common/logging.hh"
 #include "common/units.hh"
@@ -62,9 +66,27 @@ usage()
         "global flags (any command, any position):\n"
         "  --stats-json <file>   write the stats registry as JSON\n"
         "  --trace <file>        write phase spans as Chrome"
-        " trace_event JSON\n");
+        " trace_event JSON\n"
+        "  --threads <n>         worker threads for parallel scans\n"
+        "                        (default: COLDBOOT_THREADS or all"
+        " cores)\n"
+        "  --no-mmap             stream dumps with buffered reads\n"
+        "                        instead of mmap\n");
     return 2;
 }
+
+/** getrusage(RUSAGE_SELF) peak RSS in KiB (0 if unavailable). */
+uint64_t
+peakRssKib()
+{
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) == 0)
+        return static_cast<uint64_t>(usage.ru_maxrss);
+    return 0;
+}
+
+/** Dump-streaming backend selected by --no-mmap. */
+exec::DumpBackend g_dump_backend = exec::DumpBackend::Auto;
 
 int
 cmdSimulateVictim(int argc, char **argv)
@@ -129,17 +151,23 @@ cmdAttack(int argc, char **argv)
 {
     if (argc < 1)
         return usage();
-    MemoryImage dump = MemoryImage::loadRaw(argv[0]);
+    // Stream the dump instead of copying it into memory: mmap when
+    // possible, buffered pread otherwise. On a multi-GiB capture the
+    // old loadRaw() path doubled the peak RSS.
+    auto dump = exec::openDumpSource(argv[0], g_dump_backend);
     attack::PipelineParams params;
     if (argc > 1)
         params.search.threads = static_cast<unsigned>(
             std::strtoul(argv[1], nullptr, 10));
 
-    auto report = attack::runColdBootAttack(dump, params);
+    auto report = attack::runColdBootAttack(*dump, params);
     std::printf("mined %zu candidate keys; recovered %zu AES table(s);"
-                " %zu XTS pair(s); %.2f MiB/s\n",
+                " %zu XTS pair(s); %.2f MiB/s (%s dump, peak RSS "
+                "%llu KiB)\n",
                 report.mined_keys.size(), report.recovered.size(),
-                report.xts_pairs.size(), report.mib_per_second);
+                report.xts_pairs.size(), report.mib_per_second,
+                dump->backendName(),
+                static_cast<unsigned long long>(peakRssKib()));
     for (const auto &pair : report.xts_pairs) {
         std::printf("XTS master keys at dump offset 0x%llx:\n"
                     "  data : %s\n  tweak: %s\n",
@@ -158,12 +186,12 @@ cmdMine(int argc, char **argv)
 {
     if (argc < 1)
         return usage();
-    MemoryImage dump = MemoryImage::loadRaw(argv[0]);
+    auto dump = exec::openDumpSource(argv[0], g_dump_backend);
     size_t top_n =
         argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 10;
 
     attack::MinerStats stats;
-    auto mined = attack::mineScramblerKeys(dump, {}, &stats);
+    auto mined = attack::mineScramblerKeys(*dump, {}, &stats);
     std::printf("scanned %llu blocks, %llu litmus hits, %zu "
                 "candidate keys\n",
                 static_cast<unsigned long long>(stats.blocks_scanned),
@@ -248,6 +276,25 @@ main(int argc, char **argv)
             }
             (arg == "--stats-json" ? stats_path : trace_path) =
                 argv[++i];
+            continue;
+        }
+        if (arg == "--threads") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--threads requires a count argument\n");
+                return usage();
+            }
+            unsigned n = exec::parseThreadCount(argv[++i]);
+            if (n == 0) {
+                std::fprintf(stderr, "--threads: bad count '%s'\n",
+                             argv[i]);
+                return usage();
+            }
+            exec::setThreadOverride(n);
+            continue;
+        }
+        if (arg == "--no-mmap") {
+            g_dump_backend = exec::DumpBackend::Buffered;
             continue;
         }
         args.push_back(argv[i]);

@@ -24,6 +24,9 @@ const std::vector<RuleInfo> catalog = {
      "'using namespace'"},
     {"log-no-secrets",
      "key-material identifiers must not be passed to logging calls"},
+    {"no-raw-thread",
+     "std::thread/std::jthread/pthread_create outside src/exec/; "
+     "use exec::ThreadPool so work stays observable and bounded"},
     {"bad-suppression",
      "malformed 'coldboot-lint: allow(<rule>) -- <why>' comment"},
 };
@@ -318,6 +321,52 @@ ruleLogNoSecrets(const std::string &path,
     }
 }
 
+void
+ruleNoRawThread(const std::string &path,
+                const std::vector<Token> &toks,
+                std::vector<Finding> &out)
+{
+    // src/exec/ is the one home of raw threads - everything else
+    // runs on its ThreadPool, which keeps worker counts governed by
+    // COLDBOOT_THREADS/--threads and the exec.pool.* stats honest.
+    if (path.compare(0, 9, "src/exec/") == 0)
+        return;
+
+    // The lexer emits '::' as two ':' punct tokens.
+    auto scope_at = [&](size_t i) {
+        return i + 1 < toks.size() &&
+               toks[i].kind == TokKind::Punct &&
+               toks[i].text == ":" &&
+               toks[i + 1].kind == TokKind::Punct &&
+               toks[i + 1].text == ":";
+    };
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind == TokKind::Identifier &&
+            toks[i].text == "std" && scope_at(i + 1) &&
+            i + 3 < toks.size() &&
+            toks[i + 3].kind == TokKind::Identifier &&
+            (toks[i + 3].text == "thread" ||
+             toks[i + 3].text == "jthread")) {
+            // std::thread::id, std::thread::hardware_concurrency and
+            // friends are scoped members, not thread construction.
+            if (scope_at(i + 4))
+                continue;
+            out.push_back(
+                {"no-raw-thread", path, toks[i].line, toks[i].col,
+                 "raw std::" + toks[i + 3].text + " outside "
+                 "src/exec/; submit work to exec::ThreadPool "
+                 "(exec/thread_pool.hh) instead"});
+        }
+        if (isCall(toks, i, "pthread_create") &&
+            !precededByDot(toks, i)) {
+            out.push_back(
+                {"no-raw-thread", path, toks[i].line, toks[i].col,
+                 "pthread_create outside src/exec/; submit work to "
+                 "exec::ThreadPool (exec/thread_pool.hh) instead"});
+        }
+    }
+}
+
 } // anonymous namespace
 
 const std::vector<RuleInfo> &
@@ -365,6 +414,8 @@ runRules(const std::string &path, const LexResult &lex,
         ruleIncludeHygiene(path, lex.tokens, out);
     if (enabled("log-no-secrets"))
         ruleLogNoSecrets(path, lex.tokens, out);
+    if (enabled("no-raw-thread"))
+        ruleNoRawThread(path, lex.tokens, out);
     return out;
 }
 

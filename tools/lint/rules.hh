@@ -19,6 +19,11 @@
  *                       `using namespace`.
  *   log-no-secrets      key-material identifiers may not be passed
  *                       to cb_* logging / LOG_* calls.
+ *   no-raw-thread       std::thread / std::jthread / pthread_create
+ *                       outside src/exec/ - parallel work must run
+ *                       on exec::ThreadPool so COLDBOOT_THREADS and
+ *                       the exec.pool.* stats govern it (scoped
+ *                       members like std::thread::id are fine).
  *   bad-suppression     malformed `coldboot-lint: allow(...)`
  *                       comments (wrong syntax, unknown rule, or
  *                       missing justification).
