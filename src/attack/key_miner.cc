@@ -1,6 +1,7 @@
 #include "attack/key_miner.hh"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 
 #include "common/bits.hh"
@@ -119,7 +120,6 @@ mineScramblerKeys(const exec::DumpSource &dump,
         "attack.miner.clusters", "key clusters formed");
     obs::Counter &c_keys = registry.counter(
         "attack.miner.keys_reported", "candidate keys reported");
-    uint64_t blocks_before = c_blocks.value();
     obs::ScopedTimer timer(registry.distribution(
         "attack.miner.seconds", "wall-clock seconds per mining run"));
 
@@ -186,6 +186,12 @@ mineScramblerKeys(const exec::DumpSource &dump,
     };
 
     scan_bytes &= ~63ull;
+    // params.threads: 0 = the shared global pool, 1 = serial
+    // in-line, N > 1 = a dedicated pool of N workers.
+    std::unique_ptr<exec::ThreadPool> own_pool;
+    if (params.threads > 1)
+        own_pool = std::make_unique<exec::ThreadPool>(params.threads);
+    bool sequential = params.threads == 1;
     exec::parallelMapReduceChunks<ChunkHits>(
         0, scan_bytes, kScanGrain,
         [&](const exec::ChunkRange &c) {
@@ -220,7 +226,8 @@ mineScramblerKeys(const exec::DumpSource &dump,
                 cluster_block(block, off);
                 secureWipe(block.data(), block.size());
             }
-        });
+        },
+        own_pool.get(), sequential);
 
     // Merge clusters whose majority keys ended up close (decay can
     // split one key across clusters when early copies were noisy).
@@ -280,8 +287,11 @@ mineScramblerKeys(const exec::DumpSource &dump,
     c_constant.add(local.constant_dropped);
     c_clusters.add(local.clusters);
     c_keys.add(local.keys_reported);
+    // Deliberately NOT re-derived from the registry counter: reading
+    // value() - before here absorbs concurrent runs' increments, so a
+    // run overlapping another would report their blocks as its own
+    // (found by the miner-planted-keys fuzz oracle).
     c_blocks.add(local.blocks_scanned);
-    local.blocks_scanned = c_blocks.value() - blocks_before;
     if (stats)
         *stats = local;
     return out;

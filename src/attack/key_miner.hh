@@ -70,6 +70,14 @@ struct MinerParams
     size_t min_occurrences = 2;
     /** Filter trivially constant blocks before clustering. */
     bool drop_constant_blocks = true;
+    /**
+     * Worker threads for the scan phase: 0 (default) runs on the
+     * shared global exec::ThreadPool, 1 scans serially in-line,
+     * N > 1 uses a dedicated pool of N workers. The mined keys are
+     * byte-identical in every mode (DESIGN.md §9) - the fuzzer's
+     * parallel-fingerprint oracle asserts exactly that.
+     */
+    unsigned threads = 0;
 };
 
 /** Mining statistics for reporting. */

@@ -1,0 +1,106 @@
+#include "fuzz/corpus.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/logging.hh"
+#include "fuzz/reducer.hh"
+
+namespace coldboot::fuzz
+{
+
+std::vector<CorpusEntry>
+parseCorpus(const std::string &text, const std::string &file,
+            std::vector<std::string> *errors)
+{
+    std::vector<CorpusEntry> out;
+    unsigned lineno = 0;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t nl = text.find('\n', pos);
+        std::string_view line(
+            text.data() + pos,
+            (nl == std::string::npos ? text.size() : nl) - pos);
+        pos = nl == std::string::npos ? text.size() + 1 : nl + 1;
+        ++lineno;
+
+        std::string_view trimmed = line;
+        while (!trimmed.empty() && (trimmed.front() == ' ' ||
+                                    trimmed.front() == '\t'))
+            trimmed.remove_prefix(1);
+        if (trimmed.empty() || trimmed.front() == '#' ||
+            trimmed.front() == '\r')
+            continue;
+
+        auto parsed = parseReproducer(trimmed);
+        if (!parsed) {
+            if (errors)
+                errors->push_back(file + ":" +
+                                  std::to_string(lineno) +
+                                  ": unparseable corpus line");
+            continue;
+        }
+        CorpusEntry entry;
+        entry.oracle = parsed->first;
+        entry.params = parsed->second;
+        entry.file = file;
+        entry.line = lineno;
+        out.push_back(std::move(entry));
+    }
+    return out;
+}
+
+std::vector<CorpusEntry>
+loadCorpusFile(const std::string &path,
+               std::vector<std::string> *errors)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        cb_fatal("cannot open corpus file %s", path.c_str());
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    bool failed = std::ferror(f) != 0;
+    std::fclose(f);
+    if (failed)
+        cb_fatal("error reading corpus file %s", path.c_str());
+    return parseCorpus(text, path, errors);
+}
+
+std::vector<CorpusEntry>
+loadCorpusDir(const std::string &dir,
+              std::vector<std::string> *errors)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    std::vector<std::string> files;
+    for (const auto &ent : fs::directory_iterator(dir, ec)) {
+        if (ent.is_regular_file() &&
+            ent.path().extension() == ".corpus")
+            files.push_back(ent.path().string());
+    }
+    if (ec)
+        cb_fatal("cannot read corpus directory %s: %s", dir.c_str(),
+                 ec.message().c_str());
+    std::sort(files.begin(), files.end());
+
+    std::vector<CorpusEntry> out;
+    for (const auto &path : files) {
+        auto entries = loadCorpusFile(path, errors);
+        out.insert(out.end(),
+                   std::make_move_iterator(entries.begin()),
+                   std::make_move_iterator(entries.end()));
+    }
+    return out;
+}
+
+std::string
+formatCorpusEntry(const CorpusEntry &entry)
+{
+    return reproducerLine(entry.oracle, entry.params);
+}
+
+} // namespace coldboot::fuzz

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Checked-in fuzz corpus: files of one-line reproducers (reducer.hh
+ * grammar) under tests/fuzz_corpus/, replayed by the regression
+ * tests and the `coldboot-fuzz --corpus` mode so every violation
+ * ever found - and the seeds that exercise interesting behaviour -
+ * keep running on every commit.
+ *
+ * File format: one reproducer per line; blank lines and lines
+ * starting with `#` are comments.
+ */
+
+#ifndef COLDBOOT_FUZZ_CORPUS_HH
+#define COLDBOOT_FUZZ_CORPUS_HH
+
+#include <string>
+#include <vector>
+
+#include "fuzz/oracle.hh"
+
+namespace coldboot::fuzz
+{
+
+/** One parsed corpus line. */
+struct CorpusEntry
+{
+    std::string oracle;
+    FuzzCaseParams params;
+    /** Source file and 1-based line (for error reporting). */
+    std::string file;
+    unsigned line = 0;
+};
+
+/**
+ * Parse corpus text. Malformed non-comment lines are collected into
+ * @p errors as "<file>:<line>: <why>" strings (nullptr = ignore).
+ */
+std::vector<CorpusEntry> parseCorpus(
+    const std::string &text, const std::string &file,
+    std::vector<std::string> *errors = nullptr);
+
+/** Load and parse one corpus file; cb_fatal on I/O error. */
+std::vector<CorpusEntry> loadCorpusFile(
+    const std::string &path, std::vector<std::string> *errors = nullptr);
+
+/**
+ * Load every `*.corpus` file directly under @p dir (sorted by file
+ * name, so the replay order is stable across filesystems); cb_fatal
+ * when the directory cannot be read.
+ */
+std::vector<CorpusEntry> loadCorpusDir(
+    const std::string &dir, std::vector<std::string> *errors = nullptr);
+
+/** Render an entry back to its one-line form. */
+std::string formatCorpusEntry(const CorpusEntry &entry);
+
+} // namespace coldboot::fuzz
+
+#endif // COLDBOOT_FUZZ_CORPUS_HH

@@ -1,0 +1,145 @@
+#include "fuzz/dump_builder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "memctrl/scrambler.hh"
+
+namespace coldboot::fuzz
+{
+
+namespace
+{
+
+/**
+ * Claim @p run free consecutive lines, preferring a random draw and
+ * falling back to a linear scan (deterministic either way).
+ */
+uint64_t
+claimLines(std::vector<bool> &used, CaseRng &rng, uint64_t run)
+{
+    const uint64_t lines = used.size();
+    cb_assert(run >= 1 && run <= lines, "claimLines: bad run %llu",
+              static_cast<unsigned long long>(run));
+    auto free_at = [&](uint64_t start) {
+        if (start + run > lines)
+            return false;
+        for (uint64_t i = 0; i < run; ++i)
+            if (used[start + i])
+                return false;
+        return true;
+    };
+    uint64_t start = rng.below(lines - run + 1);
+    for (unsigned attempt = 0; attempt < 32 && !free_at(start);
+         ++attempt)
+        start = rng.below(lines - run + 1);
+    if (!free_at(start)) {
+        start = lines; // sentinel: scan
+        for (uint64_t s = 0; s + run <= lines; ++s) {
+            if (free_at(s)) {
+                start = s;
+                break;
+            }
+        }
+        cb_assert(start < lines, "claimLines: dump too crowded");
+    }
+    for (uint64_t i = 0; i < run; ++i)
+        used[start + i] = true;
+    return start;
+}
+
+} // anonymous namespace
+
+FuzzDump
+buildFuzzDump(CaseRng &rng, const FuzzDumpSpec &spec)
+{
+    cb_assert(spec.bytes >= 64 && spec.bytes % 64 == 0,
+              "buildFuzzDump: size must be a nonzero 64-multiple");
+    const uint64_t lines = spec.bytes / 64;
+
+    FuzzDump out;
+    out.bytes.resize(spec.bytes);
+    out.scrambler_seed = rng.next();
+    memctrl::Ddr4Scrambler scrambler(out.scrambler_seed, 0);
+
+    // Background: random lines (indistinguishable from scrambled
+    // traffic) with a sprinkling of scrambled zero lines - the
+    // mechanism that makes real dumps leak their scrambler keys. At
+    // dump sizes below the 256 KiB key-pool wrap these leak *single*
+    // copies, i.e. realistic sub-threshold noise for the miner.
+    rng.fill(out.bytes);
+    for (uint64_t line = 0; line < lines; ++line) {
+        if (rng.chance(spec.zero_line_fraction))
+            scrambler.lineKey(line * 64, &out.bytes[line * 64]);
+    }
+
+    std::vector<bool> used(lines, false);
+
+    // The schedule first: it needs a contiguous run of lines.
+    if (spec.plant_schedule) {
+        PlantedSchedule sched;
+        sched.key_size = spec.schedule_size;
+        sched.master.resize(static_cast<size_t>(spec.schedule_size));
+        rng.fill(sched.master);
+        auto schedule = crypto::aesExpandKey(sched.master);
+        uint64_t run = (schedule.size() + 63) / 64;
+        uint64_t start = claimLines(used, rng, run);
+        sched.offset = start * 64;
+
+        unsigned key_index =
+            static_cast<unsigned>(rng.below(4096));
+        scrambler.poolKey(key_index, sched.scramble_key.data());
+
+        // Schedule plaintext, tail-padded with random plaintext,
+        // XOR-ed line by line with the one scrambler key.
+        std::vector<uint8_t> plain(run * 64);
+        rng.fill(plain);
+        std::copy(schedule.begin(), schedule.end(), plain.begin());
+        for (uint64_t i = 0; i < plain.size(); ++i)
+            out.bytes[sched.offset + i] =
+                plain[i] ^ sched.scramble_key[i % 64];
+        out.planted_regions.push_back(
+            {sched.offset, sched.offset + run * 64});
+
+        // Plant the scrambling key itself so the mining -> search
+        // hand-off can work end to end.
+        PlantedKey key;
+        key.pool_index = key_index;
+        key.key = sched.scramble_key;
+        for (unsigned c = 0; c < std::max(2u, spec.copies_per_key);
+             ++c) {
+            uint64_t at = claimLines(used, rng, 1) * 64;
+            std::copy(key.key.begin(), key.key.end(),
+                      &out.bytes[at]);
+            key.offsets.push_back(at);
+            out.planted_regions.push_back({at, at + 64});
+        }
+        out.keys.push_back(std::move(key));
+        out.schedule = std::move(sched);
+    }
+
+    // Planted scrambler keys: raw pool-key bytes, exactly what a
+    // zero-filled 64-byte block stores in scrambled DRAM.
+    for (unsigned k = 0; k < spec.planted_keys; ++k) {
+        PlantedKey key;
+        key.pool_index = static_cast<unsigned>(rng.below(4096));
+        scrambler.poolKey(key.pool_index, key.key.data());
+        for (unsigned c = 0; c < spec.copies_per_key; ++c) {
+            uint64_t at = claimLines(used, rng, 1) * 64;
+            std::copy(key.key.begin(), key.key.end(),
+                      &out.bytes[at]);
+            key.offsets.push_back(at);
+            out.planted_regions.push_back({at, at + 64});
+        }
+        out.keys.push_back(std::move(key));
+    }
+
+    // Decay last, over everything - planted artifacts included.
+    if (spec.decay_fraction > 0.0)
+        out.bits_decayed = applyTargetDecay(
+            out.bytes, spec.decay_fraction, rng.next());
+
+    return out;
+}
+
+} // namespace coldboot::fuzz

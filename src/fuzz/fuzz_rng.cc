@@ -1,0 +1,31 @@
+#include "fuzz/fuzz_rng.hh"
+
+namespace coldboot::fuzz
+{
+
+uint64_t
+hashName(std::string_view name)
+{
+    // FNV-1a, 64-bit.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+uint64_t
+deriveCaseSeed(uint64_t base_seed, std::string_view oracle,
+               uint64_t round)
+{
+    // SplitMix64 walks are statistically independent for distinct
+    // starting points; mixing the oracle-name hash and the round in
+    // as offsets keeps every (seed, oracle, round) stream unrelated.
+    SplitMix64 mixer(base_seed ^ hashName(oracle) ^
+                     (round * 0x9e3779b97f4a7c15ULL));
+    mixer.next();
+    return mixer.next();
+}
+
+} // namespace coldboot::fuzz

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Seed-addressed randomness for the fuzzing subsystem.
+ *
+ * Every fuzz case is fully determined by a (campaign seed, oracle
+ * name, round) triple: deriveCaseSeed() mixes the three into the
+ * 64-bit seed of a CaseRng, and everything the case does - input
+ * sizes, mutation choices, planted artifacts - is drawn from that one
+ * generator. No wall clock, no global state: replaying a seed
+ * replays the case bit-for-bit (the `no-wallclock-in-sim` lint rule
+ * enforces the same contract the simulation layers follow).
+ */
+
+#ifndef COLDBOOT_FUZZ_FUZZ_RNG_HH
+#define COLDBOOT_FUZZ_FUZZ_RNG_HH
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "common/rng.hh"
+
+namespace coldboot::fuzz
+{
+
+/** FNV-1a over a name - stable across platforms and runs. */
+uint64_t hashName(std::string_view name);
+
+/**
+ * The seed a fuzz case runs under.
+ *
+ * @param base_seed Campaign-level seed (the CLI `--seed-range` walks
+ *                  these).
+ * @param oracle    Oracle name; distinct oracles at the same base
+ *                  seed see unrelated streams.
+ * @param round     Mutation-energy round (0 for phase-1 cases; the
+ *                  coverage-guided phase derives child cases by
+ *                  bumping the round).
+ */
+uint64_t deriveCaseSeed(uint64_t base_seed, std::string_view oracle,
+                        uint64_t round);
+
+/**
+ * Per-case random stream: a Xoshiro256** with the drawing helpers
+ * the mutators and oracles share.
+ */
+class CaseRng
+{
+  public:
+    explicit CaseRng(uint64_t seed) : rng(seed) {}
+
+    /** Next raw 64-bit draw. */
+    uint64_t next() { return rng.next(); }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    uint64_t below(uint64_t bound) { return rng.nextBelow(bound); }
+
+    /** Uniform integer in [lo, hi] (inclusive bounds, lo <= hi). */
+    uint64_t range(uint64_t lo, uint64_t hi)
+    {
+        return lo + rng.nextBelow(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double uniform() { return rng.nextDouble(); }
+
+    /** Bernoulli trial. */
+    bool chance(double p) { return rng.chance(p); }
+
+    /** Fill a byte range with random data. */
+    void fill(std::span<uint8_t> out) { rng.fillBytes(out); }
+
+    /** Pick one element of a non-empty list. */
+    template <typename T>
+    T
+    pick(std::initializer_list<T> options)
+    {
+        return *(options.begin() +
+                 static_cast<ptrdiff_t>(below(options.size())));
+    }
+
+  private:
+    Xoshiro256StarStar rng;
+};
+
+} // namespace coldboot::fuzz
+
+#endif // COLDBOOT_FUZZ_FUZZ_RNG_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Structured mutators - the adversarial-input half of the fuzzing
+ * subsystem.
+ *
+ * Three families (DESIGN.md §10 gives the full taxonomy):
+ *
+ *  - Byte-level mutations over in-memory buffers (bit flips, byte
+ *    stomps, 64-byte line duplication/swap, cross-region splices),
+ *    optionally steered away from protected regions so an oracle's
+ *    planted ground truth survives with a known error budget;
+ *
+ *  - Decay mutation: charge decay at a *target visible-flip
+ *    fraction*, routed through the real dram::DecayModel (ground
+ *    state stripes and all) by inverting the retention curve for the
+ *    unpowered interval that produces the requested fraction;
+ *
+ *  - File-shape mutations for on-disk dumps (truncation to a
+ *    misaligned size, zero-length, non-64-multiple extension, tail
+ *    bit rot) used to probe the DumpSource validation and the CLI
+ *    error paths.
+ */
+
+#ifndef COLDBOOT_FUZZ_MUTATOR_HH
+#define COLDBOOT_FUZZ_MUTATOR_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fuzz/fuzz_rng.hh"
+
+namespace coldboot::fuzz
+{
+
+/** Byte-level mutation kinds. */
+enum class ByteMutation
+{
+    /** Flip one random bit. */
+    BitFlip,
+    /** Overwrite one byte with a random value. */
+    ByteSet,
+    /** Copy one 64-byte line over another. */
+    LineDuplicate,
+    /** Swap two 64-byte lines. */
+    LineSwap,
+    /** Copy a random short run between two offsets. */
+    Splice,
+};
+
+/** Count of ByteMutation kinds (for feature bucketing). */
+constexpr unsigned byteMutationKinds = 5;
+
+/** A half-open byte range [begin, end) to protect from mutation. */
+struct ProtectedRegion
+{
+    uint64_t begin = 0;
+    uint64_t end = 0;
+};
+
+/** Per-kind application counts of one mutateBytes() run. */
+struct MutationStats
+{
+    uint32_t applied[byteMutationKinds] = {};
+    /** Mutations skipped because they hit a protected region. */
+    uint32_t skipped = 0;
+};
+
+/**
+ * Apply @p count random byte-level mutations to @p data, drawing
+ * every choice from @p rng. Mutations that would touch a protected
+ * region are skipped (counted, not retried - the mutation budget is
+ * the determinism unit). Empty input is a no-op.
+ */
+void mutateBytes(std::span<uint8_t> data, CaseRng &rng, uint32_t count,
+                 std::span<const ProtectedRegion> protect = {},
+                 MutationStats *stats = nullptr);
+
+/**
+ * Decay @p data toward its ground state with an expected visible-flip
+ * fraction of @p fraction (clamped to [0, 0.5]), using the real
+ * dram::DecayModel with ground-state stripes seeded by @p seed.
+ *
+ * @return The number of bits that visibly flipped.
+ */
+uint64_t applyTargetDecay(std::span<uint8_t> data, double fraction,
+                          uint64_t seed);
+
+/** File-shape mutation kinds for on-disk dump probing. */
+enum class FileShapeMutation
+{
+    /** Keep the file a valid nonzero 64-multiple (control case). */
+    KeepValid,
+    /** Truncate to a non-64-multiple size. */
+    TruncateMisaligned,
+    /** Truncate to zero bytes. */
+    TruncateEmpty,
+    /** Extend by a non-64-multiple tail. */
+    ExtendMisaligned,
+    /** Keep the size valid but rot bits near the tail. */
+    TailBitRot,
+};
+
+/** Count of FileShapeMutation kinds. */
+constexpr unsigned fileShapeMutationKinds = 5;
+
+/** Draw a file-shape mutation (uniform across kinds). */
+FileShapeMutation pickFileShapeMutation(CaseRng &rng);
+
+/**
+ * Apply a file-shape mutation to an in-memory file image.
+ *
+ * @return True when the resulting size is still a valid DumpSource
+ *         size (nonzero multiple of 64), i.e. opening it must
+ *         succeed; false when open must fail with a clean error.
+ */
+bool applyFileShapeMutation(std::vector<uint8_t> &bytes,
+                            FileShapeMutation kind, CaseRng &rng);
+
+} // namespace coldboot::fuzz
+
+#endif // COLDBOOT_FUZZ_MUTATOR_HH

@@ -1,0 +1,33 @@
+#include "fuzz/oracle.hh"
+
+#include "fuzz/oracles.hh"
+
+namespace coldboot::fuzz
+{
+
+const std::vector<const Oracle *> &
+allOracles()
+{
+    // Catalogue order is the report order; keep it stable so campaign
+    // reports diff cleanly across code changes.
+    static std::vector<const Oracle *> registry = [] {
+        std::vector<const Oracle *> out;
+        registerScramblerOracles(out);
+        registerLitmusOracles(out);
+        registerAttackOracles(out);
+        registerIoOracles(out);
+        return out;
+    }();
+    return registry;
+}
+
+const Oracle *
+findOracle(std::string_view name)
+{
+    for (const Oracle *o : allOracles())
+        if (name == o->name())
+            return o;
+    return nullptr;
+}
+
+} // namespace coldboot::fuzz

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Litmus-layer oracles: the scrambler-key byte-pair invariants and
+ * the AES key-schedule litmus, each checked differentially against an
+ * independent from-the-paper re-implementation or against the
+ * schedule recurrence itself.
+ */
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "attack/litmus.hh"
+#include "crypto/aes.hh"
+#include "fuzz/dump_builder.hh"
+#include "fuzz/fuzz_rng.hh"
+#include "fuzz/mutator.hh"
+#include "fuzz/oracles.hh"
+#include "memctrl/scrambler.hh"
+
+namespace coldboot::fuzz
+{
+
+namespace
+{
+
+using crypto::AesKeySize;
+
+/**
+ * Independent re-statement of the paper's Section III-B byte-pair
+ * invariants, written bit-by-bit from the equation list rather than
+ * via packed 16-bit lanes, so a lane-packing or endianness bug in the
+ * optimized scorer cannot hide.
+ */
+unsigned
+naiveLitmusScore(std::span<const uint8_t> block)
+{
+    // Each equation XORs four little-endian 16-bit words starting at
+    // the given byte offsets inside a 16-byte sub-block; a pristine
+    // DDR4 key zeroes all four equations on all four sub-blocks.
+    static constexpr unsigned eqs[4][4] = {
+        {2, 4, 10, 12},
+        {0, 6, 8, 14},
+        {0, 4, 8, 12},
+        {0, 2, 8, 10},
+    };
+    unsigned errors = 0;
+    for (unsigned base = 0; base < 64; base += 16) {
+        for (const auto &eq : eqs) {
+            for (unsigned bit = 0; bit < 16; ++bit) {
+                unsigned acc = 0;
+                for (unsigned term = 0; term < 4; ++term) {
+                    unsigned off = base + eq[term] + bit / 8;
+                    acc ^= (block[off] >> (bit % 8)) & 1;
+                }
+                errors += acc;
+            }
+        }
+    }
+    return errors;
+}
+
+/**
+ * scrambler-litmus-diff: the optimized lane-packed litmus scorer
+ * agrees with the naive bit-level rescore on pristine keys (score 0),
+ * decayed keys, mutated keys and random blocks, and the boolean
+ * litmus is exactly `score <= budget`.
+ */
+class ScramblerLitmusDiffOracle final : public Oracle
+{
+  public:
+    const char *name() const override
+    {
+        return "scrambler-litmus-diff";
+    }
+
+    const char *
+    description() const override
+    {
+        return "optimized byte-pair litmus score equals a naive "
+               "from-the-paper bit-level rescore";
+    }
+
+    OracleResult
+    run(const FuzzCaseParams &params) const override
+    {
+        OracleResult res;
+        CaseRng rng(params.seed);
+        memctrl::Ddr4Scrambler scrambler(rng.next(),
+                                         static_cast<unsigned>(
+                                             rng.below(4)));
+
+        const unsigned trials = 8 + params.energy;
+        for (unsigned t = 0; t < trials; ++t) {
+            std::array<uint8_t, 64> block;
+            unsigned cls = static_cast<unsigned>(rng.below(3));
+            if (cls == 0) {
+                // A real pool key, possibly mutated.
+                scrambler.poolKey(
+                    static_cast<unsigned>(rng.below(4096)),
+                    block.data());
+            } else if (cls == 1) {
+                // A decayed pool key.
+                scrambler.poolKey(
+                    static_cast<unsigned>(rng.below(4096)),
+                    block.data());
+                applyTargetDecay(block, 0.01 + 0.05 * rng.uniform(),
+                                 rng.next());
+            } else {
+                rng.fill(block);
+            }
+            if (rng.chance(0.5))
+                mutateBytes(block, rng, 1 + params.energy / 2);
+
+            unsigned fast = attack::scramblerKeyLitmusScore(block);
+            unsigned naive = naiveLitmusScore(block);
+            if (fast != naive) {
+                res.fail("litmus score mismatch: optimized " +
+                         std::to_string(fast) + " vs naive " +
+                         std::to_string(naive));
+                return res;
+            }
+            unsigned budget =
+                static_cast<unsigned>(rng.below(192));
+            if (attack::scramblerKeyLitmus(block, budget) !=
+                (fast <= budget)) {
+                res.fail("boolean litmus disagrees with its score");
+                return res;
+            }
+            res.feature(cls);
+            res.feature(10 + std::min(fast / 16, 16u));
+        }
+
+        // Pristine pool keys must score exactly zero - this is the
+        // property that makes zero-filled lines minable at all.
+        for (unsigned t = 0; t < 4; ++t) {
+            std::array<uint8_t, 64> key;
+            scrambler.poolKey(static_cast<unsigned>(rng.below(4096)),
+                              key.data());
+            if (attack::scramblerKeyLitmusScore(key) != 0) {
+                res.fail("pristine DDR4 pool key has nonzero litmus "
+                         "score");
+                return res;
+            }
+        }
+        return res;
+    }
+};
+
+/**
+ * aes-litmus-brute: completeness - a clean 64-byte window cut from a
+ * real expanded schedule is accepted at a placement congruent to the
+ * true one; soundness - whatever placement the litmus accepts (on any
+ * input, including mutated and random blocks) re-verifies through an
+ * independent run of the schedule recurrence with exactly the
+ * reported error count.
+ */
+class AesLitmusBruteOracle final : public Oracle
+{
+  public:
+    const char *name() const override { return "aes-litmus-brute"; }
+
+    const char *
+    description() const override
+    {
+        return "AES litmus finds planted schedule windows at a "
+               "congruent placement and every accepted placement "
+               "re-verifies through the recurrence";
+    }
+
+    OracleResult
+    run(const FuzzCaseParams &params) const override
+    {
+        OracleResult res;
+        CaseRng rng(params.seed);
+        const AesKeySize ks = rng.pick({AesKeySize::Aes128,
+                                        AesKeySize::Aes192,
+                                        AesKeySize::Aes256});
+        const unsigned nk = crypto::aesNk(ks);
+        res.feature(nk);
+
+        std::vector<uint8_t> master(static_cast<size_t>(ks));
+        rng.fill(master);
+        auto schedule = crypto::aesExpandKey(master);
+        const unsigned placements = attack::aesLitmusPlacements(ks);
+
+        // Completeness on a clean window.
+        unsigned placement =
+            static_cast<unsigned>(rng.below(placements));
+        std::array<uint8_t, 64> block;
+        std::memcpy(block.data(), &schedule[placement * 16], 64);
+        auto hit = attack::aesKeyLitmus(block, ks, 0, 12);
+        if (!hit) {
+            res.fail("clean schedule window rejected by the litmus");
+            return res;
+        }
+        // Rcon values differ by only a bit or two, so the litmus pins
+        // the placement only up to congruence mod lcm(4, nk) words.
+        unsigned congruence = std::max(4u, nk); // lcm for nk=4,6,8
+        if (nk == 6)
+            congruence = 12;
+        if (hit->start_word % congruence !=
+            (placement * 4) % congruence) {
+            res.fail("litmus placed a clean window at a "
+                     "non-congruent start word " +
+                     std::to_string(hit->start_word));
+            return res;
+        }
+        res.feature(32 + placement);
+
+        // Soundness on arbitrary inputs.
+        const unsigned trials = 4 + params.energy;
+        for (unsigned t = 0; t < trials; ++t) {
+            std::array<uint8_t, 64> probe;
+            if (rng.chance(0.5)) {
+                unsigned p =
+                    static_cast<unsigned>(rng.below(placements));
+                std::memcpy(probe.data(), &schedule[p * 16], 64);
+                applyTargetDecay(probe, 0.02 * rng.uniform(),
+                                 rng.next());
+                mutateBytes(probe, rng, params.energy / 2);
+            } else {
+                rng.fill(probe);
+            }
+            unsigned max_total =
+                static_cast<unsigned>(rng.range(0, 96));
+            unsigned max_per = static_cast<unsigned>(
+                rng.range(4, 16));
+            auto got = attack::aesKeyLitmus(probe, ks, max_total,
+                                            max_per);
+            if (!got) {
+                res.feature(64);
+                continue;
+            }
+            if (got->bit_errors > max_total) {
+                res.fail("litmus accepted a placement above its own "
+                         "budget");
+                return res;
+            }
+            // Independent recount: slide the recurrence over the
+            // observed words at the accepted placement.
+            uint32_t words[16];
+            for (unsigned i = 0; i < 16; ++i)
+                words[i] =
+                    crypto::aesWordFromBytes(&probe[4 * i]);
+            unsigned recount = 0;
+            bool capped = false;
+            for (unsigned i = nk; i < 16; ++i) {
+                uint32_t pred = crypto::aesScheduleStep(
+                    words[i - 1], words[i - nk],
+                    got->start_word + i, nk);
+                unsigned check = static_cast<unsigned>(
+                    std::popcount(pred ^ words[i]));
+                capped = capped || check > max_per;
+                recount += check;
+            }
+            if (capped || recount != got->bit_errors) {
+                res.fail("accepted placement does not re-verify: "
+                         "recount " +
+                         std::to_string(recount) + " vs reported " +
+                         std::to_string(got->bit_errors));
+                return res;
+            }
+            res.feature(65);
+        }
+        return res;
+    }
+};
+
+/**
+ * aes-schedule-inverse: forward expansion, window continuation and
+ * backward reconstruction are mutually consistent at every anchor -
+ * in particular, running backward from any clean mid-schedule window
+ * recovers the raw master key, which is the algebraic heart of the
+ * whole attack.
+ */
+class AesScheduleInverseOracle final : public Oracle
+{
+  public:
+    const char *name() const override
+    {
+        return "aes-schedule-inverse";
+    }
+
+    const char *
+    description() const override
+    {
+        return "forward/backward AES key expansion are inverse at "
+               "every anchor and key size";
+    }
+
+    OracleResult
+    run(const FuzzCaseParams &params) const override
+    {
+        OracleResult res;
+        CaseRng rng(params.seed);
+        const AesKeySize ks = rng.pick({AesKeySize::Aes128,
+                                        AesKeySize::Aes192,
+                                        AesKeySize::Aes256});
+        const unsigned nk = crypto::aesNk(ks);
+        const unsigned total_words = static_cast<unsigned>(
+            crypto::aesScheduleBytes(ks) / 4);
+        res.feature(nk);
+
+        std::vector<uint8_t> master(static_cast<size_t>(ks));
+        rng.fill(master);
+        auto schedule = crypto::aesExpandKey(master);
+        std::vector<uint32_t> words(total_words);
+        for (unsigned i = 0; i < total_words; ++i)
+            words[i] = crypto::aesWordFromBytes(&schedule[4 * i]);
+
+        const unsigned trials = 2 + params.energy / 2;
+        for (unsigned t = 0; t < trials; ++t) {
+            // Continuation from a random window reproduces the tail.
+            unsigned i0 = static_cast<unsigned>(
+                rng.range(nk, total_words - 1));
+            auto fwd = crypto::aesScheduleContinue(
+                std::span<const uint32_t>(&words[i0 - nk], nk), i0,
+                total_words - i0, nk);
+            for (unsigned i = 0; i < fwd.size(); ++i) {
+                if (fwd[i] != words[i0 + i]) {
+                    res.fail("forward continuation diverges at word " +
+                             std::to_string(i0 + i));
+                    return res;
+                }
+            }
+
+            // Backward from a random window reproduces the head -
+            // including w[0..nk), the raw master key.
+            unsigned j0 = static_cast<unsigned>(
+                rng.range(0, total_words - nk));
+            auto back = crypto::aesScheduleBackward(
+                std::span<const uint32_t>(&words[j0], nk), j0, j0,
+                nk);
+            for (unsigned i = 0; i < back.size(); ++i) {
+                if (back[i] != words[i]) {
+                    res.fail("backward reconstruction diverges at "
+                             "word " +
+                             std::to_string(i));
+                    return res;
+                }
+            }
+            res.feature(16 + i0 % 8);
+            res.feature(24 + j0 % 8);
+        }
+
+        // Round-trip on arbitrary (non-schedule) windows: stepping
+        // nk words forward from a random window and then backward
+        // from the result must return the original window - the
+        // recurrence is invertible for *any* bit pattern, not just
+        // real schedules.
+        std::vector<uint32_t> window(nk);
+        for (auto &w : window)
+            w = static_cast<uint32_t>(rng.next());
+        unsigned anchor = static_cast<unsigned>(rng.range(nk, 64));
+        auto fwd =
+            crypto::aesScheduleContinue(window, anchor, nk, nk);
+        // fwd holds w[anchor .. anchor+nk); backward from it yields
+        // w[anchor-nk .. anchor) - exactly `window`.
+        auto back = crypto::aesScheduleBackward(fwd, anchor, nk, nk);
+        for (unsigned i = 0; i < nk; ++i) {
+            if (back[i] != window[i]) {
+                res.fail("forward-then-backward round trip lost the "
+                         "window");
+                return res;
+            }
+        }
+        return res;
+    }
+};
+
+const ScramblerLitmusDiffOracle litmus_diff_oracle;
+const AesLitmusBruteOracle aes_brute_oracle;
+const AesScheduleInverseOracle inverse_oracle;
+
+} // anonymous namespace
+
+void
+registerLitmusOracles(std::vector<const Oracle *> &out)
+{
+    out.push_back(&litmus_diff_oracle);
+    out.push_back(&aes_brute_oracle);
+    out.push_back(&inverse_oracle);
+}
+
+} // namespace coldboot::fuzz

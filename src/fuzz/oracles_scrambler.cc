@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Scrambler- and decay-layer oracles: the algebraic properties the
+ * rest of the attack stack silently depends on.
+ */
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <memory>
+#include <set>
+
+#include "common/bits.hh"
+#include "dram/decay_model.hh"
+#include "fuzz/dump_builder.hh"
+#include "fuzz/fuzz_rng.hh"
+#include "fuzz/mutator.hh"
+#include "fuzz/oracles.hh"
+#include "memctrl/scrambler.hh"
+
+namespace coldboot::fuzz
+{
+
+namespace
+{
+
+using memctrl::Ddr3Scrambler;
+using memctrl::Ddr4Scrambler;
+using memctrl::lineBytes;
+using memctrl::Scrambler;
+
+/**
+ * scramble-roundtrip: scramble ∘ descramble is the identity on both
+ * scrambler generations, for any seed, channel and (line-aligned)
+ * address; lineKey() is stable across calls; reseed() with the same
+ * seed reproduces the key pool.
+ */
+class ScrambleRoundtripOracle final : public Oracle
+{
+  public:
+    const char *name() const override { return "scramble-roundtrip"; }
+
+    const char *
+    description() const override
+    {
+        return "scramble then descramble is the identity on DDR3 and "
+               "DDR4 for any seed/channel/address";
+    }
+
+    OracleResult
+    run(const FuzzCaseParams &params) const override
+    {
+        OracleResult res;
+        CaseRng rng(params.seed);
+
+        const bool ddr4 = rng.chance(0.5);
+        const uint64_t seed = rng.next();
+        const unsigned channel = static_cast<unsigned>(rng.below(4));
+        std::unique_ptr<Scrambler> scr;
+        if (ddr4)
+            scr = std::make_unique<Ddr4Scrambler>(seed, channel);
+        else
+            scr = std::make_unique<Ddr3Scrambler>(seed, channel);
+        res.feature(ddr4 ? 1 : 0);
+        res.feature(10 + channel);
+
+        const unsigned trials = 4 + params.energy;
+        for (unsigned t = 0; t < trials; ++t) {
+            // Addresses across the whole pool period and beyond
+            // (the pool must wrap, not run off the end).
+            uint64_t addr = (rng.below(1ull << 20)) * lineBytes;
+            std::array<uint8_t, lineBytes> plain;
+            rng.fill(plain);
+
+            std::array<uint8_t, lineBytes> scrambled;
+            scr->apply(addr, plain, scrambled);
+            std::array<uint8_t, lineBytes> back;
+            scr->apply(addr, scrambled, back);
+            if (back != plain) {
+                res.fail("roundtrip mismatch at addr " +
+                         std::to_string(addr));
+                return res;
+            }
+
+            // In-place application must agree with out-of-place.
+            std::array<uint8_t, lineBytes> inplace = plain;
+            scr->apply(addr, inplace, inplace);
+            if (inplace != scrambled) {
+                res.fail("in-place apply diverged at addr " +
+                         std::to_string(addr));
+                return res;
+            }
+
+            // lineKey is a pure function of (seed, channel, addr).
+            std::array<uint8_t, lineBytes> k1, k2;
+            scr->lineKey(addr, k1.data());
+            scr->lineKey(addr, k2.data());
+            if (k1 != k2) {
+                res.fail("lineKey unstable at addr " +
+                         std::to_string(addr));
+                return res;
+            }
+
+            // The keystream must be the XOR of plain and scrambled.
+            for (unsigned i = 0; i < lineBytes; ++i) {
+                if ((plain[i] ^ scrambled[i]) != k1[i]) {
+                    res.fail("apply() disagrees with lineKey() at "
+                             "addr " +
+                             std::to_string(addr));
+                    return res;
+                }
+            }
+            res.feature(20 + static_cast<uint32_t>(
+                                 addr / lineBytes % 16));
+        }
+
+        // reseed() with the same seed must reproduce the pool;
+        // reseed() with a different seed must change at least one key
+        // (a seed-independent pool would be a broken scrambler model).
+        constexpr unsigned probe_lines = 64;
+        std::array<std::array<uint8_t, lineBytes>, probe_lines> orig;
+        for (unsigned idx = 0; idx < probe_lines; ++idx)
+            scr->lineKey(idx * lineBytes, orig[idx].data());
+        scr->reseed(seed + 1);
+        bool changed = false;
+        std::array<uint8_t, lineBytes> after;
+        for (unsigned idx = 0; idx < probe_lines && !changed; ++idx) {
+            scr->lineKey(idx * lineBytes, after.data());
+            changed = orig[idx] != after;
+        }
+        if (!changed)
+            res.fail("reseed() left the whole probed pool unchanged");
+        scr->reseed(seed);
+        for (unsigned idx = 0; idx < probe_lines; ++idx) {
+            scr->lineKey(idx * lineBytes, after.data());
+            if (after != orig[idx]) {
+                res.fail("reseed() with the original seed did not "
+                         "reproduce the pool");
+                break;
+            }
+        }
+        return res;
+    }
+};
+
+/**
+ * reboot-xor-factoring: the generation gap the paper's Figure 3
+ * documents. XOR-ing the key streams of two DDR3 boots cancels the
+ * per-address patterns and leaves ONE universal 64-byte key across
+ * all 16 indices; on DDR4 the per-(seed, index) LFSR pools leave many
+ * distinct XOR residues, so no universal key survives.
+ */
+class RebootXorOracle final : public Oracle
+{
+  public:
+    const char *name() const override { return "reboot-xor-factoring"; }
+
+    const char *
+    description() const override
+    {
+        return "two-boot XOR collapses to one universal key on DDR3 "
+               "and does not on DDR4";
+    }
+
+    OracleResult
+    run(const FuzzCaseParams &params) const override
+    {
+        OracleResult res;
+        CaseRng rng(params.seed);
+        const unsigned channel = static_cast<unsigned>(rng.below(4));
+        uint64_t seed_a = rng.next();
+        uint64_t seed_b = rng.next();
+        if (seed_a == seed_b)
+            ++seed_b;
+
+        // DDR3: every index must yield the same XOR residue.
+        {
+            Ddr3Scrambler boot_a(seed_a, channel);
+            Ddr3Scrambler boot_b(seed_b, channel);
+            std::array<uint8_t, lineBytes> universal{};
+            for (unsigned idx = 0; idx < 16; ++idx) {
+                // Index bits are addr[9:6], so addr = idx << 6 walks
+                // all 16 keys; add a pool-period stride to confirm
+                // periodicity while we are here.
+                uint64_t addr =
+                    (idx + 16 * rng.below(64)) * lineBytes;
+                std::array<uint8_t, lineBytes> ka, kb, x;
+                boot_a.lineKey(addr, ka.data());
+                boot_b.lineKey(addr, kb.data());
+                for (unsigned i = 0; i < lineBytes; ++i)
+                    x[i] = ka[i] ^ kb[i];
+                if (idx == 0) {
+                    universal = x;
+                } else if (x != universal) {
+                    res.fail(
+                        "ddr3 two-boot XOR is not universal at index " +
+                        std::to_string(idx));
+                    return res;
+                }
+            }
+            res.feature(0);
+        }
+
+        // DDR4: the XOR residues across indices must NOT collapse.
+        {
+            Ddr4Scrambler boot_a(seed_a, channel);
+            Ddr4Scrambler boot_b(seed_b, channel);
+            std::set<std::array<uint8_t, lineBytes>> residues;
+            const unsigned probes = 32 + params.energy;
+            for (unsigned t = 0; t < probes; ++t) {
+                unsigned idx =
+                    static_cast<unsigned>(rng.below(4096));
+                std::array<uint8_t, lineBytes> ka, kb, x;
+                boot_a.poolKey(idx, ka.data());
+                boot_b.poolKey(idx, kb.data());
+                for (unsigned i = 0; i < lineBytes; ++i)
+                    x[i] = ka[i] ^ kb[i];
+                residues.insert(x);
+            }
+            if (residues.size() <= 1) {
+                res.fail("ddr4 two-boot XOR collapsed to a single "
+                         "universal key - DDR3-style factoring "
+                         "should not work");
+                return res;
+            }
+            res.feature(1);
+            res.feature(100 + static_cast<uint32_t>(
+                                  std::min<size_t>(residues.size(),
+                                                   40)));
+        }
+        return res;
+    }
+};
+
+/**
+ * decay-monotone: decay only ever moves a bit toward its ground
+ * state; ground-state memory is a fixed point; the retention curve is
+ * monotone in time and bounded to [0, 1].
+ */
+class DecayMonotoneOracle final : public Oracle
+{
+  public:
+    const char *name() const override { return "decay-monotone"; }
+
+    const char *
+    description() const override
+    {
+        return "decay moves bits toward ground state only; ground "
+               "state is a fixed point; retention curve is monotone";
+    }
+
+    unsigned smokeStride() const override { return 2; }
+
+    OracleResult
+    run(const FuzzCaseParams &params) const override
+    {
+        OracleResult res;
+        CaseRng rng(params.seed);
+
+        const size_t bytes =
+            static_cast<size_t>(8 * 1024) << params.scale;
+        std::vector<uint8_t> data(bytes);
+        rng.fill(data);
+        mutateBytes(data, rng, params.energy);
+        std::vector<uint8_t> before = data;
+
+        dram::DecayParams dp;
+        dp.quality = 0.5 + rng.uniform();
+        dram::DecayModel model(dp, rng.next());
+
+        const double celsius = -40.0 + 70.0 * rng.uniform();
+        const double seconds = 0.1 + 20.0 * rng.uniform();
+
+        // Retention curve shape.
+        double f1 = model.decayedFraction(seconds, celsius);
+        double f2 = model.decayedFraction(seconds * 2, celsius);
+        if (f1 < 0.0 || f1 > 1.0 || f2 < 0.0 || f2 > 1.0) {
+            res.fail("decayedFraction out of [0, 1]");
+            return res;
+        }
+        if (f2 < f1) {
+            res.fail("decayedFraction not monotone in time");
+            return res;
+        }
+        if (model.decayedFraction(seconds, celsius - 20.0) > f1) {
+            res.fail("cooling increased the decayed fraction");
+            return res;
+        }
+        res.feature(static_cast<uint32_t>(f1 * 8));
+
+        // Direction: a visibly flipped bit now equals ground state.
+        uint64_t flips = model.applyDecay(data, seconds, celsius);
+        uint64_t seen = 0;
+        for (uint64_t bit = 0; bit < bytes * 8; ++bit) {
+            bool was = (before[bit / 8] >> (bit % 8)) & 1;
+            bool now = (data[bit / 8] >> (bit % 8)) & 1;
+            if (was == now)
+                continue;
+            ++seen;
+            if (now != model.groundStateBit(bit)) {
+                res.fail("bit " + std::to_string(bit) +
+                         " decayed away from its ground state");
+                return res;
+            }
+        }
+        if (seen != flips) {
+            res.fail("applyDecay reported " + std::to_string(flips) +
+                     " visible flips but " + std::to_string(seen) +
+                     " bits changed");
+            return res;
+        }
+        res.feature(16 + (flips == 0 ? 0 : 1));
+
+        // Fixed point: fully decayed memory cannot decay further.
+        model.decayToGround(data);
+        std::vector<uint8_t> ground = data;
+        uint64_t again = model.applyDecay(data, seconds * 4, celsius);
+        if (again != 0 || data != ground)
+            res.fail("ground-state memory visibly decayed again");
+        return res;
+    }
+};
+
+const ScrambleRoundtripOracle roundtrip_oracle;
+const RebootXorOracle reboot_oracle;
+const DecayMonotoneOracle decay_oracle;
+
+} // anonymous namespace
+
+void
+registerScramblerOracles(std::vector<const Oracle *> &out)
+{
+    out.push_back(&roundtrip_oracle);
+    out.push_back(&reboot_oracle);
+    out.push_back(&decay_oracle);
+}
+
+} // namespace coldboot::fuzz

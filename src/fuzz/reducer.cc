@@ -1,0 +1,150 @@
+#include "fuzz/reducer.hh"
+
+#include <charconv>
+#include <vector>
+
+namespace coldboot::fuzz
+{
+
+namespace
+{
+
+/** `key=value` pull from `rest`; false on mismatch. */
+bool
+takeField(std::string_view &rest, std::string_view key,
+          std::string_view &value)
+{
+    if (rest.substr(0, key.size()) != key ||
+        rest.size() <= key.size() || rest[key.size()] != '=')
+        return false;
+    rest.remove_prefix(key.size() + 1);
+    size_t colon = rest.find(':');
+    value = rest.substr(0, colon);
+    rest.remove_prefix(colon == std::string_view::npos ? rest.size()
+                                                       : colon + 1);
+    return true;
+}
+
+template <typename T>
+bool
+parseInt(std::string_view text, T &out)
+{
+    if (text.empty())
+        return false;
+    auto [ptr, ec] = std::from_chars(
+        text.data(), text.data() + text.size(), out);
+    return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+} // anonymous namespace
+
+FuzzCaseParams
+reduceViolation(const Oracle &oracle, const FuzzCaseParams &params)
+{
+    auto violates = [&](const FuzzCaseParams &p) {
+        return oracle.run(p).violation;
+    };
+
+    // Candidate ladder, smallest first: every (scale, energy) pair
+    // with scale <= params.scale and energy from a short descending
+    // ladder. The first violating candidate wins, so the result is
+    // deterministic and at most a few dozen runs are spent.
+    std::vector<uint32_t> energies;
+    for (uint32_t e : {0u, 1u, 2u, params.energy / 4,
+                       params.energy / 2, params.energy}) {
+        if (e <= params.energy &&
+            (energies.empty() || e > energies.back()))
+            energies.push_back(e);
+    }
+    for (uint32_t scale = 0; scale <= params.scale; ++scale) {
+        for (uint32_t energy : energies) {
+            FuzzCaseParams candidate{params.seed, energy, scale};
+            if (candidate.energy == params.energy &&
+                candidate.scale == params.scale)
+                return params; // reached the original - no shrink
+            if (violates(candidate))
+                return candidate;
+        }
+    }
+    return params;
+}
+
+std::string
+reproducerLine(std::string_view oracle, const FuzzCaseParams &params)
+{
+    std::string line = "oracle=";
+    line += oracle;
+    line += ":seed=" + std::to_string(params.seed);
+    line += ":energy=" + std::to_string(params.energy);
+    line += ":scale=" + std::to_string(params.scale);
+    return line;
+}
+
+std::optional<std::pair<std::string, FuzzCaseParams>>
+parseReproducer(std::string_view line)
+{
+    // Trim surrounding whitespace so corpus lines parse as-is.
+    while (!line.empty() && (line.front() == ' ' ||
+                             line.front() == '\t'))
+        line.remove_prefix(1);
+    while (!line.empty() &&
+           (line.back() == ' ' || line.back() == '\t' ||
+            line.back() == '\r' || line.back() == '\n'))
+        line.remove_suffix(1);
+
+    std::string_view oracle, seed, energy, scale;
+    if (!takeField(line, "oracle", oracle) ||
+        !takeField(line, "seed", seed) ||
+        !takeField(line, "energy", energy) ||
+        !takeField(line, "scale", scale) || !line.empty() ||
+        oracle.empty())
+        return std::nullopt;
+
+    FuzzCaseParams params;
+    if (!parseInt(seed, params.seed) ||
+        !parseInt(energy, params.energy) ||
+        !parseInt(scale, params.scale))
+        return std::nullopt;
+    return std::make_pair(std::string(oracle), params);
+}
+
+std::optional<OracleResult>
+runReproducer(std::string_view line)
+{
+    auto parsed = parseReproducer(line);
+    if (!parsed)
+        return std::nullopt;
+    const Oracle *oracle = findOracle(parsed->first);
+    if (!oracle)
+        return std::nullopt;
+    return oracle->run(parsed->second);
+}
+
+std::string
+gtestSnippet(std::string_view oracle, const FuzzCaseParams &params)
+{
+    // CamelCase the kebab-case oracle name for the test identifier.
+    std::string camel;
+    bool upper = true;
+    for (char c : oracle) {
+        if (c == '-') {
+            upper = true;
+            continue;
+        }
+        camel += upper ? static_cast<char>(c - 'a' + 'A') : c;
+        upper = false;
+    }
+    std::string line = reproducerLine(oracle, params);
+    std::string out;
+    out += "TEST(FuzzRegression, " + camel + "Seed" +
+           std::to_string(params.seed) + ")\n";
+    out += "{\n";
+    out += "    auto res = coldboot::fuzz::runReproducer(\n";
+    out += "        \"" + line + "\");\n";
+    out += "    ASSERT_TRUE(res.has_value());\n";
+    out += "    EXPECT_FALSE(res->violation) << res->message;\n";
+    out += "}\n";
+    return out;
+}
+
+} // namespace coldboot::fuzz

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Violation reduction and replay: shrink a failing fuzz case to the
+ * smallest (energy, scale) that still violates its oracle, and turn
+ * it into a one-line reproducer that pastes straight into a corpus
+ * file or a gtest regression case.
+ *
+ * Reproducer grammar (one line, no spaces):
+ *
+ *     oracle=<name>:seed=<u64>:energy=<u32>:scale=<u32>
+ *
+ * The seed is the *derived case seed* (fuzz_rng.hh), so a reproducer
+ * is self-contained: replaying it does not need the campaign's base
+ * seed, profile or phase that produced it.
+ */
+
+#ifndef COLDBOOT_FUZZ_REDUCER_HH
+#define COLDBOOT_FUZZ_REDUCER_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "fuzz/oracle.hh"
+
+namespace coldboot::fuzz
+{
+
+/**
+ * Shrink a failing case: tries lower scales and lower energies in a
+ * fixed ladder (at most ~20 extra oracle runs) and returns the
+ * smallest parameter set that still violates, preferring scale
+ * reduction over energy reduction. Returns @p params unchanged when
+ * nothing smaller fails.
+ */
+FuzzCaseParams reduceViolation(const Oracle &oracle,
+                               const FuzzCaseParams &params);
+
+/** Render the one-line reproducer for a case. */
+std::string reproducerLine(std::string_view oracle,
+                           const FuzzCaseParams &params);
+
+/**
+ * Parse a reproducer line; std::nullopt on any syntax error. The
+ * oracle name is returned verbatim (it may be unknown to this
+ * build - runReproducer() checks).
+ */
+std::optional<std::pair<std::string, FuzzCaseParams>>
+parseReproducer(std::string_view line);
+
+/**
+ * Parse and replay a reproducer line against the registered oracle.
+ * std::nullopt when the line does not parse or names no oracle.
+ */
+std::optional<OracleResult> runReproducer(std::string_view line);
+
+/**
+ * A ready-to-paste gtest regression case asserting the property
+ * holds again once fixed (fails while the bug is live).
+ */
+std::string gtestSnippet(std::string_view oracle,
+                         const FuzzCaseParams &params);
+
+} // namespace coldboot::fuzz
+
+#endif // COLDBOOT_FUZZ_REDUCER_HH

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <span>
 #include <vector>
 
 #include "common/hex.hh"
@@ -294,6 +296,58 @@ TEST(FastAes, AliasSafeAndScheduleShared)
     reference.encryptBlock(buf, expect);
     fast.encryptBlock(buf, buf);
     EXPECT_EQ(0, memcmp(buf, expect, 16));
+}
+
+TEST(Aes, Aes256ExpansionFromEveryLitmusPlacement)
+{
+    // The AES litmus slides a 64-byte (16-word) window over an
+    // AES-256 schedule: 60 words give 12 possible 4-word-aligned
+    // placements (word 4p for p in 0..11). From each placement the
+    // known-answer FIPS-197 A.3 schedule must regenerate completely:
+    // forward from the window's top Nk words to the schedule tail,
+    // and backward from the window's base to the master key itself.
+    auto key = fromHex(
+        "603deb1015ca71be2b73aef0857d7781"
+        "1f352c073b6108d72d9810a30914dff4");
+    auto sched = aesExpandKey(key);
+    ASSERT_EQ(sched.size(), 240u);
+    constexpr unsigned nk = 8, total = 60;
+
+    std::array<uint32_t, total> words;
+    for (unsigned i = 0; i < total; ++i)
+        words[i] = aesWordFromBytes(&sched[4 * i]);
+
+    for (unsigned p = 0; p < 12; ++p) {
+        unsigned base = 4 * p; // first word of the 16-word window
+        ASSERT_LE(base + 16, total);
+
+        // Forward: the window's last Nk words predict the rest.
+        unsigned anchor = base + 16;
+        if (anchor < total) {
+            std::span<const uint32_t> top(&words[anchor - nk], nk);
+            auto tail = aesScheduleContinue(top, anchor,
+                                            total - anchor, nk);
+            for (unsigned k = 0; k < tail.size(); ++k)
+                ASSERT_EQ(tail[k], words[anchor + k])
+                    << "placement " << p << " word " << anchor + k;
+        }
+
+        // Backward: the window's first Nk words recover the full
+        // head, i.e. schedule words 0..base - including the master
+        // key in words 0..7.
+        if (base > 0) {
+            std::span<const uint32_t> bottom(&words[base], nk);
+            auto head = aesScheduleBackward(bottom, base, base, nk);
+            ASSERT_EQ(head.size(), base);
+            for (unsigned k = 0; k < base; ++k)
+                ASSERT_EQ(head[k], words[k])
+                    << "placement " << p << " word " << k;
+        }
+
+        // Either way the master key bytes fall out exactly.
+        for (unsigned i = 0; i < 32; ++i)
+            ASSERT_EQ(sched[i], key[i]);
+    }
 }
 
 } // anonymous namespace

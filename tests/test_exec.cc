@@ -438,6 +438,11 @@ TEST(DumpSource, RejectsBadSizes)
     EXPECT_DEATH(openDumpSource("test_exec_nonexistent.img"),
                  "open");
 
+    DumpSourceFile empty(patternBytes(0));
+    EXPECT_DEATH(openDumpSource(empty.path), "nonzero multiple");
+    DumpSourceFile torn(patternBytes(64 * 4 + 17)); // mid-line tear
+    EXPECT_DEATH(openDumpSource(torn.path), "multiple of");
+
     auto bytes = patternBytes(128);
     MemoryDumpSource src({bytes.data(), bytes.size()});
     ChunkBuffer buf;
