@@ -18,12 +18,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
 #include "obs/bench.hh"
 #include "obs/fsio.hh"
+#include "obs/http.hh"
+#include "obs/sampler.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 
@@ -51,6 +54,10 @@ usage()
         "  --out FILE            write consolidated BENCH.json\n"
         "  --stats-json FILE     write the stats registry JSON\n"
         "  --trace FILE          write Chrome trace_event JSON\n"
+        "  --serve-obs [ADDR:]PORT\n"
+        "                        serve live telemetry over HTTP while"
+        " benches run\n"
+        "                        (also via COLDBOOT_SERVE_OBS)\n"
         "  --quiet               mute bench table/figure output\n");
     return 2;
 }
@@ -64,7 +71,7 @@ main(int argc, char **argv)
     bool list_only = false;
     bool reps_set = false, warmup_set = false;
     std::vector<std::string> filters;
-    std::string out_path, stats_path, trace_path;
+    std::string out_path, stats_path, trace_path, serve_spec;
 
     auto needValue = [&](int &i) -> const char * {
         if (i + 1 >= argc) {
@@ -102,6 +109,8 @@ main(int argc, char **argv)
             stats_path = needValue(i);
         } else if (arg == "--trace") {
             trace_path = needValue(i);
+        } else if (arg == "--serve-obs") {
+            serve_spec = needValue(i);
         } else if (arg == "--quiet") {
             config.quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -145,6 +154,33 @@ main(int argc, char **argv)
     if (selected.empty()) {
         std::fprintf(stderr, "no bench matches the given filters\n");
         return 1;
+    }
+
+    // Optional live telemetry while the benches run (zero cost when
+    // absent: neither the sampler thread nor the socket exists).
+    if (serve_spec.empty()) {
+        if (const char *env = std::getenv("COLDBOOT_SERVE_OBS");
+            env && *env)
+            serve_spec = env;
+    }
+    std::unique_ptr<obs::TelemetrySampler> sampler;
+    std::unique_ptr<obs::ObsHttpServer> server;
+    if (!serve_spec.empty()) {
+        obs::ServeSpec spec;
+        std::string error;
+        if (!obs::parseServeSpec(serve_spec, &spec, &error))
+            cb_fatal("--serve-obs: %s", error.c_str());
+        sampler = std::make_unique<obs::TelemetrySampler>();
+        sampler->start();
+        obs::ObsHttpServer::Options opts;
+        opts.bind = spec;
+        opts.sampler = sampler.get();
+        server = std::make_unique<obs::ObsHttpServer>(opts);
+        if (!server->start(&error))
+            cb_fatal("--serve-obs: %s", error.c_str());
+        std::printf("serving observability on http://%s:%u/\n",
+                    server->address().c_str(), server->port());
+        std::fflush(stdout);
     }
 
     std::printf("coldboot-bench: %zu bench(es), profile %s, "

@@ -12,6 +12,7 @@
 #include "common/logging.hh"
 #include "attack/litmus.hh"
 #include "exec/thread_pool.hh"
+#include "obs/progress.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 
@@ -410,6 +411,10 @@ searchAesKeyTables(const exec::DumpSource &dump,
     bool sequential = params.threads == 1;
     constexpr uint64_t kScanGrain = 1ull << 20;
 
+    // Progress covers the phase-1 scan (the dominant cost; phase-2
+    // reconstruction touches only the handful of litmus hits).
+    auto progress = obs::ProgressTracker::global().startJob(
+        "attack.search", end > begin ? end - begin : 0);
     {
         obs::ScopedSpan span("search.scan");
         exec::parallelMapReduceChunks<ChunkScan>(
@@ -455,15 +460,17 @@ searchAesKeyTables(const exec::DumpSource &dump,
                 }
                 return out;
             },
-            [&](ChunkScan &&s, const exec::ChunkRange &) {
+            [&](ChunkScan &&s, const exec::ChunkRange &c) {
                 local.blocks_scanned += s.blocks_scanned;
                 local.descramble_attempts += s.attempts;
                 local.litmus_hits += s.hits.size();
                 all_hits.insert(all_hits.end(), s.hits.begin(),
                                 s.hits.end());
+                progress->advance(c.end - c.begin);
             },
             own_pool.get(), sequential);
     }
+    progress->finish();
 
     // Phase 2 - reconstruct (serial; candidate offsets are few).
     // Round constants differ by only a bit or two, so the litmus

@@ -1,7 +1,10 @@
 #include "attack/attack_pipeline.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "crypto/aes.hh"
+#include "obs/progress.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 
@@ -38,6 +41,19 @@ runColdBootAttack(const exec::DumpSource &dump,
     obs::ScopedSpan pipeline_span("attack.pipeline");
     PipelineReport report;
 
+    // Umbrella job over the whole pipeline: the unit is "dump bytes
+    // to scan" - one mining pass plus one search pass per key size.
+    // Stage-level jobs (attack.miner / attack.search) report finer
+    // grain; this one gives `/progress` a single end-to-end figure.
+    uint64_t mine_bytes = dump.size();
+    if (params.miner.scan_limit_bytes != 0)
+        mine_bytes = std::min<uint64_t>(mine_bytes,
+                                        params.miner.scan_limit_bytes);
+    mine_bytes &= ~63ull;
+    auto progress = obs::ProgressTracker::global().startJob(
+        "attack.pipeline",
+        mine_bytes + dump.size() * params.key_sizes.size());
+
     {
         obs::ScopedSpan span("mine");
         cb_inform("attack: mining scrambler keys from %zu MiB dump",
@@ -46,6 +62,7 @@ runColdBootAttack(const exec::DumpSource &dump,
             mineScramblerKeys(dump, params.miner,
                               &report.miner_stats);
     }
+    progress->advance(mine_bytes);
     cb_inform("attack: mined %zu candidate keys "
               "(%llu litmus hits over %llu blocks)",
               report.mined_keys.size(),
@@ -74,6 +91,7 @@ runColdBootAttack(const exec::DumpSource &dump,
             report.search_stats.reconstructions_verified +=
                 stats.reconstructions_verified;
             report.search_stats.seconds += stats.seconds;
+            progress->advance(dump.size());
         }
     }
     cb_inform("attack: recovered %zu AES key table(s)",
@@ -83,6 +101,7 @@ runColdBootAttack(const exec::DumpSource &dump,
         obs::ScopedSpan span("pair");
         report.xts_pairs = pairXtsKeys(report.recovered);
     }
+    progress->finish();
     cb_inform("attack: paired %zu XTS master key set(s)",
               report.xts_pairs.size());
 

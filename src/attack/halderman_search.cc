@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "exec/thread_pool.hh"
+#include "obs/progress.hh"
 
 namespace coldboot::attack
 {
@@ -86,6 +87,8 @@ haldermanSearch(const exec::DumpSource &image,
     // reads its positions plus the schedule-length tail; candidates
     // are deduplicated during the ordered reduction, giving output
     // byte-identical to the sequential slide.
+    auto progress = obs::ProgressTracker::global().startJob(
+        "attack.halderman", windows);
     exec::parallelMapReduceChunks<std::vector<BaselineKey>>(
         0, windows, kWindowGrain,
         [&](const exec::ChunkRange &c) {
@@ -103,11 +106,13 @@ haldermanSearch(const exec::DumpSource &image,
             return found;
         },
         [&](std::vector<BaselineKey> &&found,
-            const exec::ChunkRange &) {
+            const exec::ChunkRange &c) {
             for (auto &key : found)
                 if (seen.insert(key.master).second)
                     out.push_back(std::move(key));
+            progress->advance(c.end - c.begin);
         });
+    progress->finish();
     return out;
 }
 

@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "attack/litmus.hh"
 #include "exec/thread_pool.hh"
+#include "obs/progress.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 
@@ -192,6 +193,10 @@ mineScramblerKeys(const exec::DumpSource &dump,
     if (params.threads > 1)
         own_pool = std::make_unique<exec::ThreadPool>(params.threads);
     bool sequential = params.threads == 1;
+    // Progress advances in the ordered reduction (the caller
+    // thread), so reporting never touches the parallel map path.
+    auto progress = obs::ProgressTracker::global().startJob(
+        "attack.miner", scan_bytes);
     exec::parallelMapReduceChunks<ChunkHits>(
         0, scan_bytes, kScanGrain,
         [&](const exec::ChunkRange &c) {
@@ -218,7 +223,7 @@ mineScramblerKeys(const exec::DumpSource &dump,
             }
             return out;
         },
-        [&](ChunkHits &&h, const exec::ChunkRange &) {
+        [&](ChunkHits &&h, const exec::ChunkRange &c) {
             local.blocks_scanned += h.blocks_scanned;
             local.constant_dropped += h.constant_dropped;
             local.litmus_hits += h.hits.size();
@@ -226,8 +231,10 @@ mineScramblerKeys(const exec::DumpSource &dump,
                 cluster_block(block, off);
                 secureWipe(block.data(), block.size());
             }
+            progress->advance(c.end - c.begin);
         },
         own_pool.get(), sequential);
+    progress->finish();
 
     // Merge clusters whose majority keys ended up close (decay can
     // split one key across clusters when early copies were noisy).

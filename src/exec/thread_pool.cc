@@ -23,6 +23,20 @@ ThreadPool *g_override = nullptr;
 
 std::atomic<unsigned> g_thread_override{0};
 
+/** The global() singleton once constructed (for currentGlobal()). */
+std::atomic<ThreadPool *> g_global_pool{nullptr};
+
+/** Lock-free running-maximum update. */
+void
+bumpHighWater(std::atomic<uint64_t> &hwm, uint64_t depth)
+{
+    uint64_t cur = hwm.load(std::memory_order_relaxed);
+    while (depth > cur &&
+           !hwm.compare_exchange_weak(cur, depth,
+                                      std::memory_order_relaxed)) {
+    }
+}
+
 } // anonymous namespace
 
 uint64_t
@@ -92,6 +106,7 @@ struct ThreadPool::Worker
     std::atomic<uint64_t> tasks_stolen{0};
     std::atomic<uint64_t> parks{0};
     std::atomic<uint64_t> idle_ns{0};
+    std::atomic<uint64_t> queue_hwm{0};
 };
 
 ThreadPool::ThreadPool(unsigned n)
@@ -153,10 +168,13 @@ ThreadPool::submit(std::function<void()> fn)
             next_rr.fetch_add(1, std::memory_order_relaxed) %
             workers.size());
     }
+    size_t depth;
     {
         std::lock_guard<std::mutex> lk(workers[target]->mu);
         workers[target]->tasks.push_back(std::move(fn));
+        depth = workers[target]->tasks.size();
     }
+    bumpHighWater(workers[target]->queue_hwm, depth);
     queued.fetch_add(1, std::memory_order_release);
     // Fence against the check-then-sleep race: a parking worker that
     // already tested `queued` holds park_mu until it actually sleeps,
@@ -204,9 +222,14 @@ ThreadPool::claimTask(unsigned self, std::function<void()> &out)
         c_stolen->add(loot.size());
         out = std::move(loot.front());
         if (loot.size() > 1) {
-            std::lock_guard<std::mutex> lk(me.mu);
-            for (size_t i = 1; i < loot.size(); ++i)
-                me.tasks.push_back(std::move(loot[i]));
+            size_t depth;
+            {
+                std::lock_guard<std::mutex> lk(me.mu);
+                for (size_t i = 1; i < loot.size(); ++i)
+                    me.tasks.push_back(std::move(loot[i]));
+                depth = me.tasks.size();
+            }
+            bumpHighWater(me.queue_hwm, depth);
         }
         queued.fetch_sub(1, std::memory_order_release);
         return true;
@@ -306,9 +329,60 @@ ThreadPool::stats() const
             static_cast<double>(
                 w->idle_ns.load(std::memory_order_relaxed)) *
             1e-9;
+        s.queue_high_water =
+            w->queue_hwm.load(std::memory_order_relaxed);
         out.per_worker.push_back(s);
     }
     return out;
+}
+
+void
+ThreadPool::publishWorkerStats() const
+{
+    auto &registry = obs::StatRegistry::global();
+    PoolStats snap = stats();
+    for (size_t i = 0; i < snap.per_worker.size(); ++i) {
+        const WorkerStats &w = snap.per_worker[i];
+        const std::string prefix =
+            "exec.pool.worker." + std::to_string(i) + ".";
+        registry.setScalar(prefix + "tasks_executed",
+                           static_cast<double>(w.tasks_executed),
+                           "tasks run by this worker");
+        registry.setScalar(prefix + "steals",
+                           static_cast<double>(w.steals),
+                           "steal operations by this worker");
+        registry.setScalar(prefix + "tasks_stolen",
+                           static_cast<double>(w.tasks_stolen),
+                           "tasks this worker moved over from other "
+                           "deques");
+        registry.setScalar(prefix + "parks",
+                           static_cast<double>(w.parks),
+                           "times this worker parked idle");
+        registry.setScalar(prefix + "idle_seconds", w.idle_seconds,
+                           "wall-clock seconds this worker spent "
+                           "parked");
+        registry.setScalar(prefix + "queue_high_water",
+                           static_cast<double>(w.queue_high_water),
+                           "deepest this worker's deque has been");
+    }
+}
+
+ThreadPool *
+ThreadPool::currentGlobal()
+{
+    {
+        std::lock_guard<std::mutex> lk(g_override_mu);
+        if (g_override != nullptr)
+            return g_override;
+    }
+    return g_global_pool.load(std::memory_order_acquire);
+}
+
+void
+ThreadPool::publishGlobalWorkerStats()
+{
+    if (ThreadPool *pool = currentGlobal())
+        pool->publishWorkerStats();
 }
 
 ThreadPool &
@@ -320,6 +394,7 @@ ThreadPool::global()
             return *g_override;
     }
     static ThreadPool the_pool;
+    g_global_pool.store(&the_pool, std::memory_order_release);
     return the_pool;
 }
 

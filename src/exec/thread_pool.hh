@@ -69,6 +69,8 @@ struct WorkerStats
     uint64_t parks = 0;
     /** Wall-clock seconds spent parked. */
     double idle_seconds = 0.0;
+    /** Deepest this worker's deque has ever been. */
+    uint64_t queue_high_water = 0;
 };
 
 /** Aggregated pool statistics (see ThreadPool::stats()). */
@@ -139,6 +141,25 @@ class ThreadPool
 
     /** Snapshot of the per-worker counters. */
     PoolStats stats() const;
+
+    /**
+     * Mirror stats() into the StatRegistry as per-worker scalars:
+     * `exec.pool.worker.<i>.{tasks_executed,steals,tasks_stolen,
+     * parks,idle_seconds,queue_high_water}`. The telemetry sampler
+     * calls this each tick so scrapes see live per-worker load.
+     */
+    void publishWorkerStats() const;
+
+    /**
+     * The effective global pool *if one already exists*: the active
+     * ScopedGlobalOverride's pool, else the global() singleton when
+     * it has been constructed. Returns nullptr rather than creating
+     * anything - observers must never instantiate a pool.
+     */
+    static ThreadPool *currentGlobal();
+
+    /** publishWorkerStats() on currentGlobal(); no-op when none. */
+    static void publishGlobalWorkerStats();
 
     /**
      * The process-global pool, created on first use with

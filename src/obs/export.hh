@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Render-side of the live telemetry plane: Prometheus text
+ * exposition (format version 0.0.4) rendered from a StatRegistry
+ * snapshot plus optional sampler rates, JSON rendering of sampled
+ * time-series history, and an exposition-format validator shared by
+ * the tests, the `coldboot-promcheck` tool and the CI scrape leg.
+ *
+ * Pure functions over snapshots - no sockets, no threads, no clocks -
+ * so every byte the HTTP endpoints serve is unit-testable without a
+ * server, and rendering never blocks a sampler tick.
+ */
+
+#ifndef COLDBOOT_OBS_EXPORT_HH
+#define COLDBOOT_OBS_EXPORT_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/stats.hh"
+#include "obs/timeseries.hh"
+
+namespace coldboot::obs
+{
+
+/**
+ * A registry name as a Prometheus metric name: dots and any other
+ * character outside [a-zA-Z0-9_:] become '_', and a leading digit is
+ * prefixed with '_' ("attack.miner.blocks_scanned" ->
+ * "attack_miner_blocks_scanned").
+ */
+std::string prometheusName(const std::string &name);
+
+/**
+ * Render registry stats as Prometheus text exposition:
+ *  - counters  -> `# TYPE <name> counter` + value;
+ *  - scalars   -> gauge;
+ *  - rates     -> counter + a `<name>_per_second` gauge;
+ *  - distributions -> histogram when bucket edges exist (cumulative
+ *    `_bucket{le="..."}` series ending in `le="+Inf"`, plus `_sum` /
+ *    `_count`), else `_count`/`_sum`/`_min`/`_max`/`_mean` gauges.
+ *
+ * When @p series is non-null, each entry additionally emits a
+ * `<name>_ewma_per_second` gauge - the sampler's smoothed rate.
+ */
+std::string renderPrometheusText(
+    const std::vector<StatSnapshot> &stats,
+    const std::vector<SeriesSnapshot> *series = nullptr);
+
+/**
+ * Render sampled ring-buffer history as JSON:
+ * {"series": [{"name", "kind", "ewma_rate",
+ *              "points": [{"unix_ms","value","delta","rate"}, ...]},
+ *             ...]}
+ */
+std::string renderSeriesJson(
+    const std::vector<SeriesSnapshot> &series);
+
+/**
+ * Validate Prometheus text exposition line by line: `# HELP` /
+ * `# TYPE` comments (known types only), metric lines of the form
+ * `name[{labels}] value [timestamp]` with a legal metric name and a
+ * parseable value (+Inf/-Inf/NaN included), and a TYPE comment never
+ * repeated for one metric.
+ *
+ * @param error When non-null, receives "line N: why" on failure.
+ * @return true when every line conforms.
+ */
+bool validatePrometheusText(std::string_view text,
+                            std::string *error = nullptr);
+
+} // namespace coldboot::obs
+
+#endif // COLDBOOT_OBS_EXPORT_HH

@@ -1,0 +1,296 @@
+#include "obs/http.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "exec/thread_pool.hh"
+#include "obs/export.hh"
+#include "obs/progress.hh"
+#include "obs/sampler.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+
+namespace coldboot::obs
+{
+
+namespace
+{
+
+/** Request headers larger than this are rejected outright. */
+constexpr size_t maxRequestBytes = 8192;
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      default: return "Internal Server Error";
+    }
+}
+
+/** send() the whole buffer, riding out EINTR and partial writes. */
+void
+sendAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // peer went away; nothing to do for a scraper
+        }
+        off += static_cast<size_t>(n);
+    }
+}
+
+} // anonymous namespace
+
+bool
+parseServeSpec(const std::string &text, ServeSpec *out,
+               std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+    std::string addr = "127.0.0.1";
+    std::string port_text = text;
+    size_t colon = text.rfind(':');
+    if (colon != std::string::npos) {
+        addr = text.substr(0, colon);
+        port_text = text.substr(colon + 1);
+        if (addr.empty())
+            return fail("empty address in '" + text + "'");
+    }
+    if (port_text.empty())
+        return fail("empty port in '" + text + "'");
+    unsigned long port = 0;
+    for (char c : port_text) {
+        if (c < '0' || c > '9')
+            return fail("non-numeric port '" + port_text + "'");
+        port = port * 10 + static_cast<unsigned long>(c - '0');
+        if (port > 65535)
+            return fail("port out of range '" + port_text + "'");
+    }
+    in_addr parsed{};
+    if (::inet_pton(AF_INET, addr.c_str(), &parsed) != 1)
+        return fail("bad IPv4 address '" + addr + "'");
+    if (out != nullptr) {
+        out->addr = addr;
+        out->port = static_cast<uint16_t>(port);
+    }
+    return true;
+}
+
+ObsHttpServer::ObsHttpServer(Options opts_) : opts(std::move(opts_))
+{
+}
+
+ObsHttpServer::~ObsHttpServer()
+{
+    stop();
+}
+
+bool
+ObsHttpServer::start(std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error != nullptr)
+            *error = why + ": " + std::strerror(errno);
+        if (listen_fd >= 0) {
+            ::close(listen_fd);
+            listen_fd = -1;
+        }
+        return false;
+    };
+
+    if (running)
+        return true;
+
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0)
+        return fail("socket");
+    int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(opts.bind.port);
+    if (::inet_pton(AF_INET, opts.bind.addr.c_str(), &sa.sin_addr) !=
+        1)
+        return fail("bad bind address '" + opts.bind.addr + "'");
+    if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&sa),
+               sizeof(sa)) != 0)
+        return fail("bind " + opts.bind.addr + ":" +
+                    std::to_string(opts.bind.port));
+    if (::listen(listen_fd, 16) != 0)
+        return fail("listen");
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr *>(&bound),
+                      &len) != 0)
+        return fail("getsockname");
+    char buf[INET_ADDRSTRLEN] = {0};
+    ::inet_ntop(AF_INET, &bound.sin_addr, buf, sizeof(buf));
+    bound_addr = buf;
+    bound_port = ntohs(bound.sin_port);
+
+    stopping.store(false, std::memory_order_release);
+    loop_pool = std::make_unique<exec::ThreadPool>(1);
+    loop_pool->submit([this] { acceptLoop(); });
+    running = true;
+    return true;
+}
+
+void
+ObsHttpServer::stop()
+{
+    if (!running)
+        return;
+    stopping.store(true, std::memory_order_release);
+    // Unblock accept(): shut the listener down, then close it after
+    // the loop joined.
+    ::shutdown(listen_fd, SHUT_RDWR);
+    loop_pool.reset();
+    ::close(listen_fd);
+    listen_fd = -1;
+    running = false;
+}
+
+void
+ObsHttpServer::acceptLoop()
+{
+    while (!stopping.load(std::memory_order_acquire)) {
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            // Listener shut down (or broke): leave the loop.
+            return;
+        }
+        handleConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+ObsHttpServer::handleConnection(int fd)
+{
+    // Read until the end of the request headers; the endpoints are
+    // all GET so any body is ignored.
+    std::string req;
+    char buf[2048];
+    while (req.find("\r\n\r\n") == std::string::npos &&
+           req.size() < maxRequestBytes) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        req.append(buf, static_cast<size_t>(n));
+    }
+
+    // Request line: METHOD SP PATH SP VERSION.
+    std::string method, path;
+    size_t eol = req.find("\r\n");
+    std::string line =
+        req.substr(0, eol == std::string::npos ? req.size() : eol);
+    size_t sp1 = line.find(' ');
+    size_t sp2 =
+        sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 != std::string::npos && sp2 != std::string::npos) {
+        method = line.substr(0, sp1);
+        path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        // Strip any query string; routing is path-only.
+        if (size_t q = path.find('?'); q != std::string::npos)
+            path.resize(q);
+    }
+
+    std::string body, content_type = "text/plain; charset=utf-8";
+    int status = 400;
+    if (!method.empty() && !path.empty())
+        status = route(method, path, body, content_type);
+    if (status != 200 && body.empty())
+        body = std::string(statusText(status)) + "\n";
+
+    std::string resp = "HTTP/1.1 " + std::to_string(status) + " " +
+                       statusText(status) + "\r\n";
+    resp += "Content-Type: " + content_type + "\r\n";
+    resp += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    resp += "Connection: close\r\n\r\n";
+    resp += body;
+    sendAll(fd, resp);
+    requests.fetch_add(1, std::memory_order_relaxed);
+}
+
+int
+ObsHttpServer::route(const std::string &method,
+                     const std::string &path, std::string &body,
+                     std::string &content_type)
+{
+    if (method != "GET" && method != "HEAD")
+        return 405;
+
+    if (path == "/healthz") {
+        body = "ok\n";
+        return 200;
+    }
+    if (path == "/metrics") {
+        std::vector<SeriesSnapshot> series;
+        const std::vector<SeriesSnapshot> *series_ptr = nullptr;
+        if (opts.sampler != nullptr) {
+            series = opts.sampler->seriesSnapshot();
+            series_ptr = &series;
+        }
+        body = renderPrometheusText(
+            StatRegistry::global().snapshotAll(), series_ptr);
+        content_type = "text/plain; version=0.0.4; charset=utf-8";
+        return 200;
+    }
+    if (path == "/stats") {
+        body = StatRegistry::global().dumpJson();
+        content_type = "application/json";
+        return 200;
+    }
+    if (path == "/stats/series") {
+        std::vector<SeriesSnapshot> series;
+        if (opts.sampler != nullptr)
+            series = opts.sampler->seriesSnapshot();
+        body = renderSeriesJson(series);
+        content_type = "application/json";
+        return 200;
+    }
+    if (path == "/trace") {
+        body = PhaseTracer::global().chromeTraceJson();
+        content_type = "application/json";
+        return 200;
+    }
+    if (path == "/progress") {
+        body = ProgressTracker::global().dumpJson();
+        content_type = "application/json";
+        return 200;
+    }
+    if (path == "/quit") {
+        quit_flag.store(true, std::memory_order_release);
+        body = "bye\n";
+        return 200;
+    }
+    return 404;
+}
+
+} // namespace coldboot::obs

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Dependency-free embedded HTTP/1.1 observability server - the
+ * export surface of the live telemetry plane. Read-only by design:
+ * every endpoint renders process state, none mutates it (the single
+ * exception, `GET /quit`, only raises a flag the hosting tool polls).
+ *
+ * Endpoints:
+ *   /healthz       200 "ok"                        (liveness probe)
+ *   /metrics       Prometheus text exposition 0.0.4
+ *   /stats         StatRegistry JSON dump
+ *   /stats/series  sampled time-series history (JSON)
+ *   /trace         Chrome trace (chrome://tracing / Perfetto)
+ *   /progress      job progress / ETA (JSON)
+ *   /quit          raises quitRequested() (test/linger hook)
+ *
+ * Binding defaults to 127.0.0.1 - telemetry for a key-extraction
+ * attack is itself sensitive, so nothing listens beyond localhost
+ * unless the operator says so explicitly. The accept loop blocks on
+ * its own single-worker exec::ThreadPool and handles one connection
+ * at a time; responses are small rendered strings sent with
+ * `Connection: close`, which is plenty for scrape traffic and keeps
+ * the server trivially auditable.
+ */
+
+#ifndef COLDBOOT_OBS_HTTP_HH
+#define COLDBOOT_OBS_HTTP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace coldboot::exec
+{
+class ThreadPool;
+} // namespace coldboot::exec
+
+namespace coldboot::obs
+{
+
+class TelemetrySampler;
+
+/** Parsed `[addr:]port` server spec (the `--serve-obs` argument). */
+struct ServeSpec
+{
+    std::string addr = "127.0.0.1";
+    /** 0 = let the kernel pick an ephemeral port. */
+    uint16_t port = 0;
+};
+
+/**
+ * Parse "8080", "127.0.0.1:8080", "0.0.0.0:0"... into a ServeSpec.
+ * The address part must be a literal IPv4 address.
+ *
+ * @param error When non-null, receives the reason on failure.
+ */
+bool parseServeSpec(const std::string &text, ServeSpec *out,
+                    std::string *error = nullptr);
+
+/**
+ * The embedded server. start() binds and launches the accept loop;
+ * stop() (or destruction) shuts the listening socket down and joins.
+ */
+class ObsHttpServer
+{
+  public:
+    struct Options
+    {
+        ServeSpec bind;
+        /** Optional sampler backing /metrics EWMA + /stats/series. */
+        TelemetrySampler *sampler = nullptr;
+    };
+
+    explicit ObsHttpServer(Options opts);
+
+    ObsHttpServer(const ObsHttpServer &) = delete;
+    ObsHttpServer &operator=(const ObsHttpServer &) = delete;
+
+    ~ObsHttpServer();
+
+    /**
+     * Bind, listen and launch the accept loop. Returns false (with
+     * @p error set) when the socket cannot be bound.
+     */
+    bool start(std::string *error = nullptr);
+
+    /** Shut down the listener and join the accept loop (idempotent). */
+    void stop();
+
+    /** Address actually bound (valid after a successful start()). */
+    const std::string &address() const { return bound_addr; }
+
+    /** Port actually bound - resolves `port 0` requests. */
+    uint16_t port() const { return bound_port; }
+
+    /** Whether a `GET /quit` has been received. */
+    bool quitRequested() const
+    {
+        return quit_flag.load(std::memory_order_acquire);
+    }
+
+    /** Requests served so far (any status). */
+    uint64_t requestsServed() const
+    {
+        return requests.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+    /** Route a request; fills body/content type, returns status. */
+    int route(const std::string &method, const std::string &path,
+              std::string &body, std::string &content_type);
+
+    Options opts;
+    int listen_fd = -1;
+    std::string bound_addr;
+    uint16_t bound_port = 0;
+    bool running = false;
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> quit_flag{false};
+    std::atomic<uint64_t> requests{0};
+
+    /** Dedicated single-worker pool hosting the accept loop. */
+    std::unique_ptr<exec::ThreadPool> loop_pool;
+};
+
+} // namespace coldboot::obs
+
+#endif // COLDBOOT_OBS_HTTP_HH

@@ -251,26 +251,96 @@ parseFile(const std::string &path)
     return parse(text);
 }
 
+namespace
+{
+
+/**
+ * Length of the valid UTF-8 sequence starting at s[i] (2-4), or 0
+ * when the bytes there are not well-formed UTF-8. Enforces the
+ * shortest-form and code-point-range rules (RFC 3629): no overlong
+ * encodings, no surrogates (U+D800-U+DFFF), nothing above U+10FFFF.
+ */
+size_t
+utf8SequenceLength(const std::string &s, size_t i)
+{
+    auto byte = [&](size_t k) {
+        return static_cast<unsigned char>(s[k]);
+    };
+    auto cont = [&](size_t k) {
+        return k < s.size() && (byte(k) & 0xc0) == 0x80;
+    };
+    unsigned char b0 = byte(i);
+    if (b0 >= 0xc2 && b0 <= 0xdf)
+        return cont(i + 1) ? 2 : 0;
+    if (b0 == 0xe0)
+        return cont(i + 1) && byte(i + 1) >= 0xa0 && cont(i + 2) ? 3
+                                                                 : 0;
+    if (b0 >= 0xe1 && b0 <= 0xec)
+        return cont(i + 1) && cont(i + 2) ? 3 : 0;
+    if (b0 == 0xed) // exclude the surrogate range
+        return cont(i + 1) && byte(i + 1) <= 0x9f && cont(i + 2) ? 3
+                                                                 : 0;
+    if (b0 >= 0xee && b0 <= 0xef)
+        return cont(i + 1) && cont(i + 2) ? 3 : 0;
+    if (b0 == 0xf0)
+        return cont(i + 1) && byte(i + 1) >= 0x90 && cont(i + 2) &&
+                       cont(i + 3)
+                   ? 4
+                   : 0;
+    if (b0 >= 0xf1 && b0 <= 0xf3)
+        return cont(i + 1) && cont(i + 2) && cont(i + 3) ? 4 : 0;
+    if (b0 == 0xf4)
+        return cont(i + 1) && byte(i + 1) <= 0x8f && cont(i + 2) &&
+                       cont(i + 3)
+                   ? 4
+                   : 0;
+    return 0; // 0x80-0xc1, 0xf5-0xff: never a sequence lead
+}
+
+} // anonymous namespace
+
 std::string
 escape(const std::string &s)
 {
     std::string out;
     out.reserve(s.size() + 2);
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\r': out += "\\r"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
+    for (size_t i = 0; i < s.size();) {
+        unsigned char c = static_cast<unsigned char>(s[i]);
+        if (c < 0x80) {
+            switch (c) {
+              case '"': out += "\\\""; break;
+              case '\\': out += "\\\\"; break;
+              case '\b': out += "\\b"; break;
+              case '\f': out += "\\f"; break;
+              case '\n': out += "\\n"; break;
+              case '\r': out += "\\r"; break;
+              case '\t': out += "\\t"; break;
+              default:
+                if (c < 0x20) {
+                    // Every remaining C0 control needs the \u form -
+                    // RFC 8259 forbids them raw inside strings.
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += static_cast<char>(c);
+                }
             }
+            ++i;
+            continue;
+        }
+        // Multi-byte input: pass well-formed UTF-8 through verbatim;
+        // anything else (stray continuation bytes, overlong forms,
+        // truncated sequences - all plausible in strings derived from
+        // decayed memory) becomes U+FFFD so the emitted document is
+        // always valid UTF-8 JSON.
+        size_t len = utf8SequenceLength(s, i);
+        if (len == 0) {
+            out += "\xef\xbf\xbd"; // U+FFFD replacement character
+            ++i;
+        } else {
+            out.append(s, i, len);
+            i += len;
         }
     }
     return out;

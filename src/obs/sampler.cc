@@ -1,0 +1,178 @@
+#include "obs/sampler.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+#include "exec/thread_pool.hh"
+
+namespace coldboot::obs
+{
+
+namespace
+{
+
+/**
+ * Wall-clock milliseconds since the Unix epoch for series timestamps.
+ * Telemetry is the one place wall time is meaningful output (Grafana
+ * et al. plot against it); simulation code must keep using
+ * steady_clock (see `.coldboot-lint` in this directory).
+ */
+double
+unixMillisNow()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+const char *
+kindName(StatSnapshot::Type t)
+{
+    switch (t) {
+      case StatSnapshot::Type::Counter: return "counter";
+      case StatSnapshot::Type::Scalar: return "scalar";
+      case StatSnapshot::Type::Rate: return "rate";
+      case StatSnapshot::Type::Distribution:
+        return "distribution_count";
+    }
+    return "unknown";
+}
+
+} // anonymous namespace
+
+TelemetrySampler::TelemetrySampler()
+    : TelemetrySampler(Config(), nullptr)
+{
+}
+
+TelemetrySampler::TelemetrySampler(Config cfg_, StatRegistry *reg)
+    : cfg(cfg_),
+      registry(reg != nullptr ? reg : &StatRegistry::global())
+{
+    cb_assert(cfg.ring_capacity > 0,
+              "TelemetrySampler: ring capacity must be positive");
+    cb_assert(cfg.ewma_alpha > 0.0 && cfg.ewma_alpha <= 1.0,
+              "TelemetrySampler: ewma_alpha must be in (0, 1]");
+}
+
+TelemetrySampler::~TelemetrySampler()
+{
+    stop();
+}
+
+void
+TelemetrySampler::start()
+{
+    {
+        std::lock_guard<std::mutex> lock(stop_mu);
+        if (running)
+            return;
+        running = true;
+        stopping = false;
+    }
+    loop_pool = std::make_unique<exec::ThreadPool>(1);
+    loop_pool->submit([this] { tickLoop(); });
+}
+
+void
+TelemetrySampler::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(stop_mu);
+        if (!running)
+            return;
+        stopping = true;
+    }
+    stop_cv.notify_all();
+    // Pool destruction runs the loop task to completion and joins.
+    loop_pool.reset();
+    std::lock_guard<std::mutex> lock(stop_mu);
+    running = false;
+}
+
+void
+TelemetrySampler::tickLoop()
+{
+    for (;;) {
+        sampleOnce();
+        std::unique_lock<std::mutex> lock(stop_mu);
+        if (stop_cv.wait_for(lock, cfg.period,
+                             [this] { return stopping; }))
+            return;
+    }
+}
+
+void
+TelemetrySampler::sampleOnce()
+{
+    if (cfg.publish_worker_stats)
+        exec::ThreadPool::publishGlobalWorkerStats();
+
+    auto stats = registry->snapshotAll();
+    auto now_steady = std::chrono::steady_clock::now();
+    double now_ms = unixMillisNow();
+
+    std::lock_guard<std::mutex> lock(mu);
+    double dt = 0.0;
+    if (have_last_tick)
+        dt = std::chrono::duration<double>(now_steady - last_tick)
+                 .count();
+    last_tick = now_steady;
+    have_last_tick = true;
+
+    for (const auto &s : stats) {
+        auto it = metrics.find(s.name);
+        if (it == metrics.end()) {
+            it = metrics
+                     .emplace(s.name, MetricState(cfg.ring_capacity))
+                     .first;
+            it->second.kind = kindName(s.type);
+        }
+        MetricState &m = it->second;
+
+        SeriesPoint p;
+        p.unix_ms = now_ms;
+        p.value = s.value;
+        if (m.has_prev && dt > 0.0) {
+            p.delta = s.value - m.prev_value;
+            p.rate = p.delta / dt;
+            m.ewma_rate = cfg.ewma_alpha * p.rate +
+                          (1.0 - cfg.ewma_alpha) * m.ewma_rate;
+        } else {
+            // First observation: no interval to rate over yet.
+            p.delta = 0.0;
+            p.rate = 0.0;
+            m.ewma_rate = 0.0;
+        }
+        m.prev_value = s.value;
+        m.has_prev = true;
+        m.ring.push(p);
+    }
+    ++ticks;
+}
+
+std::vector<SeriesSnapshot>
+TelemetrySampler::seriesSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<SeriesSnapshot> out;
+    out.reserve(metrics.size());
+    for (const auto &kv : metrics) {
+        SeriesSnapshot s;
+        s.name = kv.first;
+        s.kind = kv.second.kind;
+        s.ewma_rate = kv.second.ewma_rate;
+        s.points = kv.second.ring.points();
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+uint64_t
+TelemetrySampler::tickCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return ticks;
+}
+
+} // namespace coldboot::obs

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Background telemetry sampler: a low-duty-cycle thread that
+ * periodically snapshots the StatRegistry into fixed-size ring
+ * buffers (obs/timeseries.hh), deriving per-period deltas,
+ * instantaneous rates and an EWMA-smoothed rate per metric.
+ *
+ * The sampler is the bridge between the registry's "current totals"
+ * view and the time-series view the HTTP plane serves: `/metrics`
+ * augments the raw counters with `_ewma_per_second` gauges and
+ * `/stats/series` exposes the full sampled history.
+ *
+ * Threading: the tick loop runs on its own single-worker
+ * exec::ThreadPool, never the global pool - a telemetry tick must not
+ * compete with (or, at pool width 1, deadlock behind) attack work.
+ * Memory is bounded: one fixed-capacity ring per metric, oldest
+ * points overwritten. When no sampler is constructed the cost is
+ * exactly zero - no thread, no allocation, no registry traffic - and
+ * sampling only ever *reads* workload stats, so the determinism
+ * contract (DESIGN.md §9) holds byte-identically with the sampler on
+ * or off.
+ */
+
+#ifndef COLDBOOT_OBS_SAMPLER_HH
+#define COLDBOOT_OBS_SAMPLER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/stats.hh"
+#include "obs/timeseries.hh"
+
+namespace coldboot::exec
+{
+class ThreadPool;
+} // namespace coldboot::exec
+
+namespace coldboot::obs
+{
+
+/**
+ * Periodic StatRegistry -> RingSeries sampler. Construct, start(),
+ * and scrape via seriesSnapshot(); stop() (or destruction) joins the
+ * tick thread. sampleOnce() is public so tests can drive ticks
+ * manually without any thread or clock cadence.
+ */
+class TelemetrySampler
+{
+  public:
+    struct Config
+    {
+        /** Tick period of the background loop. */
+        std::chrono::milliseconds period{250};
+        /** Points retained per metric (ring capacity). */
+        size_t ring_capacity = 256;
+        /**
+         * EWMA smoothing factor in (0, 1]; weight of the newest
+         * instantaneous rate. 1.0 = no smoothing.
+         */
+        double ewma_alpha = 0.25;
+        /**
+         * Mirror per-worker pool counters into the registry as
+         * `exec.pool.worker.*` scalars each tick.
+         */
+        bool publish_worker_stats = true;
+    };
+
+    /** Default config, sampling the global registry. */
+    TelemetrySampler();
+
+    /** @param reg Registry to sample; nullptr = the global one. */
+    explicit TelemetrySampler(Config cfg, StatRegistry *reg = nullptr);
+
+    TelemetrySampler(const TelemetrySampler &) = delete;
+    TelemetrySampler &operator=(const TelemetrySampler &) = delete;
+
+    /** Stops the tick loop if still running. */
+    ~TelemetrySampler();
+
+    /**
+     * Launch the background tick loop (idempotent). The first tick
+     * happens immediately so scrapes right after start() see data.
+     */
+    void start();
+
+    /** Signal the loop and join it (idempotent, safe unstarted). */
+    void stop();
+
+    /**
+     * Take one sample now, on the calling thread: snapshot the
+     * registry, push one point per metric, update EWMA state. This
+     * is the whole tick - the background loop is just this on a
+     * timer - so tests exercise identical code paths.
+     */
+    void sampleOnce();
+
+    /** Sampled history of every metric, name-sorted. */
+    std::vector<SeriesSnapshot> seriesSnapshot() const;
+
+    /** Ticks taken so far (manual + background). */
+    uint64_t tickCount() const;
+
+    const Config &config() const { return cfg; }
+
+  private:
+    struct MetricState
+    {
+        std::string kind;
+        RingSeries ring;
+        double prev_value = 0.0;
+        bool has_prev = false;
+        double ewma_rate = 0.0;
+
+        explicit MetricState(size_t capacity) : ring(capacity) {}
+    };
+
+    void tickLoop();
+
+    Config cfg;
+    StatRegistry *registry;
+
+    mutable std::mutex mu;
+    /** Name-ordered so snapshots render deterministically. */
+    std::map<std::string, MetricState> metrics;
+    uint64_t ticks = 0;
+    /** Steady timestamp of the previous tick (rate denominator). */
+    std::chrono::steady_clock::time_point last_tick;
+    bool have_last_tick = false;
+
+    std::mutex stop_mu;
+    std::condition_variable stop_cv;
+    bool stopping = false;
+    bool running = false;
+
+    /** Dedicated single-worker pool hosting the tick loop. */
+    std::unique_ptr<exec::ThreadPool> loop_pool;
+};
+
+} // namespace coldboot::obs
+
+#endif // COLDBOOT_OBS_SAMPLER_HH

@@ -241,6 +241,42 @@ StatRegistry::scalarValue(const std::string &name) const
     return it->second->scalar.load(std::memory_order_relaxed);
 }
 
+std::vector<StatSnapshot>
+StatRegistry::snapshotAll() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<StatSnapshot> out;
+    out.reserve(entries.size());
+    for (const auto &kv : entries) {
+        const Entry &e = *kv.second;
+        StatSnapshot s;
+        s.name = kv.first;
+        s.desc = e.desc;
+        switch (e.kind) {
+          case Kind::CounterKind:
+            s.type = StatSnapshot::Type::Counter;
+            s.value = static_cast<double>(e.counter.value());
+            break;
+          case Kind::ScalarKind:
+            s.type = StatSnapshot::Type::Scalar;
+            s.value = e.scalar.load(std::memory_order_relaxed);
+            break;
+          case Kind::RateKind:
+            s.type = StatSnapshot::Type::Rate;
+            s.value = static_cast<double>(e.rate->value());
+            s.per_second = e.rate->perSecond();
+            break;
+          case Kind::DistributionKind:
+            s.type = StatSnapshot::Type::Distribution;
+            s.dist = e.dist->snapshot();
+            s.value = static_cast<double>(s.dist.count);
+            break;
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
 double
 StatRegistry::wallSeconds() const
 {

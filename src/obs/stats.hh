@@ -122,6 +122,27 @@ class Rate
 };
 
 /**
+ * Point-in-time typed copy of one registry entry - the enumeration
+ * unit the live telemetry plane (sampler, Prometheus exporter) is
+ * built on. `value` carries the counter count, the scalar, or the
+ * rate's event count; rates additionally fill `per_second` and
+ * distributions fill `dist`.
+ */
+struct StatSnapshot
+{
+    enum class Type { Counter, Scalar, Rate, Distribution };
+
+    std::string name;
+    std::string desc;
+    Type type = Type::Counter;
+    double value = 0.0;
+    /** Events per wall-second (Type::Rate only). */
+    double per_second = 0.0;
+    /** Accumulated distribution state (Type::Distribution only). */
+    DistributionSnapshot dist;
+};
+
+/**
  * The process-global (or test-local) registry of named stats.
  *
  * Lookup returns stable references: a Counter/Distribution/Rate
@@ -171,6 +192,13 @@ class StatRegistry
 
     /** Wall-clock seconds since registry creation / last reset. */
     double wallSeconds() const;
+
+    /**
+     * Typed point-in-time copy of every stat, name-sorted (the map
+     * order). One consistent pass under the registry lock; safe to
+     * call concurrently with any updates.
+     */
+    std::vector<StatSnapshot> snapshotAll() const;
 
     /**
      * Zero every stat and restart the wall clock. References stay

@@ -1,0 +1,60 @@
+#include "obs/timeseries.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace coldboot::obs
+{
+
+RingSeries::RingSeries(size_t cap)
+    : ring(std::max<size_t>(1, cap))
+{
+}
+
+void
+RingSeries::push(const SeriesPoint &p)
+{
+    if (count < ring.size()) {
+        ring[(head + count) % ring.size()] = p;
+        ++count;
+        return;
+    }
+    // Full: overwrite the oldest slot and advance the window.
+    ring[head] = p;
+    head = (head + 1) % ring.size();
+}
+
+const SeriesPoint &
+RingSeries::at(size_t i) const
+{
+    cb_assert(i < count, "RingSeries::at(%zu) of %zu points", i,
+              count);
+    return ring[(head + i) % ring.size()];
+}
+
+const SeriesPoint &
+RingSeries::latest() const
+{
+    cb_assert(count > 0, "RingSeries::latest() on an empty ring");
+    return ring[(head + count - 1) % ring.size()];
+}
+
+std::vector<SeriesPoint>
+RingSeries::points() const
+{
+    std::vector<SeriesPoint> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        out.push_back(at(i));
+    return out;
+}
+
+void
+RingSeries::clear()
+{
+    head = 0;
+    count = 0;
+}
+
+} // namespace coldboot::obs

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fixed-capacity time-series ring buffers - the storage layer of the
+ * live telemetry plane (obs/sampler.hh).
+ *
+ * A RingSeries holds the last N samples of one metric: for each
+ * sampler tick the absolute value, the delta against the previous
+ * tick, the instantaneous rate (delta / tick interval) and a
+ * smoothed EWMA rate. Capacity is fixed at construction, so a
+ * sampler that runs for days holds the same memory as one that ran
+ * for a minute - the bounded-memory guarantee DESIGN.md §11 leans
+ * on. The ring itself is a plain single-writer container; the
+ * TelemetrySampler serializes access with its own lock.
+ */
+
+#ifndef COLDBOOT_OBS_TIMESERIES_HH
+#define COLDBOOT_OBS_TIMESERIES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coldboot::obs
+{
+
+/** One sampler tick of one metric. */
+struct SeriesPoint
+{
+    /** Wall-clock sample time, milliseconds since the Unix epoch. */
+    double unix_ms = 0.0;
+    /** Absolute metric value at the tick. */
+    double value = 0.0;
+    /** Change since the previous tick (0 on the first). */
+    double delta = 0.0;
+    /** delta / tick-interval, events per second (0 on the first). */
+    double rate = 0.0;
+};
+
+/**
+ * Fixed-capacity ring of SeriesPoints, oldest-first iteration.
+ * push() overwrites the oldest point once full; memory never grows
+ * after construction.
+ */
+class RingSeries
+{
+  public:
+    /** @param capacity Maximum retained points (>= 1 enforced). */
+    explicit RingSeries(size_t capacity);
+
+    size_t capacity() const { return ring.size(); }
+
+    /** Points currently held (<= capacity()). */
+    size_t size() const { return count; }
+
+    bool empty() const { return count == 0; }
+
+    /** Append a point, evicting the oldest when full. */
+    void push(const SeriesPoint &p);
+
+    /** @p i-th retained point, 0 = oldest (i < size()). */
+    const SeriesPoint &at(size_t i) const;
+
+    /** Most recent point (size() must be nonzero). */
+    const SeriesPoint &latest() const;
+
+    /** Copy of the retained points, oldest first. */
+    std::vector<SeriesPoint> points() const;
+
+    /** Drop every point (capacity unchanged). */
+    void clear();
+
+  private:
+    std::vector<SeriesPoint> ring;
+    size_t head = 0; // index of the oldest point
+    size_t count = 0;
+};
+
+/**
+ * Point-in-time copy of one metric's ring plus its smoothed rate -
+ * what TelemetrySampler::seriesSnapshot() hands to the exporters, so
+ * rendering never holds the sampler lock.
+ */
+struct SeriesSnapshot
+{
+    std::string name;
+    /** "counter", "scalar", "rate" or "distribution_count". */
+    std::string kind;
+    /** Exponentially weighted moving average of the per-tick rate. */
+    double ewma_rate = 0.0;
+    std::vector<SeriesPoint> points;
+};
+
+} // namespace coldboot::obs
+
+#endif // COLDBOOT_OBS_TIMESERIES_HH

@@ -1,0 +1,793 @@
+/**
+ * @file
+ * Live telemetry plane tests: ring-buffer storage, sampler
+ * delta/EWMA math, Prometheus text rendering + validation, the
+ * progress/ETA tracker, the json::escape control-char/UTF-8
+ * contract, and the embedded HTTP server exercised over real
+ * sockets - including a concurrent-scrape suite that TSan runs in
+ * CI against live counter traffic.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/thread_pool.hh"
+#include "obs/export.hh"
+#include "obs/http.hh"
+#include "obs/json.hh"
+#include "obs/progress.hh"
+#include "obs/sampler.hh"
+#include "obs/stats.hh"
+#include "obs/timeseries.hh"
+
+using namespace coldboot;
+using namespace coldboot::obs;
+
+//
+// RingSeries
+//
+
+TEST(TelemetryRing, PushAndOrder)
+{
+    RingSeries ring(4);
+    EXPECT_EQ(ring.capacity(), 4u);
+    EXPECT_TRUE(ring.empty());
+    for (int i = 0; i < 3; ++i)
+        ring.push({double(i), double(i * 10), 0, 0});
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.at(0).value, 0.0);
+    EXPECT_EQ(ring.at(2).value, 20.0);
+    EXPECT_EQ(ring.latest().value, 20.0);
+}
+
+TEST(TelemetryRing, WrapsOverwritingOldest)
+{
+    RingSeries ring(3);
+    for (int i = 0; i < 7; ++i)
+        ring.push({double(i), double(i), 0, 0});
+    ASSERT_EQ(ring.size(), 3u);
+    // Only the newest 3 of the 7 pushes survive, oldest first.
+    EXPECT_EQ(ring.at(0).value, 4.0);
+    EXPECT_EQ(ring.at(1).value, 5.0);
+    EXPECT_EQ(ring.at(2).value, 6.0);
+    auto pts = ring.points();
+    ASSERT_EQ(pts.size(), 3u);
+    EXPECT_EQ(pts.front().value, 4.0);
+    EXPECT_EQ(pts.back().value, 6.0);
+}
+
+TEST(TelemetryRing, ClearEmpties)
+{
+    RingSeries ring(2);
+    ring.push({1, 1, 0, 0});
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.size(), 0u);
+}
+
+//
+// TelemetrySampler math (manual ticks on a private registry)
+//
+
+TEST(TelemetrySampler, DeltasAndValues)
+{
+    StatRegistry reg;
+    auto &c = reg.counter("t.counter", "test counter");
+    TelemetrySampler::Config cfg;
+    cfg.publish_worker_stats = false;
+    cfg.ring_capacity = 8;
+    TelemetrySampler sampler(cfg, &reg);
+
+    c.add(5);
+    sampler.sampleOnce();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    c.add(10);
+    sampler.sampleOnce();
+
+    EXPECT_EQ(sampler.tickCount(), 2u);
+    auto series = sampler.seriesSnapshot();
+    ASSERT_EQ(series.size(), 1u);
+    EXPECT_EQ(series[0].name, "t.counter");
+    EXPECT_EQ(series[0].kind, "counter");
+    ASSERT_EQ(series[0].points.size(), 2u);
+    EXPECT_EQ(series[0].points[0].value, 5.0);
+    EXPECT_EQ(series[0].points[0].delta, 0.0); // first observation
+    EXPECT_EQ(series[0].points[1].value, 15.0);
+    EXPECT_EQ(series[0].points[1].delta, 10.0);
+    EXPECT_GT(series[0].points[1].rate, 0.0);
+    EXPECT_GT(series[0].ewma_rate, 0.0);
+    EXPECT_GT(series[0].points[1].unix_ms, 0.0);
+}
+
+TEST(TelemetrySampler, EwmaSmoothing)
+{
+    StatRegistry reg;
+    auto &c = reg.counter("t.c");
+    TelemetrySampler::Config cfg;
+    cfg.publish_worker_stats = false;
+    cfg.ewma_alpha = 0.5;
+    TelemetrySampler sampler(cfg, &reg);
+
+    sampler.sampleOnce();
+    for (int i = 0; i < 4; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        c.add(100);
+        sampler.sampleOnce();
+    }
+    auto series = sampler.seriesSnapshot();
+    ASSERT_EQ(series.size(), 1u);
+    // EWMA with alpha 0.5 after several same-sign rates sits strictly
+    // between zero and the latest instantaneous rate's neighborhood.
+    EXPECT_GT(series[0].ewma_rate, 0.0);
+}
+
+TEST(TelemetrySampler, RingBoundsMemory)
+{
+    StatRegistry reg;
+    auto &c = reg.counter("t.c");
+    TelemetrySampler::Config cfg;
+    cfg.publish_worker_stats = false;
+    cfg.ring_capacity = 4;
+    TelemetrySampler sampler(cfg, &reg);
+    for (int i = 0; i < 20; ++i) {
+        c.add(1);
+        sampler.sampleOnce();
+    }
+    auto series = sampler.seriesSnapshot();
+    ASSERT_EQ(series.size(), 1u);
+    EXPECT_EQ(series[0].points.size(), 4u);
+    EXPECT_EQ(series[0].points.back().value, 20.0);
+}
+
+TEST(TelemetrySampler, CoversAllStatKinds)
+{
+    StatRegistry reg;
+    reg.counter("t.counter").add(1);
+    reg.setScalar("t.scalar", 2.5);
+    reg.rate("t.rate").add(3);
+    reg.distribution("t.dist").sample(7.0);
+    TelemetrySampler::Config cfg;
+    cfg.publish_worker_stats = false;
+    TelemetrySampler sampler(cfg, &reg);
+    sampler.sampleOnce();
+    auto series = sampler.seriesSnapshot();
+    ASSERT_EQ(series.size(), 4u);
+    std::map<std::string, std::string> kinds;
+    for (const auto &s : series)
+        kinds[s.name] = s.kind;
+    EXPECT_EQ(kinds["t.counter"], "counter");
+    EXPECT_EQ(kinds["t.scalar"], "scalar");
+    EXPECT_EQ(kinds["t.rate"], "rate");
+    EXPECT_EQ(kinds["t.dist"], "distribution_count");
+}
+
+TEST(TelemetrySampler, BackgroundLoopTicks)
+{
+    StatRegistry reg;
+    reg.counter("t.c").add(1);
+    TelemetrySampler::Config cfg;
+    cfg.publish_worker_stats = false;
+    cfg.period = std::chrono::milliseconds(5);
+    TelemetrySampler sampler(cfg, &reg);
+    sampler.start();
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(5);
+    while (sampler.tickCount() < 3 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    sampler.stop();
+    EXPECT_GE(sampler.tickCount(), 3u);
+    uint64_t after = sampler.tickCount();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(sampler.tickCount(), after); // stopped means stopped
+}
+
+//
+// Prometheus rendering + validation
+//
+
+TEST(PrometheusExport, NameMangling)
+{
+    EXPECT_EQ(prometheusName("attack.miner.blocks_scanned"),
+              "attack_miner_blocks_scanned");
+    EXPECT_EQ(prometheusName("exec.pool.worker.0.steals"),
+              "exec_pool_worker_0_steals");
+    EXPECT_EQ(prometheusName("9lives"), "_9lives");
+    EXPECT_EQ(prometheusName("a-b c"), "a_b_c");
+    EXPECT_EQ(prometheusName(""), "_");
+}
+
+namespace
+{
+
+StatSnapshot
+counterSnap(const std::string &name, double v,
+            const std::string &desc = "")
+{
+    StatSnapshot s;
+    s.name = name;
+    s.desc = desc;
+    s.type = StatSnapshot::Type::Counter;
+    s.value = v;
+    return s;
+}
+
+} // anonymous namespace
+
+TEST(PrometheusExport, RendersCounterGaugeRate)
+{
+    std::vector<StatSnapshot> stats;
+    stats.push_back(counterSnap("a.count", 7, "a counter"));
+    StatSnapshot sc;
+    sc.name = "b.gauge";
+    sc.type = StatSnapshot::Type::Scalar;
+    sc.value = 1.5;
+    stats.push_back(sc);
+    StatSnapshot r;
+    r.name = "c.rate";
+    r.type = StatSnapshot::Type::Rate;
+    r.value = 100;
+    r.per_second = 42.5;
+    stats.push_back(r);
+
+    std::string text = renderPrometheusText(stats);
+    EXPECT_NE(text.find("# HELP a_count a counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE a_count counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("\na_count 7\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE b_gauge gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE c_rate counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("c_rate_per_second 42.5\n"),
+              std::string::npos);
+
+    std::string error;
+    EXPECT_TRUE(validatePrometheusText(text, &error)) << error;
+}
+
+TEST(PrometheusExport, RendersHistogramCumulative)
+{
+    StatSnapshot s;
+    s.name = "d.hist";
+    s.type = StatSnapshot::Type::Distribution;
+    s.dist.count = 6;
+    s.dist.sum = 30.0;
+    s.dist.bucket_edges = {1.0, 10.0};
+    // underflow(-inf,1): 2, [1,10): 3, [10,inf): 1
+    s.dist.bucket_counts = {2, 3, 1};
+    std::string text = renderPrometheusText({s});
+    EXPECT_NE(text.find("# TYPE d_hist histogram\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("d_hist_bucket{le=\"1\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("d_hist_bucket{le=\"10\"} 5\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("d_hist_bucket{le=\"+Inf\"} 6\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("d_hist_sum 30\n"), std::string::npos);
+    EXPECT_NE(text.find("d_hist_count 6\n"), std::string::npos);
+    std::string error;
+    EXPECT_TRUE(validatePrometheusText(text, &error)) << error;
+}
+
+TEST(PrometheusExport, RendersEdgelessDistributionAsGauges)
+{
+    StatSnapshot s;
+    s.name = "e.dist";
+    s.type = StatSnapshot::Type::Distribution;
+    s.dist.count = 2;
+    s.dist.sum = 3.0;
+    s.dist.min = 1.0;
+    s.dist.max = 2.0;
+    s.dist.mean = 1.5;
+    std::string text = renderPrometheusText({s});
+    EXPECT_NE(text.find("e_dist_count 2\n"), std::string::npos);
+    EXPECT_NE(text.find("e_dist_mean 1.5\n"), std::string::npos);
+    std::string error;
+    EXPECT_TRUE(validatePrometheusText(text, &error)) << error;
+}
+
+TEST(PrometheusExport, SeriesEmitEwmaGauges)
+{
+    SeriesSnapshot sr;
+    sr.name = "a.count";
+    sr.kind = "counter";
+    sr.ewma_rate = 12.5;
+    std::string text = renderPrometheusText({}, nullptr);
+    EXPECT_TRUE(text.empty());
+    std::vector<SeriesSnapshot> series{sr};
+    text = renderPrometheusText({}, &series);
+    EXPECT_NE(text.find("a_count_ewma_per_second 12.5\n"),
+              std::string::npos);
+    std::string error;
+    EXPECT_TRUE(validatePrometheusText(text, &error)) << error;
+}
+
+TEST(PrometheusExport, ValidatorRejectsMalformed)
+{
+    std::string error;
+    // Bad metric name.
+    EXPECT_FALSE(validatePrometheusText("9bad 1\n", &error));
+    EXPECT_NE(error.find("line 1"), std::string::npos);
+    // Bad value.
+    EXPECT_FALSE(validatePrometheusText("ok_name abc\n", &error));
+    // Unknown TYPE.
+    EXPECT_FALSE(
+        validatePrometheusText("# TYPE x florp\n", &error));
+    // Duplicate TYPE.
+    EXPECT_FALSE(validatePrometheusText(
+        "# TYPE x counter\n# TYPE x counter\n", &error));
+    // Unterminated label set.
+    EXPECT_FALSE(
+        validatePrometheusText("x{le=\"1\" 2\n", &error));
+    // Trailing garbage.
+    EXPECT_FALSE(
+        validatePrometheusText("x 1 2 3\n", &error));
+    // Valid corner cases.
+    EXPECT_TRUE(validatePrometheusText("", &error));
+    EXPECT_TRUE(validatePrometheusText(
+        "# a free comment\nx{a=\"b\",c=\"d\\\"e\"} +Inf 123\n",
+        &error))
+        << error;
+}
+
+TEST(PrometheusExport, SeriesJsonParses)
+{
+    SeriesSnapshot sr;
+    sr.name = "t.c";
+    sr.kind = "counter";
+    sr.ewma_rate = 1.0;
+    sr.points.push_back({1000.0, 5.0, 0.0, 0.0});
+    sr.points.push_back({2000.0, 8.0, 3.0, 3.0});
+    auto doc = json::parse(renderSeriesJson({sr}));
+    ASSERT_TRUE(doc.has_value());
+    const auto *series = doc->find("series");
+    ASSERT_NE(series, nullptr);
+    ASSERT_EQ(series->array.size(), 1u);
+    const auto &entry = series->array[0];
+    EXPECT_EQ(entry.find("name")->str, "t.c");
+    EXPECT_EQ(entry.find("kind")->str, "counter");
+    const auto *points = entry.find("points");
+    ASSERT_NE(points, nullptr);
+    ASSERT_EQ(points->array.size(), 2u);
+    EXPECT_EQ(points->array[1].find("delta")->number, 3.0);
+}
+
+//
+// Progress / ETA
+//
+
+TEST(Progress, PercentAndEta)
+{
+    ProgressTracker tracker;
+    auto job = tracker.startJob("test.job", 1000);
+    EXPECT_EQ(job->percent(), 0.0);
+    EXPECT_EQ(job->etaSeconds(), -1.0); // unknown before any work
+    job->advance(250);
+    EXPECT_DOUBLE_EQ(job->percent(), 25.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    double eta = job->etaSeconds();
+    EXPECT_GE(eta, 0.0); // 3x the elapsed time, whatever it was
+    job->advance(750);
+    EXPECT_DOUBLE_EQ(job->percent(), 100.0);
+    EXPECT_EQ(job->etaSeconds(), 0.0);
+    job->finish();
+    EXPECT_TRUE(job->finished());
+    EXPECT_EQ(job->percent(), 100.0);
+    EXPECT_EQ(job->etaSeconds(), 0.0);
+    double elapsed = job->elapsedSeconds();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_EQ(job->elapsedSeconds(), elapsed); // frozen at finish
+}
+
+TEST(Progress, FinishSnapsShortJobTo100)
+{
+    ProgressTracker tracker;
+    auto job = tracker.startJob("test.partial", 100);
+    job->advance(10);
+    job->finish();
+    EXPECT_EQ(job->percent(), 100.0);
+    EXPECT_EQ(job->doneUnits(), 100u);
+}
+
+TEST(Progress, ZeroTotalJob)
+{
+    ProgressTracker tracker;
+    auto job = tracker.startJob("test.empty", 0);
+    EXPECT_EQ(job->percent(), 0.0);
+    EXPECT_EQ(job->etaSeconds(), -1.0);
+    job->finish();
+    EXPECT_EQ(job->percent(), 100.0);
+}
+
+TEST(Progress, PercentClampsOverAdvance)
+{
+    ProgressTracker tracker;
+    auto job = tracker.startJob("test.over", 10);
+    job->advance(100);
+    EXPECT_EQ(job->percent(), 100.0);
+    EXPECT_EQ(job->etaSeconds(), 0.0);
+}
+
+TEST(Progress, TrackerSnapshotAndJson)
+{
+    ProgressTracker tracker;
+    auto a = tracker.startJob("job.a", 10);
+    auto b = tracker.startJob("job.b", 20);
+    a->advance(5);
+    b->finish();
+    auto snaps = tracker.snapshot();
+    ASSERT_EQ(snaps.size(), 2u);
+    EXPECT_EQ(snaps[0].name, "job.a");
+    EXPECT_EQ(snaps[0].done_units, 5u);
+    EXPECT_FALSE(snaps[0].finished);
+    EXPECT_TRUE(snaps[1].finished);
+    EXPECT_EQ(snaps[1].percent, 100.0);
+    EXPECT_LT(snaps[0].id, snaps[1].id);
+
+    auto doc = json::parse(tracker.dumpJson());
+    ASSERT_TRUE(doc.has_value());
+    const auto *jobs = doc->find("jobs");
+    ASSERT_NE(jobs, nullptr);
+    ASSERT_EQ(jobs->array.size(), 2u);
+    EXPECT_EQ(jobs->array[0].find("name")->str, "job.a");
+    EXPECT_EQ(jobs->array[0].find("percent")->number, 50.0);
+    EXPECT_TRUE(jobs->array[1].find("finished")->boolean);
+}
+
+TEST(Progress, BoundedFinishedRetention)
+{
+    ProgressTracker tracker;
+    auto live = tracker.startJob("live", 10);
+    for (int i = 0; i < 200; ++i)
+        tracker.startJob("fin." + std::to_string(i), 1)->finish();
+    auto snaps = tracker.snapshot();
+    // Bounded: at most keptFinished finished jobs plus the live one.
+    EXPECT_LE(snaps.size(), ProgressTracker::keptFinished + 1);
+    bool live_present = false;
+    for (const auto &s : snaps)
+        live_present = live_present || s.name == "live";
+    EXPECT_TRUE(live_present); // live jobs are never evicted
+    tracker.resetForTest();
+    EXPECT_TRUE(tracker.snapshot().empty());
+}
+
+//
+// json::escape control characters and UTF-8
+//
+
+TEST(JsonEscape, AllControlCharsEscaped)
+{
+    for (int c = 0; c < 0x20; ++c) {
+        std::string in(1, static_cast<char>(c));
+        std::string out = json::escape(in);
+        EXPECT_EQ(out[0], '\\') << "control 0x" << std::hex << c;
+        // Round-trips through the in-tree parser.
+        auto doc = json::parse("\"" + out + "\"");
+        ASSERT_TRUE(doc.has_value()) << "control 0x" << std::hex << c;
+    }
+    EXPECT_EQ(json::escape("\b"), "\\b");
+    EXPECT_EQ(json::escape("\f"), "\\f");
+    EXPECT_EQ(json::escape("\n"), "\\n");
+    EXPECT_EQ(json::escape("\r"), "\\r");
+    EXPECT_EQ(json::escape("\t"), "\\t");
+    EXPECT_EQ(json::escape(std::string(1, '\0')), "\\u0000");
+    EXPECT_EQ(json::escape("\x1f"), "\\u001f");
+    EXPECT_EQ(json::escape("\"\\"), "\\\"\\\\");
+}
+
+TEST(JsonEscape, ValidUtf8PassesThrough)
+{
+    EXPECT_EQ(json::escape("caf\xc3\xa9"), "caf\xc3\xa9");
+    EXPECT_EQ(json::escape("\xe2\x82\xac"), "\xe2\x82\xac"); // euro
+    EXPECT_EQ(json::escape("\xf0\x9f\x94\x91"),
+              "\xf0\x9f\x94\x91"); // key emoji (4-byte)
+}
+
+TEST(JsonEscape, InvalidUtf8Replaced)
+{
+    const std::string fffd = "\xef\xbf\xbd";
+    // Stray continuation byte.
+    EXPECT_EQ(json::escape("\x80"), fffd);
+    // Truncated 2-byte sequence.
+    EXPECT_EQ(json::escape("\xc3"), fffd);
+    // Overlong encoding of '/' (0xc0 0xaf).
+    EXPECT_EQ(json::escape("\xc0\xaf"), fffd + fffd);
+    // Encoded UTF-16 surrogate (U+D800 = ed a0 80).
+    EXPECT_EQ(json::escape("\xed\xa0\x80"), fffd + fffd + fffd);
+    // Above U+10FFFF (f4 90 80 80).
+    EXPECT_EQ(json::escape("\xf4\x90\x80\x80"),
+              fffd + fffd + fffd + fffd);
+    // Valid text around the damage survives.
+    EXPECT_EQ(json::escape("a\x80z"), "a" + fffd + "z");
+}
+
+//
+// HTTP server over real sockets
+//
+
+namespace
+{
+
+struct HttpResponse
+{
+    int status = 0;
+    std::string body;
+    std::string raw;
+};
+
+/** Minimal raw-socket HTTP/1.0-style client for localhost tests. */
+HttpResponse
+httpRequest(uint16_t port, const std::string &path,
+            const std::string &method = "GET")
+{
+    HttpResponse out;
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return out;
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&sa),
+                  sizeof(sa)) != 0) {
+        ::close(fd);
+        return out;
+    }
+    std::string req = method + " " + path +
+                      " HTTP/1.1\r\nHost: localhost\r\n"
+                      "Connection: close\r\n\r\n";
+    size_t off = 0;
+    while (off < req.size()) {
+        ssize_t n =
+            ::send(fd, req.data() + off, req.size() - off, 0);
+        if (n <= 0)
+            break;
+        off += static_cast<size_t>(n);
+    }
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        out.raw.append(buf, static_cast<size_t>(n));
+    ::close(fd);
+    if (out.raw.size() > 12 && out.raw.rfind("HTTP/1.1 ", 0) == 0)
+        out.status = std::atoi(out.raw.c_str() + 9);
+    size_t hdr_end = out.raw.find("\r\n\r\n");
+    if (hdr_end != std::string::npos)
+        out.body = out.raw.substr(hdr_end + 4);
+    return out;
+}
+
+} // anonymous namespace
+
+TEST(ObsHttp, ParseServeSpec)
+{
+    ServeSpec spec;
+    std::string error;
+    EXPECT_TRUE(parseServeSpec("8080", &spec, &error));
+    EXPECT_EQ(spec.addr, "127.0.0.1");
+    EXPECT_EQ(spec.port, 8080);
+    EXPECT_TRUE(parseServeSpec("0.0.0.0:0", &spec, &error));
+    EXPECT_EQ(spec.addr, "0.0.0.0");
+    EXPECT_EQ(spec.port, 0);
+    EXPECT_FALSE(parseServeSpec("", &spec, &error));
+    EXPECT_FALSE(parseServeSpec("abc", &spec, &error));
+    EXPECT_FALSE(parseServeSpec("127.0.0.1:", &spec, &error));
+    EXPECT_FALSE(parseServeSpec("127.0.0.1:99999", &spec, &error));
+    EXPECT_FALSE(parseServeSpec("nothost:80", &spec, &error));
+    EXPECT_FALSE(parseServeSpec(":80", &spec, &error));
+}
+
+namespace
+{
+
+/** Server bound to an ephemeral localhost port, for one test. */
+struct ServerFixture
+{
+    std::unique_ptr<TelemetrySampler> sampler;
+    std::unique_ptr<ObsHttpServer> server;
+
+    explicit ServerFixture(bool with_sampler = true)
+    {
+        if (with_sampler) {
+            TelemetrySampler::Config cfg;
+            cfg.publish_worker_stats = false;
+            sampler = std::make_unique<TelemetrySampler>(cfg);
+        }
+        ObsHttpServer::Options opts;
+        opts.sampler = sampler.get();
+        server = std::make_unique<ObsHttpServer>(opts);
+        std::string error;
+        bool ok = server->start(&error);
+        EXPECT_TRUE(ok) << error;
+    }
+};
+
+} // anonymous namespace
+
+TEST(ObsHttp, HealthzAndRouting)
+{
+    ServerFixture fx;
+    EXPECT_GT(fx.server->port(), 0);
+    EXPECT_EQ(fx.server->address(), "127.0.0.1");
+
+    auto health = httpRequest(fx.server->port(), "/healthz");
+    EXPECT_EQ(health.status, 200);
+    EXPECT_EQ(health.body, "ok\n");
+    EXPECT_NE(health.raw.find("Content-Length: 3"),
+              std::string::npos);
+    EXPECT_NE(health.raw.find("Connection: close"),
+              std::string::npos);
+
+    EXPECT_EQ(httpRequest(fx.server->port(), "/nope").status, 404);
+    EXPECT_EQ(httpRequest(fx.server->port(), "/healthz", "POST")
+                  .status,
+              405);
+    // Query strings are ignored for routing.
+    EXPECT_EQ(httpRequest(fx.server->port(), "/healthz?x=1").status,
+              200);
+    EXPECT_GE(fx.server->requestsServed(), 4u);
+}
+
+TEST(ObsHttp, MetricsEndpointIsValidPrometheus)
+{
+    StatRegistry::global().counter("telemetry.test.hits").add(3);
+    ServerFixture fx;
+    fx.sampler->sampleOnce();
+    auto resp = httpRequest(fx.server->port(), "/metrics");
+    ASSERT_EQ(resp.status, 200);
+    EXPECT_NE(resp.raw.find("text/plain; version=0.0.4"),
+              std::string::npos);
+    std::string error;
+    EXPECT_TRUE(validatePrometheusText(resp.body, &error)) << error;
+    EXPECT_NE(resp.body.find("telemetry_test_hits"),
+              std::string::npos);
+    EXPECT_NE(resp.body.find("_ewma_per_second"),
+              std::string::npos);
+}
+
+TEST(ObsHttp, JsonEndpointsParse)
+{
+    StatRegistry::global().counter("telemetry.test.json").add(1);
+    auto job =
+        ProgressTracker::global().startJob("telemetry.test.job", 4);
+    job->advance(1);
+    ServerFixture fx;
+    fx.sampler->sampleOnce();
+
+    auto stats = httpRequest(fx.server->port(), "/stats");
+    ASSERT_EQ(stats.status, 200);
+    auto stats_doc = json::parse(stats.body);
+    ASSERT_TRUE(stats_doc.has_value());
+    const auto *tree = stats_doc->find("stats");
+    ASSERT_NE(tree, nullptr);
+    EXPECT_NE(tree->find("telemetry.test.json"), nullptr);
+
+    auto series = httpRequest(fx.server->port(), "/stats/series");
+    ASSERT_EQ(series.status, 200);
+    auto series_doc = json::parse(series.body);
+    ASSERT_TRUE(series_doc.has_value());
+    EXPECT_NE(series_doc->find("series"), nullptr);
+
+    auto progress = httpRequest(fx.server->port(), "/progress");
+    ASSERT_EQ(progress.status, 200);
+    auto prog_doc = json::parse(progress.body);
+    ASSERT_TRUE(prog_doc.has_value());
+    const auto *jobs = prog_doc->find("jobs");
+    ASSERT_NE(jobs, nullptr);
+    bool found = false;
+    for (const auto &j : jobs->array)
+        found = found || j.find("name")->str == "telemetry.test.job";
+    EXPECT_TRUE(found);
+    job->finish();
+
+    auto trace = httpRequest(fx.server->port(), "/trace");
+    ASSERT_EQ(trace.status, 200);
+    EXPECT_TRUE(json::parse(trace.body).has_value());
+}
+
+TEST(ObsHttp, QuitFlagAndStop)
+{
+    ServerFixture fx(false);
+    EXPECT_FALSE(fx.server->quitRequested());
+    auto resp = httpRequest(fx.server->port(), "/quit");
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_TRUE(fx.server->quitRequested());
+    uint16_t port = fx.server->port();
+    fx.server->stop();
+    // After stop the port no longer accepts.
+    auto dead = httpRequest(port, "/healthz");
+    EXPECT_EQ(dead.status, 0);
+    // stop() is idempotent.
+    fx.server->stop();
+}
+
+TEST(ObsHttp, MalformedRequestsAnswered)
+{
+    ServerFixture fx(false);
+    // Raw garbage instead of an HTTP request line.
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(fx.server->port());
+    ::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&sa),
+                        sizeof(sa)),
+              0);
+    const char *junk = "\r\n\r\n";
+    ASSERT_GT(::send(fd, junk, 4, 0), 0);
+    std::string got;
+    char buf[512];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        got.append(buf, static_cast<size_t>(n));
+    ::close(fd);
+    EXPECT_NE(got.find("400"), std::string::npos);
+    // The server survives to answer the next request.
+    EXPECT_EQ(httpRequest(fx.server->port(), "/healthz").status,
+              200);
+}
+
+//
+// Concurrent scrapes under live counter traffic (TSan suite)
+//
+
+TEST(TelemetryConcurrency, ScrapesRaceCountersAndSampler)
+{
+    auto &c = StatRegistry::global().counter(
+        "telemetry.race.counter");
+    TelemetrySampler::Config cfg;
+    cfg.period = std::chrono::milliseconds(1);
+    TelemetrySampler sampler(cfg);
+    sampler.start();
+    ObsHttpServer::Options opts;
+    opts.sampler = &sampler;
+    ObsHttpServer server(opts);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    uint16_t port = server.port();
+
+    // Scrapers on a pool, mutators on the caller: every combination
+    // of {counter add, sampler tick, HTTP render} overlaps.
+    exec::ThreadPool pool(4);
+    exec::ThreadPool::TaskGroup group(pool);
+    std::atomic<int> bad{0};
+    const char *paths[] = {"/metrics", "/stats", "/stats/series",
+                           "/progress"};
+    for (int t = 0; t < 4; ++t) {
+        group.run([&, t] {
+            for (int i = 0; i < 8; ++i) {
+                auto resp = httpRequest(port, paths[t]);
+                if (resp.status != 200)
+                    bad.fetch_add(1);
+            }
+        });
+    }
+    auto job = ProgressTracker::global().startJob(
+        "telemetry.race.job", 1u << 16);
+    for (int i = 0; i < (1 << 16); ++i) {
+        c.add(1);
+        job->advance(1);
+    }
+    group.wait();
+    job->finish();
+    EXPECT_EQ(bad.load(), 0);
+    server.stop();
+    sampler.stop();
+    EXPECT_GE(sampler.tickCount(), 1u);
+}

@@ -20,14 +20,19 @@
  *   coldboot-tool decrypt /tmp/vol.bin <data_key_hex> <tweak_key_hex> 3
  */
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <sys/resource.h>
+#include <unistd.h>
 
 #include "attack/attack_pipeline.hh"
 #include "exec/dump_io.hh"
@@ -36,6 +41,8 @@
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "crypto/xts.hh"
+#include "obs/http.hh"
+#include "obs/sampler.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 #include "dram/dram_module.hh"
@@ -71,8 +78,38 @@ usage()
         "                        (default: COLDBOOT_THREADS or all"
         " cores)\n"
         "  --no-mmap             stream dumps with buffered reads\n"
-        "                        instead of mmap\n");
+        "                        instead of mmap\n"
+        "  --serve-obs <[addr:]port>\n"
+        "                        serve live telemetry over HTTP\n"
+        "                        (/metrics /stats /stats/series\n"
+        "                        /trace /progress /healthz); also via\n"
+        "                        the COLDBOOT_SERVE_OBS env var;\n"
+        "                        port 0 picks an ephemeral port\n");
     return 2;
+}
+
+/** Output paths the termination-signal handler flushes. */
+std::string g_stats_path, g_trace_path;
+std::atomic<int> g_signal_seen{0};
+
+/**
+ * SIGINT/SIGTERM: flush the requested stats/trace artifacts, then
+ * die with the conventional 128+sig status. The flush calls are not
+ * strictly async-signal-safe, but the alternative on a Ctrl-C'd
+ * multi-hour scan is losing the artifacts entirely - and a second
+ * signal (the guard below) still kills the process immediately.
+ */
+void
+onTerminateSignal(int sig)
+{
+    int expected = 0;
+    if (!g_signal_seen.compare_exchange_strong(expected, sig))
+        _exit(128 + sig);
+    if (!g_stats_path.empty())
+        obs::StatRegistry::global().writeJsonFile(g_stats_path);
+    if (!g_trace_path.empty())
+        obs::PhaseTracer::global().writeTraceFile(g_trace_path);
+    _exit(128 + sig);
 }
 
 /** getrusage(RUSAGE_SELF) peak RSS in KiB (0 if unavailable). */
@@ -264,10 +301,19 @@ main(int argc, char **argv)
     // Extract the global observability flags wherever they appear so
     // every command accepts them; what remains is dispatched as
     // before.
-    std::string stats_path, trace_path;
+    std::string stats_path, trace_path, serve_spec;
     std::vector<char *> args;
     for (int i = 0; i < argc; ++i) {
         std::string arg = argv[i];
+        if (arg == "--serve-obs") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--serve-obs requires an "
+                                     "[addr:]port argument\n");
+                return usage();
+            }
+            serve_spec = argv[++i];
+            continue;
+        }
         if (arg == "--stats-json" || arg == "--trace") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s requires a file argument\n",
@@ -300,6 +346,43 @@ main(int argc, char **argv)
         args.push_back(argv[i]);
     }
 
+    if (serve_spec.empty()) {
+        if (const char *env = std::getenv("COLDBOOT_SERVE_OBS");
+            env && *env)
+            serve_spec = env;
+    }
+
+    // SIGINT/SIGTERM flush the requested artifacts before dying, so
+    // an interrupted run still leaves its stats/trace behind.
+    g_stats_path = stats_path;
+    g_trace_path = trace_path;
+    std::signal(SIGINT, onTerminateSignal);
+    std::signal(SIGTERM, onTerminateSignal);
+
+    // The telemetry plane is entirely optional: nothing below is
+    // constructed (no sampler thread, no socket) unless requested.
+    std::unique_ptr<obs::TelemetrySampler> sampler;
+    std::unique_ptr<obs::ObsHttpServer> server;
+    if (!serve_spec.empty()) {
+        obs::ServeSpec spec;
+        std::string error;
+        if (!obs::parseServeSpec(serve_spec, &spec, &error))
+            cb_fatal("--serve-obs: %s", error.c_str());
+        sampler = std::make_unique<obs::TelemetrySampler>();
+        sampler->start();
+        obs::ObsHttpServer::Options opts;
+        opts.bind = spec;
+        opts.sampler = sampler.get();
+        server = std::make_unique<obs::ObsHttpServer>(opts);
+        if (!server->start(&error))
+            cb_fatal("--serve-obs: %s", error.c_str());
+        // Announced on stdout (and flushed) so wrappers scraping a
+        // `--serve-obs 127.0.0.1:0` child can read the bound port.
+        std::printf("serving observability on http://%s:%u/\n",
+                    server->address().c_str(), server->port());
+        std::fflush(stdout);
+    }
+
     if (args.size() < 2)
         return usage();
     std::string cmd = args[1];
@@ -327,5 +410,28 @@ main(int argc, char **argv)
         obs::StatRegistry::global().writeJsonFile(stats_path);
     if (!trace_path.empty())
         obs::PhaseTracer::global().writeTraceFile(trace_path);
+
+    // Test hook: with COLDBOOT_SERVE_OBS_LINGER_MS set, keep serving
+    // after the command finished (until the linger elapses or a
+    // GET /quit arrives) so an external scraper can read the final
+    // state of a short run.
+    if (server != nullptr) {
+        if (const char *linger_env =
+                std::getenv("COLDBOOT_SERVE_OBS_LINGER_MS");
+            linger_env && *linger_env) {
+            auto deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(
+                    std::strtoul(linger_env, nullptr, 10));
+            while (!server->quitRequested() &&
+                   std::chrono::steady_clock::now() < deadline) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            }
+        }
+        server->stop();
+    }
+    if (sampler != nullptr)
+        sampler->stop();
     return rc;
 }

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * coldboot-promcheck - validate Prometheus text exposition format
+ * (version 0.0.4) read from a file or stdin. Exit 0 when valid,
+ * 1 with a "line N: why" diagnostic otherwise.
+ *
+ * The CI serve-obs smoke leg pipes a live `/metrics` scrape through
+ * this so the exposition format is gated without any Python or
+ * external prometheus tooling; the validator itself lives in
+ * obs/export.hh and is unit-tested in test_telemetry.
+ *
+ *   curl -s http://127.0.0.1:9464/metrics | coldboot-promcheck
+ *   coldboot-promcheck metrics.txt
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "obs/export.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 2 ||
+        (argc == 2 && std::string(argv[1]) == "--help")) {
+        std::fprintf(stderr,
+                     "usage: coldboot-promcheck [metrics.txt]\n"
+                     "reads stdin when no file is given; exit 0 when "
+                     "the input is valid Prometheus text exposition\n");
+        return 2;
+    }
+
+    std::FILE *in = stdin;
+    if (argc == 2) {
+        in = std::fopen(argv[1], "rb");
+        if (in == nullptr) {
+            std::fprintf(stderr, "coldboot-promcheck: cannot open "
+                                 "'%s'\n", argv[1]);
+            return 2;
+        }
+    }
+
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0)
+        text.append(buf, n);
+    if (in != stdin)
+        std::fclose(in);
+
+    std::string error;
+    if (!coldboot::obs::validatePrometheusText(text, &error)) {
+        std::fprintf(stderr, "coldboot-promcheck: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    std::printf("coldboot-promcheck: %zu bytes OK\n", text.size());
+    return 0;
+}
