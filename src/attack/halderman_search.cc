@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "exec/thread_pool.hh"
 #include "obs/progress.hh"
+#include "obs/trace.hh"
 
 namespace coldboot::attack
 {
@@ -89,6 +90,9 @@ haldermanSearch(const exec::DumpSource &image,
     // byte-identical to the sequential slide.
     auto progress = obs::ProgressTracker::global().startJob(
         "attack.halderman", windows);
+    // Span context: chunk tasks submitted below are parented here,
+    // so the trace shows the whole baseline sweep as one subtree.
+    obs::ScopedSpan span("search.halderman");
     exec::parallelMapReduceChunks<std::vector<BaselineKey>>(
         0, windows, kWindowGrain,
         [&](const exec::ChunkRange &c) {

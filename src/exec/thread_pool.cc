@@ -156,6 +156,29 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> fn)
 {
+    // Causal tracing: capture the submitting thread's span context
+    // plus a fresh flow id, emit the flow start here (inside the
+    // submitter's open span), and wrap the task so its run records
+    // an "exec.task" span parented to the *submitter* - not to
+    // whatever the executing worker happened to be doing - with the
+    // flow finish landing inside it. This is what keeps traces
+    // causal across submit/steal/run.
+    obs::PhaseTracer &tracer = obs::PhaseTracer::global();
+    if (tracer.enabled()) {
+        uint64_t flow = tracer.newId();
+        uint64_t parent = tracer.currentSpanId();
+        tracer.recordFlowStart("exec.task", flow);
+        fn = [inner = std::move(fn), parent, flow]() mutable {
+            obs::ScopedSpan span("exec.task", parent, flow);
+            inner();
+            // Drop captured state before the span closes; the inner
+            // wrapper (TaskGroup) has already released user captures
+            // by the time it signals completion, and this keeps the
+            // tracing wrapper equally invisible to that contract.
+            inner = nullptr;
+        };
+    }
+
     unsigned target;
     if (tl_pool == this) {
         // Tasks spawned by a worker land on its own deque (warm

@@ -12,6 +12,7 @@
 #include "common/logging.hh"
 #include "exec/thread_pool.hh"
 #include "obs/export.hh"
+#include "obs/flight.hh"
 #include "obs/progress.hh"
 #include "obs/sampler.hh"
 #include "obs/stats.hh"
@@ -277,6 +278,11 @@ ObsHttpServer::route(const std::string &method,
     }
     if (path == "/trace") {
         body = PhaseTracer::global().chromeTraceJson();
+        content_type = "application/json";
+        return 200;
+    }
+    if (path == "/flight") {
+        body = FlightRecorder::global().dumpJson();
         content_type = "application/json";
         return 200;
     }

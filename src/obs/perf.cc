@@ -105,12 +105,11 @@ PerfCounters::start()
 }
 
 PerfSample
-PerfCounters::stop()
+PerfCounters::readNow() const
 {
     PerfSample s;
     if (!available())
         return s;
-    ioctl(group_fd, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
 
     // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running,
     // then one value per event.
@@ -142,6 +141,15 @@ PerfCounters::stop()
     return s;
 }
 
+PerfSample
+PerfCounters::stop()
+{
+    if (!available())
+        return {};
+    ioctl(group_fd, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+    return readNow();
+}
+
 #else // !__linux__
 
 PerfCounters::PerfCounters()
@@ -158,11 +166,44 @@ PerfCounters::start()
 }
 
 PerfSample
+PerfCounters::readNow() const
+{
+    return {};
+}
+
+PerfSample
 PerfCounters::stop()
 {
     return {};
 }
 
 #endif // __linux__
+
+PerfSample
+perfDelta(const PerfSample &end, const PerfSample &begin)
+{
+    auto sub = [](uint64_t a, uint64_t b) {
+        return a > b ? a - b : 0;
+    };
+    PerfSample d;
+    d.available = end.available && begin.available;
+    if (!d.available)
+        return d;
+    d.cycles = sub(end.cycles, begin.cycles);
+    d.instructions = sub(end.instructions, begin.instructions);
+    d.cache_references =
+        sub(end.cache_references, begin.cache_references);
+    d.cache_misses = sub(end.cache_misses, begin.cache_misses);
+    d.branches = sub(end.branches, begin.branches);
+    d.branch_misses = sub(end.branch_misses, begin.branch_misses);
+    return d;
+}
+
+ThreadPerfCounters &
+ThreadPerfCounters::mine()
+{
+    thread_local ThreadPerfCounters counters;
+    return counters;
+}
 
 } // namespace coldboot::obs

@@ -86,6 +86,14 @@ class PerfCounters
      */
     PerfSample stop();
 
+    /**
+     * Read the group *without* disabling it - the free-running view
+     * used for per-span deltas. Counts are cumulative since start()
+     * (multiplexing-scaled); subtract two readings with perfDelta().
+     * When unavailable, returns a sample with `available == false`.
+     */
+    PerfSample readNow() const;
+
     /** Number of events in the fixed group. */
     static constexpr size_t eventCount = 6;
 
@@ -93,6 +101,48 @@ class PerfCounters
     int group_fd = -1;
     std::array<int, eventCount> fds{};
     std::string reason;
+};
+
+/**
+ * Field-wise `end - begin` of two free-running readings, clamped at
+ * zero (multiplexing rescaling can make scaled counts locally
+ * non-monotonic). `available` only when both readings were.
+ */
+PerfSample perfDelta(const PerfSample &end, const PerfSample &begin);
+
+/**
+ * The calling thread's continuously-enabled counter group, opened
+ * (and started) on first use and left running for the thread's
+ * lifetime. This is what per-span perf attribution reads: a span
+ * takes a readNow() at construction and one at stop() and records
+ * the delta, so nesting spans never fight over enable/disable state
+ * the way start()/stop() of a shared PerfCounters would.
+ *
+ * Cost model: opening is once per thread; each readNow() is one
+ * read(2). Unavailability (container, perf_event_paranoid,
+ * COLDBOOT_PERF_DISABLE, non-Linux) degrades to samples with
+ * `available == false` - never an error.
+ */
+class ThreadPerfCounters
+{
+  public:
+    /** The calling thread's group (thread_local singleton). */
+    static ThreadPerfCounters &mine();
+
+    bool available() const { return group.available(); }
+
+    const std::string &unavailableReason() const
+    {
+        return group.unavailableReason();
+    }
+
+    /** Cumulative counts since this thread first touched mine(). */
+    PerfSample readNow() const { return group.readNow(); }
+
+  private:
+    ThreadPerfCounters() { group.start(); }
+
+    PerfCounters group;
 };
 
 } // namespace coldboot::obs

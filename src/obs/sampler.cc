@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "exec/thread_pool.hh"
+#include "obs/flight.hh"
 
 namespace coldboot::obs
 {
@@ -107,6 +108,13 @@ TelemetrySampler::sampleOnce()
 {
     if (cfg.publish_worker_stats)
         exec::ThreadPool::publishGlobalWorkerStats();
+
+    // Keep the crash handler's embedded stats snapshot fresh: the
+    // dump path cannot walk the registry from a signal context, so
+    // it embeds whatever was pre-rendered at the last tick.
+    if (FlightRecorder *fr = FlightRecorder::instance();
+        fr && fr->enabled())
+        fr->updateStatsSnapshot();
 
     auto stats = registry->snapshotAll();
     auto now_steady = std::chrono::steady_clock::now();

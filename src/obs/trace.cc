@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.hh"
+#include "obs/flight.hh"
 #include "obs/fsio.hh"
+#include "obs/perf.hh"
 #include "obs/stats.hh"
 
 namespace coldboot::obs
@@ -43,79 +47,278 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+/** Span/flow ids render as hex strings: Chrome's flow-id matching
+ *  and Perfetto's args display both take them verbatim. */
+std::string
+hexId(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Tracer instances get process-unique ids so the per-thread shard
+ *  cache can never hand a shard of a destroyed tracer to a new one
+ *  reusing its address (tests create short-lived tracers). */
+std::atomic<uint64_t> g_next_tracer_id{1};
+
+struct ShardCacheEntry
+{
+    uint64_t tracer_id;
+    std::shared_ptr<TraceShard> shard;
+};
+
+/** This thread's shard per tracer. shared_ptr keeps a cached shard
+ *  alive even if its tracer dies first; the unique tracer_id keys
+ *  make such orphans unreachable. */
+thread_local std::vector<ShardCacheEntry> tl_shard_cache;
+
+/** Process-wide span-perf-attribution switch (see trace.hh). */
+std::atomic<bool> g_span_perf{false};
+
+Counter &
+traceDroppedCounter()
+{
+    static Counter &c = StatRegistry::global().counter(
+        "obs.trace.dropped",
+        "trace events dropped at the per-thread shard capacity");
+    return c;
+}
+
+int64_t
+steadyNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 } // anonymous namespace
 
-PhaseTracer::PhaseTracer() : epoch(std::chrono::steady_clock::now())
+PhaseTracer::PhaseTracer(size_t shard_capacity_)
+    : tracer_id(
+          g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      shard_capacity(shard_capacity_)
 {
+    epoch_ns.store(steadyNowNs(), std::memory_order_relaxed);
 }
+
+PhaseTracer::~PhaseTracer() = default;
 
 PhaseTracer &
 PhaseTracer::global()
 {
     static PhaseTracer instance;
+    static bool env_checked = [] {
+        if (const char *v = std::getenv("COLDBOOT_PROFILE_SPANS");
+            v && *v && std::strcmp(v, "0") != 0)
+            setSpanPerfEnabled(true);
+        return true;
+    }();
+    (void)env_checked;
     return instance;
+}
+
+void
+PhaseTracer::setSpanPerfEnabled(bool on)
+{
+    g_span_perf.store(on, std::memory_order_relaxed);
+}
+
+bool
+PhaseTracer::spanPerfEnabled()
+{
+    return g_span_perf.load(std::memory_order_relaxed);
 }
 
 double
 PhaseTracer::nowUs() const
 {
-    return std::chrono::duration<double, std::micro>(
-               std::chrono::steady_clock::now() - epoch)
-        .count();
+    int64_t now = steadyNowNs();
+    return static_cast<double>(
+               now - epoch_ns.load(std::memory_order_relaxed)) /
+           1e3;
 }
 
-uint32_t
-PhaseTracer::tidOf(std::thread::id id)
+uint64_t
+PhaseTracer::newId()
 {
-    // Small dense thread ids, first-seen order (called under mu).
-    auto it =
-        std::find(known_threads.begin(), known_threads.end(), id);
-    if (it != known_threads.end())
-        return static_cast<uint32_t>(it - known_threads.begin());
-    known_threads.push_back(id);
-    return static_cast<uint32_t>(known_threads.size() - 1);
+    return next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceShard &
+PhaseTracer::myShard()
+{
+    for (const ShardCacheEntry &e : tl_shard_cache)
+        if (e.tracer_id == tracer_id)
+            return *e.shard;
+    auto shard = std::make_shared<TraceShard>();
+    shard->tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(shards_mu);
+        shards.push_back(shard);
+    }
+    tl_shard_cache.push_back({tracer_id, shard});
+    return *tl_shard_cache.back().shard;
+}
+
+uint64_t
+PhaseTracer::currentSpanId()
+{
+    return myShard().current_span;
+}
+
+void
+PhaseTracer::recordEvent(TraceEvent ev)
+{
+    if (!recording.load(std::memory_order_relaxed))
+        return;
+    TraceShard &sh = myShard();
+    ev.tid = sh.tid;
+    std::lock_guard<std::mutex> lock(sh.mu);
+    if (sh.events.size() >= shard_capacity) {
+        dropped.fetch_add(1, std::memory_order_relaxed);
+        traceDroppedCounter().add(1);
+        if (!overflow_warned.exchange(true))
+            cb_warn("trace buffer full (%zu events on one thread); "
+                    "dropping further events - see obs.trace.dropped",
+                    shard_capacity);
+        return;
+    }
+    sh.events.push_back(std::move(ev));
 }
 
 void
 PhaseTracer::recordSpan(const std::string &name, double ts_us,
                         double dur_us)
 {
-    if (!recording)
+    if (!recording.load(std::memory_order_relaxed))
         return;
-    std::lock_guard<std::mutex> lock(mu);
-    if (buffer.size() >= maxEvents)
+    TraceEvent ev;
+    ev.name = name;
+    ev.ts_us = ts_us;
+    ev.dur_us = dur_us;
+    ev.phase = TraceEvent::Phase::Complete;
+    ev.id = newId();
+    ev.parent = myShard().current_span;
+    recordEvent(std::move(ev));
+}
+
+void
+PhaseTracer::recordFlowStart(const std::string &name,
+                             uint64_t flow_id)
+{
+    if (!recording.load(std::memory_order_relaxed))
         return;
-    buffer.push_back(TraceEvent{name, ts_us, dur_us,
-                                tidOf(std::this_thread::get_id())});
+    TraceEvent ev;
+    ev.name = name;
+    ev.ts_us = nowUs();
+    ev.phase = TraceEvent::Phase::FlowStart;
+    ev.id = flow_id;
+    recordEvent(std::move(ev));
+}
+
+void
+PhaseTracer::recordFlowFinish(const std::string &name,
+                              uint64_t flow_id, double ts_us)
+{
+    if (!recording.load(std::memory_order_relaxed))
+        return;
+    TraceEvent ev;
+    ev.name = name;
+    ev.ts_us = ts_us;
+    ev.phase = TraceEvent::Phase::FlowFinish;
+    ev.id = flow_id;
+    recordEvent(std::move(ev));
 }
 
 size_t
 PhaseTracer::eventCount() const
 {
-    std::lock_guard<std::mutex> lock(mu);
-    return buffer.size();
+    std::vector<std::shared_ptr<TraceShard>> copy;
+    {
+        std::lock_guard<std::mutex> lock(shards_mu);
+        copy = shards;
+    }
+    size_t n = 0;
+    for (const auto &sh : copy) {
+        std::lock_guard<std::mutex> lock(sh->mu);
+        n += sh->events.size();
+    }
+    return n;
+}
+
+uint64_t
+PhaseTracer::droppedCount() const
+{
+    return dropped.load(std::memory_order_relaxed);
 }
 
 std::vector<TraceEvent>
 PhaseTracer::events() const
 {
-    std::lock_guard<std::mutex> lock(mu);
-    return buffer;
+    std::vector<std::shared_ptr<TraceShard>> copy;
+    {
+        std::lock_guard<std::mutex> lock(shards_mu);
+        copy = shards;
+    }
+    std::vector<TraceEvent> out;
+    for (const auto &sh : copy) {
+        std::lock_guard<std::mutex> lock(sh->mu);
+        out.insert(out.end(), sh->events.begin(), sh->events.end());
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.ts_us < b.ts_us;
+                     });
+    return out;
 }
 
 std::string
 PhaseTracer::chromeTraceJson() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    std::vector<TraceEvent> merged = events();
     std::string out = "[";
-    for (size_t i = 0; i < buffer.size(); ++i) {
-        const TraceEvent &e = buffer[i];
+    for (size_t i = 0; i < merged.size(); ++i) {
+        const TraceEvent &e = merged[i];
         out += i ? ",\n " : "\n ";
-        out += "{\"name\": \"" + jsonEscape(e.name) +
-               "\", \"ph\": \"X\", \"ts\": " + jsonNumber(e.ts_us) +
-               ", \"dur\": " + jsonNumber(e.dur_us) +
-               ", \"pid\": 1, \"tid\": " + std::to_string(e.tid) +
-               "}";
+        switch (e.phase) {
+        case TraceEvent::Phase::Complete: {
+            out += "{\"name\": \"" + jsonEscape(e.name) +
+                   "\", \"cat\": \"span\", \"ph\": \"X\", \"ts\": " +
+                   jsonNumber(e.ts_us) +
+                   ", \"dur\": " + jsonNumber(e.dur_us) +
+                   ", \"pid\": 1, \"tid\": " + std::to_string(e.tid) +
+                   ", \"args\": {\"span\": \"" + hexId(e.id) +
+                   "\", \"parent\": \"" + hexId(e.parent) + "\"";
+            if (e.flow != 0)
+                out += ", \"flow\": \"" + hexId(e.flow) + "\"";
+            if (e.has_perf)
+                out += ", \"cycles\": " + std::to_string(e.cycles) +
+                       ", \"instructions\": " +
+                       std::to_string(e.instructions) +
+                       ", \"cache_misses\": " +
+                       std::to_string(e.cache_misses);
+            out += "}}";
+            break;
+        }
+        case TraceEvent::Phase::FlowStart:
+            out += "{\"name\": \"" + jsonEscape(e.name) +
+                   "\", \"cat\": \"flow\", \"ph\": \"s\", \"id\": \"" +
+                   hexId(e.id) + "\", \"ts\": " + jsonNumber(e.ts_us) +
+                   ", \"pid\": 1, \"tid\": " + std::to_string(e.tid) +
+                   "}";
+            break;
+        case TraceEvent::Phase::FlowFinish:
+            out += "{\"name\": \"" + jsonEscape(e.name) +
+                   "\", \"cat\": \"flow\", \"ph\": \"f\", \"bp\": "
+                   "\"e\", \"id\": \"" +
+                   hexId(e.id) + "\", \"ts\": " + jsonNumber(e.ts_us) +
+                   ", \"pid\": 1, \"tid\": " + std::to_string(e.tid) +
+                   "}";
+            break;
+        }
     }
     out += "\n]\n";
     return out;
@@ -130,10 +333,19 @@ PhaseTracer::writeTraceFile(const std::string &path) const
 void
 PhaseTracer::resetForTest()
 {
-    std::lock_guard<std::mutex> lock(mu);
-    buffer.clear();
-    known_threads.clear();
-    epoch = std::chrono::steady_clock::now();
+    std::vector<std::shared_ptr<TraceShard>> copy;
+    {
+        std::lock_guard<std::mutex> lock(shards_mu);
+        copy = shards;
+    }
+    for (const auto &sh : copy) {
+        std::lock_guard<std::mutex> lock(sh->mu);
+        sh->events.clear();
+    }
+    dropped.store(0, std::memory_order_relaxed);
+    overflow_warned.store(false, std::memory_order_relaxed);
+    next_id.store(1, std::memory_order_relaxed);
+    epoch_ns.store(steadyNowNs(), std::memory_order_relaxed);
 }
 
 //
@@ -141,9 +353,45 @@ PhaseTracer::resetForTest()
 //
 
 ScopedSpan::ScopedSpan(std::string name_, PhaseTracer &tracer_)
-    : tracer(tracer_), name(std::move(name_)),
+    : tracer(tracer_), shard(&tracer_.myShard()),
+      name(std::move(name_)), start_us(tracer_.nowUs())
+{
+    span_id = tracer.newId();
+    parent_id = shard->current_span;
+    saved_context = shard->current_span;
+    shard->current_span = span_id;
+    begin();
+}
+
+ScopedSpan::ScopedSpan(std::string name_, uint64_t parent_span,
+                       uint64_t flow_id_, PhaseTracer &tracer_)
+    : tracer(tracer_), shard(&tracer_.myShard()),
+      name(std::move(name_)), flow_id(flow_id_),
       start_us(tracer_.nowUs())
 {
+    span_id = tracer.newId();
+    parent_id = parent_span;
+    saved_context = shard->current_span;
+    shard->current_span = span_id;
+    begin();
+}
+
+void
+ScopedSpan::begin()
+{
+    if (PhaseTracer::spanPerfEnabled()) {
+        PerfSample s = ThreadPerfCounters::mine().readNow();
+        if (s.available) {
+            perf_live = true;
+            perf_cycles0 = s.cycles;
+            perf_instructions0 = s.instructions;
+            perf_cache_misses0 = s.cache_misses;
+        }
+    }
+    if (FlightRecorder *fr = FlightRecorder::instance();
+        fr && fr->enabled())
+        fr->record(FlightKind::SpanBegin, name.c_str(), span_id,
+                   parent_id);
 }
 
 ScopedSpan::~ScopedSpan()
@@ -154,11 +402,66 @@ ScopedSpan::~ScopedSpan()
 double
 ScopedSpan::stop()
 {
-    if (!done) {
-        done = true;
-        dur_us = tracer.nowUs() - start_us;
-        tracer.recordSpan(name, start_us, dur_us);
+    if (done)
+        return dur_us / 1e6;
+    done = true;
+    dur_us = tracer.nowUs() - start_us;
+
+    // Restore the thread's span context. The shard outlives any
+    // tracer teardown (shared ownership), and only this thread
+    // touches current_span.
+    shard->current_span = saved_context;
+
+    TraceEvent ev;
+    ev.name = name;
+    ev.ts_us = start_us;
+    ev.dur_us = dur_us;
+    ev.phase = TraceEvent::Phase::Complete;
+    ev.id = span_id;
+    ev.parent = parent_id;
+    ev.flow = flow_id;
+    if (perf_live) {
+        PerfSample now = ThreadPerfCounters::mine().readNow();
+        if (now.available) {
+            auto sub = [](uint64_t a, uint64_t b) {
+                return a > b ? a - b : 0;
+            };
+            ev.has_perf = true;
+            ev.cycles = sub(now.cycles, perf_cycles0);
+            ev.instructions =
+                sub(now.instructions, perf_instructions0);
+            ev.cache_misses =
+                sub(now.cache_misses, perf_cache_misses0);
+        }
     }
+
+    if (FlightRecorder *fr = FlightRecorder::instance();
+        fr && fr->enabled())
+        fr->record(FlightKind::SpanEnd, name.c_str(), span_id,
+                   static_cast<uint64_t>(dur_us));
+
+    if (ev.has_perf) {
+        StatRegistry &reg = StatRegistry::global();
+        const std::string base = "obs.span." + name;
+        reg.counter(base + ".count", "spans recorded with perf")
+            .add(1);
+        reg.counter(base + ".cycles", "CPU cycles inside this span")
+            .add(ev.cycles);
+        reg.counter(base + ".instructions",
+                    "instructions retired inside this span")
+            .add(ev.instructions);
+        reg.counter(base + ".cache_misses",
+                    "cache misses inside this span")
+            .add(ev.cache_misses);
+    }
+
+    // The flow arrow must terminate *inside* this span's slice:
+    // stamp the finish at the span midpoint so viewers bind it here
+    // rather than to a neighboring slice sharing the boundary ts.
+    if (flow_id != 0)
+        tracer.recordFlowFinish(name, flow_id,
+                                start_us + dur_us / 2.0);
+    tracer.recordEvent(std::move(ev));
     return dur_us / 1e6;
 }
 

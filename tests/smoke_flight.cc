@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Pure-ctest smoke test for the deep-profiling plane (causal traces +
+ * flight recorder): build a tiny cold-boot dump in-process, then
+ * drive `coldboot-tool` end to end:
+ *
+ *  - `attack --threads 4 --trace --profile-spans` must emit Chrome
+ *    trace_event JSON in which every pool task's "exec.task" slice is
+ *    linked to its submission site by a flow-start/flow-finish pair
+ *    (`ph: "s"` / `ph: "f"`), the finish lands inside the task slice
+ *    on the task's thread, and task parent ids resolve to real
+ *    enclosing spans - the structural properties Perfetto needs to
+ *    draw the arrows;
+ *
+ *  - `crash-test --flight-record` must die by the induced signal
+ *    (SIGSEGV, then SIGABRT) and leave a parseable post-mortem JSON
+ *    naming the signal and carrying the crashing thread's last
+ *    breadcrumbs plus the pre-rendered stats snapshot;
+ *
+ *  - the determinism gate: key-recovery output must be byte-identical
+ *    with tracing + flight recording + span perf on vs off, at pool
+ *    widths 1 and 4 (DESIGN.md §9/§12 - observation must not perturb
+ *    results).
+ *
+ * Usage: smoke_flight <path-to-coldboot-tool>
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "dram/dram_module.hh"
+#include "obs/json.hh"
+#include "platform/coldboot.hh"
+#include "platform/machine.hh"
+#include "platform/workload.hh"
+#include "volume/veracrypt_volume.hh"
+
+using namespace coldboot;
+using namespace coldboot::platform;
+
+namespace
+{
+
+int failures = 0;
+
+void
+check(bool ok, const char *what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "FAIL: %s\n", what);
+        ++failures;
+    } else {
+        std::printf("ok: %s\n", what);
+    }
+}
+
+/** A 2 MiB victim dump, mirroring `coldboot-tool simulate-victim`. */
+void
+writeTinyDump(const std::string &dump_path)
+{
+    constexpr uint64_t capacity = MiB(2);
+    constexpr uint64_t seed = 47;
+
+    Machine victim(cpuModelByName("i5-6400"), BiosConfig{}, 1, seed);
+    victim.installDimm(0, std::make_shared<dram::DramModule>(
+                              dram::Generation::DDR4, capacity,
+                              dram::DecayParams{}, seed + 1));
+    victim.boot();
+    fillWorkload(victim, {}, seed + 2);
+
+    auto vf = volume::VolumeFile::create("hunter2", 16, seed + 3);
+    auto mounted = volume::MountedVolume::mount(
+        victim, vf, "hunter2", capacity * 3 / 4 + 16);
+    std::vector<uint8_t> secret(volume::sectorBytes, 0);
+    std::memcpy(secret.data(), "flight", 6);
+    mounted->writeSector(3, secret);
+
+    BiosConfig attacker_bios;
+    attacker_bios.boot_pollution_bytes = KiB(64);
+    Machine attacker(cpuModelByName("i5-6600K"), attacker_bios, 1,
+                     seed + 4);
+    auto cold = coldBootTransfer(victim, attacker, 0);
+    cold.dump.saveRaw(dump_path);
+}
+
+/** Run @p cmd, capture stdout; rc -1 on launch failure. */
+int
+runCapture(const std::string &cmd, std::string &output)
+{
+    output.clear();
+    std::FILE *pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr)
+        return -1;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0)
+        output.append(buf, n);
+    return pclose(pipe);
+}
+
+/**
+ * The deterministic portion of an `attack` run's stdout: the
+ * mined/recovered/pair counts (timing figures stripped) and the
+ * recovered key material; everything timing-dependent is excluded.
+ */
+std::string
+filterDeterministic(const std::string &output)
+{
+    std::string result;
+    size_t pos = 0;
+    while (pos < output.size()) {
+        size_t eol = output.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = output.size();
+        std::string line = output.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.rfind("mined ", 0) == 0) {
+            size_t cut = line.find("XTS pair(s);");
+            if (cut != std::string::npos)
+                line.resize(cut + std::strlen("XTS pair(s);"));
+            result += line + "\n";
+        } else if (line.rfind("XTS master keys", 0) == 0 ||
+                   line.rfind("  data :", 0) == 0 ||
+                   line.rfind("  tweak:", 0) == 0) {
+            result += line + "\n";
+        }
+    }
+    return result;
+}
+
+double
+numField(const obs::json::Value &ev, const char *key)
+{
+    const auto *v = ev.find(key);
+    return v != nullptr ? v->number : -1.0;
+}
+
+std::string
+strField(const obs::json::Value &ev, const char *key)
+{
+    const auto *v = ev.find(key);
+    return v != nullptr ? v->str : std::string();
+}
+
+/**
+ * Structural validation of the Chrome trace a pool-width-4 attack
+ * writes: exactly the properties Perfetto/chrome://tracing rely on
+ * to load the file and draw submit-to-run flow arrows.
+ */
+void
+traceStructureTest(const std::string &tool,
+                   const std::string &dump_path)
+{
+    const std::string trace_path = "smoke_flight_trace.json";
+    std::remove(trace_path.c_str());
+
+    std::string cmd = "\"" + tool + "\" attack \"" + dump_path +
+                      "\" --threads 4 --trace \"" + trace_path +
+                      "\" --profile-spans";
+    std::printf("+ %s\n", cmd.c_str());
+    std::string output;
+    int rc = runCapture(cmd, output);
+    check(rc == 0 || rc == 1 * 256, "traced attack exits cleanly");
+
+    auto doc = obs::json::parseFile(trace_path);
+    check(doc.has_value(), "--trace artifact parses as JSON");
+    if (!doc.has_value())
+        return;
+    check(doc->isArray() && !doc->array.empty(),
+          "trace is a non-empty event array");
+
+    // Index the events: slices by span id, flow starts/finishes by
+    // flow-binding id.
+    std::map<std::string, const obs::json::Value *> slice_by_span;
+    std::map<std::string, int> flow_starts, flow_finishes;
+    std::map<std::string, const obs::json::Value *> finish_by_id;
+    std::vector<const obs::json::Value *> task_slices;
+    size_t named_spans = 0;
+    bool fields_ok = true;
+
+    for (const auto &ev : doc->array) {
+        std::string ph = strField(ev, "ph");
+        if (strField(ev, "name").empty() || ph.empty() ||
+            ev.find("ts") == nullptr || ev.find("pid") == nullptr ||
+            ev.find("tid") == nullptr)
+            fields_ok = false;
+        if (ph == "X") {
+            const auto *args = ev.find("args");
+            if (args == nullptr || args->find("span") == nullptr ||
+                ev.find("dur") == nullptr) {
+                fields_ok = false;
+                continue;
+            }
+            slice_by_span[args->find("span")->str] = &ev;
+            if (strField(ev, "name") == "exec.task")
+                task_slices.push_back(&ev);
+            else
+                ++named_spans;
+        } else if (ph == "s") {
+            ++flow_starts[strField(ev, "id")];
+        } else if (ph == "f") {
+            ++flow_finishes[strField(ev, "id")];
+            finish_by_id[strField(ev, "id")] = &ev;
+            if (strField(ev, "bp") != "e")
+                fields_ok = false;
+        } else {
+            fields_ok = false;
+        }
+    }
+    check(fields_ok, "every event carries the required fields");
+    check(!task_slices.empty(),
+          "pool tasks recorded as exec.task slices");
+    check(named_spans > 0, "phase spans recorded alongside tasks");
+
+    // Every pool task must be linked: exactly one flow start at its
+    // submit site and one flow finish bound inside the task slice.
+    bool all_linked = true;
+    bool finish_in_slice = true;
+    bool causality_ordered = true;
+    size_t parented_tasks = 0;
+    for (const auto *task : task_slices) {
+        const auto *args = task->find("args");
+        std::string flow = args != nullptr ? strField(*args, "flow")
+                                           : std::string();
+        if (flow.empty() || flow_starts[flow] != 1 ||
+            flow_finishes[flow] != 1) {
+            all_linked = false;
+            continue;
+        }
+        const auto *fin = finish_by_id[flow];
+        double ts = numField(*task, "ts");
+        double dur = numField(*task, "dur");
+        if (numField(*fin, "tid") != numField(*task, "tid") ||
+            numField(*fin, "ts") < ts ||
+            numField(*fin, "ts") > ts + dur)
+            finish_in_slice = false;
+        // The flow start happens at submission, strictly no later
+        // than the finish stamped inside the running task.
+        // (Identical timestamps are possible at µs resolution.)
+        for (const auto &ev : doc->array)
+            if (strField(ev, "ph") == "s" &&
+                strField(ev, "id") == flow &&
+                numField(ev, "ts") > numField(*fin, "ts"))
+                causality_ordered = false;
+        std::string parent =
+            args != nullptr ? strField(*args, "parent")
+                            : std::string();
+        if (parent != "0x0" && slice_by_span.count(parent) != 0)
+            ++parented_tasks;
+    }
+    check(all_linked,
+          "every exec.task has exactly one s/f flow pair");
+    check(finish_in_slice,
+          "flow finish lands inside its task slice, same tid");
+    check(causality_ordered, "flow start precedes flow finish");
+    check(parented_tasks > 0,
+          "task parent ids resolve to real enclosing spans");
+
+    // The attack's own phase spans (the submitters of the pool
+    // tasks) must be present by name.
+    bool saw_pipeline = false;
+    bool saw_parallel_for = false;
+    for (const auto &kv : slice_by_span) {
+        if (strField(*kv.second, "name") == "attack.pipeline")
+            saw_pipeline = true;
+        if (strField(*kv.second, "name") == "exec.parallel_for")
+            saw_parallel_for = true;
+    }
+    check(saw_pipeline, "attack.pipeline phase span recorded");
+    check(saw_parallel_for, "exec.parallel_for submit span recorded");
+
+    // Span-perf args are all-or-nothing per event (absent when
+    // perf_event_open is unavailable in the sandbox).
+    bool perf_consistent = true;
+    size_t perf_spans = 0;
+    for (const auto &kv : slice_by_span) {
+        const auto *args = kv.second->find("args");
+        bool c = args->find("cycles") != nullptr;
+        bool i = args->find("instructions") != nullptr;
+        bool m = args->find("cache_misses") != nullptr;
+        if (c != i || c != m)
+            perf_consistent = false;
+        if (c)
+            ++perf_spans;
+    }
+    check(perf_consistent,
+          "perf args are consistent (cycles+instructions+misses)");
+    std::printf("note: %zu/%zu spans carry perf deltas\n", perf_spans,
+                slice_by_span.size());
+}
+
+/** One induced crash; validates the post-mortem JSON it leaves. */
+void
+crashForensicsOnce(const std::string &tool,
+                   const std::string &dump_path, bool use_abort,
+                   int want_signal, const char *want_reason)
+{
+    const std::string post_path = use_abort
+        ? "smoke_flight_post_abort.json"
+        : "smoke_flight_post_segv.json";
+    std::remove(post_path.c_str());
+
+    std::string cmd = "\"" + tool + "\" crash-test \"" + dump_path +
+                      "\"" + (use_abort ? " abort" : "") +
+                      " --flight-record \"" + post_path +
+                      "\" 2>&1";
+    std::printf("+ %s\n", cmd.c_str());
+    std::string output;
+    int rc = runCapture(cmd, output);
+    // The tool must die by the induced signal (the shell reports
+    // 128+sig), not exit in an orderly way.
+    check(rc > 0 && rc != 1 * 256, "crash-test dies by signal");
+    check(output.find("post-mortem") != std::string::npos,
+          "crash handler announces the dump on stderr");
+
+    auto doc = obs::json::parseFile(post_path);
+    check(doc.has_value(), "post-mortem JSON parses");
+    if (!doc.has_value())
+        return;
+
+    check(numField(*doc, "signal") == want_signal,
+          "post-mortem names the fatal signal");
+    check(strField(*doc, "reason") == want_reason,
+          "post-mortem names the signal reason");
+
+    int crashing = static_cast<int>(numField(*doc, "crashing_ring"));
+    check(crashing >= 0, "crashing ring identified");
+
+    const auto *threads = doc->find("threads");
+    check(threads != nullptr && !threads->array.empty(),
+          "post-mortem carries per-thread event rings");
+    bool crashing_has_events = false;
+    bool saw_warn_breadcrumb = false;
+    if (threads != nullptr) {
+        for (const auto &t : threads->array) {
+            const auto *events = t.find("events");
+            if (events == nullptr)
+                continue;
+            if (static_cast<int>(numField(t, "ring")) == crashing &&
+                !events->array.empty())
+                crashing_has_events = true;
+            for (const auto &e : events->array)
+                if (strField(e, "name").rfind("crash-test: raising",
+                                              0) == 0)
+                    saw_warn_breadcrumb = true;
+        }
+    }
+    check(crashing_has_events,
+          "crashing thread's last events captured");
+    check(saw_warn_breadcrumb,
+          "pre-crash warn breadcrumb visible in a ring");
+
+    const auto *stats = doc->find("stats");
+    check(stats != nullptr && stats->find("stats") != nullptr,
+          "pre-rendered stats snapshot embedded");
+    std::remove(post_path.c_str());
+}
+
+void
+crashForensicsTest(const std::string &tool,
+                   const std::string &dump_path)
+{
+    crashForensicsOnce(tool, dump_path, false, 11, "SIGSEGV");
+    crashForensicsOnce(tool, dump_path, true, 6, "SIGABRT");
+}
+
+void
+determinismTest(const std::string &tool, const std::string &dump_path)
+{
+    struct Variant
+    {
+        const char *label;
+        std::string cmd;
+    };
+    const std::string base = "\"" + tool + "\" attack \"" + dump_path +
+                             "\"";
+    const std::string obs_on =
+        " --trace smoke_flight_det_trace.json"
+        " --flight-record smoke_flight_det_post.json"
+        " --profile-spans";
+    std::vector<Variant> variants = {
+        {"threads=1 obs=off", base + " --threads 1"},
+        {"threads=1 obs=on", base + " --threads 1" + obs_on},
+        {"threads=4 obs=off", base + " --threads 4"},
+        {"threads=4 obs=on", base + " --threads 4" + obs_on},
+    };
+
+    std::string reference;
+    for (const auto &v : variants) {
+        std::printf("+ %s\n", v.cmd.c_str());
+        std::string output;
+        int rc = runCapture(v.cmd, output);
+        check(rc == 0 || rc == 1 * 256, v.label);
+        std::string filtered = filterDeterministic(output);
+        check(!filtered.empty(), "attack output non-empty");
+        if (reference.empty()) {
+            reference = filtered;
+            continue;
+        }
+        bool same = filtered == reference;
+        if (!same)
+            std::fprintf(stderr,
+                         "  [%s] diverged:\n--- reference\n%s--- got\n"
+                         "%s",
+                         v.label, reference.c_str(), filtered.c_str());
+        check(same, "attack results byte-identical to reference");
+    }
+    // No crash happened, so the armed recorder must not have written
+    // a post-mortem artifact.
+    std::FILE *f = std::fopen("smoke_flight_det_post.json", "r");
+    check(f == nullptr, "no post-mortem written on clean runs");
+    if (f != nullptr)
+        std::fclose(f);
+    std::remove("smoke_flight_det_trace.json");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: smoke_flight <coldboot-tool>\n");
+        return 2;
+    }
+    std::string tool = argv[1];
+    std::string dump_path = "smoke_flight_dump.img";
+    writeTinyDump(dump_path);
+
+    traceStructureTest(tool, dump_path);
+    crashForensicsTest(tool, dump_path);
+    determinismTest(tool, dump_path);
+
+    if (failures) {
+        std::fprintf(stderr, "%d check(s) failed\n", failures);
+        return 1;
+    }
+    std::printf("smoke_flight: all checks passed\n");
+    return 0;
+}

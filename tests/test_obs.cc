@@ -309,6 +309,150 @@ TEST(Tracer, ScopedTimerSamplesDistribution)
     EXPECT_GE(s.min, 0.0);
 }
 
+TEST(Tracer, NestedSpansLinkToEnclosingParent)
+{
+    PhaseTracer tracer;
+    uint64_t outer_id = 0;
+    uint64_t inner_id = 0;
+    {
+        ScopedSpan outer("outer", tracer);
+        outer_id = outer.id();
+        EXPECT_EQ(outer.parentId(), 0u);
+        EXPECT_EQ(tracer.currentSpanId(), outer_id);
+        {
+            ScopedSpan inner("inner", tracer);
+            inner_id = inner.id();
+            EXPECT_EQ(inner.parentId(), outer_id);
+            EXPECT_EQ(tracer.currentSpanId(), inner_id);
+        }
+        // Context restored: the outer span is current again.
+        EXPECT_EQ(tracer.currentSpanId(), outer_id);
+    }
+    EXPECT_EQ(tracer.currentSpanId(), 0u);
+
+    auto events = tracer.events();
+    ASSERT_EQ(events.size(), 2u);
+    for (const auto &ev : events) {
+        if (ev.name == "inner") {
+            EXPECT_EQ(ev.id, inner_id);
+            EXPECT_EQ(ev.parent, outer_id);
+        } else {
+            EXPECT_EQ(ev.name, "outer");
+            EXPECT_EQ(ev.id, outer_id);
+            EXPECT_EQ(ev.parent, 0u);
+        }
+    }
+}
+
+TEST(Tracer, PoolTaskSpanUsesProvidedParentAndRestoresContext)
+{
+    PhaseTracer tracer;
+    ScopedSpan worker("worker.context", tracer);
+    {
+        // The pool-task form: parent comes from the submitter's
+        // captured context, not from this thread's current span.
+        ScopedSpan task("exec.task", 0xabcd, 0, tracer);
+        EXPECT_EQ(task.parentId(), 0xabcdu);
+        EXPECT_EQ(tracer.currentSpanId(), task.id());
+    }
+    EXPECT_EQ(tracer.currentSpanId(), worker.id());
+}
+
+TEST(Tracer, OverflowIsCountedNeverSilent)
+{
+    Counter &dropped_stat =
+        StatRegistry::global().counter("obs.trace.dropped");
+    uint64_t stat_before = dropped_stat.value();
+
+    PhaseTracer tracer(4);
+    for (int i = 0; i < 10; ++i)
+        tracer.recordSpan("overflow", i * 1.0, 1.0);
+
+    EXPECT_EQ(tracer.eventCount(), 4u);
+    EXPECT_EQ(tracer.droppedCount(), 6u);
+    EXPECT_EQ(dropped_stat.value() - stat_before, 6u);
+
+    // resetForTest clears the buffered events and the drop count.
+    tracer.resetForTest();
+    EXPECT_EQ(tracer.eventCount(), 0u);
+    EXPECT_EQ(tracer.droppedCount(), 0u);
+}
+
+TEST(Tracer, ChromeTraceJsonCarriesSpanIdsInArgs)
+{
+    PhaseTracer tracer;
+    {
+        ScopedSpan outer("outer", tracer);
+        ScopedSpan inner("inner", tracer);
+    }
+    auto doc = json::parse(tracer.chromeTraceJson());
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_EQ(doc->array.size(), 2u);
+
+    std::string outer_span;
+    for (const auto &ev : doc->array) {
+        const auto *args = ev.find("args");
+        ASSERT_NE(args, nullptr);
+        ASSERT_NE(args->find("span"), nullptr);
+        ASSERT_NE(args->find("parent"), nullptr);
+        // Ids render as hex strings (Chrome id convention).
+        EXPECT_EQ(args->find("span")->str.rfind("0x", 0), 0u);
+        if (ev.find("name")->str == "outer")
+            outer_span = args->find("span")->str;
+    }
+    for (const auto &ev : doc->array) {
+        if (ev.find("name")->str == "inner") {
+            EXPECT_EQ(ev.find("args")->find("parent")->str,
+                      outer_span);
+        }
+    }
+}
+
+TEST(Tracer, FlowEventsRenderAsChromeFlowPair)
+{
+    PhaseTracer tracer;
+    uint64_t flow = tracer.newId();
+    tracer.recordFlowStart("exec.task", flow);
+    {
+        ScopedSpan task("exec.task", 0, flow, tracer);
+    }
+    auto doc = json::parse(tracer.chromeTraceJson());
+    ASSERT_TRUE(doc.has_value());
+
+    const json::Value *start = nullptr;
+    const json::Value *finish = nullptr;
+    const json::Value *slice = nullptr;
+    for (const auto &ev : doc->array) {
+        const std::string &ph = ev.find("ph")->str;
+        if (ph == "s")
+            start = &ev;
+        else if (ph == "f")
+            finish = &ev;
+        else if (ph == "X")
+            slice = &ev;
+    }
+    ASSERT_NE(start, nullptr);
+    ASSERT_NE(finish, nullptr);
+    ASSERT_NE(slice, nullptr);
+
+    // The s/f pair binds by category + id...
+    EXPECT_EQ(start->find("cat")->str, "flow");
+    EXPECT_EQ(finish->find("cat")->str, "flow");
+    EXPECT_EQ(start->find("id")->str, finish->find("id")->str);
+    EXPECT_EQ(finish->find("bp")->str, "e");
+    // ...and the finish lands inside the task slice (same thread,
+    // timestamp within the slice), so viewers attach the arrow there.
+    EXPECT_EQ(finish->find("tid")->number,
+              slice->find("tid")->number);
+    EXPECT_GE(finish->find("ts")->number, slice->find("ts")->number);
+    EXPECT_LE(finish->find("ts")->number,
+              slice->find("ts")->number +
+                  slice->find("dur")->number);
+    EXPECT_EQ(slice->find("args")->find("flow")->str,
+              start->find("id")->str);
+    EXPECT_LE(start->find("ts")->number, finish->find("ts")->number);
+}
+
 TEST(Json, ParsesScalarsAndNesting)
 {
     auto doc = json::parse(

@@ -41,6 +41,7 @@
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "crypto/xts.hh"
+#include "obs/flight.hh"
 #include "obs/http.hh"
 #include "obs/sampler.hh"
 #include "obs/stats.hh"
@@ -70,10 +71,24 @@ usage()
         "  coldboot-tool info <dump.img>\n"
         "  coldboot-tool decrypt <volume.bin> <data_key_hex>"
         " <tweak_key_hex> <sector>\n"
+        "  coldboot-tool crash-test <dump.img> [abort]\n"
+        "                        sacrificial mode: raise a fatal\n"
+        "                        signal mid-mining-run to exercise\n"
+        "                        the flight recorder's post-mortem\n"
         "global flags (any command, any position):\n"
         "  --stats-json <file>   write the stats registry as JSON\n"
         "  --trace <file>        write phase spans as Chrome"
         " trace_event JSON\n"
+        "  --flight-record <file>\n"
+        "                        arm the always-on flight recorder:\n"
+        "                        per-thread event rings + post-mortem\n"
+        "                        JSON at <file> on SIGSEGV/SIGBUS/\n"
+        "                        SIGABRT or cb_fatal; also via the\n"
+        "                        COLDBOOT_FLIGHT_RECORD env var\n"
+        "  --profile-spans       attach perf-counter deltas (cycles,\n"
+        "                        instructions, cache misses) to every\n"
+        "                        span, in the trace and as obs.span.*\n"
+        "                        stats; also via COLDBOOT_PROFILE_SPANS\n"
         "  --threads <n>         worker threads for parallel scans\n"
         "                        (default: COLDBOOT_THREADS or all"
         " cores)\n"
@@ -82,7 +97,8 @@ usage()
         "  --serve-obs <[addr:]port>\n"
         "                        serve live telemetry over HTTP\n"
         "                        (/metrics /stats /stats/series\n"
-        "                        /trace /progress /healthz); also via\n"
+        "                        /trace /flight /progress /healthz);\n"
+        "                        also via\n"
         "                        the COLDBOOT_SERVE_OBS env var;\n"
         "                        port 0 picks an ephemeral port\n");
     return 2;
@@ -243,6 +259,39 @@ cmdMine(int argc, char **argv)
     return 0;
 }
 
+/**
+ * Sacrificial crash-forensics mode: start a real mining sweep on the
+ * global pool, give it a moment to leave span/progress breadcrumbs
+ * in the flight rings, then die by SIGSEGV (or SIGABRT with "abort")
+ * through an actual signal - the way a wild pointer would - so CI
+ * can validate the post-mortem dump end to end. Does not return on
+ * success: the crash handler writes the dump and the process dies
+ * with the original signal.
+ */
+int
+cmdCrashTest(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    int sig = SIGSEGV;
+    if (argc > 1 && std::string(argv[1]) == "abort")
+        sig = SIGABRT;
+    auto dump = exec::openDumpSource(argv[0], g_dump_backend);
+    exec::ThreadPool::TaskGroup group(exec::ThreadPool::global());
+    group.run([&] {
+        obs::ScopedSpan span("crash_test.mine");
+        attack::mineScramblerKeys(*dump, {});
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    // The warning both tells an onlooker this death is intentional
+    // and (via the log hook) guarantees the crashing thread owns a
+    // flight ring with at least one event in it.
+    cb_warn("crash-test: raising signal %d mid-run", sig);
+    std::raise(sig);
+    group.wait();
+    return 1; // not reached: the re-raised signal kills the process
+}
+
 int
 cmdInfo(int argc, char **argv)
 {
@@ -301,7 +350,7 @@ main(int argc, char **argv)
     // Extract the global observability flags wherever they appear so
     // every command accepts them; what remains is dispatched as
     // before.
-    std::string stats_path, trace_path, serve_spec;
+    std::string stats_path, trace_path, serve_spec, flight_path;
     std::vector<char *> args;
     for (int i = 0; i < argc; ++i) {
         std::string arg = argv[i];
@@ -343,6 +392,19 @@ main(int argc, char **argv)
             g_dump_backend = exec::DumpBackend::Buffered;
             continue;
         }
+        if (arg == "--flight-record") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--flight-record requires a "
+                                     "file argument\n");
+                return usage();
+            }
+            flight_path = argv[++i];
+            continue;
+        }
+        if (arg == "--profile-spans") {
+            obs::PhaseTracer::setSpanPerfEnabled(true);
+            continue;
+        }
         args.push_back(argv[i]);
     }
 
@@ -351,6 +413,21 @@ main(int argc, char **argv)
             env && *env)
             serve_spec = env;
     }
+    if (flight_path.empty()) {
+        if (const char *env = std::getenv("COLDBOOT_FLIGHT_RECORD");
+            env && *env)
+            flight_path = env;
+    }
+
+    // Arm the flight recorder before any attack work starts: crash
+    // forensics are only useful if the rings were recording from the
+    // beginning of the run. Serving telemetry without a dump path
+    // still turns recording on so GET /flight has data.
+    if (!flight_path.empty())
+        obs::FlightRecorder::global().installCrashHandler(
+            flight_path);
+    else if (!serve_spec.empty())
+        obs::FlightRecorder::global().setEnabled(true);
 
     // SIGINT/SIGTERM flush the requested artifacts before dying, so
     // an interrupted run still leaves its stats/trace behind.
@@ -400,6 +477,8 @@ main(int argc, char **argv)
         rc = cmdInfo(sub_argc, sub_argv);
     else if (cmd == "decrypt")
         rc = cmdDecrypt(sub_argc, sub_argv);
+    else if (cmd == "crash-test")
+        rc = cmdCrashTest(sub_argc, sub_argv);
     else
         return usage();
 
