@@ -34,6 +34,7 @@ using namespace coldboot::attack;
 namespace
 {
 
+// coldboot-lint: allow(wipe-coverage) -- synthetic benchmark dump, not real key material
 struct MiniDump
 {
     platform::MemoryImage dump{KiB(64)};

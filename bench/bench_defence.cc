@@ -81,6 +81,7 @@ runConfig(obs::bench::BenchContext &ctx, const Config &config,
     size_t top_occurrence =
         report.mined_keys.empty() ? 0
                                   : report.mined_keys[0].occurrences;
+    // coldboot-lint: allow(secret-taint) -- top_occurrence is a cluster count, not key bytes
     std::printf("%-22s mined=%6zu top-cluster=%5zu tables=%zu "
                 "master-keys=%s\n",
                 config.label, report.mined_keys.size(),

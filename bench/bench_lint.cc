@@ -1,0 +1,101 @@
+/**
+ * @file
+ * coldboot-lint throughput: full-tree scan cost, cold cache vs warm
+ * cache.
+ *
+ * The incremental cache (tools/lint/cache.hh) exists so the
+ * lint_tree ctest and the pre-commit loop stay fast as the tree
+ * grows: a warm run should skip lexing, token rules, and parsing for
+ * every unchanged file and spend its time only in the cross-TU
+ * call-graph passes. This bench measures both runs over the real
+ * source tree and reports the speedup; CI asserts the warm run stays
+ * under half the cold time, so a cache regression (bad invalidation,
+ * serialization bloat) fails loudly instead of quietly making every
+ * lint run slow again.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "lint/engine.hh"
+#include "obs/bench.hh"
+
+using namespace coldboot;
+using namespace coldboot::lint;
+
+namespace
+{
+
+double
+lintOnce(const LintOptions &options, LintResult &result)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    result = lintTree(options);
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // anonymous namespace
+
+COLDBOOT_BENCH(lint_tree_cache)
+{
+#ifndef COLDBOOT_SOURCE_DIR
+    std::printf("lint_tree_cache: COLDBOOT_SOURCE_DIR not baked in, "
+                "skipping\n");
+    (void)ctx;
+#else
+    namespace fs = std::filesystem;
+    fs::path cache = fs::temp_directory_path() /
+                     ("coldboot_lint_bench_" +
+                      std::to_string(getpid()));
+    fs::remove_all(cache);
+
+    LintOptions options;
+    options.root = COLDBOOT_SOURCE_DIR;
+    options.cache_dir = cache.string();
+
+    LintResult cold_result, warm_result;
+    double cold_secs = lintOnce(options, cold_result);
+    double warm_secs = lintOnce(options, warm_result);
+    fs::remove_all(cache);
+
+    if (cold_result.internal_error || warm_result.internal_error)
+        cb_fatal("lint_tree_cache: lintTree failed: %s",
+                 cold_result.error_message.c_str());
+    if (warm_result.cache_hits != warm_result.files_scanned)
+        cb_fatal("lint_tree_cache: warm run had %zu misses",
+                 warm_result.cache_misses);
+    if (cold_result.findings.size() != warm_result.findings.size())
+        cb_fatal("lint_tree_cache: cold and warm findings diverged "
+                 "(%zu vs %zu)",
+                 cold_result.findings.size(),
+                 warm_result.findings.size());
+
+    double speedup =
+        warm_secs > 0.0 ? cold_secs / warm_secs : 0.0;
+    std::printf("lint_tree_cache: %zu files  cold %.3fs  warm %.3fs "
+                "(%.1fx)  analysis %ld ms\n",
+                cold_result.files_scanned, cold_secs, warm_secs,
+                speedup, warm_result.analysis_ms);
+
+    ctx.report("lint.cold_seconds", cold_secs,
+               "full-tree lint, empty cache (lex + rules + parse)");
+    ctx.report("lint.warm_seconds", warm_secs,
+               "full-tree lint, all artifacts from cache");
+    ctx.report("lint.cache_speedup", speedup,
+               "cold / warm wall-time ratio");
+    ctx.report("lint.analysis_ms",
+               static_cast<double>(warm_result.analysis_ms),
+               "cross-TU call-graph passes alone");
+    ctx.report("lint.files_scanned",
+               static_cast<double>(cold_result.files_scanned),
+               "files covered by the scan");
+    ctx.setBytesProcessed(0);
+#endif
+}

@@ -85,41 +85,41 @@ COLDBOOT_BENCH(micro)
                                                           << 12);
     uint64_t total_bytes = 0;
 
-    for (size_t key_bytes : {16u, 32u}) {
-        std::vector<uint8_t> key(key_bytes);
+    for (size_t key_len : {16u, 32u}) {
+        std::vector<uint8_t> key(key_len);
         Xoshiro256StarStar rng(1);
         rng.fillBytes(key);
         crypto::Aes aes(key);
         uint8_t block[16] = {};
         total_bytes += kernel(
-            ctx, "aes" + std::to_string(key_bytes * 8) + "_block",
+            ctx, "aes" + std::to_string(key_len * 8) + "_block",
             fast, 16, [&](uint64_t) {
                 aes.encryptBlock(block, block);
                 doNotOptimize(block);
             });
     }
 
-    for (size_t key_bytes : {16u, 32u}) {
-        std::vector<uint8_t> key(key_bytes);
+    for (size_t key_len : {16u, 32u}) {
+        std::vector<uint8_t> key(key_len);
         Xoshiro256StarStar rng(1);
         rng.fillBytes(key);
         crypto::FastAes aes(key);
         uint8_t block[16] = {};
         total_bytes += kernel(
             ctx,
-            "fast_aes" + std::to_string(key_bytes * 8) + "_block",
+            "fast_aes" + std::to_string(key_len * 8) + "_block",
             fast, 16, [&](uint64_t) {
                 aes.encryptBlock(block, block);
                 doNotOptimize(block);
             });
     }
 
-    for (size_t key_bytes : {16u, 32u}) {
-        std::vector<uint8_t> key(key_bytes);
+    for (size_t key_len : {16u, 32u}) {
+        std::vector<uint8_t> key(key_len);
         Xoshiro256StarStar rng(2);
         rng.fillBytes(key);
         kernel(ctx,
-               "aes" + std::to_string(key_bytes * 8) + "_expand",
+               "aes" + std::to_string(key_len * 8) + "_expand",
                fast / 4, 0, [&](uint64_t) {
                    auto sched = crypto::aesExpandKey(key);
                    doNotOptimize(sched);

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/secure.hh"
 #include "crypto/aes.hh"
 #include "exec/dump_io.hh"
 #include "platform/memory_image.hh"
@@ -38,11 +39,19 @@ struct BaselineKey
     /** Raw master key bytes. */
     std::vector<uint8_t> master;
     /** AES variant. */
-    crypto::AesKeySize key_size;
+    crypto::AesKeySize key_size = crypto::AesKeySize::Aes256;
     /** Byte offset of the key (schedule word 0) in the image. */
-    uint64_t offset;
+    uint64_t offset = 0;
     /** Hamming distance between predicted and observed schedule. */
-    unsigned bit_errors;
+    unsigned bit_errors = 0;
+
+    BaselineKey() = default;
+    BaselineKey(const BaselineKey &) = default;
+    BaselineKey(BaselineKey &&) = default;
+    BaselineKey &operator=(const BaselineKey &) = default;
+    BaselineKey &operator=(BaselineKey &&) = default;
+    /** A recovered key is key material: wipe it on release. */
+    ~BaselineKey() { secureWipe(master); }
 };
 
 /** Baseline search tuning. */

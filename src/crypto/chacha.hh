@@ -27,6 +27,7 @@ constexpr size_t chachaBlockBytes = 64;
 /**
  * ChaCha keystream generator.
  */
+// coldboot-lint: allow(wipe-coverage) -- simulated scrambler state on the hot path; keys are synthetic
 class ChaCha
 {
   public:

@@ -43,6 +43,7 @@ namespace coldboot::engine
 {
 
 /** A 64-byte keystream leaving a pipeline. */
+// coldboot-lint: allow(wipe-coverage) -- simulated hardware keystream latch, recycled every cycle
 struct LineCompletion
 {
     /** Caller-chosen request id. */
@@ -145,6 +146,7 @@ class PipelinedAesEngine : public PipelinedEngine
 /**
  * The 2-stages-per-quarter-round ChaCha pipeline.
  */
+// coldboot-lint: allow(wipe-coverage) -- simulated scrambler datapath registers, synthetic keys
 class PipelinedChaChaEngine : public PipelinedEngine
 {
   public:

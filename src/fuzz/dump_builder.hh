@@ -24,6 +24,7 @@ namespace coldboot::fuzz
 {
 
 /** One planted scrambler key and where its copies landed. */
+// coldboot-lint: allow(wipe-coverage) -- fuzz fixture ground truth, keys are generated test data
 struct PlantedKey
 {
     /** Ddr4Scrambler pool index the key came from. */
@@ -35,6 +36,7 @@ struct PlantedKey
 };
 
 /** A planted expanded AES key schedule. */
+// coldboot-lint: allow(wipe-coverage) -- fuzz fixture ground truth, keys are generated test data
 struct PlantedSchedule
 {
     /** Raw master key (16/24/32 bytes). */
@@ -67,6 +69,7 @@ struct FuzzDumpSpec
 };
 
 /** The synthesized dump plus its ground truth. */
+// coldboot-lint: allow(wipe-coverage) -- fuzz fixture ground truth, keys are generated test data
 struct FuzzDump
 {
     std::vector<uint8_t> bytes;

@@ -190,6 +190,7 @@ TEST(ScheduleRepair, WorksOnPartialWindows)
 // Key-table search on synthetic dumps
 //
 
+// coldboot-lint: allow(wipe-coverage) -- synthetic test dump, planted keys are fixture data
 struct SyntheticDump
 {
     MemoryImage dump{KiB(256)};

@@ -90,6 +90,7 @@ TEST(DualChannel, AttackRecoversKeysAcrossInterleave)
 }
 
 /** Synthetic scrambled dump holding one schedule of a given size. */
+// coldboot-lint: allow(wipe-coverage) -- synthetic test dump, planted keys are fixture data
 struct VariantDump
 {
     MemoryImage dump{KiB(128)};

@@ -13,11 +13,15 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 
 #include <unistd.h>
 
+#include "lint/cache.hh"
+#include "lint/callgraph.hh"
 #include "lint/engine.hh"
 #include "lint/lexer.hh"
+#include "lint/parse.hh"
 #include "lint/rules.hh"
 #include "obs/json.hh"
 
@@ -344,6 +348,24 @@ TEST(LintRules, LooksSecret)
     EXPECT_FALSE(looksSecret("recovered"));
 }
 
+TEST(LintRules, LooksKeyMaterialDemotesMetadata)
+{
+    // The taint pass amplifies seeds across the call graph, so its
+    // heuristic demotes identifiers *about* keys: sizes, offsets,
+    // counts, stat-registry key strings.
+    EXPECT_TRUE(looksKeyMaterial("master_key"));
+    EXPECT_TRUE(looksKeyMaterial("data_key"));
+    EXPECT_TRUE(looksKeyMaterial("mined_keys"));
+    EXPECT_FALSE(looksKeyMaterial("key_size"));
+    EXPECT_FALSE(looksKeyMaterial("key_len"));
+    EXPECT_FALSE(looksKeyMaterial("keytable_addr"));
+    EXPECT_FALSE(looksKeyMaterial("distinct_keys"));
+    EXPECT_FALSE(looksKeyMaterial("key_match"));
+    EXPECT_FALSE(looksKeyMaterial("key")); // stat-registry key
+    EXPECT_FALSE(looksKeyMaterial("keys"));
+    EXPECT_FALSE(looksKeyMaterial("buffer"));
+}
+
 // ---------------------------------------------------------------
 // Suppressions.
 // ---------------------------------------------------------------
@@ -374,6 +396,17 @@ TEST(LintSuppression, TooFarAwayDoesNotSuppress)
     std::string src =
         "// coldboot-lint: allow(secret-wipe) -- too far\n"
         "int x;\n"
+        "std::memset(master_key, 0, 64);\n";
+    EXPECT_EQ(countRule(lintOf("a.cc", src), "secret-wipe"), 1u);
+}
+
+TEST(LintSuppression, BlankLineBreaksAdjacency)
+{
+    // A standalone suppression covers exactly the next line; even a
+    // blank line in between detaches it from the finding.
+    std::string src =
+        "// coldboot-lint: allow(secret-wipe) -- detached\n"
+        "\n"
         "std::memset(master_key, 0, 64);\n";
     EXPECT_EQ(countRule(lintOf("a.cc", src), "secret-wipe"), 1u);
 }
@@ -410,14 +443,30 @@ TEST(LintSuppression, ProseMentionIsNotASuppression)
 
 TEST(LintRules, CatalogKnowsEveryRule)
 {
-    EXPECT_GE(ruleCatalog().size(), 6u);
+    EXPECT_GE(ruleCatalog().size(), 10u);
     EXPECT_TRUE(isKnownRule("secret-wipe"));
     EXPECT_TRUE(isKnownRule("banned-api"));
     EXPECT_TRUE(isKnownRule("no-wallclock-in-sim"));
     EXPECT_TRUE(isKnownRule("include-hygiene"));
     EXPECT_TRUE(isKnownRule("log-no-secrets"));
     EXPECT_TRUE(isKnownRule("bad-suppression"));
+    EXPECT_TRUE(isKnownRule("secret-taint"));
+    EXPECT_TRUE(isKnownRule("transitive-determinism"));
+    EXPECT_TRUE(isKnownRule("wipe-coverage"));
     EXPECT_FALSE(isKnownRule("no-such-rule"));
+}
+
+TEST(LintRules, CatalogCarriesExplainMetadata)
+{
+    // --explain and the SARIF rule help render straight from the
+    // catalog; every entry must be fully populated.
+    for (const auto &info : ruleCatalog()) {
+        EXPECT_TRUE(info.id && *info.id);
+        EXPECT_TRUE(info.description && *info.description) << info.id;
+        EXPECT_TRUE(info.rationale && *info.rationale) << info.id;
+        EXPECT_TRUE(info.example_bad && *info.example_bad) << info.id;
+        EXPECT_TRUE(info.example_fix && *info.example_fix) << info.id;
+    }
 }
 
 TEST(LintRules, DisabledRuleProducesNothing)
@@ -569,9 +618,36 @@ sampleResult()
     r.files_scanned = 2;
     r.findings.push_back({"secret-wipe", "src/a.cc", 3, 10,
                           "memset on 'master_key' may be optimized "
-                          "away; use secureWipe()"});
+                          "away; use secureWipe()",
+                          {}});
     r.findings.push_back({"banned-api", "src/b\"quote.cc", 7, 1,
-                          "'sprintf' is banned: \"why\""});
+                          "'sprintf' is banned: \"why\"",
+                          {}});
+    return r;
+}
+
+/** A result with one inter-procedural finding (carries a flow). */
+LintResult
+sampleFlowResult()
+{
+    LintResult r;
+    r.files_scanned = 2;
+    Finding f;
+    f.rule = "secret-taint";
+    f.file = "src/keys.cc";
+    f.line = 5;
+    f.col = 5;
+    f.message = "key material 'master_key' flows into 'logLine' and "
+                "reaches output sink 'cb_inform' (1 hop(s) away)";
+    f.flow = {
+        {"src/keys.cc", 4, 19,
+         "source: identifier names key material ('master_key')"},
+        {"src/keys.cc", 5, 5,
+         "exportKey passes 'master_key' to 'logLine' parameter "
+         "'data'"},
+        {"src/report.cc", 3, 5, "sinks into 'cb_inform' in logLine"},
+    };
+    r.findings.push_back(std::move(f));
     return r;
 }
 
@@ -659,6 +735,671 @@ TEST(LintEmit, EmptyResultIsCleanJson)
                     ->array[0]
                     .find("results")
                     ->array.empty());
+}
+
+// ---------------------------------------------------------------
+// Declaration/definition parser (parse.hh).
+// ---------------------------------------------------------------
+
+namespace
+{
+
+FileSummary
+parseOf(const std::string &src)
+{
+    return parseSummary("a.cc", lex(src));
+}
+
+const FunctionDef *
+fnNamed(const FileSummary &sum, const std::string &name)
+{
+    for (const auto &f : sum.functions)
+        if (f.name == name)
+            return &f;
+    return nullptr;
+}
+
+} // anonymous namespace
+
+TEST(LintParse, FunctionsParamsAndOutOfLineDefinitions)
+{
+    auto sum = parseOf(R"(
+int add(int a, int b) { return a + b; }
+void KeyMiner::mine(const std::vector<uint8_t> &dump, size_t limit)
+{
+    helper(dump);
+}
+void onlyDeclared(int x);
+)");
+    ASSERT_EQ(sum.functions.size(), 2u); // declarations are skipped
+    const FunctionDef *add = fnNamed(sum, "add");
+    ASSERT_NE(add, nullptr);
+    ASSERT_EQ(add->params.size(), 2u);
+    EXPECT_EQ(add->params[0].name, "a");
+    EXPECT_EQ(add->params[1].name, "b");
+
+    const FunctionDef *mine = fnNamed(sum, "mine");
+    ASSERT_NE(mine, nullptr);
+    EXPECT_EQ(mine->qual, "KeyMiner::mine");
+    ASSERT_EQ(mine->params.size(), 2u);
+    EXPECT_EQ(mine->params[0].name, "dump");
+    ASSERT_EQ(mine->calls.size(), 1u);
+    EXPECT_EQ(mine->calls[0].callee, "helper");
+    ASSERT_EQ(mine->calls[0].args.size(), 1u);
+    ASSERT_EQ(mine->calls[0].args[0].size(), 1u);
+    EXPECT_EQ(mine->calls[0].args[0][0], "dump");
+}
+
+TEST(LintParse, TemplatesAndOverloads)
+{
+    auto sum = parseOf(R"(
+template <typename T>
+T biggest(const std::vector<T> &values)
+{
+    return pick<T>(values);
+}
+void emit(int level) { }
+void emit(const char *text, int level) { }
+)");
+    const FunctionDef *big = fnNamed(sum, "biggest");
+    ASSERT_NE(big, nullptr);
+    ASSERT_EQ(big->params.size(), 1u);
+    EXPECT_EQ(big->params[0].name, "values");
+    // The templated call `pick<T>(values)` still records a site.
+    ASSERT_EQ(big->calls.size(), 1u);
+    EXPECT_EQ(big->calls[0].callee, "pick");
+
+    // Both overloads become separate nodes.
+    size_t emits = 0;
+    for (const auto &f : sum.functions)
+        emits += f.name == "emit";
+    EXPECT_EQ(emits, 2u);
+}
+
+TEST(LintParse, LambdaBecomesLinkedFunction)
+{
+    auto sum = parseOf(R"(
+void sweep()
+{
+    runJobs(4, [&](int worker) { step(worker); });
+}
+)");
+    const FunctionDef *sweep = fnNamed(sum, "sweep");
+    ASSERT_NE(sweep, nullptr);
+
+    const FunctionDef *lam = nullptr;
+    int lam_index = -1;
+    for (size_t i = 0; i < sum.functions.size(); ++i)
+        if (sum.functions[i].is_lambda) {
+            lam = &sum.functions[i];
+            lam_index = static_cast<int>(i);
+        }
+    ASSERT_NE(lam, nullptr);
+    ASSERT_EQ(lam->params.size(), 1u);
+    EXPECT_EQ(lam->params[0].name, "worker");
+    ASSERT_EQ(lam->calls.size(), 1u);
+    EXPECT_EQ(lam->calls[0].callee, "step");
+
+    // The enclosing runJobs call points at the lambda node.
+    const CallSite *run = nullptr;
+    for (const auto &c : sweep->calls)
+        if (c.callee == "runJobs")
+            run = &c;
+    ASSERT_NE(run, nullptr);
+    ASSERT_EQ(run->lambda_args.size(), 1u);
+    EXPECT_EQ(run->lambda_args[0], lam_index);
+}
+
+TEST(LintParse, MemberCallsAndBraceInitArguments)
+{
+    auto sum = parseOf(R"(
+void flush(uint8_t *data, size_t n)
+{
+    mc->write(addr, {data, n});
+    total = n + extra;
+    total += n;
+}
+)");
+    const FunctionDef *flush = fnNamed(sum, "flush");
+    ASSERT_NE(flush, nullptr);
+    const CallSite *write = nullptr;
+    for (const auto &c : flush->calls)
+        if (c.callee == "write")
+            write = &c;
+    ASSERT_NE(write, nullptr);
+    EXPECT_TRUE(write->member);
+    // The comma inside the brace-init stays within argument 1.
+    ASSERT_EQ(write->args.size(), 2u);
+    EXPECT_EQ(write->args[0],
+              (std::vector<std::string>{"addr"}));
+    EXPECT_EQ(write->args[1],
+              (std::vector<std::string>{"data", "n"}));
+
+    // Plain and compound assignments both record edges.
+    ASSERT_EQ(flush->assigns.size(), 2u);
+    EXPECT_EQ(flush->assigns[0].lhs, "total");
+    EXPECT_EQ(flush->assigns[0].rhs,
+              (std::vector<std::string>{"n", "extra"}));
+    EXPECT_EQ(flush->assigns[1].lhs, "total");
+}
+
+TEST(LintParse, ForHeaderAssignDoesNotLeakIntoBody)
+{
+    auto sum = parseOf(R"(
+void walk(uint8_t *data, size_t step)
+{
+    for (size_t off = 0; off < limit; off += step)
+        sink(off, data);
+}
+)");
+    const FunctionDef *walk = fnNamed(sum, "walk");
+    ASSERT_NE(walk, nullptr);
+    // `off += step` ends at the for-header's `)`; the body's `data`
+    // must not appear in off's rhs (it would fabricate taint).
+    for (const auto &a : walk->assigns) {
+        if (a.lhs != "off")
+            continue;
+        for (const auto &r : a.rhs)
+            EXPECT_NE(r, "data");
+    }
+}
+
+TEST(LintParse, StructMembersAndDestructorWipes)
+{
+    auto sum = parseOf(R"(
+struct Plain
+{
+    std::vector<uint8_t> bytes;
+    int counts[4];
+    void method(int x) { use(x); }
+};
+struct Wiped
+{
+    std::vector<uint8_t> buf;
+    ~Wiped() { secureWipe(buf); }
+};
+struct Defaulted
+{
+    ~Defaulted() = default;
+};
+)");
+    ASSERT_EQ(sum.structs.size(), 3u);
+    const StructDef &plain = sum.structs[0];
+    EXPECT_EQ(plain.name, "Plain");
+    ASSERT_EQ(plain.members.size(), 2u); // methods are not members
+    EXPECT_EQ(plain.members[0].name, "bytes");
+    EXPECT_EQ(plain.members[1].name, "counts");
+    EXPECT_NE(plain.members[1].type.find("[]"), std::string::npos);
+    EXPECT_FALSE(plain.has_dtor);
+
+    EXPECT_TRUE(sum.structs[1].has_dtor);
+    EXPECT_TRUE(sum.structs[1].dtor_wipes);
+    EXPECT_TRUE(sum.structs[2].has_dtor);
+    EXPECT_FALSE(sum.structs[2].dtor_wipes);
+}
+
+// ---------------------------------------------------------------
+// Call graph.
+// ---------------------------------------------------------------
+
+TEST(LintCallGraph, ResolvesByNameAcrossFiles)
+{
+    FileSummary a = parseSummary(
+        "a.cc", lex("void caller() { helper(1); }"));
+    FileSummary b = parseSummary(
+        "b.cc", lex("void helper(int x) { }\n"
+                    "void helper(long x) { }"));
+    std::vector<FileSummary> sums = {a, b};
+    CallGraph graph(sums);
+
+    ASSERT_EQ(graph.nodes().size(), 3u);
+    // Name-based resolution links to every same-named definition.
+    const auto &ids = graph.resolve("helper");
+    ASSERT_EQ(ids.size(), 2u);
+    for (size_t id : ids)
+        EXPECT_EQ(graph.nodes()[id].file->path, "b.cc");
+    EXPECT_TRUE(graph.resolve("printf").empty());
+}
+
+// ---------------------------------------------------------------
+// Cross-TU dataflow passes, driven through lintTree fixtures.
+// ---------------------------------------------------------------
+
+TEST_F(LintTreeTest, TaintTwoHopLeakAcrossFilesIsDetected)
+{
+    // The planted leak: key bytes flow exportKey -> writeReport ->
+    // logLine -> cb_inform, with the middle hops in another TU.
+    write("src/keys.cc",
+          "void exportKey()\n"
+          "{\n"
+          "    unsigned char master_key[32];\n"
+          "    deriveKey(master_key);\n"
+          "    writeReport(master_key, 32);\n"
+          "}\n");
+    write("src/report.cc",
+          "void logLine(const unsigned char *data, unsigned n)\n"
+          "{\n"
+          "    cb_inform(\"%s\", data);\n"
+          "}\n"
+          "void writeReport(const unsigned char *buf, unsigned n)\n"
+          "{\n"
+          "    logLine(buf, n);\n"
+          "}\n");
+
+    LintOptions options;
+    options.root = root.string();
+    options.paths = {"src"};
+    auto result = lintTree(options);
+    ASSERT_FALSE(result.internal_error) << result.error_message;
+    ASSERT_EQ(countRule(result.findings, "secret-taint"), 1u)
+        << emitText(result);
+
+    const Finding *f = nullptr;
+    for (const auto &fd : result.findings)
+        if (fd.rule == "secret-taint")
+            f = &fd;
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->file, "src/keys.cc");
+    EXPECT_EQ(f->line, 5); // the writeReport(master_key, ...) call
+    // The flow walks source -> call hops -> sink, crossing TUs.
+    ASSERT_GE(f->flow.size(), 3u);
+    EXPECT_NE(f->flow.front().note.find("master_key"),
+              std::string::npos);
+    EXPECT_EQ(f->flow.back().file, "src/report.cc");
+    EXPECT_NE(f->flow.back().note.find("cb_inform"),
+              std::string::npos);
+}
+
+TEST_F(LintTreeTest, TaintCleanHelpersStayClean)
+{
+    // Same shape, but only the *length* reaches the sink, and a
+    // memcmp verdict launders the comparison result.
+    write("src/keys.cc",
+          "void exportKey()\n"
+          "{\n"
+          "    unsigned char master_key[32];\n"
+          "    deriveKey(master_key);\n"
+          "    reportLength(master_key, 32);\n"
+          "    int same = memcmp(master_key, expected, 32);\n"
+          "    cb_inform(\"match=%d\", same);\n"
+          "}\n");
+    write("src/report.cc",
+          "void reportLength(const unsigned char *buf, unsigned n)\n"
+          "{\n"
+          "    cb_inform(\"%u bytes\", n);\n"
+          "}\n");
+
+    LintOptions options;
+    options.root = root.string();
+    options.paths = {"src"};
+    auto result = lintTree(options);
+    ASSERT_FALSE(result.internal_error) << result.error_message;
+    EXPECT_EQ(countRule(result.findings, "secret-taint"), 0u)
+        << emitText(result);
+}
+
+TEST_F(LintTreeTest, TransitiveDeterminismAcrossFiles)
+{
+    // The wall-clock read hides one call away from the parallel
+    // body, in another TU; the token rule is disabled to prove the
+    // call-graph pass finds it on its own.
+    write("src/.coldboot-lint", "disable no-wallclock-in-sim\n");
+    write("src/par.cc",
+          "void sweep()\n"
+          "{\n"
+          "    parallelForChunks(0, 100, 10, [&](int lo, int hi) {\n"
+          "        mixEntropy(lo, hi);\n"
+          "    });\n"
+          "}\n");
+    write("src/entropy.cc",
+          "void mixEntropy(int lo, int hi)\n"
+          "{\n"
+          "    long t = time(nullptr);\n"
+          "}\n");
+
+    LintOptions options;
+    options.root = root.string();
+    options.paths = {"src"};
+    auto result = lintTree(options);
+    ASSERT_FALSE(result.internal_error) << result.error_message;
+    ASSERT_EQ(countRule(result.findings, "transitive-determinism"),
+              1u)
+        << emitText(result);
+    const Finding *f = nullptr;
+    for (const auto &fd : result.findings)
+        if (fd.rule == "transitive-determinism")
+            f = &fd;
+    ASSERT_NE(f, nullptr);
+    // Anchored at the parallel call, pointing into the other TU.
+    EXPECT_EQ(f->file, "src/par.cc");
+    EXPECT_NE(f->message.find("mixEntropy"), std::string::npos);
+    EXPECT_FALSE(f->flow.empty());
+}
+
+TEST_F(LintTreeTest, DirectNondetInLambdaIsTokenRuleTerritory)
+{
+    write("src/.coldboot-lint", "disable no-wallclock-in-sim\n");
+    write("src/par.cc",
+          "void sweep()\n"
+          "{\n"
+          "    parallelForChunks(0, 100, 10, [&](int lo, int hi) {\n"
+          "        long t = time(nullptr);\n"
+          "    });\n"
+          "}\n");
+
+    LintOptions options;
+    options.root = root.string();
+    options.paths = {"src"};
+    auto result = lintTree(options);
+    ASSERT_FALSE(result.internal_error) << result.error_message;
+    // Depth 0 belongs to no-wallclock-in-sim, not the graph pass.
+    EXPECT_EQ(countRule(result.findings, "transitive-determinism"),
+              0u)
+        << emitText(result);
+}
+
+TEST_F(LintTreeTest, WipeCoveragePositiveNegativeAndCrossTu)
+{
+    write("src/bags.hh",
+          "#pragma once\n"
+          "struct KeyBag\n"
+          "{\n"
+          "    std::vector<unsigned char> master_key;\n"
+          "};\n"
+          "struct WipedBag\n"
+          "{\n"
+          "    std::vector<unsigned char> master_key;\n"
+          "    ~WipedBag() { secureWipe(master_key); }\n"
+          "};\n"
+          "struct FarBag\n"
+          "{\n"
+          "    std::vector<unsigned char> session_key;\n"
+          "    ~FarBag();\n"
+          "};\n");
+    // FarBag's wipe happens out-of-line, one call deep.
+    write("src/bags.cc",
+          "void wipeAll(std::vector<unsigned char> &v)\n"
+          "{\n"
+          "    secureWipe(v);\n"
+          "}\n"
+          "FarBag::~FarBag()\n"
+          "{\n"
+          "    wipeAll(session_key);\n"
+          "}\n");
+
+    LintOptions options;
+    options.root = root.string();
+    options.paths = {"src"};
+    auto result = lintTree(options);
+    ASSERT_FALSE(result.internal_error) << result.error_message;
+    ASSERT_EQ(countRule(result.findings, "wipe-coverage"), 1u)
+        << emitText(result);
+    const Finding *f = nullptr;
+    for (const auto &fd : result.findings)
+        if (fd.rule == "wipe-coverage")
+            f = &fd;
+    ASSERT_NE(f, nullptr);
+    EXPECT_NE(f->message.find("KeyBag"), std::string::npos);
+    EXPECT_NE(f->message.find("master_key"), std::string::npos);
+}
+
+TEST_F(LintTreeTest, CallGraphFindingsHonorSuppressions)
+{
+    write("src/bag.hh",
+          "#pragma once\n"
+          "// coldboot-lint: allow(wipe-coverage) -- test fixture\n"
+          "struct KeyBag\n"
+          "{\n"
+          "    std::vector<unsigned char> master_key;\n"
+          "};\n");
+
+    LintOptions options;
+    options.root = root.string();
+    options.paths = {"src"};
+    auto result = lintTree(options);
+    ASSERT_FALSE(result.internal_error) << result.error_message;
+    EXPECT_EQ(countRule(result.findings, "wipe-coverage"), 0u)
+        << emitText(result);
+}
+
+// ---------------------------------------------------------------
+// Incremental cache.
+// ---------------------------------------------------------------
+
+TEST_F(LintTreeTest, CacheWarmRunIsAllHitsWithIdenticalFindings)
+{
+    write("src/bad.cc", "std::memset(master_key, 0, 64);\n");
+    // A member-call `write` is not a taint sink; that depends on the
+    // CallSite::member flag surviving the cache round trip.
+    write("src/mem.cc",
+          "void stash(unsigned char *master_key)\n"
+          "{\n"
+          "    mc->write(0, master_key);\n"
+          "}\n");
+
+    LintOptions options;
+    options.root = root.string();
+    options.paths = {"src"};
+    options.cache_dir = (root / "cache").string();
+
+    auto cold = lintTree(options);
+    ASSERT_FALSE(cold.internal_error) << cold.error_message;
+    EXPECT_EQ(cold.cache_hits, 0u);
+    EXPECT_EQ(cold.cache_misses, 2u);
+    EXPECT_EQ(countRule(cold.findings, "secret-taint"), 0u);
+
+    auto warm = lintTree(options);
+    ASSERT_FALSE(warm.internal_error) << warm.error_message;
+    EXPECT_EQ(warm.cache_hits, 2u);
+    EXPECT_EQ(warm.cache_misses, 0u);
+    ASSERT_EQ(warm.findings.size(), cold.findings.size());
+    for (size_t i = 0; i < warm.findings.size(); ++i) {
+        EXPECT_EQ(warm.findings[i].rule, cold.findings[i].rule);
+        EXPECT_EQ(warm.findings[i].file, cold.findings[i].file);
+        EXPECT_EQ(warm.findings[i].line, cold.findings[i].line);
+        EXPECT_EQ(warm.findings[i].message,
+                  cold.findings[i].message);
+    }
+    EXPECT_EQ(countRule(warm.findings, "secret-taint"), 0u);
+}
+
+TEST_F(LintTreeTest, CacheInvalidatesOnContentChange)
+{
+    write("src/a.cc", "int x;\n");
+
+    LintOptions options;
+    options.root = root.string();
+    options.paths = {"src"};
+    options.cache_dir = (root / "cache").string();
+
+    auto first = lintTree(options);
+    EXPECT_EQ(first.cache_misses, 1u);
+    EXPECT_TRUE(first.findings.empty());
+
+    write("src/a.cc", "std::memset(master_key, 0, 64);\n");
+    auto second = lintTree(options);
+    EXPECT_EQ(second.cache_misses, 1u);
+    EXPECT_EQ(countRule(second.findings, "secret-wipe"), 1u);
+}
+
+TEST_F(LintTreeTest, CacheInvalidatesOnConfigChange)
+{
+    write("src/bad.cc", "std::memset(master_key, 0, 64);\n");
+
+    LintOptions options;
+    options.root = root.string();
+    options.paths = {"src"};
+    options.cache_dir = (root / "cache").string();
+
+    auto first = lintTree(options);
+    EXPECT_EQ(countRule(first.findings, "secret-wipe"), 1u);
+
+    // Disabling a rule changes the ruleset hash, so the cached
+    // artifacts (computed with the rule on) must not be reused.
+    write("src/.coldboot-lint", "disable secret-wipe\n");
+    auto second = lintTree(options);
+    EXPECT_EQ(second.cache_hits, 0u);
+    EXPECT_EQ(countRule(second.findings, "secret-wipe"), 0u);
+}
+
+TEST_F(LintTreeTest, CorruptCacheEntryIsIgnored)
+{
+    write("src/bad.cc", "std::memset(master_key, 0, 64);\n");
+
+    LintOptions options;
+    options.root = root.string();
+    options.paths = {"src"};
+    options.cache_dir = (root / "cache").string();
+    auto first = lintTree(options);
+    ASSERT_EQ(countRule(first.findings, "secret-wipe"), 1u);
+
+    // Truncate every cache entry mid-record: the loader requires the
+    // `end` seal and must fall back to a fresh parse.
+    for (const auto &e : fs::directory_iterator(root / "cache")) {
+        std::ofstream out(e.path(),
+                          std::ios::binary | std::ios::trunc);
+        out << "coldboot-lint-cache 1 v1 garbage garbage\nF\t";
+    }
+    auto second = lintTree(options);
+    EXPECT_EQ(second.cache_hits, 0u);
+    EXPECT_EQ(countRule(second.findings, "secret-wipe"), 1u);
+}
+
+TEST(LintCache, ArtifactsRoundTripThroughDisk)
+{
+    fs::path dir = fs::temp_directory_path() /
+                   ("coldboot_lint_cache_" + std::to_string(getpid()));
+    fs::remove_all(dir);
+
+    FileArtifacts art = {};
+    art.findings.push_back(
+        {"secret-wipe", "src/a.cc", 3, 7, "msg with\ttab", {}});
+    art.suppressions.push_back({12, "banned-api", true});
+    art.summary = parseSummary(
+        "src/a.cc",
+        lex("void f(uint8_t *key_buf)\n"
+            "{\n"
+            "    mc->write(0, {key_buf, 8});\n"
+            "    out = mix(key_buf);\n"
+            "}\n"
+            "struct Bag { std::vector<uint8_t> master_key; };\n"));
+
+    ASSERT_TRUE(cacheStore(dir.string(), "src/a.cc", 1, 2, art));
+    FileArtifacts back;
+    ASSERT_TRUE(cacheLoad(dir.string(), "src/a.cc", 1, 2, back));
+    // Wrong content or ruleset hash misses.
+    FileArtifacts miss;
+    EXPECT_FALSE(cacheLoad(dir.string(), "src/a.cc", 9, 2, miss));
+    EXPECT_FALSE(cacheLoad(dir.string(), "src/a.cc", 1, 9, miss));
+
+    ASSERT_EQ(back.findings.size(), 1u);
+    EXPECT_EQ(back.findings[0].message, "msg with\ttab");
+    ASSERT_EQ(back.suppressions.size(), 1u);
+    EXPECT_EQ(back.suppressions[0].line, 12);
+    EXPECT_TRUE(back.suppressions[0].standalone);
+
+    ASSERT_EQ(back.summary.functions.size(),
+              art.summary.functions.size());
+    const FunctionDef &fn = back.summary.functions[0];
+    ASSERT_EQ(fn.params.size(), 1u);
+    EXPECT_EQ(fn.params[0].name, "key_buf");
+    const CallSite *write = nullptr;
+    for (const auto &c : fn.calls)
+        if (c.callee == "write")
+            write = &c;
+    ASSERT_NE(write, nullptr);
+    EXPECT_TRUE(write->member); // the member flag must round-trip
+    ASSERT_EQ(write->args.size(), 2u);
+    EXPECT_EQ(write->args[1],
+              (std::vector<std::string>{"key_buf"}));
+    ASSERT_EQ(fn.assigns.size(), 1u);
+    EXPECT_EQ(fn.assigns[0].lhs, "out");
+    ASSERT_EQ(back.summary.structs.size(), 1u);
+    EXPECT_EQ(back.summary.structs[0].name, "Bag");
+    ASSERT_EQ(back.summary.structs[0].members.size(), 1u);
+    EXPECT_EQ(back.summary.structs[0].members[0].name, "master_key");
+
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------
+// SARIF code flows.
+// ---------------------------------------------------------------
+
+TEST(LintEmit, SarifCodeFlowsRoundTrip)
+{
+    auto parsed = obs::json::parse(emitSarif(sampleFlowResult()));
+    ASSERT_TRUE(parsed.has_value());
+    const auto &run = parsed->find("runs")->array[0];
+    const auto &r0 = run.find("results")->array[0];
+    EXPECT_EQ(r0.find("ruleId")->str, "secret-taint");
+
+    const auto *flows = r0.find("codeFlows");
+    ASSERT_NE(flows, nullptr);
+    ASSERT_EQ(flows->array.size(), 1u);
+    const auto *threads = flows->array[0].find("threadFlows");
+    ASSERT_NE(threads, nullptr);
+    const auto *locs = threads->array[0].find("locations");
+    ASSERT_NE(locs, nullptr);
+    ASSERT_EQ(locs->array.size(), 3u);
+
+    // Steps keep order, position, and message.
+    const auto &step0 = *locs->array[0].find("location");
+    const auto &phys0 = *step0.find("physicalLocation");
+    EXPECT_EQ(phys0.find("artifactLocation")->find("uri")->str,
+              "src/keys.cc");
+    EXPECT_EQ(phys0.find("region")->find("startLine")->number, 4.0);
+    EXPECT_NE(step0.find("message")->find("text")->str.find(
+                  "master_key"),
+              std::string::npos);
+    const auto &step2 = *locs->array[2].find("location");
+    EXPECT_EQ(step2.find("physicalLocation")
+                  ->find("artifactLocation")
+                  ->find("uri")
+                  ->str,
+              "src/report.cc");
+
+    // Token-rule findings carry no codeFlows.
+    auto plain = obs::json::parse(emitSarif(sampleResult()));
+    ASSERT_TRUE(plain.has_value());
+    const auto &p0 =
+        plain->find("runs")->array[0].find("results")->array[0];
+    EXPECT_EQ(p0.find("codeFlows"), nullptr);
+}
+
+TEST(LintEmit, SarifMatchesGoldenSnapshot)
+{
+#ifdef COLDBOOT_SOURCE_DIR
+    std::ifstream in(std::string(COLDBOOT_SOURCE_DIR) +
+                     "/tests/data/golden_lint.sarif");
+    ASSERT_TRUE(in.is_open())
+        << "tests/data/golden_lint.sarif missing";
+    std::string golden((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+    EXPECT_EQ(emitSarif(sampleFlowResult()), golden)
+        << "SARIF emitter drifted from the golden snapshot; "
+           "regenerate tests/data/golden_lint.sarif if the change "
+           "is intentional";
+#else
+    GTEST_SKIP() << "COLDBOOT_SOURCE_DIR not defined";
+#endif
+}
+
+TEST(LintEmit, JsonCarriesFlowAndCacheCounters)
+{
+    LintResult r = sampleFlowResult();
+    r.cache_hits = 5;
+    r.cache_misses = 2;
+    auto parsed = obs::json::parse(emitJson(r));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->find("cache_hits")->number, 5.0);
+    EXPECT_EQ(parsed->find("cache_misses")->number, 2.0);
+    const auto &f0 = parsed->find("findings")->array[0];
+    const auto *flow = f0.find("flow");
+    ASSERT_NE(flow, nullptr);
+    ASSERT_EQ(flow->array.size(), 3u);
+    EXPECT_EQ(flow->array[0].find("file")->str, "src/keys.cc");
+    EXPECT_EQ(flow->array[2].find("line")->number, 3.0);
 }
 
 // ---------------------------------------------------------------

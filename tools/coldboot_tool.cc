@@ -222,6 +222,7 @@ cmdAttack(int argc, char **argv)
                 dump->backendName(),
                 static_cast<unsigned long long>(peakRssKib()));
     for (const auto &pair : report.xts_pairs) {
+        // coldboot-lint: allow(secret-taint) -- printing recovered keys is this attack tool's output
         std::printf("XTS master keys at dump offset 0x%llx:\n"
                     "  data : %s\n  tweak: %s\n",
                     static_cast<unsigned long long>(

@@ -1,0 +1,370 @@
+#include "lint/cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace coldboot::lint
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Bump when the record layout below changes. */
+constexpr int kFormatVersion = 1;
+
+std::string
+escapeField(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        switch (ch) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out += ch;
+        }
+    }
+    return out;
+}
+
+std::string
+unescapeField(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 == s.size()) {
+            out += s[i];
+            continue;
+        }
+        ++i;
+        switch (s[i]) {
+        case 't':
+            out += '\t';
+            break;
+        case 'n':
+            out += '\n';
+            break;
+        default:
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitFields(const std::string &line)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        // A field ends at a tab not preceded by an odd number of
+        // backslashes (escaped tabs stay inside the field).
+        size_t i = start;
+        while (i < line.size()) {
+            if (line[i] == '\\') {
+                i += 2;
+                continue;
+            }
+            if (line[i] == '\t')
+                break;
+            ++i;
+        }
+        if (i > line.size())
+            i = line.size();
+        out.push_back(unescapeField(line.substr(start, i - start)));
+        if (i >= line.size())
+            break;
+        start = i + 1;
+    }
+    return out;
+}
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+fs::path
+entryPath(const std::string &cache_dir, const std::string &rel_path)
+{
+    return fs::path(cache_dir) /
+           (hex64(fnv1a64(rel_path)) + ".cbl");
+}
+
+class Writer
+{
+  public:
+    template <typename... Fields>
+    void
+    row(Fields &&...fields)
+    {
+        bool first = true;
+        ((out << (first ? "" : "\t")
+              << escapeField(toField(std::forward<Fields>(fields))),
+          first = false),
+         ...);
+        out << '\n';
+    }
+
+    std::string
+    str() const
+    {
+        return out.str();
+    }
+
+  private:
+    static std::string
+    toField(const std::string &s)
+    {
+        return s;
+    }
+    static std::string
+    toField(const char *s)
+    {
+        return s;
+    }
+    static std::string
+    toField(int v)
+    {
+        return std::to_string(v);
+    }
+    static std::string
+    toField(bool v)
+    {
+        return v ? "1" : "0";
+    }
+    static std::string
+    toField(size_t v)
+    {
+        return std::to_string(v);
+    }
+
+    std::ostringstream out;
+};
+
+std::string
+joinIdents(const std::vector<std::string> &idents)
+{
+    std::string out;
+    for (const auto &id : idents) {
+        if (!out.empty())
+            out += ' ';
+        out += id;
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitIdents(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream in(s);
+    std::string word;
+    while (in >> word)
+        out.push_back(word);
+    return out;
+}
+
+} // anonymous namespace
+
+uint64_t
+fnv1a64(std::string_view data, uint64_t seed)
+{
+    uint64_t h = seed;
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+bool
+cacheLoad(const std::string &cache_dir, const std::string &rel_path,
+          uint64_t content_hash, uint64_t ruleset_hash,
+          FileArtifacts &out)
+{
+    std::ifstream in(entryPath(cache_dir, rel_path),
+                     std::ios::binary);
+    if (!in)
+        return false;
+    std::string line;
+    if (!std::getline(in, line))
+        return false;
+    {
+        std::istringstream head(line);
+        std::string magic;
+        int fmt = 0;
+        std::string version, chash, rhash;
+        head >> magic >> fmt >> version >> chash >> rhash;
+        if (magic != "coldboot-lint-cache" ||
+            fmt != kFormatVersion || chash != hex64(content_hash) ||
+            rhash != hex64(ruleset_hash))
+            return false;
+    }
+
+    out = FileArtifacts{};
+    out.summary.path = rel_path;
+    FunctionDef *fn = nullptr;
+    StructDef *st = nullptr;
+    CallSite *call = nullptr;
+    bool sealed = false;
+    while (std::getline(in, line)) {
+        auto f = splitFields(line);
+        if (f.empty())
+            continue;
+        const std::string &tag = f[0];
+        auto num = [&](size_t i) {
+            return i < f.size() ? std::atoi(f[i].c_str()) : 0;
+        };
+        auto str = [&](size_t i) {
+            return i < f.size() ? f[i] : std::string();
+        };
+        if (tag == "end") {
+            sealed = true; // entry fully written (rename is atomic,
+                           // but belt and braces)
+        } else if (tag == "S") {
+            out.suppressions.push_back(
+                {num(1), str(3), num(2) != 0});
+        } else if (tag == "F") {
+            Finding fd;
+            fd.rule = str(1);
+            fd.file = rel_path;
+            fd.line = num(2);
+            fd.col = num(3);
+            fd.message = str(4);
+            out.findings.push_back(std::move(fd));
+        } else if (tag == "fn") {
+            out.summary.functions.emplace_back();
+            fn = &out.summary.functions.back();
+            call = nullptr;
+            fn->line = num(1);
+            fn->col = num(2);
+            fn->is_lambda = num(3) != 0;
+            fn->name = str(4);
+            fn->qual = str(5);
+        } else if (tag == "p" && fn != nullptr) {
+            fn->params.push_back({str(2), str(3), num(1)});
+        } else if (tag == "sl" && fn != nullptr) {
+            fn->secret_locals.push_back({str(2), str(3), num(1)});
+        } else if (tag == "c" && fn != nullptr) {
+            fn->calls.emplace_back();
+            call = &fn->calls.back();
+            call->line = num(1);
+            call->col = num(2);
+            call->member = num(3) != 0;
+            call->callee = str(4);
+        } else if (tag == "a" && call != nullptr) {
+            call->args.push_back(splitIdents(str(1)));
+        } else if (tag == "la" && call != nullptr) {
+            for (const auto &w : splitIdents(str(1)))
+                call->lambda_args.push_back(
+                    std::atoi(w.c_str()));
+        } else if (tag == "as" && fn != nullptr) {
+            Assign a;
+            a.line = num(1);
+            a.lhs = str(2);
+            a.rhs = splitIdents(str(3));
+            fn->assigns.push_back(std::move(a));
+        } else if (tag == "nd" && fn != nullptr) {
+            fn->nondet.push_back({str(3), num(1), num(2)});
+        } else if (tag == "st") {
+            out.summary.structs.emplace_back();
+            st = &out.summary.structs.back();
+            st->line = num(1);
+            st->col = num(2);
+            st->has_dtor = num(3) != 0;
+            st->dtor_wipes = num(4) != 0;
+            st->name = str(5);
+        } else if (tag == "m" && st != nullptr) {
+            st->members.push_back({str(2), str(3), num(1)});
+        }
+    }
+    return sealed;
+}
+
+bool
+cacheStore(const std::string &cache_dir, const std::string &rel_path,
+           uint64_t content_hash, uint64_t ruleset_hash,
+           const FileArtifacts &artifacts)
+{
+    Writer w;
+    for (const auto &s : artifacts.suppressions)
+        w.row("S", s.line, s.standalone, s.rule);
+    for (const auto &f : artifacts.findings)
+        w.row("F", f.rule, f.line, f.col, f.message);
+    for (const auto &fn : artifacts.summary.functions) {
+        w.row("fn", fn.line, fn.col, fn.is_lambda, fn.name,
+              fn.qual);
+        for (const auto &p : fn.params)
+            w.row("p", p.line, p.name, p.type);
+        for (const auto &l : fn.secret_locals)
+            w.row("sl", l.line, l.name, l.type);
+        for (const auto &c : fn.calls) {
+            w.row("c", c.line, c.col, c.member, c.callee);
+            for (const auto &arg : c.args)
+                w.row("a", joinIdents(arg));
+            if (!c.lambda_args.empty()) {
+                std::string idx;
+                for (int v : c.lambda_args) {
+                    if (!idx.empty())
+                        idx += ' ';
+                    idx += std::to_string(v);
+                }
+                w.row("la", idx);
+            }
+        }
+        for (const auto &a : fn.assigns)
+            w.row("as", a.line, a.lhs, joinIdents(a.rhs));
+        for (const auto &n : fn.nondet)
+            w.row("nd", n.line, n.col, n.what);
+    }
+    for (const auto &st : artifacts.summary.structs) {
+        w.row("st", st.line, st.col, st.has_dtor, st.dtor_wipes,
+              st.name);
+        for (const auto &m : st.members)
+            w.row("m", m.line, m.name, m.type);
+    }
+    w.row("end");
+
+    std::error_code ec;
+    fs::create_directories(cache_dir, ec);
+    fs::path final = entryPath(cache_dir, rel_path);
+    fs::path tmp = final;
+    tmp += ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out << "coldboot-lint-cache " << kFormatVersion << " "
+            << "v1 " << hex64(content_hash) << " "
+            << hex64(ruleset_hash) << "\n";
+        out << w.str();
+        if (!out)
+            return false;
+    }
+    fs::rename(tmp, final, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace coldboot::lint

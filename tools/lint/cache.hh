@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Incremental per-file cache for coldboot-lint.
+ *
+ * Parsing and rule-running dominate a tree lint; the project-wide
+ * graph analysis over already-parsed summaries is cheap. So the
+ * cache stores, per source file, everything the engine derives from
+ * that file alone: its token-rule findings (post-suppression), its
+ * suppression comments, and its parsed FileSummary. On a warm run
+ * the engine loads those and only re-runs the cross-TU analysis.
+ *
+ * Invalidation is by content: the cache key is the FNV-1a hash of
+ * the file bytes plus a "ruleset hash" covering the lint version,
+ * the serialization format version, and the per-file set of
+ * config-disabled rules - any of those changing means the stored
+ * findings could be stale, so the entry misses and the file is
+ * re-linted. Entries are one file each, named by the hash of the
+ * repo-relative path, written atomically (tmp + rename) so an
+ * interrupted run never leaves a torn entry.
+ */
+
+#ifndef COLDBOOT_TOOLS_LINT_CACHE_HH
+#define COLDBOOT_TOOLS_LINT_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/parse.hh"
+#include "lint/rules.hh"
+
+namespace coldboot::lint
+{
+
+/** A parsed, valid `coldboot-lint: allow(...)` comment. */
+struct Suppression
+{
+    int line = 0; ///< line the comment starts on
+    std::string rule;
+    /** Comment is alone on its line (may waive the next line). */
+    bool standalone = false;
+};
+
+/** Everything the engine derives from one file in isolation. */
+struct FileArtifacts
+{
+    /** Token-rule findings, already suppression-filtered. */
+    std::vector<Finding> findings;
+    std::vector<Suppression> suppressions;
+    FileSummary summary;
+};
+
+/** FNV-1a 64-bit. */
+uint64_t fnv1a64(std::string_view data,
+                 uint64_t seed = 1469598103934665603ULL);
+
+/**
+ * Load the entry for @p rel_path if it exists and both hashes
+ * match. Returns false on miss (absent, stale, or torn).
+ */
+bool cacheLoad(const std::string &cache_dir,
+               const std::string &rel_path, uint64_t content_hash,
+               uint64_t ruleset_hash, FileArtifacts &out);
+
+/**
+ * Store the entry for @p rel_path (creates @p cache_dir if needed).
+ * Best-effort: returns false on I/O failure, which only costs the
+ * next run a re-lint.
+ */
+bool cacheStore(const std::string &cache_dir,
+                const std::string &rel_path, uint64_t content_hash,
+                uint64_t ruleset_hash,
+                const FileArtifacts &artifacts);
+
+} // namespace coldboot::lint
+
+#endif // COLDBOOT_TOOLS_LINT_CACHE_HH

@@ -1,0 +1,39 @@
+#include "lint/callgraph.hh"
+
+namespace coldboot::lint
+{
+
+CallGraph::CallGraph(const std::vector<FileSummary> &summaries)
+{
+    for (size_t fi = 0; fi < summaries.size(); ++fi) {
+        const FileSummary &fs = summaries[fi];
+        for (size_t gi = 0; gi < fs.functions.size(); ++gi) {
+            const FunctionDef &fn = fs.functions[gi];
+            size_t id = nodes_.size();
+            nodes_.push_back({&fn, &fs, fi, gi});
+            by_position_[{fi, gi}] = id;
+            // Lambdas are only callable through their unique qual
+            // (`<lambda file:line>`); everything else by simple
+            // name. Indexing methods by simple name means a call to
+            // `wipe` resolves to every `wipe` - conservative on
+            // purpose.
+            by_name_[fn.is_lambda ? fn.qual : fn.name].push_back(id);
+        }
+    }
+}
+
+const std::vector<size_t> &
+CallGraph::resolve(const std::string &callee) const
+{
+    auto it = by_name_.find(callee);
+    return it == by_name_.end() ? empty_ : it->second;
+}
+
+size_t
+CallGraph::lambdaNode(size_t file_index, size_t fn_in_file) const
+{
+    auto it = by_position_.find({file_index, fn_in_file});
+    return it == by_position_.end() ? npos : it->second;
+}
+
+} // namespace coldboot::lint

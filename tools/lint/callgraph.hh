@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Project-wide call graph over per-TU FileSummary records.
+ *
+ * Nodes are function definitions (including methods and lambdas);
+ * edges come from call sites, resolved by simple name. Name-based
+ * resolution is deliberately conservative: a call to `mine` links to
+ * every function named `mine` in the project, which over-approximates
+ * reachability (fine for a linter - it can add findings that a
+ * suppression then waives, but it cannot silently miss a path
+ * because overload resolution was too clever).
+ */
+
+#ifndef COLDBOOT_TOOLS_LINT_CALLGRAPH_HH
+#define COLDBOOT_TOOLS_LINT_CALLGRAPH_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/parse.hh"
+
+namespace coldboot::lint
+{
+
+/** One function in the project, with its defining file. */
+struct GraphNode
+{
+    const FunctionDef *fn = nullptr;
+    const FileSummary *file = nullptr;
+    /** Index of this node's file in the summaries vector. */
+    size_t file_index = 0;
+    /** Index of fn within file->functions. */
+    size_t fn_index = 0;
+};
+
+/** Symbol index + call graph across every parsed TU. */
+class CallGraph
+{
+  public:
+    /**
+     * Build from parsed summaries. The summaries must outlive the
+     * graph (nodes point into them).
+     */
+    explicit CallGraph(const std::vector<FileSummary> &summaries);
+
+    const std::vector<GraphNode> &
+    nodes() const
+    {
+        return nodes_;
+    }
+
+    /**
+     * Node ids whose function matches @p callee by simple name (or
+     * by qual for lambdas, whose qual is unique). Empty when the
+     * callee is external (std::, libc) or a local variable.
+     */
+    const std::vector<size_t> &resolve(const std::string &callee) const;
+
+    /**
+     * Node id of the lambda at @p file_index with function index
+     * @p fn_in_file, or npos. Used to map CallSite::lambda_args.
+     */
+    size_t lambdaNode(size_t file_index, size_t fn_in_file) const;
+
+    static constexpr size_t npos = static_cast<size_t>(-1);
+
+  private:
+    std::vector<GraphNode> nodes_;
+    std::map<std::string, std::vector<size_t>> by_name_;
+    /** (file_index << 32 | fn_index) -> node id. */
+    std::map<std::pair<size_t, size_t>, size_t> by_position_;
+    std::vector<size_t> empty_;
+};
+
+} // namespace coldboot::lint
+
+#endif // COLDBOOT_TOOLS_LINT_CALLGRAPH_HH

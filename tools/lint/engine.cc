@@ -1,11 +1,15 @@
 #include "lint/engine.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 
+#include "lint/cache.hh"
+#include "lint/dataflow.hh"
+#include "lint/parse.hh"
 #include "obs/json.hh"
 
 namespace coldboot::lint
@@ -146,13 +150,6 @@ class ConfigStack
     std::map<std::string, Entry> cache;
 };
 
-/** A parsed, valid suppression comment. */
-struct Suppression
-{
-    int line; ///< line the comment starts on
-    std::string rule;
-};
-
 /**
  * Scan comments for `coldboot-lint:` markers. Valid suppressions go
  * to @p suppressions; malformed ones become bad-suppression
@@ -174,7 +171,8 @@ collectSuppressions(const std::string &path,
         auto bad = [&](const std::string &why) {
             findings.push_back({"bad-suppression", path, c.line, 1,
                                 why + " (expected 'coldboot-lint: "
-                                "allow(<rule>) -- <why>')"});
+                                "allow(<rule>) -- <why>')",
+                 {}});
         };
         if (rest.compare(0, 6, "allow(") != 0) {
             bad("suppression must use allow(<rule>)");
@@ -196,40 +194,50 @@ collectSuppressions(const std::string &path,
             bad("missing justification after '--'");
             continue;
         }
-        suppressions.push_back({c.line, rule});
+        suppressions.push_back({c.line, rule, c.standalone});
     }
 }
 
-} // anonymous namespace
-
-const char *
-lintVersion()
+/**
+ * Whether a finding at line @p f_line is waived by @p s. A trailing
+ * suppression (comment after code) covers only its own line; a
+ * standalone one covers the strictly-adjacent next line - never a
+ * line further down, even across blanks.
+ */
+bool
+suppresses(const Suppression &s, const std::string &rule, int f_line)
 {
-    return version;
+    if (s.rule != rule)
+        return false;
+    if (f_line == s.line)
+        return true;
+    return s.standalone && f_line == s.line + 1;
 }
 
-std::vector<Finding>
-lintSource(const std::string &display_path, std::string_view content,
-           const std::set<std::string> &disabled)
+/**
+ * Everything the engine derives from one file in isolation:
+ * token-rule findings (suppression-filtered), suppressions, and the
+ * parsed summary for the call-graph passes. This is the unit the
+ * incremental cache stores.
+ */
+FileArtifacts
+computeArtifacts(const std::string &display_path,
+                 std::string_view content,
+                 const std::set<std::string> &disabled)
 {
+    FileArtifacts art;
     LexResult lexed = lex(content);
     std::vector<Finding> findings =
         runRules(display_path, lexed, disabled);
 
-    std::vector<Suppression> suppressions;
     std::vector<Finding> meta;
-    collectSuppressions(display_path, lexed.comments, suppressions,
-                        meta);
+    collectSuppressions(display_path, lexed.comments,
+                        art.suppressions, meta);
 
-    // A suppression waives findings on its own line (trailing
-    // comment) and on the next line (comment-above style).
     auto waived = [&](const Finding &f) {
-        for (const auto &s : suppressions) {
-            if (s.rule != f.rule)
-                continue;
-            if (f.line == s.line || f.line == s.line + 1)
+        for (const auto &s : art.suppressions)
+            if (suppresses(s, f.rule, f.line))
                 return true;
-        }
         return false;
     };
     findings.erase(
@@ -247,7 +255,37 @@ lintSource(const std::string &display_path, std::string_view content,
                       return a.col < b.col;
                   return a.rule < b.rule;
               });
-    return findings;
+    art.findings = std::move(findings);
+    art.summary = parseSummary(display_path, lexed);
+    return art;
+}
+
+/** Cache key half covering everything except the file content. */
+uint64_t
+rulesetHash(const std::set<std::string> &disabled)
+{
+    std::string key = version;
+    for (const auto &rule : disabled) { // std::set: sorted, stable
+        key += '\0';
+        key += rule;
+    }
+    return fnv1a64(key);
+}
+
+} // anonymous namespace
+
+const char *
+lintVersion()
+{
+    return version;
+}
+
+std::vector<Finding>
+lintSource(const std::string &display_path, std::string_view content,
+           const std::set<std::string> &disabled)
+{
+    return computeArtifacts(display_path, content, disabled)
+        .findings;
 }
 
 LintResult
@@ -292,6 +330,12 @@ lintTree(const LintOptions &options)
     }
     std::sort(files.begin(), files.end());
 
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<FileArtifacts> artifacts;
+    std::vector<std::set<std::string>> disabled_per_file;
+    artifacts.reserve(files.size());
+    disabled_per_file.reserve(files.size());
+
     for (const auto &file : files) {
         std::ifstream in(file, std::ios::binary);
         if (!in) {
@@ -301,6 +345,7 @@ lintTree(const LintOptions &options)
         }
         std::ostringstream buf;
         buf << in.rdbuf();
+        const std::string content = buf.str();
 
         std::set<std::string> disabled;
         std::string cfg_error;
@@ -317,11 +362,66 @@ lintTree(const LintOptions &options)
         if (ec)
             rel = file.generic_string();
 
-        auto findings = lintSource(rel, buf.str(), disabled);
+        FileArtifacts art;
+        bool cached = false;
+        const uint64_t chash = fnv1a64(content);
+        const uint64_t rhash = rulesetHash(disabled);
+        if (!options.cache_dir.empty())
+            cached = cacheLoad(options.cache_dir, rel, chash, rhash,
+                               art);
+        if (cached) {
+            ++result.cache_hits;
+        } else {
+            ++result.cache_misses;
+            art = computeArtifacts(rel, content, disabled);
+            if (!options.cache_dir.empty())
+                cacheStore(options.cache_dir, rel, chash, rhash,
+                           art);
+        }
         result.findings.insert(result.findings.end(),
-                               findings.begin(), findings.end());
+                               art.findings.begin(),
+                               art.findings.end());
+        artifacts.push_back(std::move(art));
+        disabled_per_file.push_back(std::move(disabled));
         ++result.files_scanned;
     }
+
+    // Cross-TU call-graph passes over the parsed summaries. Their
+    // findings honor per-directory config and inline suppressions
+    // through the finding's primary file, same as token findings.
+    const auto a0 = std::chrono::steady_clock::now();
+    std::vector<FileSummary> summaries;
+    summaries.reserve(artifacts.size());
+    for (auto &art : artifacts)
+        summaries.push_back(std::move(art.summary));
+    std::map<std::string, size_t> file_index;
+    for (size_t i = 0; i < summaries.size(); ++i)
+        file_index[summaries[i].path] = i;
+
+    for (auto &f : analyzeProject(summaries)) {
+        auto it = file_index.find(f.file);
+        if (it != file_index.end()) {
+            const auto &disabled = disabled_per_file[it->second];
+            if (disabled.count(f.rule) != 0)
+                continue;
+            bool waived = false;
+            for (const auto &s :
+                 artifacts[it->second].suppressions)
+                if (suppresses(s, f.rule, f.line)) {
+                    waived = true;
+                    break;
+                }
+            if (waived)
+                continue;
+        }
+        result.findings.push_back(std::move(f));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    using std::chrono::duration_cast;
+    using std::chrono::milliseconds;
+    result.analysis_ms =
+        duration_cast<milliseconds>(t1 - a0).count();
+    result.elapsed_ms = duration_cast<milliseconds>(t1 - t0).count();
 
     std::sort(result.findings.begin(), result.findings.end(),
               [](const Finding &a, const Finding &b) {
@@ -353,7 +453,12 @@ emitJson(const LintResult &result)
     std::ostringstream out;
     out << "{\"tool\":\"coldboot-lint\",\"version\":\""
         << json::escape(version) << "\",\"files_scanned\":"
-        << result.files_scanned << ",\"findings\":[";
+        << result.files_scanned
+        << ",\"cache_hits\":" << result.cache_hits
+        << ",\"cache_misses\":" << result.cache_misses
+        << ",\"analysis_ms\":" << result.analysis_ms
+        << ",\"elapsed_ms\":" << result.elapsed_ms
+        << ",\"findings\":[";
     bool first = true;
     for (const auto &f : result.findings) {
         if (!first)
@@ -362,7 +467,22 @@ emitJson(const LintResult &result)
         out << "{\"rule\":\"" << json::escape(f.rule)
             << "\",\"file\":\"" << json::escape(f.file)
             << "\",\"line\":" << f.line << ",\"col\":" << f.col
-            << ",\"message\":\"" << json::escape(f.message) << "\"}";
+            << ",\"message\":\"" << json::escape(f.message) << "\"";
+        if (!f.flow.empty()) {
+            out << ",\"flow\":[";
+            bool ffirst = true;
+            for (const auto &step : f.flow) {
+                if (!ffirst)
+                    out << ",";
+                ffirst = false;
+                out << "{\"file\":\"" << json::escape(step.file)
+                    << "\",\"line\":" << step.line
+                    << ",\"col\":" << step.col << ",\"note\":\""
+                    << json::escape(step.note) << "\"}";
+            }
+            out << "]";
+        }
+        out << "}";
     }
     out << "]}";
     return out.str();
@@ -389,7 +509,14 @@ emitSarif(const LintResult &result)
         first = false;
         out << "{\"id\":\"" << json::escape(r.id)
             << "\",\"shortDescription\":{\"text\":\""
-            << json::escape(r.description) << "\"}}";
+            << json::escape(r.description)
+            << "\"},\"fullDescription\":{\"text\":\""
+            << json::escape(r.rationale)
+            << "\"},\"help\":{\"text\":\""
+            << json::escape(std::string("Violation:\n") +
+                            r.example_bad + "\n\nFix:\n" +
+                            r.example_fix)
+            << "\"}}";
     }
     out << "]}},\"results\":[";
     first = true;
@@ -404,7 +531,29 @@ emitSarif(const LintResult &result)
             << "\"artifactLocation\":{\"uri\":\""
             << json::escape(f.file) << "\"},\"region\":{"
             << "\"startLine\":" << f.line
-            << ",\"startColumn\":" << f.col << "}}}]}";
+            << ",\"startColumn\":" << f.col << "}}}]";
+        if (!f.flow.empty()) {
+            // Inter-procedural path as one codeFlow/threadFlow,
+            // source first, sink last (SARIF 3.36-3.38).
+            out << ",\"codeFlows\":[{\"threadFlows\":[{"
+                   "\"locations\":[";
+            bool sfirst = true;
+            for (const auto &step : f.flow) {
+                if (!sfirst)
+                    out << ",";
+                sfirst = false;
+                out << "{\"location\":{\"physicalLocation\":{"
+                    << "\"artifactLocation\":{\"uri\":\""
+                    << json::escape(step.file)
+                    << "\"},\"region\":{\"startLine\":"
+                    << step.line << ",\"startColumn\":"
+                    << (step.col > 0 ? step.col : 1)
+                    << "}},\"message\":{\"text\":\""
+                    << json::escape(step.note) << "\"}}}";
+            }
+            out << "]}]}]";
+        }
+        out << "}";
     }
     out << "]}]}";
     return out.str();

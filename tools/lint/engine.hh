@@ -1,7 +1,9 @@
 /**
  * @file
  * coldboot-lint driver: tree walking, per-directory configuration,
- * inline suppressions, and the text / JSON / SARIF 2.1.0 emitters.
+ * inline suppressions, the cross-TU call-graph analysis
+ * (dataflow.hh), the incremental cache (cache.hh), and the text /
+ * JSON / SARIF 2.1.0 emitters.
  *
  * Configuration: a `.coldboot-lint` file in any directory applies to
  * that directory and everything below it. Lines (comments start
@@ -43,6 +45,12 @@ struct LintOptions
     /** Subtrees (or single files) to scan, relative to root. */
     std::vector<std::string> paths = {"src", "bench", "tests",
                                       "tools"};
+    /**
+     * Directory for the incremental per-file cache (see cache.hh).
+     * Empty disables caching; every file is lexed, linted, and
+     * parsed from scratch.
+     */
+    std::string cache_dir;
 };
 
 /** Scan outcome. */
@@ -50,22 +58,39 @@ struct LintResult
 {
     std::vector<Finding> findings;
     size_t files_scanned = 0;
+    /** Files whose artifacts came from the incremental cache. */
+    size_t cache_hits = 0;
+    /** Files that had to be (re-)lexed, linted, and parsed. */
+    size_t cache_misses = 0;
+    /** Wall time of the cross-TU call-graph analysis alone. */
+    long analysis_ms = 0;
+    /** Wall time of the whole tree lint. */
+    long elapsed_ms = 0;
     /** Set when the scan itself failed (missing root, bad config). */
     bool internal_error = false;
     std::string error_message;
 };
 
 /**
- * Lint one in-memory source. @p display_path is used in findings and
- * for header-only rules; @p disabled comes from per-directory config.
- * Applies suppression comments (valid ones waive findings; malformed
- * ones become bad-suppression findings).
+ * Lint one in-memory source with the token rules only (the
+ * call-graph passes need the whole project and run in lintTree).
+ * @p display_path is used in findings and for header-only rules;
+ * @p disabled comes from per-directory config. Applies suppression
+ * comments (valid ones waive findings; malformed ones become
+ * bad-suppression findings).
  */
 std::vector<Finding> lintSource(
     const std::string &display_path, std::string_view content,
     const std::set<std::string> &disabled = {});
 
-/** Walk the tree and lint every C++ source under options.paths. */
+/**
+ * Walk the tree, lint every C++ source under options.paths, then
+ * run the cross-TU call-graph passes (secret-taint,
+ * transitive-determinism, wipe-coverage) over the parsed summaries.
+ * Per-directory config and inline suppressions apply to the
+ * call-graph findings exactly as to token findings, keyed on the
+ * finding's primary file and line.
+ */
 LintResult lintTree(const LintOptions &options);
 
 /** One finding per line: `file:line:col: [rule] message`. */

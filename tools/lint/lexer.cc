@@ -135,7 +135,8 @@ lex(std::string_view source)
             std::string body;
             while (!cur.done() && cur.peek() != '\n')
                 body.push_back(cur.advance());
-            out.comments.push_back({body, tok_line});
+            out.comments.push_back(
+                {body, tok_line, tok_col, at_line_start});
             continue;
         }
         if (c == '/' && cur.peek(1) == '*') {
@@ -150,7 +151,8 @@ lex(std::string_view source)
                 }
                 body.push_back(cur.advance());
             }
-            out.comments.push_back({body, tok_line});
+            out.comments.push_back(
+                {body, tok_line, tok_col, at_line_start});
             continue;
         }
 

@@ -45,6 +45,13 @@ struct Comment
 {
     std::string text; ///< body without the // or /* */ markers
     int line = 0;     ///< line the comment starts on
+    int col = 0;      ///< column the comment starts on
+    /**
+     * True when nothing but whitespace precedes the comment on its
+     * line. A standalone suppression covers the next line; a trailing
+     * one (after code) covers only its own line.
+     */
+    bool standalone = false;
 };
 
 /** Tokenization result: token stream plus the comment sidecar. */

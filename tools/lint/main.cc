@@ -34,6 +34,12 @@ usage(std::FILE *to)
         "  --format FMT      text | json | sarif (default: text)\n"
         "  --out FILE        write the report to FILE instead of\n"
         "                    stdout\n"
+        "  --cache-dir DIR   incremental cache: unchanged files\n"
+        "                    reuse their stored findings and parse\n"
+        "                    summaries (default: no cache)\n"
+        "  --explain RULE    print a rule's rationale with a\n"
+        "                    violating example and its fix, then\n"
+        "                    exit\n"
         "  --list-rules      print the rule catalog and exit\n"
         "  --version         print the tool version and exit\n"
         "  -h, --help        this text\n"
@@ -76,11 +82,31 @@ main(int argc, char **argv)
         }
         if (arg == "--list-rules") {
             for (const auto &r : ruleCatalog())
-                std::printf("%-20s %s\n", r.id, r.description);
+                std::printf("%-22s %s\n", r.id, r.description);
+            return 0;
+        }
+        if (arg == "--explain") {
+            const char *id = value("--explain");
+            const RuleInfo *r = findRule(id);
+            if (r == nullptr) {
+                std::fprintf(stderr,
+                             "coldboot-lint: unknown rule '%s' "
+                             "(see --list-rules)\n",
+                             id);
+                return 2;
+            }
+            std::printf("%s\n  %s\n\nwhy:\n  %s\n\n"
+                        "violation:\n%s\n\nfix:\n%s\n",
+                        r->id, r->description, r->rationale,
+                        r->example_bad, r->example_fix);
             return 0;
         }
         if (arg == "--root") {
             options.root = value("--root");
+            continue;
+        }
+        if (arg == "--cache-dir") {
+            options.cache_dir = value("--cache-dir");
             continue;
         }
         if (arg == "--format") {

@@ -1,0 +1,1123 @@
+#include "lint/parse.hh"
+
+#include <set>
+
+#include "lint/rules.hh"
+
+namespace coldboot::lint
+{
+
+namespace
+{
+
+constexpr size_t npos = static_cast<size_t>(-1);
+
+/** Keywords that look like calls or names but never are. */
+bool
+isControlWord(const std::string &s)
+{
+    static const std::set<std::string> kw = {
+        "if",        "for",
+        "while",     "switch",
+        "catch",     "return",
+        "sizeof",    "alignof",
+        "alignas",   "decltype",
+        "new",       "delete",
+        "throw",     "static_assert",
+        "defined",   "case",
+        "goto",      "do",
+        "else",      "co_await",
+        "co_return", "co_yield",
+        "static_cast",      "dynamic_cast",
+        "reinterpret_cast", "const_cast",
+        "noexcept",  "typeid",
+        "requires",  "assert",
+    };
+    return kw.count(s) != 0;
+}
+
+/** Built-in type words that cannot be a parameter's *name*. */
+bool
+isTypeWord(const std::string &s)
+{
+    static const std::set<std::string> tw = {
+        "void",   "bool",  "char",     "int",  "float",
+        "double", "long",  "short",    "auto", "unsigned",
+        "signed", "const", "volatile", "struct", "class",
+    };
+    return tw.count(s) != 0;
+}
+
+bool
+inList(const std::vector<const char *> &names, const std::string &s)
+{
+    for (const char *n : names)
+        if (s == n)
+            return true;
+    return false;
+}
+
+/** .size()/.empty()/... results are counts, not key bytes. */
+bool
+isAccessorName(const std::string &s)
+{
+    return s == "size" || s == "empty" || s == "length" ||
+           s == "count";
+}
+
+/**
+ * Functions whose result is a comparison verdict, not the compared
+ * data. `hits += !memcmp(found, master, 32)` does not make `hits`
+ * key material - declassification by comparison is the normal way
+ * benchmarks score recovery.
+ */
+bool
+isComparatorName(const std::string &s)
+{
+    return s == "memcmp" || s == "strcmp" || s == "strncmp" ||
+           s == "strcasecmp" || s == "equal";
+}
+
+class Parser
+{
+  public:
+    Parser(const std::string &path, const std::vector<Token> &toks)
+        : path(path), t(toks)
+    {
+        out.path = path;
+    }
+
+    FileSummary
+    run()
+    {
+        scanScope(0, t.size(), "");
+        return std::move(out);
+    }
+
+  private:
+    const std::string &path;
+    const std::vector<Token> &t;
+    FileSummary out;
+
+    // ---- token helpers -------------------------------------------
+
+    bool
+    isP(size_t i, const char *s) const
+    {
+        return i < t.size() && t[i].kind == TokKind::Punct &&
+               t[i].text == s;
+    }
+
+    bool
+    isI(size_t i) const
+    {
+        return i < t.size() && t[i].kind == TokKind::Identifier;
+    }
+
+    bool
+    isI(size_t i, const char *s) const
+    {
+        return isI(i) && t[i].text == s;
+    }
+
+    /** Index of the ')' matching the '(' at @p open, or npos. */
+    size_t
+    matchParen(size_t open) const
+    {
+        int depth = 0;
+        for (size_t i = open; i < t.size(); ++i) {
+            if (isP(i, "("))
+                ++depth;
+            else if (isP(i, ")") && --depth == 0)
+                return i;
+        }
+        return npos;
+    }
+
+    /** Index of the '}' matching the '{' at @p open, or npos. */
+    size_t
+    matchBrace(size_t open) const
+    {
+        int depth = 0;
+        for (size_t i = open; i < t.size(); ++i) {
+            if (isP(i, "{"))
+                ++depth;
+            else if (isP(i, "}") && --depth == 0)
+                return i;
+        }
+        return npos;
+    }
+
+    /**
+     * Index of the '>' matching the '<' at @p open, or npos when it
+     * does not close within @p limit tokens (then it was probably a
+     * comparison, not a template argument list).
+     */
+    size_t
+    matchAngle(size_t open, size_t limit = 64) const
+    {
+        int depth = 0;
+        size_t end = open + limit < t.size() ? open + limit : t.size();
+        for (size_t i = open; i < end; ++i) {
+            if (isP(i, "<"))
+                ++depth;
+            else if (isP(i, ">") && --depth == 0)
+                return i;
+            else if (isP(i, ";") || isP(i, "{"))
+                break;
+        }
+        return npos;
+    }
+
+    /** '::' spelled as two ':' tokens starting at @p i. */
+    bool
+    scopeAt(size_t i) const
+    {
+        return isP(i, ":") && isP(i + 1, ":");
+    }
+
+    /** Advance past a `;` at the current brace level. */
+    size_t
+    skipToSemicolon(size_t i, size_t end) const
+    {
+        int brace = 0, paren = 0;
+        for (; i < end; ++i) {
+            if (isP(i, "{"))
+                ++brace;
+            else if (isP(i, "}")) {
+                if (brace == 0)
+                    return i; // stray close: let the caller see it
+                --brace;
+            } else if (isP(i, "("))
+                ++paren;
+            else if (isP(i, ")") && paren > 0)
+                --paren;
+            else if (isP(i, ";") && brace == 0 && paren == 0)
+                return i + 1;
+        }
+        return end;
+    }
+
+    /** Display-qualified name by walking back over `A::` chains. */
+    std::string
+    qualifiedName(size_t name_idx) const
+    {
+        std::string qual = t[name_idx].text;
+        size_t i = name_idx;
+        while (i >= 3 && scopeAt(i - 2) && isI(i - 3)) {
+            qual = t[i - 3].text + "::" + qual;
+            i -= 3;
+        }
+        return qual;
+    }
+
+    // ---- scope scanning ------------------------------------------
+
+    /**
+     * Scan declarations between @p i and @p end (exclusive), at
+     * namespace/file scope. @p qual_prefix decorates method names
+     * when scanning inside a class body.
+     */
+    void
+    scanScope(size_t i, size_t end, const std::string &qual_prefix)
+    {
+        while (i < end) {
+            if (t[i].kind == TokKind::Preprocessor) {
+                ++i;
+                continue;
+            }
+            if (isI(i, "namespace")) {
+                size_t j = i + 1;
+                while (j < end && !isP(j, "{") && !isP(j, ";") &&
+                       !isP(j, "="))
+                    ++j;
+                if (isP(j, "{")) {
+                    size_t close = matchBrace(j);
+                    if (close == npos)
+                        return;
+                    scanScope(j + 1, close, qual_prefix);
+                    i = close + 1;
+                } else {
+                    i = j + 1; // alias or using-directive tail
+                }
+                continue;
+            }
+            if (isI(i, "extern") && i + 1 < end &&
+                t[i + 1].kind == TokKind::String && isP(i + 2, "{")) {
+                size_t close = matchBrace(i + 2);
+                if (close == npos)
+                    return;
+                scanScope(i + 3, close, qual_prefix);
+                i = close + 1;
+                continue;
+            }
+            if (isI(i, "template") && isP(i + 1, "<")) {
+                size_t close = matchAngle(i + 1);
+                i = close == npos ? i + 2 : close + 1;
+                continue;
+            }
+            if ((isI(i, "struct") || isI(i, "class")) && isI(i + 1)) {
+                size_t head = i + 2;
+                if (isP(head, "<")) { // specialization args
+                    size_t close = matchAngle(head);
+                    if (close != npos)
+                        head = close + 1;
+                }
+                if (isI(head, "final"))
+                    ++head;
+                if (isP(head, "{") || isP(head, ":") ||
+                    isP(head, ";")) {
+                    i = parseStruct(i + 1, head, end, qual_prefix);
+                    continue;
+                }
+                // `struct X` used as a type in a declaration.
+                i += 2;
+                continue;
+            }
+            if (isI(i, "enum")) {
+                size_t j = i + 1;
+                while (j < end && !isP(j, "{") && !isP(j, ";"))
+                    ++j;
+                if (isP(j, "{")) {
+                    size_t close = matchBrace(j);
+                    i = close == npos ? end : close + 1;
+                } else {
+                    i = j + 1;
+                }
+                continue;
+            }
+            if (isI(i, "using") || isI(i, "typedef") ||
+                isI(i, "friend") || isI(i, "static_assert")) {
+                i = skipToSemicolon(i, end);
+                continue;
+            }
+            if (isP(i, ";") || isP(i, "}")) {
+                ++i;
+                continue;
+            }
+            i = tryFunction(i, end, qual_prefix);
+        }
+    }
+
+    /**
+     * Try to parse a function definition starting somewhere at
+     * statement position @p i. Returns the index to continue
+     * scanning from, whether or not a definition was found.
+     */
+    size_t
+    tryFunction(size_t i, size_t end, const std::string &qual_prefix)
+    {
+        // Find the parameter list '(' of this statement.
+        size_t j = i;
+        while (j < end && !isP(j, "(") && !isP(j, ";") &&
+               !isP(j, "{") && !isP(j, "}") && !isP(j, "="))
+            ++j;
+        if (!isP(j, "(")) {
+            if (isP(j, "{")) { // brace we cannot classify: skip it
+                size_t close = matchBrace(j);
+                return close == npos ? end : close + 1;
+            }
+            if (isP(j, "}"))
+                return j; // let the caller close the scope
+            return skipToSemicolon(i, end);
+        }
+
+        size_t name_idx = npos;
+        std::string name;
+        if (j >= 1 && isI(j - 1) && !isControlWord(t[j - 1].text)) {
+            name_idx = j - 1;
+            name = t[name_idx].text;
+            if (name == "operator") {
+                // operator() spells `operator ( ) (params)`.
+                if (isP(j + 1, ")") && isP(j + 2, "(")) {
+                    name = "operator()";
+                    j += 2;
+                } else {
+                    return skipToSemicolon(i, end);
+                }
+            } else if (j >= 2 && isP(j - 2, "~")) {
+                name = "~" + name;
+            }
+        } else if (j >= 2 && isP(j - 1, ">")) {
+            // Templated name: `name<...>(` - walk back to the '<'.
+            int depth = 0;
+            size_t k = j - 1;
+            while (k > 0) {
+                if (isP(k, ">"))
+                    ++depth;
+                else if (isP(k, "<") && --depth == 0)
+                    break;
+                --k;
+            }
+            if (depth == 0 && k >= 1 && isI(k - 1) &&
+                !isControlWord(t[k - 1].text)) {
+                name_idx = k - 1;
+                name = t[name_idx].text;
+            }
+        }
+        if (name_idx == npos)
+            return skipToSemicolon(i, end);
+
+        size_t close = matchParen(j);
+        if (close == npos)
+            return end;
+
+        // Between ')' and the body: cv-qualifiers, noexcept(...),
+        // trailing return, ctor-initializers. `;` or `=` ends a
+        // declaration instead.
+        std::vector<Assign> ctor_inits;
+        bool in_init_list = false;
+        size_t k = close + 1;
+        while (k < end) {
+            if (isP(k, "{"))
+                break;
+            if (isP(k, ";"))
+                return k + 1;
+            if (isP(k, "=")) // = default / = delete / initializer
+                return skipToSemicolon(k, end);
+            if (isP(k, ":") && !isP(k + 1, ":")) {
+                in_init_list = true;
+                ++k;
+                continue;
+            }
+            if (isP(k, "(")) {
+                size_t c = matchParen(k);
+                if (c == npos)
+                    return end;
+                if (in_init_list && isI(k - 1)) {
+                    Assign a;
+                    a.lhs = t[k - 1].text;
+                    a.line = t[k - 1].line;
+                    collectIdents(k + 1, c, a.rhs);
+                    ctor_inits.push_back(std::move(a));
+                }
+                k = c + 1;
+                continue;
+            }
+            if (isP(k, "<")) {
+                size_t c = matchAngle(k);
+                k = c == npos ? k + 1 : c + 1;
+                continue;
+            }
+            if (isI(k) || isP(k, "-") || isP(k, ">") ||
+                isP(k, "&") || isP(k, "*") || isP(k, ",") ||
+                isP(k, ":") || isP(k, "[") || isP(k, "]") ||
+                t[k].kind == TokKind::Number ||
+                t[k].kind == TokKind::String) {
+                ++k;
+                continue;
+            }
+            return skipToSemicolon(i, end);
+        }
+        if (!isP(k, "{"))
+            return end;
+
+        FunctionDef fn;
+        fn.name = name;
+        fn.qual = qual_prefix.empty()
+                      ? qualifiedName(name_idx)
+                      : qual_prefix + "::" + name;
+        fn.line = t[name_idx].line;
+        fn.col = t[name_idx].col;
+        parseParams(j + 1, close, fn.params);
+        fn.assigns = std::move(ctor_inits);
+        out.functions.push_back(std::move(fn));
+        size_t fn_idx = out.functions.size() - 1;
+        size_t body_end = parseBody(fn_idx, k);
+        return body_end == npos ? end : body_end + 1;
+    }
+
+    /** Split `(`..`)` into parameters at top-level commas. */
+    void
+    parseParams(size_t b, size_t e, std::vector<Param> &params) const
+    {
+        size_t start = b;
+        int paren = 0, angle = 0, brace = 0;
+        for (size_t i = b; i <= e && i < t.size(); ++i) {
+            bool at_end = i == e;
+            bool split = at_end ||
+                         (isP(i, ",") && paren == 0 && angle == 0 &&
+                          brace == 0);
+            if (!split) {
+                if (isP(i, "("))
+                    ++paren;
+                else if (isP(i, ")"))
+                    --paren;
+                else if (isP(i, "{"))
+                    ++brace;
+                else if (isP(i, "}"))
+                    --brace;
+                else if (isP(i, "<") && (isI(i - 1) || isP(i - 1, ">")))
+                    ++angle;
+                else if (isP(i, ">") && angle > 0)
+                    --angle;
+                continue;
+            }
+            if (i > start)
+                params.push_back(oneParam(start, i));
+            start = i + 1;
+        }
+    }
+
+    /** Parse one parameter group [b, e) into name + type. */
+    Param
+    oneParam(size_t b, size_t e) const
+    {
+        // Cut a default argument off.
+        size_t cut = e;
+        int paren = 0;
+        for (size_t i = b; i < e; ++i) {
+            if (isP(i, "("))
+                ++paren;
+            else if (isP(i, ")"))
+                --paren;
+            else if (isP(i, "=") && paren == 0) {
+                cut = i;
+                break;
+            }
+        }
+        // Name: last identifier, skipping an array suffix.
+        size_t name_idx = npos;
+        size_t i = cut;
+        while (i > b) {
+            --i;
+            if (isP(i, "]")) { // skip [N]
+                while (i > b && !isP(i, "["))
+                    --i;
+                continue;
+            }
+            if (isI(i)) {
+                name_idx = i;
+                break;
+            }
+        }
+        Param p;
+        p.line = t[b].line;
+        if (name_idx != npos && !isTypeWord(t[name_idx].text) &&
+            !(name_idx == b)) // a lone token is an unnamed type
+            p.name = t[name_idx].text;
+        for (size_t k = b; k < cut; ++k) {
+            if (k == name_idx && !p.name.empty())
+                continue;
+            if (!p.type.empty())
+                p.type += ' ';
+            p.type += t[k].text;
+        }
+        // An unnamed `SecureBuffer&` param: keep the type anyway.
+        if (p.name.empty() && name_idx != npos &&
+            !isTypeWord(t[name_idx].text))
+            p.type = p.type.empty() ? t[name_idx].text
+                                    : p.type + ' ' + t[name_idx].text;
+        return p;
+    }
+
+    /** Append identifiers in [b, e) to @p out_idents (exemptions apply). */
+    void
+    collectIdents(size_t b, size_t e,
+                  std::vector<std::string> &out_idents) const
+    {
+        for (size_t i = b; i < e && i < t.size(); ++i) {
+            if (!isI(i) || isControlWord(t[i].text))
+                continue;
+            if (isP(i + 1, "(")) {
+                // A callee name is not a value; a comparator's
+                // arguments yield a verdict, not the data (even
+                // when the argument list runs past the scan bound).
+                if (isComparatorName(t[i].text)) {
+                    size_t c = matchParen(i + 1);
+                    if (c != npos)
+                        i = c;
+                }
+                continue;
+            }
+            if (scopeAt(i + 1)) // qualifier, not a value
+                continue;
+            if (isP(i + 1, ".") && isI(i + 2) &&
+                isAccessorName(t[i + 2].text) && isP(i + 3, "("))
+                continue; // key.size() is a count, not the key
+            out_idents.push_back(t[i].text);
+        }
+    }
+
+    /**
+     * Parse a function body starting at its '{' token. Fills
+     * out.functions[fn_idx]; returns the index of the matching '}'
+     * (or npos at EOF). Lambdas inside become their own
+     * FunctionDefs, linked from the enclosing function by a call
+     * edge and from the surrounding call's lambda_args.
+     */
+    size_t
+    parseBody(size_t fn_idx, size_t open)
+    {
+        struct Group
+        {
+            bool is_call;
+            size_t call_index; ///< into calls, valid when is_call
+            bool ctor_style;   ///< `Type name(args)` declaration
+            bool barrier;      ///< comparator: args stay inside
+            int depth;         ///< paren depth inside this group
+            int bdepth;        ///< brace depth at the group's `(`
+        };
+        std::vector<Group> groups;
+        int paren_depth = 0;
+        int brace_depth = 1;
+
+        const auto &wc_calls = wallclockCallNames();
+        const auto &wc_types = wallclockTypeNames();
+        const auto &sec_types = secretTypeNames();
+
+        auto fn = [&]() -> FunctionDef & {
+            return out.functions[fn_idx];
+        };
+
+        size_t i = open + 1;
+        while (i < t.size()) {
+            // Braces end the body.
+            if (isP(i, "{")) {
+                ++brace_depth;
+                ++i;
+                continue;
+            }
+            if (isP(i, "}")) {
+                if (--brace_depth == 0)
+                    return i;
+                ++i;
+                continue;
+            }
+
+            // Lambda (or attribute, or subscript).
+            if (isP(i, "[")) {
+                if (isP(i + 1, "[")) { // [[attribute]]
+                    size_t k = i + 2;
+                    while (k < t.size() &&
+                           !(isP(k, "]") && isP(k + 1, "]")))
+                        ++k;
+                    i = k + 2;
+                    continue;
+                }
+                bool subscript = i > 0 && (isI(i - 1) && !isControlWord(
+                                                             t[i - 1].text));
+                subscript = subscript ||
+                            (i > 0 && (isP(i - 1, ")") ||
+                                       isP(i - 1, "]")));
+                if (!subscript) {
+                    size_t consumed = tryLambda(fn_idx, i, groups);
+                    if (consumed != npos) {
+                        i = consumed;
+                        continue;
+                    }
+                }
+                ++i;
+                continue;
+            }
+
+            // Parenthesis groups: calls vs. plain grouping.
+            if (isP(i, "(")) {
+                bool is_call = false, ctor_style = false;
+                bool barrier = false;
+                size_t call_index = 0;
+                if (i >= 1 && isI(i - 1) &&
+                    !isControlWord(t[i - 1].text)) {
+                    is_call = true;
+                    size_t name_idx = i - 1;
+                    CallSite c;
+                    c.callee = t[name_idx].text;
+                    c.line = t[name_idx].line;
+                    c.col = t[name_idx].col;
+                    c.member =
+                        name_idx >= 1 &&
+                        (isP(name_idx - 1, ".") ||
+                         (isP(name_idx - 1, ">") && name_idx >= 2 &&
+                          isP(name_idx - 2, "-")));
+                    c.args.emplace_back();
+                    barrier = isComparatorName(c.callee);
+                    // `Type name(args)` is an init, not a call of
+                    // `name`: note it so the close also records a
+                    // copy edge. A member access is never a
+                    // declaration.
+                    if (!c.member && name_idx >= 1 &&
+                        ((isI(name_idx - 1) &&
+                          !isControlWord(t[name_idx - 1].text)) ||
+                         isP(name_idx - 1, ">") ||
+                         isP(name_idx - 1, "&") ||
+                         isP(name_idx - 1, "*")))
+                        ctor_style = true;
+                    fn().calls.push_back(std::move(c));
+                    call_index = fn().calls.size() - 1;
+                } else if (i >= 2 && isP(i - 1, ">")) {
+                    // Templated call `name<...>(`.
+                    int depth = 0;
+                    size_t k = i - 1;
+                    while (k > 0) {
+                        if (isP(k, ">"))
+                            ++depth;
+                        else if (isP(k, "<") && --depth == 0)
+                            break;
+                        --k;
+                    }
+                    if (depth == 0 && k >= 1 && isI(k - 1) &&
+                        !isControlWord(t[k - 1].text)) {
+                        is_call = true;
+                        CallSite c;
+                        c.callee = t[k - 1].text;
+                        c.line = t[k - 1].line;
+                        c.col = t[k - 1].col;
+                        c.args.emplace_back();
+                        barrier = isComparatorName(c.callee);
+                        fn().calls.push_back(std::move(c));
+                        call_index = fn().calls.size() - 1;
+                    }
+                }
+                ++paren_depth;
+                groups.push_back({is_call, call_index, ctor_style,
+                                  barrier, paren_depth, brace_depth});
+                ++i;
+                continue;
+            }
+            if (isP(i, ")")) {
+                if (!groups.empty() &&
+                    groups.back().depth == paren_depth) {
+                    Group g = groups.back();
+                    groups.pop_back();
+                    if (g.is_call && g.ctor_style) {
+                        // `SecureBuffer copy(key)`: record the copy
+                        // as an assignment edge for taint.
+                        const CallSite &c = fn().calls[g.call_index];
+                        Assign a;
+                        a.lhs = c.callee;
+                        a.line = c.line;
+                        for (const auto &arg : c.args)
+                            a.rhs.insert(a.rhs.end(), arg.begin(),
+                                         arg.end());
+                        if (!a.rhs.empty())
+                            fn().assigns.push_back(std::move(a));
+                    }
+                }
+                if (paren_depth > 0)
+                    --paren_depth;
+                ++i;
+                continue;
+            }
+            if (isP(i, ",")) {
+                // Commas inside a brace-init argument
+                // (`f({buf, n})`) stay within the current argument.
+                if (!groups.empty() && groups.back().is_call &&
+                    groups.back().depth == paren_depth &&
+                    groups.back().bdepth == brace_depth)
+                    fn().calls[groups.back().call_index]
+                        .args.emplace_back();
+                ++i;
+                continue;
+            }
+
+            // Assignments (including compound ops and `lhs[i] =`).
+            if (isP(i, "=") && !isP(i + 1, "=") &&
+                !(i >= 1 && (isP(i - 1, "=") || isP(i - 1, "!") ||
+                             isP(i - 1, "<") || isP(i - 1, ">")))) {
+                size_t lhs_idx = npos;
+                if (i >= 1 && isI(i - 1))
+                    lhs_idx = i - 1;
+                else if (i >= 2 && isI(i - 2) &&
+                         (isP(i - 1, "+") || isP(i - 1, "-") ||
+                          isP(i - 1, "*") || isP(i - 1, "/") ||
+                          isP(i - 1, "%") || isP(i - 1, "&") ||
+                          isP(i - 1, "|") || isP(i - 1, "^")))
+                    lhs_idx = i - 2;
+                else if (i >= 1 && isP(i - 1, "]")) {
+                    size_t k = i - 1;
+                    int d = 0;
+                    while (k > 0) {
+                        if (isP(k, "]"))
+                            ++d;
+                        else if (isP(k, "[") && --d == 0)
+                            break;
+                        --k;
+                    }
+                    if (d == 0 && k >= 1 && isI(k - 1))
+                        lhs_idx = k - 1;
+                }
+                if (lhs_idx != npos &&
+                    !isControlWord(t[lhs_idx].text)) {
+                    Assign a;
+                    a.lhs = t[lhs_idx].text;
+                    a.line = t[lhs_idx].line;
+                    size_t e = i + 1;
+                    size_t limit = e + 48;
+                    int pd = 0;
+                    while (e < t.size() && e < limit &&
+                           !isP(e, ";") && !isP(e, "{") &&
+                           !isP(e, "}")) {
+                        if (isP(e, "(")) {
+                            ++pd;
+                        } else if (isP(e, ")")) {
+                            // A `)` closing an enclosing group ends
+                            // the rhs: `for (...; off += n)` must not
+                            // leak the loop body into off's rhs.
+                            if (pd == 0)
+                                break;
+                            --pd;
+                        } else if (isP(e, ",") && pd == 0) {
+                            break;
+                        }
+                        ++e;
+                    }
+                    collectIdents(i + 1, e, a.rhs);
+                    if (!a.rhs.empty())
+                        fn().assigns.push_back(std::move(a));
+                }
+                ++i;
+                continue;
+            }
+
+            if (isI(i)) {
+                const std::string &id = t[i].text;
+
+                // Banned-nondeterminism markers for the
+                // transitive-determinism pass.
+                if (inList(wc_types, id))
+                    fn().nondet.push_back(
+                        {id, t[i].line, t[i].col});
+                else if (inList(wc_calls, id) && isP(i + 1, "(") &&
+                         !(i >= 1 && isP(i - 1, ".")))
+                    fn().nondet.push_back(
+                        {id, t[i].line, t[i].col});
+
+                // Secret-typed local declarations.
+                if (inList(sec_types, id)) {
+                    size_t k = i + 1;
+                    while (isP(k, "&") || isP(k, "*") ||
+                           isI(k, "const"))
+                        ++k;
+                    if (isI(k) && !isControlWord(t[k].text) &&
+                        (isP(k + 1, ";") || isP(k + 1, "=") ||
+                         isP(k + 1, "(") || isP(k + 1, "{") ||
+                         isP(k + 1, ",") || isP(k + 1, ")")))
+                        fn().secret_locals.push_back(
+                            {t[k].text, id, t[k].line});
+                }
+
+                // Attribute the identifier to enclosing call args.
+                bool value_use = !isP(i + 1, "(") && !scopeAt(i + 1) &&
+                                 !isControlWord(id);
+                if (value_use && isP(i + 1, ".") && isI(i + 2) &&
+                    isAccessorName(t[i + 2].text) && isP(i + 3, "("))
+                    value_use = false;
+                // Inside a comparator's argument list nothing
+                // escapes to the enclosing calls: the result is a
+                // verdict, not the compared bytes.
+                bool fenced = false;
+                for (const auto &g : groups)
+                    fenced = fenced || g.barrier;
+                if (value_use && !fenced) {
+                    for (const auto &g : groups) {
+                        if (!g.is_call)
+                            continue;
+                        auto &args =
+                            fn().calls[g.call_index].args;
+                        if (!args.empty())
+                            args.back().push_back(id);
+                    }
+                }
+                ++i;
+                continue;
+            }
+
+            ++i;
+        }
+        return npos;
+    }
+
+    /**
+     * Try to parse a lambda whose '[' sits at @p i. On success the
+     * lambda is registered as its own function, linked from the
+     * enclosing function and the innermost surrounding call, and the
+     * index just past its body is returned. npos when it is not a
+     * lambda after all.
+     */
+    template <typename Groups>
+    size_t
+    tryLambda(size_t fn_idx, size_t i, Groups &groups)
+    {
+        // Capture list.
+        int d = 0;
+        size_t close = npos;
+        for (size_t k = i; k < t.size() && k < i + 64; ++k) {
+            if (isP(k, "["))
+                ++d;
+            else if (isP(k, "]") && --d == 0) {
+                close = k;
+                break;
+            }
+        }
+        if (close == npos)
+            return npos;
+
+        size_t k = close + 1;
+        size_t params_b = npos, params_e = npos;
+        if (isP(k, "(")) {
+            size_t c = matchParen(k);
+            if (c == npos)
+                return npos;
+            params_b = k + 1;
+            params_e = c;
+            k = c + 1;
+        }
+        // mutable / noexcept / -> type ... up to the body.
+        size_t limit = k + 32;
+        while (k < t.size() && k < limit && !isP(k, "{")) {
+            if (isP(k, ";") || isP(k, ")") || isP(k, ",") ||
+                isP(k, "]"))
+                return npos; // e.g. `[a]` as an array literal index
+            if (isP(k, "(")) {
+                size_t c = matchParen(k);
+                if (c == npos)
+                    return npos;
+                k = c + 1;
+                continue;
+            }
+            if (isP(k, "<")) {
+                size_t c = matchAngle(k);
+                k = c == npos ? k + 1 : c + 1;
+                continue;
+            }
+            ++k;
+        }
+        if (!isP(k, "{"))
+            return npos;
+
+        FunctionDef lam;
+        lam.name = "<lambda>";
+        lam.qual = "<lambda " + path + ":" +
+                   std::to_string(t[i].line) + ">";
+        lam.line = t[i].line;
+        lam.col = t[i].col;
+        lam.is_lambda = true;
+        if (params_b != npos)
+            parseParams(params_b, params_e, lam.params);
+        out.functions.push_back(std::move(lam));
+        size_t lam_idx = out.functions.size() - 1;
+
+        // Enclosing function "calls" the lambda (reachability), and
+        // the innermost surrounding call argument records it (so
+        // parallelForChunks(..., [&]{...}) knows its body).
+        CallSite link;
+        link.callee = out.functions[lam_idx].qual;
+        link.line = t[i].line;
+        link.col = t[i].col;
+        link.args.emplace_back();
+        out.functions[fn_idx].calls.push_back(std::move(link));
+        for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
+            if (it->is_call) {
+                out.functions[fn_idx]
+                    .calls[it->call_index]
+                    .lambda_args.push_back(
+                        static_cast<int>(lam_idx));
+                break;
+            }
+        }
+
+        size_t body_end = parseBody(lam_idx, k);
+        return body_end == npos ? npos : body_end + 1;
+    }
+
+    /**
+     * Parse a struct/class definition whose name token is at
+     * @p name_idx and whose head cursor (at `{`, `:` or `;`) is
+     * @p head. Returns the index to continue from.
+     */
+    size_t
+    parseStruct(size_t name_idx, size_t head, size_t end,
+                const std::string &qual_prefix)
+    {
+        const std::string name = t[name_idx].text;
+        if (isP(head, ";"))
+            return head + 1; // forward declaration
+
+        // Skip a base-clause to the '{'.
+        size_t open = head;
+        while (open < end && !isP(open, "{") && !isP(open, ";"))
+            ++open;
+        if (!isP(open, "{"))
+            return open + 1;
+        size_t close = matchBrace(open);
+        if (close == npos)
+            return end;
+
+        StructDef sd;
+        sd.name = name;
+        sd.line = t[name_idx].line;
+        sd.col = t[name_idx].col;
+        const std::string qual =
+            qual_prefix.empty() ? name : qual_prefix + "::" + name;
+
+        size_t i = open + 1;
+        while (i < close) {
+            if (t[i].kind == TokKind::Preprocessor) {
+                ++i;
+                continue;
+            }
+            // Access specifiers.
+            if ((isI(i, "public") || isI(i, "private") ||
+                 isI(i, "protected")) &&
+                isP(i + 1, ":") && !isP(i + 2, ":")) {
+                i += 2;
+                continue;
+            }
+            if (isI(i, "template") && isP(i + 1, "<")) {
+                size_t c = matchAngle(i + 1);
+                i = c == npos ? i + 2 : c + 1;
+                continue;
+            }
+            if ((isI(i, "struct") || isI(i, "class")) && isI(i + 1)) {
+                size_t h = i + 2;
+                if (isI(h, "final"))
+                    ++h;
+                if (isP(h, "{") || isP(h, ":") || isP(h, ";")) {
+                    i = parseStruct(i + 1, h, close, qual);
+                    continue;
+                }
+                i += 2;
+                continue;
+            }
+            if (isI(i, "enum")) {
+                size_t j = i + 1;
+                while (j < close && !isP(j, "{") && !isP(j, ";"))
+                    ++j;
+                if (isP(j, "{")) {
+                    size_t c = matchBrace(j);
+                    i = c == npos ? close : c + 1;
+                    // trailing `;`
+                    if (isP(i, ";"))
+                        ++i;
+                } else {
+                    i = j + 1;
+                }
+                continue;
+            }
+            if (isI(i, "using") || isI(i, "typedef") ||
+                isI(i, "friend") || isI(i, "static_assert")) {
+                i = skipToSemicolon(i, close);
+                continue;
+            }
+            if (isP(i, ";")) {
+                ++i;
+                continue;
+            }
+
+            // Destructor.
+            if (isP(i, "~") && isI(i + 1, name.c_str()) &&
+                isP(i + 2, "(")) {
+                sd.has_dtor = true;
+                size_t c = matchParen(i + 2);
+                if (c == npos)
+                    return end;
+                size_t k = c + 1;
+                while (k < close && !isP(k, "{") && !isP(k, ";") &&
+                       !isP(k, "="))
+                    ++k;
+                if (isP(k, "{")) {
+                    FunctionDef fn;
+                    fn.name = "~" + name;
+                    fn.qual = qual + "::~" + name;
+                    fn.line = t[i].line;
+                    fn.col = t[i].col;
+                    out.functions.push_back(std::move(fn));
+                    size_t fi = out.functions.size() - 1;
+                    size_t body_end = parseBody(fi, k);
+                    for (const auto &call :
+                         out.functions[fi].calls)
+                        if (call.callee == "secureWipe" ||
+                            call.callee == "wipe")
+                            sd.dtor_wipes = true;
+                    i = body_end == npos ? close : body_end + 1;
+                } else {
+                    // `~X() = default;` or a declaration.
+                    i = skipToSemicolon(k, close);
+                }
+                continue;
+            }
+
+            // Decide member vs. method by the first structural
+            // token of the statement.
+            size_t j = i;
+            int angle = 0;
+            while (j < close) {
+                if (isP(j, "<") && (isI(j - 1) || isP(j - 1, ">")))
+                    ++angle;
+                else if (isP(j, ">") && angle > 0)
+                    --angle;
+                else if (angle == 0 &&
+                         (isP(j, "(") || isP(j, ";") ||
+                          isP(j, "=") || isP(j, "{")))
+                    break;
+                ++j;
+            }
+            if (isP(j, "(")) {
+                // Method (or constructor) - reuse the function path.
+                i = tryFunction(i, close, qual);
+                continue;
+            }
+            // Data member: [i, j) is `type ... name` (maybe with an
+            // array suffix before the delimiter).
+            size_t stmt_end = j;
+            bool is_static = false;
+            for (size_t k2 = i; k2 < stmt_end; ++k2)
+                if (isI(k2, "static") || isI(k2, "constexpr"))
+                    is_static = true;
+            size_t mname = npos;
+            bool array = false;
+            size_t k2 = stmt_end;
+            while (k2 > i) {
+                --k2;
+                if (isP(k2, "]")) {
+                    array = true;
+                    while (k2 > i && !isP(k2, "["))
+                        --k2;
+                    continue;
+                }
+                if (isI(k2)) {
+                    mname = k2;
+                    break;
+                }
+            }
+            if (!is_static && mname != npos && mname > i &&
+                !isTypeWord(t[mname].text)) {
+                Param m;
+                m.name = t[mname].text;
+                m.line = t[mname].line;
+                for (size_t k3 = i; k3 < mname; ++k3) {
+                    if (!m.type.empty())
+                        m.type += ' ';
+                    m.type += t[k3].text;
+                }
+                if (array)
+                    m.type += " []";
+                sd.members.push_back(std::move(m));
+            }
+            // Skip past the initializer / to the semicolon.
+            if (isP(j, "{")) {
+                size_t c = matchBrace(j);
+                i = c == npos ? close : c + 1;
+                if (isP(i, ";"))
+                    ++i;
+            } else if (isP(j, "=")) {
+                i = skipToSemicolon(j, close);
+            } else {
+                i = j + 1;
+            }
+        }
+
+        out.structs.push_back(std::move(sd));
+        return close + 1;
+    }
+};
+
+} // anonymous namespace
+
+FileSummary
+parseSummary(const std::string &path, const LexResult &lex)
+{
+    return Parser(path, lex.tokens).run();
+}
+
+} // namespace coldboot::lint

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Declaration/definition extractor for coldboot-lint's call-graph
+ * passes.
+ *
+ * This is not a C++ front end. It walks the token stream from
+ * lexer.hh with brace/paren matching and pattern heuristics and
+ * pulls out exactly what the dataflow passes need per translation
+ * unit: function definitions (including class methods, out-of-line
+ * definitions and lambdas) with their parameters, the call sites
+ * inside each body with per-argument identifier sets, assignment
+ * edges for local taint propagation, locals of key-material types,
+ * direct uses of banned nondeterminism, and struct/class definitions
+ * with their data members and destructor-wipe status.
+ *
+ * The extraction is deliberately conservative in both directions a
+ * linter can afford: an unparseable construct is skipped (no
+ * findings invented from garbage), and identifier attribution to
+ * call arguments over-approximates (an identifier inside nested
+ * calls taints every enclosing argument list), which can only add
+ * taint, never lose it.
+ */
+
+#ifndef COLDBOOT_TOOLS_LINT_PARSE_HH
+#define COLDBOOT_TOOLS_LINT_PARSE_HH
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hh"
+
+namespace coldboot::lint
+{
+
+/** One parameter or data member: name plus the spelled-out type. */
+struct Param
+{
+    std::string name;
+    std::string type; ///< source tokens joined with spaces
+    int line = 0;     ///< declaration line (0 when unknown)
+};
+
+/** One call site inside a function body. */
+struct CallSite
+{
+    std::string callee; ///< last identifier of the callee spelling
+    int line = 0;
+    int col = 0;
+    /**
+     * Callee is a member access (`obj.write(...)` / `mc->write()`).
+     * The taint pass does not treat member calls as output sinks -
+     * `Machine::writePhys` writing simulated DRAM is not the POSIX
+     * write(2) - though they still resolve into the call graph.
+     */
+    bool member = false;
+    /**
+     * Identifiers appearing in each argument position. `x.size()`
+     * style accessor results are excluded (counts are not secret);
+     * identifiers inside nested calls are attributed to every
+     * enclosing argument (conservative).
+     */
+    std::vector<std::vector<std::string>> args;
+    /**
+     * Indices (into FileSummary::functions) of lambdas defined
+     * directly in this call's argument list, e.g. the body handed to
+     * parallelForChunks.
+     */
+    std::vector<int> lambda_args;
+};
+
+/** One assignment edge `lhs = ...rhs...` (includes compound ops). */
+struct Assign
+{
+    std::string lhs;
+    std::vector<std::string> rhs;
+    int line = 0;
+};
+
+/** A direct use of banned nondeterminism inside a body. */
+struct NondetUse
+{
+    std::string what; ///< e.g. "time" or "random_device"
+    int line = 0;
+    int col = 0;
+};
+
+/** One function (or method, or lambda) definition. */
+// coldboot-lint: allow(wipe-coverage) -- linter metadata about secrets, holds names not key bytes
+struct FunctionDef
+{
+    std::string name; ///< simple name ("mineKeys", "operator()")
+    std::string qual; ///< display name ("KeyMiner::mineKeys")
+    int line = 0;
+    int col = 0;
+    bool is_lambda = false;
+    std::vector<Param> params;
+    std::vector<CallSite> calls;
+    std::vector<Assign> assigns;
+    /** Locals declared with a key-material type (secretTypeNames). */
+    std::vector<Param> secret_locals;
+    std::vector<NondetUse> nondet;
+};
+
+/** One struct/class definition with its data members. */
+struct StructDef
+{
+    std::string name;
+    int line = 0;
+    int col = 0;
+    std::vector<Param> members; ///< data members only, not methods
+    bool has_dtor = false;
+    /** Destructor body calls secureWipe() or wipe(). */
+    bool dtor_wipes = false;
+};
+
+/** Everything extracted from one translation unit. */
+struct FileSummary
+{
+    std::string path;
+    std::vector<FunctionDef> functions;
+    std::vector<StructDef> structs;
+};
+
+/** Extract the summary for one lexed file. Never fails. */
+FileSummary parseSummary(const std::string &path,
+                         const LexResult &lex);
+
+} // namespace coldboot::lint
+
+#endif // COLDBOOT_TOOLS_LINT_PARSE_HH

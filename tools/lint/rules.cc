@@ -12,23 +12,102 @@ namespace
 const std::vector<RuleInfo> catalog = {
     {"secret-wipe",
      "memset/bzero on key-material identifiers can be elided by the "
-     "optimizer; use secureWipe() from common/secure.hh"},
+     "optimizer; use secureWipe() from common/secure.hh",
+     "A wipe-before-free memset is a dead store to the compiler: "
+     "nothing reads the buffer afterwards, so -O2 deletes exactly "
+     "the scrub a cold-boot defence depends on. secureWipe() stores "
+     "through a volatile pointer and ends with a compiler barrier.",
+     "std::memset(master_key, 0, sizeof(master_key));",
+     "secureWipe(master_key, sizeof(master_key));"},
     {"banned-api",
      "rand/strcpy/sprintf/gets/system and raw new[] are "
-     "non-deterministic or overflow-prone"},
+     "non-deterministic or overflow-prone",
+     "rand/srand share hidden global state and cannot be seeded "
+     "per-experiment; the str*/sprintf family writes unbounded; "
+     "system() is a shell-injection surface. All have in-tree "
+     "replacements (common/rng, std::string, snprintf).",
+     "char buf[64]; sprintf(buf, \"%s\", name.c_str());",
+     "std::string buf = name;  // or snprintf(buf, sizeof buf, ...)"},
     {"no-wallclock-in-sim",
      "wall-clock time and OS entropy break seeded determinism; use "
-     "common/rng and steady_clock"},
+     "common/rng and steady_clock",
+     "Every experiment must replay byte-identically from its seed "
+     "(DESIGN.md §9). time()/system_clock/random_device smuggle "
+     "host state into results; steady_clock is fine for durations "
+     "and common/rng for entropy.",
+     "auto now = std::chrono::system_clock::now();",
+     "auto t0 = std::chrono::steady_clock::now();  // duration only"},
     {"include-hygiene",
      "headers need an include guard and must not contain "
-     "'using namespace'"},
+     "'using namespace'",
+     "An unguarded header breaks the one-definition rule the moment "
+     "two TUs meet it; a using-directive in a header rewrites name "
+     "lookup for every includer.",
+     "// foo.hh, no guard\nusing namespace std;",
+     "#ifndef COLDBOOT_FOO_HH\n#define COLDBOOT_FOO_HH\n...\n#endif"},
     {"log-no-secrets",
-     "key-material identifiers must not be passed to logging calls"},
+     "key-material identifiers must not be passed to logging calls",
+     "Log files outlive the process and leave the machine; one "
+     "logged key voids the whole memory-scrambler analysis "
+     "(\"Security Through Amnesia\": a key touching persistent "
+     "storage once is a full compromise). Sizes and counts are fine; "
+     "bytes are not.",
+     "cb_inform(\"derived key %s\", hex(master_key).c_str());",
+     "cb_inform(\"derived %zu key bytes\", master_key.size());"},
     {"no-raw-thread",
      "std::thread/std::jthread/pthread_create outside src/exec/; "
-     "use exec::ThreadPool so work stays observable and bounded"},
+     "use exec::ThreadPool so work stays observable and bounded",
+     "Raw threads bypass COLDBOOT_THREADS/--threads sizing, the "
+     "exec.pool.* stats, and the ordered-reduction determinism "
+     "contract. src/exec/ is the one place a real thread may be "
+     "constructed.",
+     "std::thread worker([&] { mine(); }); worker.join();",
+     "exec::TaskGroup g(pool); g.run([&] { mine(); }); g.wait();"},
     {"bad-suppression",
-     "malformed 'coldboot-lint: allow(<rule>) -- <why>' comment"},
+     "malformed 'coldboot-lint: allow(<rule>) -- <why>' comment",
+     "A suppression that names an unknown rule or omits its "
+     "justification silently stops suppressing after a rename - or "
+     "never suppressed at all. Malformed waivers are findings so "
+     "they cannot rot in place.",
+     "// coldboot-lint: allow(secret-wipe)",
+     "// coldboot-lint: allow(secret-wipe) -- fixture, fake key"},
+    {"secret-taint",
+     "key material must not flow into logging or output sinks, "
+     "directly or through assignments and calls across TUs",
+     "The token-level log-no-secrets rule sees one line at a time; a "
+     "key copied into an innocuously named local, or passed through "
+     "two helper calls, leaks just as completely. This pass seeds "
+     "taint at key-material sources (MinedKey, RecoveredAesKey, "
+     "SecureBuffer contents, key-named identifiers), propagates it "
+     "through assignments and call arguments over the project call "
+     "graph, and reports any path that reaches a sink with the full "
+     "inter-procedural trace as a SARIF code flow.",
+     "auto copy = mined.key_bytes; report(copy);\n"
+     "// elsewhere: void report(v) { cb_inform(\"%s\", hex(v)); }",
+     "cb_inform(\"recovered %zu bytes\", mined.key_bytes.size());"},
+    {"transitive-determinism",
+     "functions reachable from parallelForChunks/"
+     "parallelMapReduceChunks bodies must not transitively reach "
+     "wall-clock or OS entropy",
+     "The DESIGN.md §9 contract - byte-identical results at any "
+     "pool width - dies if any function called from a parallel "
+     "region reads host state, even three calls deep in another TU. "
+     "This upgrades no-wallclock-in-sim from one line to call-graph "
+     "depth.",
+     "parallelForChunks(0, n, g, [&](c) { stamp(c); });\n"
+     "// elsewhere: void stamp(c) { c.t = time(nullptr); }",
+     "pass the seeded rng / steady_clock origin in as a parameter"},
+    {"wipe-coverage",
+     "types owning key-named byte storage need a wiping destructor "
+     "(or store it in a SecureBuffer)",
+     "Per-callsite wipe rules miss the type that never wipes at all: "
+     "a struct holding key bytes in a plain vector leaves them in "
+     "freed heap pages on every destruction - exactly the remanence "
+     "this project attacks. Self-wiping members (SecureBuffer, types "
+     "with wiping destructors) satisfy the rule.",
+     "struct Candidate { std::vector<uint8_t> key_bytes; };",
+     "struct Candidate { SecureBuffer key_bytes; };  // or add\n"
+     "~Candidate() { secureWipe(key_bytes); }"},
 };
 
 std::string
@@ -111,7 +190,8 @@ ruleSecretWipe(const std::string &path, const std::vector<Token> &toks,
                          toks[i].col,
                          std::string(fn) + " on '" + toks[a].text +
                              "' may be optimized away; use "
-                             "secureWipe() (common/secure.hh)"});
+                             "secureWipe() (common/secure.hh)",
+                 {}});
                     break;
                 }
             }
@@ -143,7 +223,8 @@ ruleBannedApi(const std::string &path, const std::vector<Token> &toks,
                 out.push_back({"banned-api", path, toks[i].line,
                                toks[i].col,
                                std::string("'") + b.fn + "' is "
-                               "banned: " + b.why});
+                               "banned: " + b.why,
+                 {}});
             }
         }
         // Raw array new: `new T[n]` (vector/unique_ptr<T[]> instead).
@@ -159,7 +240,8 @@ ruleBannedApi(const std::string &path, const std::vector<Token> &toks,
                              toks[i].col,
                              "raw new[] is banned outside tests; "
                              "use std::vector or "
-                             "std::unique_ptr<T[]>"});
+                             "std::unique_ptr<T[]>",
+                 {}});
                         break;
                     }
                     if (p == "(" || p == ";" || p == ")" ||
@@ -175,17 +257,8 @@ void
 ruleNoWallclock(const std::string &path, const std::vector<Token> &toks,
                 std::vector<Finding> &out)
 {
-    // Deliberately not "clock": the engine layer models cycle
-    // clocks with methods of that name, and ::clock() is CPU time,
-    // not wall time.
-    static const char *calls[] = {
-        "time",      "gettimeofday", "clock_gettime",
-        "localtime", "localtime_r",  "gmtime",
-        "gmtime_r",  "strftime",     "ftime",
-        "timespec_get",
-    };
-    static const char *types[] = {"system_clock", "random_device",
-                                  "high_resolution_clock"};
+    const auto &calls = wallclockCallNames();
+    const auto &types = wallclockTypeNames();
     for (size_t i = 0; i < toks.size(); ++i) {
         if (toks[i].kind != TokKind::Identifier)
             continue;
@@ -197,7 +270,8 @@ ruleNoWallclock(const std::string &path, const std::vector<Token> &toks,
                      std::string("'") + fn + "' reads the wall "
                      "clock; simulation must be deterministic "
                      "(steady_clock for durations, common/rng for "
-                     "entropy)"});
+                     "entropy)",
+                 {}});
             }
         }
         for (const char *ty : types) {
@@ -206,7 +280,8 @@ ruleNoWallclock(const std::string &path, const std::vector<Token> &toks,
                     {"no-wallclock-in-sim", path, toks[i].line,
                      toks[i].col,
                      std::string("'") + ty + "' breaks seeded "
-                     "determinism; use steady_clock / common/rng"});
+                     "determinism; use steady_clock / common/rng",
+                 {}});
             }
         }
     }
@@ -260,7 +335,8 @@ ruleIncludeHygiene(const std::string &path,
     if (!guarded)
         out.push_back({"include-hygiene", path, 1, 1,
                        "header has no include guard (#pragma once "
-                       "or #ifndef/#define pair)"});
+                       "or #ifndef/#define pair)",
+                 {}});
 
     // `using namespace` in a header leaks into every includer.
     for (size_t i = 0; i + 1 < toks.size(); ++i) {
@@ -271,7 +347,8 @@ ruleIncludeHygiene(const std::string &path,
             out.push_back({"include-hygiene", path, toks[i].line,
                            toks[i].col,
                            "'using namespace' in a header pollutes "
-                           "every includer; qualify names instead"});
+                           "every includer; qualify names instead",
+                 {}});
         }
     }
 }
@@ -281,14 +358,9 @@ ruleLogNoSecrets(const std::string &path,
                  const std::vector<Token> &toks,
                  std::vector<Finding> &out)
 {
-    auto is_log_fn = [](const std::string &t) {
-        return t == "cb_inform" || t == "cb_warn" || t == "cb_fatal" ||
-               t == "cb_panic" ||
-               (t.size() > 4 && t.compare(0, 4, "LOG_") == 0);
-    };
     for (size_t i = 0; i < toks.size(); ++i) {
         if (toks[i].kind != TokKind::Identifier ||
-            !is_log_fn(toks[i].text))
+            !isLogCall(toks[i].text))
             continue;
         if (i + 1 >= toks.size() ||
             toks[i + 1].kind != TokKind::Punct ||
@@ -316,7 +388,8 @@ ruleLogNoSecrets(const std::string &path,
             out.push_back(
                 {"log-no-secrets", path, toks[i].line, toks[i].col,
                  "'" + toks[a].text + "' looks like key material; "
-                 "never pass secrets to " + toks[i].text + "()"});
+                 "never pass secrets to " + toks[i].text + "()",
+                 {}});
         }
     }
 }
@@ -355,14 +428,16 @@ ruleNoRawThread(const std::string &path,
                 {"no-raw-thread", path, toks[i].line, toks[i].col,
                  "raw std::" + toks[i + 3].text + " outside "
                  "src/exec/; submit work to exec::ThreadPool "
-                 "(exec/thread_pool.hh) instead"});
+                 "(exec/thread_pool.hh) instead",
+                 {}});
         }
         if (isCall(toks, i, "pthread_create") &&
             !precededByDot(toks, i)) {
             out.push_back(
                 {"no-raw-thread", path, toks[i].line, toks[i].col,
                  "pthread_create outside src/exec/; submit work to "
-                 "exec::ThreadPool (exec/thread_pool.hh) instead"});
+                 "exec::ThreadPool (exec/thread_pool.hh) instead",
+                 {}});
         }
     }
 }
@@ -375,11 +450,87 @@ ruleCatalog()
     return catalog;
 }
 
-bool
-isKnownRule(const std::string &id)
+const RuleInfo *
+findRule(const std::string &id)
 {
     for (const auto &r : catalog)
         if (id == r.id)
+            return &r;
+    return nullptr;
+}
+
+bool
+isKnownRule(const std::string &id)
+{
+    return findRule(id) != nullptr;
+}
+
+const std::vector<const char *> &
+secretTypeNames()
+{
+    // HeaderFields / MountedVolume / the Recovered* results hold the
+    // actual decrypted volume keys; MinedKey is a schedule mined out
+    // of a dump; SecureBuffer is key material by declaration.
+    static const std::vector<const char *> names = {
+        "SecureBuffer",     "MinedKey",        "RecoveredAesKey",
+        "RecoveredXtsKeys", "HeaderFields",    "MountedVolume",
+    };
+    return names;
+}
+
+const std::vector<const char *> &
+wipingTypeNames()
+{
+    static const std::vector<const char *> names = {"SecureBuffer"};
+    return names;
+}
+
+const std::vector<const char *> &
+wallclockCallNames()
+{
+    // Deliberately not "clock": the engine layer models cycle
+    // clocks with methods of that name, and ::clock() is CPU time,
+    // not wall time.
+    static const std::vector<const char *> names = {
+        "time",      "gettimeofday", "clock_gettime",
+        "localtime", "localtime_r",  "gmtime",
+        "gmtime_r",  "strftime",     "ftime",
+        "timespec_get",
+    };
+    return names;
+}
+
+const std::vector<const char *> &
+wallclockTypeNames()
+{
+    static const std::vector<const char *> names = {
+        "system_clock", "random_device", "high_resolution_clock"};
+    return names;
+}
+
+bool
+isLogCall(const std::string &name)
+{
+    return name == "cb_inform" || name == "cb_warn" ||
+           name == "cb_fatal" || name == "cb_panic" ||
+           (name.size() > 4 && name.compare(0, 4, "LOG_") == 0);
+}
+
+bool
+isSinkCall(const std::string &name)
+{
+    if (isLogCall(name))
+        return true;
+    // stdio / file / socket output: anything that moves bytes out of
+    // the process's address space. memcpy/assignment are not sinks -
+    // they only propagate taint.
+    static const char *out_fns[] = {
+        "printf", "fprintf", "dprintf", "vprintf", "vfprintf",
+        "fwrite", "fputs",   "puts",    "perror",  "write",
+        "pwrite", "send",    "sendto",  "sendmsg", "syslog",
+    };
+    for (const char *fn : out_fns)
+        if (name == fn)
             return true;
     return false;
 }
@@ -394,6 +545,29 @@ looksSecret(const std::string &ident)
         if (low.find(p) != std::string::npos)
             return true;
     return false;
+}
+
+bool
+looksKeyMaterial(const std::string &ident)
+{
+    if (!looksSecret(ident))
+        return false;
+    const std::string low = lowered(ident);
+    // Metadata about keys, not the bytes themselves: key_size,
+    // keytable_addr, key_match, distinct_keys, max_key_latency_ps...
+    static const char *demotions[] = {
+        "size",  "len",      "addr",  "offset", "idx",
+        "index", "count",    "match", "hits",   "distinct",
+        "name",  "label",    "path",  "type",   "latency",
+        "rate",  "level",    "table", "_ps",    "_ns",
+        "_ms",   "rounds",   "nkeys", "n_keys",
+    };
+    for (const char *d : demotions)
+        if (low.find(d) != std::string::npos)
+            return false;
+    // A bare `key` is as often a stat-registry / JSON lookup key as
+    // it is key bytes; too weak to amplify across the call graph.
+    return low != "key" && low != "keys";
 }
 
 std::vector<Finding>

@@ -27,6 +27,22 @@
  *   bad-suppression     malformed `coldboot-lint: allow(...)`
  *                       comments (wrong syntax, unknown rule, or
  *                       missing justification).
+ *
+ * Three further rules run on the project-wide call graph rather than
+ * one file's token stream (tools/lint/dataflow.hh):
+ *
+ *   secret-taint            key material reaches a logging / output
+ *                           sink through assignments and call
+ *                           arguments, possibly across translation
+ *                           units; the SARIF report carries the full
+ *                           inter-procedural path as a code flow.
+ *   transitive-determinism  a function reachable from a
+ *                           parallelForChunks / parallelMapReduce-
+ *                           Chunks body transitively calls wall-clock
+ *                           or OS-entropy APIs.
+ *   wipe-coverage           a struct/class owns key-named byte
+ *                           storage but has no destructor that
+ *                           secureWipe()s it.
  */
 
 #ifndef COLDBOOT_TOOLS_LINT_RULES_HH
@@ -41,6 +57,18 @@
 namespace coldboot::lint
 {
 
+/**
+ * One hop of an inter-procedural path (SARIF threadFlowLocation):
+ * where the value was sourced, handed to a callee, or sunk.
+ */
+struct FlowStep
+{
+    std::string file;
+    int line = 0;
+    int col = 0;
+    std::string note; ///< human-readable step description
+};
+
 /** One rule violation. */
 struct Finding
 {
@@ -49,17 +77,34 @@ struct Finding
     int line = 0;
     int col = 0;
     std::string message;
+    /**
+     * Inter-procedural path for call-graph findings, source first,
+     * sink last. Empty for single-location findings. Rendered as
+     * SARIF codeFlows/threadFlows.
+     */
+    std::vector<FlowStep> flow;
 };
 
-/** Catalog entry: stable rule id plus a one-line description. */
+/**
+ * Catalog entry: stable rule id, one-line description, and the
+ * explain/help metadata. The same table feeds `--explain <rule>`,
+ * `--list-rules` and the SARIF rule metadata, so the three cannot
+ * drift apart.
+ */
 struct RuleInfo
 {
     const char *id;
     const char *description;
+    const char *rationale;   ///< why the project enforces this
+    const char *example_bad; ///< minimal violating snippet
+    const char *example_fix; ///< the corrected snippet
 };
 
 /** All rules, in catalog order (includes bad-suppression). */
 const std::vector<RuleInfo> &ruleCatalog();
+
+/** Catalog entry for @p id, or nullptr if unknown. */
+const RuleInfo *findRule(const std::string &id);
 
 /** Whether @p id names a rule in the catalog. */
 bool isKnownRule(const std::string &id);
@@ -70,6 +115,46 @@ bool isKnownRule(const std::string &id);
  * secret-wipe and log-no-secrets.
  */
 bool looksSecret(const std::string &ident);
+
+/**
+ * Stricter variant for the dataflow passes: looksSecret() plus
+ * demotions for identifiers that are *about* keys without holding
+ * key bytes - sizes, addresses, match counts, stat-registry key
+ * strings ("key" alone), and so on. Token rules keep the loose
+ * heuristic (a direct `cb_warn(..., key)` is worth a look either
+ * way); taint tracking amplifies every seed across the call graph,
+ * so its seeds must be high-confidence.
+ */
+bool looksKeyMaterial(const std::string &ident);
+
+/**
+ * Type names that hold key material by construction. Locals and
+ * parameters of these types seed the secret-taint pass regardless of
+ * the variable's name.
+ */
+const std::vector<const char *> &secretTypeNames();
+
+/**
+ * Self-wiping type names: holding key bytes in one of these
+ * satisfies wipe-coverage (the destructor guarantees the wipe).
+ */
+const std::vector<const char *> &wipingTypeNames();
+
+/** Functions whose call reads the wall clock (banned in the sim). */
+const std::vector<const char *> &wallclockCallNames();
+
+/** Type names that break seeded determinism (system_clock, ...). */
+const std::vector<const char *> &wallclockTypeNames();
+
+/** Whether @p name is a logging entry point (cb_* / LOG_*). */
+bool isLogCall(const std::string &name);
+
+/**
+ * Whether a call to @p name emits data beyond the process: logging,
+ * stdio/file output, or socket writes. These are the secret-taint
+ * sinks.
+ */
+bool isSinkCall(const std::string &name);
 
 /**
  * Run every rule not in @p disabled over one file's token stream.
