@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Analysis-service benches:
+ *
+ *   serve_jobs      in-process JobScheduler driving full attack
+ *                   sessions on a planted scrambled dump: single-job
+ *                   submit-to-result latency, batch throughput over
+ *                   three competing clients, cancel-to-terminal
+ *                   latency, and the byte-identity gate across pool
+ *                   widths 1 and 4;
+ *   serve_protocol  JobServer + JobClient over loopback: status and
+ *                   list round-trips per second on a live daemon
+ *                   holding a finished job.
+ *
+ * Both register into the smoke profile, so smoke_bench_json and
+ * `bench_compare --self` gate them like every other bench.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "crypto/aes.hh"
+#include "exec/thread_pool.hh"
+#include "memctrl/scrambler.hh"
+#include "obs/bench.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/scheduler.hh"
+#include "serve/server.hh"
+
+using namespace coldboot;
+
+namespace
+{
+
+/**
+ * Scratch dump with planted scrambler keys and one planted XTS
+ * keytable, so served attack jobs do real mining + search + pairing
+ * work and return non-trivial results.
+ */
+void
+writeServeDump(const std::string &path, size_t len, unsigned planted,
+               unsigned copies)
+{
+    std::vector<uint8_t> bytes(len);
+    Xoshiro256StarStar rng(0x5E21);
+    rng.fillBytes(bytes);
+    size_t lines = len / 64;
+
+    memctrl::Ddr4Scrambler scr(0xBEEF, 0);
+    std::vector<std::vector<uint8_t>> keys(planted,
+                                           std::vector<uint8_t>(64));
+    for (unsigned k = 0; k < planted; ++k) {
+        scr.poolKey(k * 61 % 4096, keys[k].data());
+        for (unsigned copy = 0; copy < copies; ++copy) {
+            size_t line = (k * copies + copy + 11) * 397 % lines;
+            std::memcpy(&bytes[line * 64], keys[k].data(), 64);
+        }
+    }
+
+    std::vector<uint8_t> master(64);
+    Xoshiro256StarStar key_rng(0x1234);
+    key_rng.fillBytes(master);
+    auto data_sched = crypto::aesExpandKey({master.data(), 32});
+    auto tweak_sched = crypto::aesExpandKey({master.data() + 32, 32});
+    uint64_t table_off = (lines / 3) * 64;
+    for (size_t i = 0; i < data_sched.size(); ++i)
+        bytes[table_off + i] =
+            data_sched[i] ^ keys[1][(table_off + i) & 63];
+    uint64_t tweak_off = table_off + data_sched.size();
+    for (size_t i = 0; i < tweak_sched.size(); ++i)
+        bytes[tweak_off + i] =
+            tweak_sched[i] ^ keys[1][(tweak_off + i) & 63];
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f != nullptr) {
+        std::fwrite(bytes.data(), 1, bytes.size(), f);
+        std::fclose(f);
+    }
+}
+
+serve::JobSpec
+attackSpec(const std::string &path, const std::string &client_id)
+{
+    serve::JobSpec spec;
+    spec.kind = serve::JobKind::Attack;
+    spec.dump_path = path;
+    spec.client_id = client_id;
+    return spec;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // anonymous namespace
+
+COLDBOOT_BENCH(serve_jobs)
+{
+    const size_t dump_bytes = ctx.pick(MiB(8), MiB(2));
+    const size_t batch_jobs = ctx.pick<size_t>(9, 3);
+    const std::string dump_path = "serve_jobs.scratch";
+    writeServeDump(dump_path, dump_bytes, 4, 6);
+
+    std::printf("serve: scheduler latency/throughput (%zu MiB dump, "
+                "%zu-job batch)\n\n",
+                dump_bytes >> 20, batch_jobs);
+
+    // Single job, submit to result, on an otherwise idle scheduler.
+    double latency_ms = 0.0;
+    std::string reference_text;
+    {
+        serve::JobScheduler sched;
+        std::string error;
+        auto t0 = std::chrono::steady_clock::now();
+        uint64_t id =
+            sched.submit(attackSpec(dump_path, "bench"), &error);
+        serve::JobResult res;
+        bool ok = id != 0 && sched.waitResult(id, &res) &&
+                  res.state == serve::JobState::Done;
+        latency_ms = secondsSince(t0) * 1e3;
+        if (!ok) {
+            std::printf("!! single job failed: %s\n", error.c_str());
+        } else {
+            reference_text = res.text;
+        }
+        std::printf("%-28s %10.1f ms\n", "submit-to-result latency",
+                    latency_ms);
+    }
+    ctx.report("serve_jobs.latency_ms", latency_ms,
+               "one attack job, submit to result, idle scheduler");
+
+    // A batch across three competing clients, admitted fair-share.
+    double jobs_per_s = 0.0;
+    {
+        serve::SchedulerOptions opts;
+        opts.max_concurrent_jobs = 3;
+        serve::JobScheduler sched(opts);
+        std::string error;
+        std::vector<uint64_t> ids;
+        auto t0 = std::chrono::steady_clock::now();
+        for (size_t i = 0; i < batch_jobs; ++i) {
+            const char *client =
+                i % 3 == 0 ? "alice" : (i % 3 == 1 ? "bob" : "carol");
+            uint64_t id =
+                sched.submit(attackSpec(dump_path, client), &error);
+            if (id != 0)
+                ids.push_back(id);
+        }
+        size_t done = 0;
+        for (uint64_t id : ids) {
+            serve::JobResult res;
+            if (sched.waitResult(id, &res) &&
+                res.state == serve::JobState::Done &&
+                res.text == reference_text)
+                ++done;
+        }
+        double secs = secondsSince(t0);
+        jobs_per_s = secs > 0.0 ? static_cast<double>(done) / secs
+                                : 0.0;
+        std::printf("%-28s %10.2f jobs/s (%zu/%zu done)\n",
+                    "3-client batch throughput", jobs_per_s, done,
+                    ids.size());
+    }
+    ctx.report("serve_jobs.jobs_per_second", jobs_per_s,
+               "attack jobs completed per second, three clients, "
+               "max_concurrent_jobs=3");
+
+    // Cancel-to-terminal latency on a live job.
+    double cancel_ms = 0.0;
+    {
+        serve::JobScheduler sched;
+        std::string error;
+        uint64_t id =
+            sched.submit(attackSpec(dump_path, "bench"), &error);
+        if (id != 0) {
+            auto t0 = std::chrono::steady_clock::now();
+            sched.cancel(id);
+            serve::JobResult res;
+            sched.waitResult(id, &res);
+            cancel_ms = secondsSince(t0) * 1e3;
+        }
+        std::printf("%-28s %10.2f ms\n", "cancel-to-terminal",
+                    cancel_ms);
+    }
+    ctx.report("serve_jobs.cancel_ms", cancel_ms,
+               "cancel() to terminal state on a live job");
+
+    // Determinism gate: served results byte-identical at widths 1
+    // and 4 (the scheduler steps sessions on the global pool).
+    bool identical = true;
+    for (unsigned w : {1u, 4u}) {
+        exec::ThreadPool pool(w);
+        exec::ThreadPool::ScopedGlobalOverride ov(pool);
+        serve::JobScheduler sched;
+        std::string error;
+        uint64_t id =
+            sched.submit(attackSpec(dump_path, "bench"), &error);
+        serve::JobResult res;
+        if (id == 0 || !sched.waitResult(id, &res) ||
+            res.text != reference_text) {
+            identical = false;
+            std::printf("!! width %u produced DIFFERENT results\n",
+                        w);
+        }
+        sched.shutdown();
+    }
+    ctx.report("serve_jobs.results_identical", identical ? 1.0 : 0.0,
+               "1 when pool widths 1 and 4 returned byte-identical "
+               "job results");
+    ctx.setBytesProcessed(static_cast<uint64_t>(dump_bytes) *
+                          (batch_jobs + 3));
+    std::remove(dump_path.c_str());
+
+    std::printf("\nExpected shape: batch throughput above the "
+                "single-job rate (admission\noverlap), cancel "
+                "latency bounded by one scan chunk, identical "
+                "results\nat every width.\n");
+}
+
+COLDBOOT_BENCH(serve_protocol)
+{
+    const size_t round_trips = ctx.pick<size_t>(4000, 400);
+    const std::string dump_path = "serve_protocol.scratch";
+    writeServeDump(dump_path, MiB(1), 2, 6);
+
+    serve::JobServer server;
+    std::string error;
+    if (!server.start(&error)) {
+        std::printf("serve: cannot bind loopback (%s); skipping\n",
+                    error.c_str());
+        std::remove(dump_path.c_str());
+        return;
+    }
+    serve::JobClient client;
+    if (!client.connect("127.0.0.1", server.port(), &error)) {
+        std::printf("serve: cannot connect (%s); skipping\n",
+                    error.c_str());
+        std::remove(dump_path.c_str());
+        return;
+    }
+
+    // One finished mine job so status/list marshal real payloads.
+    serve::JobSpec spec;
+    spec.kind = serve::JobKind::Mine;
+    spec.dump_path = dump_path;
+    uint64_t id = client.submit(spec, &error);
+    serve::JobResult res;
+    if (id == 0 || !client.result(id, &res, &error)) {
+        std::printf("serve: seed job failed (%s); skipping\n",
+                    error.c_str());
+        std::remove(dump_path.c_str());
+        return;
+    }
+
+    std::printf("serve: protocol round-trips over loopback (%zu "
+                "each)\n\n",
+                round_trips);
+    std::printf("%10s %12s %14s\n", "request", "seconds", "req/s");
+
+    struct Leg
+    {
+        const char *name;
+        double per_second;
+    };
+    std::vector<Leg> legs;
+    {
+        auto t0 = std::chrono::steady_clock::now();
+        size_t ok = 0;
+        for (size_t i = 0; i < round_trips; ++i) {
+            serve::JobStatus st;
+            if (client.status(id, &st, &error))
+                ++ok;
+        }
+        double secs = secondsSince(t0);
+        legs.push_back(
+            {"status",
+             secs > 0.0 ? static_cast<double>(ok) / secs : 0.0});
+    }
+    {
+        auto t0 = std::chrono::steady_clock::now();
+        size_t ok = 0;
+        for (size_t i = 0; i < round_trips; ++i) {
+            std::vector<serve::JobStatus> jobs;
+            if (client.list(&jobs, &error) && !jobs.empty())
+                ++ok;
+        }
+        double secs = secondsSince(t0);
+        legs.push_back(
+            {"list",
+             secs > 0.0 ? static_cast<double>(ok) / secs : 0.0});
+    }
+    for (const auto &leg : legs) {
+        std::printf("%10s %12s %14.0f\n", leg.name, "-",
+                    leg.per_second);
+        ctx.report(std::string("serve_protocol.") + leg.name +
+                       ".requests_per_second",
+                   leg.per_second,
+                   "loopback request round-trips per second");
+    }
+    server.stop();
+    std::remove(dump_path.c_str());
+
+    std::printf("\nExpected shape: tens of thousands of round-trips "
+                "per second - the\nframed codec, not the socket, is "
+                "the bound.\n");
+}

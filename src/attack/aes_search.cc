@@ -420,6 +420,7 @@ searchAesKeyTables(const exec::DumpSource &dump,
         exec::parallelMapReduceChunks<ChunkScan>(
             begin, end, kScanGrain,
             [&](const exec::ChunkRange &c) {
+                exec::checkpointIfCancellable(params.cancel);
                 thread_local exec::ChunkBuffer buf;
                 dump.prefetch(c.begin, c.end - c.begin);
                 auto bytes =
@@ -483,6 +484,7 @@ searchAesKeyTables(const exec::DumpSource &dump,
     unsigned max_p = (aesLitmusPlacements(params.key_size) - 1) * 4;
     exec::ChunkBuffer reconstruct_buf;
     for (const auto &hit : all_hits) {
+        exec::checkpointIfCancellable(params.cancel);
         for (unsigned s = hit.start_word % modulus; s <= max_p;
              s += modulus) {
             if (params.max_reconstructions != 0 &&

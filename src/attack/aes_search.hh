@@ -24,6 +24,7 @@
 #include "attack/key_miner.hh"
 #include "common/secure.hh"
 #include "crypto/aes.hh"
+#include "exec/cancel.hh"
 #include "exec/dump_io.hh"
 #include "platform/memory_image.hh"
 
@@ -90,6 +91,12 @@ struct SearchParams
     uint64_t scan_start = 0;
     /** Bytes to scan (0 = to end of dump). */
     uint64_t scan_bytes = 0;
+    /**
+     * Optional cooperative cancellation: checked once per scan chunk
+     * and once per reconstruction attempt; a raised token makes the
+     * call throw exec::CancelledError. Null = run to completion.
+     */
+    const exec::CancelToken *cancel = nullptr;
 };
 
 /** Search statistics. */

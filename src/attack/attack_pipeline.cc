@@ -1,12 +1,7 @@
 #include "attack/attack_pipeline.hh"
 
-#include <algorithm>
-
-#include "common/logging.hh"
+#include "attack/sessions.hh"
 #include "crypto/aes.hh"
-#include "obs/progress.hh"
-#include "obs/stats.hh"
-#include "obs/trace.hh"
 
 namespace coldboot::attack
 {
@@ -37,100 +32,13 @@ PipelineReport
 runColdBootAttack(const exec::DumpSource &dump,
                   const PipelineParams &params)
 {
-    auto &registry = obs::StatRegistry::global();
-    obs::ScopedSpan pipeline_span("attack.pipeline");
-    PipelineReport report;
-
-    // Umbrella job over the whole pipeline: the unit is "dump bytes
-    // to scan" - one mining pass plus one search pass per key size.
-    // Stage-level jobs (attack.miner / attack.search) report finer
-    // grain; this one gives `/progress` a single end-to-end figure.
-    uint64_t mine_bytes = dump.size();
-    if (params.miner.scan_limit_bytes != 0)
-        mine_bytes = std::min<uint64_t>(mine_bytes,
-                                        params.miner.scan_limit_bytes);
-    mine_bytes &= ~63ull;
-    auto progress = obs::ProgressTracker::global().startJob(
-        "attack.pipeline",
-        mine_bytes + dump.size() * params.key_sizes.size());
-
-    {
-        obs::ScopedSpan span("mine");
-        cb_inform("attack: mining scrambler keys from %zu MiB dump",
-                  dump.size() >> 20);
-        report.mined_keys =
-            mineScramblerKeys(dump, params.miner,
-                              &report.miner_stats);
-    }
-    progress->advance(mine_bytes);
-    cb_inform("attack: mined %zu candidate keys "
-              "(%llu litmus hits over %llu blocks)",
-              report.mined_keys.size(),
-              static_cast<unsigned long long>(
-                  report.miner_stats.litmus_hits),
-              static_cast<unsigned long long>(
-                  report.miner_stats.blocks_scanned));
-
-    {
-        obs::ScopedSpan span("search");
-        for (crypto::AesKeySize ks : params.key_sizes) {
-            SearchParams search = params.search;
-            search.key_size = ks;
-            SearchStats stats;
-            auto found = searchAesKeyTables(dump, report.mined_keys,
-                                            search, &stats);
-            report.recovered.insert(report.recovered.end(),
-                                    found.begin(), found.end());
-            report.search_stats.blocks_scanned +=
-                stats.blocks_scanned;
-            report.search_stats.descramble_attempts +=
-                stats.descramble_attempts;
-            report.search_stats.litmus_hits += stats.litmus_hits;
-            report.search_stats.reconstructions_tried +=
-                stats.reconstructions_tried;
-            report.search_stats.reconstructions_verified +=
-                stats.reconstructions_verified;
-            report.search_stats.seconds += stats.seconds;
-            progress->advance(dump.size());
-        }
-    }
-    cb_inform("attack: recovered %zu AES key table(s)",
-              report.recovered.size());
-
-    {
-        obs::ScopedSpan span("pair");
-        report.xts_pairs = pairXtsKeys(report.recovered);
-    }
-    progress->finish();
-    cb_inform("attack: paired %zu XTS master key set(s)",
-              report.xts_pairs.size());
-
-    registry.counter("attack.pipeline.bytes_scanned",
-                     "dump bytes scanned across mining and search")
-        .add((report.miner_stats.blocks_scanned +
-              report.search_stats.blocks_scanned) * 64);
-    registry.counter("attack.pipeline.keys_recovered",
-                     "AES key tables recovered")
-        .add(report.recovered.size());
-    registry.counter("attack.pipeline.xts_pairs",
-                     "XTS master key pairs recovered")
-        .add(report.xts_pairs.size());
-    registry.rate("attack.pipeline.runs",
-                  "end-to-end attack pipelines completed").add();
-
-    // Throughput from the registry's wall-clock span of the whole
-    // pipeline; an empty dump (or an impossibly fast run) reports 0
-    // rather than inf/nan.
-    double seconds = pipeline_span.stop();
-    if (dump.size() > 0 && seconds > 0.0) {
-        report.mib_per_second =
-            static_cast<double>(dump.size()) / (1 << 20) / seconds;
-    }
-    registry.setScalar("attack.pipeline.mib_per_second",
-                       report.mib_per_second,
-                       "end-to-end scan throughput of the most "
-                       "recent pipeline run");
-    return report;
+    // The one-shot entry point IS the session path: construct the
+    // stage machine and drive it to completion in-line. The analysis
+    // service drives the same object step by step, so service job
+    // results are byte-identical to this call by construction.
+    AttackSession session(dump, params);
+    session.runToCompletion();
+    return session.takeReport();
 }
 
 PipelineReport

@@ -96,6 +96,7 @@ haldermanSearch(const exec::DumpSource &image,
     exec::parallelMapReduceChunks<std::vector<BaselineKey>>(
         0, windows, kWindowGrain,
         [&](const exec::ChunkRange &c) {
+            exec::checkpointIfCancellable(params.cancel);
             thread_local exec::ChunkBuffer buf;
             uint64_t lo = begin + c.begin * params.step;
             uint64_t hi = std::min<uint64_t>(

@@ -27,6 +27,7 @@
 
 #include "common/secure.hh"
 #include "crypto/aes.hh"
+#include "exec/cancel.hh"
 #include "exec/dump_io.hh"
 #include "platform/memory_image.hh"
 
@@ -71,6 +72,11 @@ struct BaselineParams
     uint64_t scan_start = 0;
     /** Bytes to scan (0 = to end). */
     uint64_t scan_bytes = 0;
+    /**
+     * Optional cooperative cancellation: checked once per scan chunk;
+     * a raised token makes the call throw exec::CancelledError.
+     */
+    const exec::CancelToken *cancel = nullptr;
 };
 
 /**

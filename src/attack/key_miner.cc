@@ -200,6 +200,7 @@ mineScramblerKeys(const exec::DumpSource &dump,
     exec::parallelMapReduceChunks<ChunkHits>(
         0, scan_bytes, kScanGrain,
         [&](const exec::ChunkRange &c) {
+            exec::checkpointIfCancellable(params.cancel);
             thread_local exec::ChunkBuffer buf;
             dump.prefetch(c.begin, c.end - c.begin);
             auto bytes = dump.chunk(c.begin, c.end - c.begin, buf);

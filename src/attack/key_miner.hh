@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/secure.hh"
+#include "exec/cancel.hh"
 #include "exec/dump_io.hh"
 #include "platform/memory_image.hh"
 
@@ -78,6 +79,12 @@ struct MinerParams
      * parallel-fingerprint oracle asserts exactly that.
      */
     unsigned threads = 0;
+    /**
+     * Optional cooperative cancellation: checked once per scan chunk;
+     * a raised token makes the call throw exec::CancelledError.
+     * Null (the default) scans to completion unconditionally.
+     */
+    const exec::CancelToken *cancel = nullptr;
 };
 
 /** Mining statistics for reporting. */

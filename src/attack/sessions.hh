@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Resumable, cancellable analysis sessions - the attack pipeline
+ * recast as explicit stage state machines.
+ *
+ * The one-shot entry points (runColdBootAttack and friends) run a
+ * whole analysis inside one call frame, which is exactly wrong for a
+ * long-running service: a job scheduler needs to start work, observe
+ * it, pause between stages, cancel it mid-scan and report partial
+ * progress - without perturbing the determinism contract. A session
+ * object owns the analysis state across stage boundaries instead of
+ * keeping it on a stack:
+ *
+ *   AttackSession      Mine -> Search (one step per AES variant) ->
+ *                      Pair -> Done
+ *   MineSession        Mine -> Done
+ *   DescrambleSession  Mine -> Descramble (stream + rewrite) -> Done
+ *
+ * step() advances exactly one stage; runToCompletion() loops it. The
+ * stage sequence and every intermediate result are identical to the
+ * old monolithic functions - runColdBootAttack() is now a thin
+ * wrapper over AttackSession - so session-driven results remain
+ * byte-identical to the one-shot CLI at any pool width (DESIGN.md
+ * §9, extended to the service in §14).
+ *
+ * Cancellation is cooperative: each session owns an
+ * exec::CancelToken wired into the scan parameters; requestCancel()
+ * makes the next per-chunk checkpoint throw exec::CancelledError,
+ * which step() converts into the Cancelled terminal state (and
+ * rethrows, so the caller observes it too). Other exceptions mark
+ * the session Failed with the message preserved.
+ */
+
+#ifndef COLDBOOT_ATTACK_SESSIONS_HH
+#define COLDBOOT_ATTACK_SESSIONS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/attack_pipeline.hh"
+#include "exec/cancel.hh"
+#include "exec/dump_io.hh"
+
+namespace coldboot::obs
+{
+class ProgressJob;
+} // namespace coldboot::obs
+
+namespace coldboot::attack
+{
+
+/** Stages of the session state machines (superset over all kinds). */
+enum class SessionStage
+{
+    Mine,
+    Search,
+    Pair,
+    Descramble,
+    Done,
+    Cancelled,
+    Failed,
+};
+
+/** "mine", "search", ... - stable names for status reporting. */
+const char *sessionStageName(SessionStage stage);
+
+/** Whether @p stage is terminal (Done / Cancelled / Failed). */
+bool sessionStageTerminal(SessionStage stage);
+
+/** Point-in-time view of a session for status/checkpoint reporting. */
+struct SessionCheckpoint
+{
+    SessionStage stage = SessionStage::Mine;
+    /** Completed search passes (AttackSession: per AES variant). */
+    size_t search_passes_done = 0;
+    size_t mined_keys = 0;
+    size_t recovered_keys = 0;
+    size_t xts_pairs = 0;
+    /** Wall-clock seconds spent inside step() so far. */
+    double elapsed_seconds = 0.0;
+    /** Failure message (Failed state only). */
+    std::string error;
+};
+
+/**
+ * Base session: stage bookkeeping, cancellation, umbrella progress
+ * job and per-step spans. Subclasses implement runStage() to execute
+ * the current stage and advance to the next.
+ */
+class AnalysisSession
+{
+  public:
+    virtual ~AnalysisSession() = default;
+
+    AnalysisSession(const AnalysisSession &) = delete;
+    AnalysisSession &operator=(const AnalysisSession &) = delete;
+
+    SessionStage stage() const { return stage_; }
+    bool finished() const { return sessionStageTerminal(stage_); }
+
+    /**
+     * Execute the current stage and advance. Returns true while more
+     * stages remain, false once terminal. A raised cancel token
+     * moves the session to Cancelled and rethrows
+     * exec::CancelledError; any other exception moves it to Failed
+     * and rethrows. Calling step() on a terminal session is a no-op
+     * returning false.
+     */
+    bool step();
+
+    /** step() until terminal (exceptions propagate as from step()). */
+    void runToCompletion();
+
+    /** The session's cancel flag (shared with its scan parameters). */
+    exec::CancelToken &cancelToken() { return cancel_; }
+    const exec::CancelToken &cancelToken() const { return cancel_; }
+
+    /**
+     * The umbrella progress job (percent / ETA for the whole
+     * session); null until the first step() ran.
+     */
+    std::shared_ptr<obs::ProgressJob> progressJob() const
+    {
+        return progress_;
+    }
+
+    virtual SessionCheckpoint checkpoint() const;
+
+    /** Failure message once Failed ("" otherwise). */
+    const std::string &error() const { return error_; }
+
+    /** Wall-clock seconds spent inside step() so far. */
+    double elapsedSeconds() const { return elapsed_seconds_; }
+
+  protected:
+    /**
+     * @param span_label Name of the per-step trace span (and the
+     *                   scalar/progress namespace).
+     * @param progress_label Name of the umbrella progress job.
+     */
+    AnalysisSession(std::string span_label,
+                    std::string progress_label);
+
+    /** Execute stage_ and advance it; called with the span open. */
+    virtual void runStage() = 0;
+
+    /** Total units for the umbrella progress job (first step). */
+    virtual uint64_t progressTotalUnits() const = 0;
+
+    /** Hook run once when the session reaches Done (stats export). */
+    virtual void finalize() {}
+
+    SessionStage stage_ = SessionStage::Mine;
+    exec::CancelToken cancel_;
+    std::shared_ptr<obs::ProgressJob> progress_;
+    std::string span_label_;
+    std::string progress_label_;
+    std::string error_;
+    double elapsed_seconds_ = 0.0;
+};
+
+/**
+ * The full DDR4 cold-boot attack as a session: mine scrambler keys,
+ * search for AES key tables (one step per requested variant), pair
+ * XTS masters. Equivalent to runColdBootAttack() - which now runs
+ * through this object - with identical stats, progress and results.
+ */
+class AttackSession final : public AnalysisSession
+{
+  public:
+    /**
+     * @param dump   Must outlive the session.
+     * @param params Pipeline tuning; the session wires its own
+     *               cancel token into the miner/search params.
+     * @param progress_label Umbrella progress job name (the service
+     *               passes "serve.job.<id>"; the CLI default keeps
+     *               the historical "attack.pipeline").
+     */
+    explicit AttackSession(const exec::DumpSource &dump,
+                           PipelineParams params = {},
+                           std::string progress_label =
+                               "attack.pipeline");
+
+    /** Valid in any state; complete once Done. */
+    const PipelineReport &report() const { return report_; }
+
+    /** Move the report out (the session must be terminal). */
+    PipelineReport takeReport();
+
+    SessionCheckpoint checkpoint() const override;
+
+  protected:
+    void runStage() override;
+    uint64_t progressTotalUnits() const override;
+    void finalize() override;
+
+  private:
+    void stageMine();
+    void stageSearch();
+    void stagePair();
+
+    const exec::DumpSource &dump_;
+    PipelineParams params_;
+    PipelineReport report_;
+    /** Next key size to search (Search runs one per step). */
+    size_t next_key_size_ = 0;
+    uint64_t mine_bytes_ = 0;
+};
+
+/** Scrambler-key mining as a single-stage session. */
+class MineSession final : public AnalysisSession
+{
+  public:
+    explicit MineSession(const exec::DumpSource &dump,
+                         MinerParams params = {},
+                         std::string progress_label =
+                             "attack.miner.session");
+
+    const MinerStats &stats() const { return stats_; }
+    const std::vector<MinedKey> &minedKeys() const { return mined_; }
+
+    SessionCheckpoint checkpoint() const override;
+
+  protected:
+    void runStage() override;
+    uint64_t progressTotalUnits() const override;
+
+  private:
+    const exec::DumpSource &dump_;
+    MinerParams params_;
+    MinerStats stats_;
+    std::vector<MinedKey> mined_;
+};
+
+/** Outcome of a DescrambleSession. */
+struct DescrambleResult
+{
+    /** Keys mined in stage 1 (the best one descrambles). */
+    size_t mined_keys = 0;
+    /** Occurrence count of the key used. */
+    size_t key_occurrences = 0;
+    /** 64-byte lines rewritten. */
+    uint64_t lines = 0;
+    /** SHA-256 of the descrambled image, lowercase hex. */
+    std::string sha256_hex;
+    /** Where the descrambled image was written. */
+    std::string out_path;
+};
+
+/**
+ * Whole-dump descramble as a session: mine scrambler keys, then
+ * stream the dump XOR the best-mined key into @p out_path (the
+ * "reboot-XOR" pass that turns a scrambled capture into a plaintext
+ * image for baseline tooling). The XOR runs chunked on the pool; the
+ * output file and its digest are byte-identical at any worker count
+ * because the write-out is an ordered reduction.
+ */
+class DescrambleSession final : public AnalysisSession
+{
+  public:
+    DescrambleSession(const exec::DumpSource &dump,
+                      std::string out_path, MinerParams params = {},
+                      std::string progress_label =
+                          "attack.descramble");
+
+    const DescrambleResult &result() const { return result_; }
+
+    SessionCheckpoint checkpoint() const override;
+
+  protected:
+    void runStage() override;
+    uint64_t progressTotalUnits() const override;
+
+  private:
+    void stageMine();
+    void stageDescramble();
+
+    const exec::DumpSource &dump_;
+    MinerParams params_;
+    std::string out_path_;
+    std::vector<MinedKey> mined_;
+    MinerStats mine_stats_;
+    DescrambleResult result_;
+};
+
+//
+// Deterministic result rendering - shared verbatim by coldboot-tool
+// and the analysis service, so "results byte-identical to the
+// one-shot CLI" is true by construction.
+//
+
+/**
+ * "mined N candidate keys; recovered M AES table(s); K XTS
+ * pair(s);" - no trailing newline (the CLI appends its
+ * timing/backend tail on the same line).
+ */
+std::string renderAttackSummary(const PipelineReport &report);
+
+/** The recovered XTS key lines, exactly as `coldboot-tool attack`
+ *  prints them ("" when nothing was recovered). */
+std::string renderAttackKeys(const PipelineReport &report);
+
+/** Summary line + key lines: the service's attack result payload. */
+std::string renderAttackResult(const PipelineReport &report);
+
+/** Mining result exactly as `coldboot-tool mine` prints it. */
+std::string renderMineResult(const MinerStats &stats,
+                             const std::vector<MinedKey> &mined,
+                             size_t top_n);
+
+/** Descramble result exactly as `coldboot-tool descramble` prints
+ *  it (minus the timing tail). */
+std::string renderDescrambleResult(const DescrambleResult &result);
+
+} // namespace coldboot::attack
+
+#endif // COLDBOOT_ATTACK_SESSIONS_HH

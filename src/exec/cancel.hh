@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running parallel work.
+ *
+ * A CancelToken is one shared atomic flag: the owner (a job scheduler
+ * or a signal handler) raises it with requestCancel(), and the
+ * workload polls it at natural checkpoint boundaries - the attack
+ * scans check once per chunk, which bounds the cancel latency to one
+ * chunk's scan time while keeping the hot loop untouched.
+ *
+ * checkpoint() throws CancelledError; the exception propagates
+ * through ThreadPool::TaskGroup::wait() / parallelForChunks() exactly
+ * like any workload exception, so a cancelled fan-out unwinds every
+ * stage cleanly without poisoning the pool or any concurrent job
+ * (each job carries its own token). Cancellation is observation of a
+ * flag, never a forced unwind, so a run that is *not* cancelled takes
+ * the same path as one with no token at all - the determinism
+ * contract (DESIGN.md §9) is untouched.
+ */
+
+#ifndef COLDBOOT_EXEC_CANCEL_HH
+#define COLDBOOT_EXEC_CANCEL_HH
+
+#include <atomic>
+#include <stdexcept>
+
+namespace coldboot::exec
+{
+
+/** Thrown from CancelToken::checkpoint() once cancel is requested. */
+class CancelledError : public std::runtime_error
+{
+  public:
+    CancelledError() : std::runtime_error("operation cancelled") {}
+};
+
+/**
+ * Shared cancellation flag. Thread-safe: any thread may request,
+ * any number of workers may poll.
+ */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Raise the flag (idempotent, async-signal-safe). */
+    void requestCancel()
+    {
+        flag.store(true, std::memory_order_release);
+    }
+
+    /** Whether cancellation has been requested. */
+    bool cancelled() const
+    {
+        return flag.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Poll point: throws CancelledError once cancellation has been
+     * requested, returns immediately otherwise (one relaxed-cost
+     * atomic load on the common path).
+     */
+    void checkpoint() const
+    {
+        if (cancelled())
+            throw CancelledError();
+    }
+
+  private:
+    std::atomic<bool> flag{false};
+};
+
+/**
+ * checkpoint() on a possibly-null token - the pattern every scan
+ * loop uses, since cancellation is opt-in via a params pointer.
+ */
+inline void
+checkpointIfCancellable(const CancelToken *token)
+{
+    if (token != nullptr)
+        token->checkpoint();
+}
+
+} // namespace coldboot::exec
+
+#endif // COLDBOOT_EXEC_CANCEL_HH

@@ -1,5 +1,6 @@
 #include "exec/dump_io.hh"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -15,8 +16,35 @@
 namespace coldboot::exec
 {
 
+namespace detail
+{
+
 namespace
 {
+/** nullptr = the real pread(2); tests swap in fault injectors. */
+std::atomic<PreadFn> g_pread_shim{nullptr};
+} // anonymous namespace
+
+void
+setPreadShimForTest(PreadFn fn)
+{
+    g_pread_shim.store(fn, std::memory_order_release);
+}
+
+} // namespace detail
+
+namespace
+{
+
+/** pread through the test shim when one is installed. */
+ssize_t
+preadMaybeShimmed(int fd, void *buf, size_t count, off_t offset)
+{
+    if (detail::PreadFn shim =
+            detail::g_pread_shim.load(std::memory_order_acquire))
+        return shim(fd, buf, count, offset);
+    return pread(fd, buf, count, offset);
+}
 
 /** Counts opens per backend so benches can confirm which path ran. */
 void
@@ -115,8 +143,9 @@ class BufferedDumpSource final : public DumpSource
         uint8_t *dst = buf.ensure(len);
         uint64_t done = 0;
         while (done < len) {
-            ssize_t got = pread(fd, dst + done, len - done,
-                                static_cast<off_t>(offset + done));
+            ssize_t got =
+                preadMaybeShimmed(fd, dst + done, len - done,
+                                  static_cast<off_t>(offset + done));
             if (got < 0) {
                 if (errno == EINTR)
                     continue;

@@ -144,6 +144,23 @@ class MemoryDumpSource final : public DumpSource
 std::unique_ptr<DumpSource> openDumpSource(
     const std::string &path, DumpBackend backend = DumpBackend::Auto);
 
+namespace detail
+{
+
+/** Signature of pread(2) - what the buffered backend reads with. */
+using PreadFn = ssize_t (*)(int fd, void *buf, size_t count,
+                            off_t offset);
+
+/**
+ * Test shim: route every buffered-backend pread through @p fn
+ * (nullptr restores the real pread). Lets tests inject short reads
+ * and EINTR - the conditions a loaded many-jobs server hits for real
+ * - without a syscall interposer. Not for production use.
+ */
+void setPreadShimForTest(PreadFn fn);
+
+} // namespace detail
+
 } // namespace coldboot::exec
 
 #endif // COLDBOOT_EXEC_DUMP_IO_HH

@@ -58,44 +58,6 @@ sendAll(int fd, const std::string &data)
 
 } // anonymous namespace
 
-bool
-parseServeSpec(const std::string &text, ServeSpec *out,
-               std::string *error)
-{
-    auto fail = [&](const std::string &why) {
-        if (error != nullptr)
-            *error = why;
-        return false;
-    };
-    std::string addr = "127.0.0.1";
-    std::string port_text = text;
-    size_t colon = text.rfind(':');
-    if (colon != std::string::npos) {
-        addr = text.substr(0, colon);
-        port_text = text.substr(colon + 1);
-        if (addr.empty())
-            return fail("empty address in '" + text + "'");
-    }
-    if (port_text.empty())
-        return fail("empty port in '" + text + "'");
-    unsigned long port = 0;
-    for (char c : port_text) {
-        if (c < '0' || c > '9')
-            return fail("non-numeric port '" + port_text + "'");
-        port = port * 10 + static_cast<unsigned long>(c - '0');
-        if (port > 65535)
-            return fail("port out of range '" + port_text + "'");
-    }
-    in_addr parsed{};
-    if (::inet_pton(AF_INET, addr.c_str(), &parsed) != 1)
-        return fail("bad IPv4 address '" + addr + "'");
-    if (out != nullptr) {
-        out->addr = addr;
-        out->port = static_cast<uint16_t>(port);
-    }
-    return true;
-}
-
 ObsHttpServer::ObsHttpServer(Options opts_) : opts(std::move(opts_))
 {
 }
@@ -108,48 +70,10 @@ ObsHttpServer::~ObsHttpServer()
 bool
 ObsHttpServer::start(std::string *error)
 {
-    auto fail = [&](const std::string &why) {
-        if (error != nullptr)
-            *error = why + ": " + std::strerror(errno);
-        if (listen_fd >= 0) {
-            ::close(listen_fd);
-            listen_fd = -1;
-        }
-        return false;
-    };
-
     if (running)
         return true;
-
-    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd < 0)
-        return fail("socket");
-    int one = 1;
-    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
-                 sizeof(one));
-
-    sockaddr_in sa{};
-    sa.sin_family = AF_INET;
-    sa.sin_port = htons(opts.bind.port);
-    if (::inet_pton(AF_INET, opts.bind.addr.c_str(), &sa.sin_addr) !=
-        1)
-        return fail("bad bind address '" + opts.bind.addr + "'");
-    if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&sa),
-               sizeof(sa)) != 0)
-        return fail("bind " + opts.bind.addr + ":" +
-                    std::to_string(opts.bind.port));
-    if (::listen(listen_fd, 16) != 0)
-        return fail("listen");
-
-    sockaddr_in bound{};
-    socklen_t len = sizeof(bound);
-    if (::getsockname(listen_fd, reinterpret_cast<sockaddr *>(&bound),
-                      &len) != 0)
-        return fail("getsockname");
-    char buf[INET_ADDRSTRLEN] = {0};
-    ::inet_ntop(AF_INET, &bound.sin_addr, buf, sizeof(buf));
-    bound_addr = buf;
-    bound_port = ntohs(bound.sin_port);
+    if (!listener.open(opts.bind, error))
+        return false;
 
     stopping.store(false, std::memory_order_release);
     loop_pool = std::make_unique<exec::ThreadPool>(1);
@@ -166,10 +90,9 @@ ObsHttpServer::stop()
     stopping.store(true, std::memory_order_release);
     // Unblock accept(): shut the listener down, then close it after
     // the loop joined.
-    ::shutdown(listen_fd, SHUT_RDWR);
+    listener.shutdownListener();
     loop_pool.reset();
-    ::close(listen_fd);
-    listen_fd = -1;
+    listener.close();
     running = false;
 }
 
@@ -177,13 +100,9 @@ void
 ObsHttpServer::acceptLoop()
 {
     while (!stopping.load(std::memory_order_acquire)) {
-        int fd = ::accept(listen_fd, nullptr, nullptr);
-        if (fd < 0) {
-            if (errno == EINTR)
-                continue;
-            // Listener shut down (or broke): leave the loop.
-            return;
-        }
+        int fd = listener.acceptConnection();
+        if (fd < 0)
+            return; // listener shut down (or broke)
         handleConnection(fd);
         ::close(fd);
     }

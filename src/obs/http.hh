@@ -31,6 +31,8 @@
 #include <memory>
 #include <string>
 
+#include "obs/tcp_listener.hh"
+
 namespace coldboot::exec
 {
 class ThreadPool;
@@ -40,23 +42,6 @@ namespace coldboot::obs
 {
 
 class TelemetrySampler;
-
-/** Parsed `[addr:]port` server spec (the `--serve-obs` argument). */
-struct ServeSpec
-{
-    std::string addr = "127.0.0.1";
-    /** 0 = let the kernel pick an ephemeral port. */
-    uint16_t port = 0;
-};
-
-/**
- * Parse "8080", "127.0.0.1:8080", "0.0.0.0:0"... into a ServeSpec.
- * The address part must be a literal IPv4 address.
- *
- * @param error When non-null, receives the reason on failure.
- */
-bool parseServeSpec(const std::string &text, ServeSpec *out,
-                    std::string *error = nullptr);
 
 /**
  * The embedded server. start() binds and launches the accept loop;
@@ -89,10 +74,10 @@ class ObsHttpServer
     void stop();
 
     /** Address actually bound (valid after a successful start()). */
-    const std::string &address() const { return bound_addr; }
+    const std::string &address() const { return listener.address(); }
 
     /** Port actually bound - resolves `port 0` requests. */
-    uint16_t port() const { return bound_port; }
+    uint16_t port() const { return listener.port(); }
 
     /** Whether a `GET /quit` has been received. */
     bool quitRequested() const
@@ -114,9 +99,7 @@ class ObsHttpServer
               std::string &body, std::string &content_type);
 
     Options opts;
-    int listen_fd = -1;
-    std::string bound_addr;
-    uint16_t bound_port = 0;
+    TcpListener listener;
     bool running = false;
     std::atomic<bool> stopping{false};
     std::atomic<bool> quit_flag{false};

@@ -1,0 +1,142 @@
+#include "obs/tcp_listener.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace coldboot::obs
+{
+
+bool
+parseServeSpec(const std::string &text, ServeSpec *out,
+               std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+    std::string addr = "127.0.0.1";
+    std::string port_text = text;
+    size_t colon = text.rfind(':');
+    if (colon != std::string::npos) {
+        addr = text.substr(0, colon);
+        port_text = text.substr(colon + 1);
+        if (addr.empty())
+            return fail("empty address in '" + text + "'");
+    }
+    if (port_text.empty())
+        return fail("empty port in '" + text + "'");
+    unsigned long port = 0;
+    for (char c : port_text) {
+        if (c < '0' || c > '9')
+            return fail("non-numeric port '" + port_text + "'");
+        port = port * 10 + static_cast<unsigned long>(c - '0');
+        if (port > 65535)
+            return fail("port out of range '" + port_text + "'");
+    }
+    in_addr parsed{};
+    if (::inet_pton(AF_INET, addr.c_str(), &parsed) != 1)
+        return fail("bad IPv4 address '" + addr + "'");
+    if (out != nullptr) {
+        out->addr = addr;
+        out->port = static_cast<uint16_t>(port);
+    }
+    return true;
+}
+
+TcpListener::~TcpListener()
+{
+    close();
+}
+
+bool
+TcpListener::open(const ServeSpec &bind, std::string *error)
+{
+    auto fail = [&](const std::string &why, bool append_errno) {
+        if (error != nullptr) {
+            *error = why;
+            if (append_errno)
+                *error += std::string(": ") + std::strerror(errno);
+        }
+        close();
+        return false;
+    };
+
+    if (fd_ >= 0)
+        return fail("listener already open", false);
+
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return fail("socket", true);
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(bind.port);
+    if (::inet_pton(AF_INET, bind.addr.c_str(), &sa.sin_addr) != 1)
+        return fail("bad bind address '" + bind.addr + "'", false);
+    if (::bind(fd_, reinterpret_cast<sockaddr *>(&sa), sizeof(sa)) !=
+        0) {
+        std::string endpoint =
+            bind.addr + ":" + std::to_string(bind.port);
+        // The one bind failure operators actually hit gets a message
+        // they can act on without reading errno tables.
+        if (errno == EADDRINUSE)
+            return fail("address already in use: " + endpoint +
+                            " (is another instance running?)",
+                        false);
+        return fail("bind " + endpoint, true);
+    }
+    if (::listen(fd_, 16) != 0)
+        return fail("listen", true);
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr *>(&bound),
+                      &len) != 0)
+        return fail("getsockname", true);
+    char buf[INET_ADDRSTRLEN] = {0};
+    ::inet_ntop(AF_INET, &bound.sin_addr, buf, sizeof(buf));
+    bound_addr_ = buf;
+    bound_port_ = ntohs(bound.sin_port);
+    return true;
+}
+
+int
+TcpListener::acceptConnection()
+{
+    while (true) {
+        int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd >= 0)
+            return fd;
+        if (errno == EINTR)
+            continue;
+        // Listener shut down (or broke): report end-of-accepts.
+        return -1;
+    }
+}
+
+void
+TcpListener::shutdownListener()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+void
+TcpListener::close()
+{
+    if (fd_ >= 0) {
+        shutdownListener();
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace coldboot::obs

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Minimal IPv4 TCP listener shared by every socket-serving surface
+ * (the observability HTTP server and the analysis-job daemon).
+ *
+ * Factoring the bind/listen/getsockname dance out of ObsHttpServer
+ * buys two things the job service needs and the HTTP server always
+ * wanted: `port 0` ephemeral binding with the chosen port readable
+ * back (so wrappers and tests never race for a free port), and a
+ * dedicated, human-actionable error when the address is already in
+ * use - EADDRINUSE is the one bind failure an operator hits in
+ * practice, and "bind: Address already in use" without the endpoint
+ * is useless in a log file.
+ *
+ * Binding defaults to 127.0.0.1 (ServeSpec): both servers carry
+ * key-extraction state, so nothing listens beyond localhost unless
+ * the operator says so explicitly.
+ */
+
+#ifndef COLDBOOT_OBS_TCP_LISTENER_HH
+#define COLDBOOT_OBS_TCP_LISTENER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace coldboot::obs
+{
+
+/** Parsed `[addr:]port` server spec (`--serve-obs` / `--port`). */
+struct ServeSpec
+{
+    std::string addr = "127.0.0.1";
+    /** 0 = let the kernel pick an ephemeral port. */
+    uint16_t port = 0;
+};
+
+/**
+ * Parse "8080", "127.0.0.1:8080", "0.0.0.0:0"... into a ServeSpec.
+ * The address part must be a literal IPv4 address.
+ *
+ * @param error When non-null, receives the reason on failure.
+ */
+bool parseServeSpec(const std::string &text, ServeSpec *out,
+                    std::string *error = nullptr);
+
+/**
+ * A bound, listening IPv4 TCP socket. open() binds and listens;
+ * acceptConnection() blocks for the next client;
+ * shutdownListener() unblocks a concurrent accept (the usual
+ * stop sequence: shutdownListener from the control thread, join the
+ * accept loop, then destroy).
+ */
+class TcpListener
+{
+  public:
+    TcpListener() = default;
+
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    ~TcpListener();
+
+    /**
+     * Socket + SO_REUSEADDR + bind + listen + getsockname. Returns
+     * false with @p error set on failure; an in-use address yields
+     * the dedicated "address already in use: <addr>:<port> (is
+     * another instance running?)" form callers surface as a fatal.
+     */
+    bool open(const ServeSpec &bind, std::string *error = nullptr);
+
+    /**
+     * Block for the next connection; rides out EINTR. Returns the
+     * connected fd (caller closes), or -1 once the listener was shut
+     * down or broke.
+     */
+    int acceptConnection();
+
+    /** Unblock any accept() and refuse new connections (idempotent,
+     *  safe from another thread). */
+    void shutdownListener();
+
+    /** Close the socket (idempotent; implies shutdownListener). */
+    void close();
+
+    bool isOpen() const { return fd_ >= 0; }
+
+    /** Address actually bound (valid after a successful open()). */
+    const std::string &address() const { return bound_addr_; }
+
+    /** Port actually bound - resolves `port 0` requests. */
+    uint16_t port() const { return bound_port_; }
+
+  private:
+    int fd_ = -1;
+    std::string bound_addr_;
+    uint16_t bound_port_ = 0;
+};
+
+} // namespace coldboot::obs
+
+#endif // COLDBOOT_OBS_TCP_LISTENER_HH

@@ -1,0 +1,203 @@
+#include "serve/client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace coldboot::serve
+{
+
+namespace
+{
+
+void
+setError(std::string *error, const std::string &message)
+{
+    if (error != nullptr)
+        *error = message;
+}
+
+} // anonymous namespace
+
+JobClient::~JobClient()
+{
+    close();
+}
+
+bool
+JobClient::connect(const std::string &addr, uint16_t port,
+                   std::string *error)
+{
+    if (fd_ >= 0) {
+        setError(error, "already connected");
+        return false;
+    }
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        setError(error, std::string("socket: ") +
+                            std::strerror(errno));
+        return false;
+    }
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(port);
+    if (::inet_pton(AF_INET, addr.c_str(), &sa.sin_addr) != 1) {
+        setError(error, "bad IPv4 address '" + addr + "'");
+        close();
+        return false;
+    }
+    // Request/response protocol: never let Nagle batch frames.
+    int one = 1;
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    while (::connect(fd_, reinterpret_cast<sockaddr *>(&sa),
+                     sizeof(sa)) != 0) {
+        if (errno == EINTR)
+            continue;
+        setError(error, "connect " + addr + ":" +
+                            std::to_string(port) + ": " +
+                            std::strerror(errno));
+        close();
+        return false;
+    }
+    return true;
+}
+
+void
+JobClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+JobClient::roundTrip(MsgType req, const std::string &payload,
+                     MsgType expected, Frame *reply,
+                     std::string *error)
+{
+    if (fd_ < 0) {
+        setError(error, "not connected");
+        return false;
+    }
+    if (!writeFrame(fd_, req, payload)) {
+        setError(error, "connection lost (send)");
+        return false;
+    }
+    if (!readFrame(fd_, reply)) {
+        setError(error, "connection lost (recv)");
+        return false;
+    }
+    if (reply->type == MsgType::RError) {
+        WireReader r(reply->payload);
+        setError(error, r.str());
+        return false;
+    }
+    if (reply->type != expected) {
+        setError(error, "unexpected response type");
+        return false;
+    }
+    return true;
+}
+
+uint64_t
+JobClient::submit(const JobSpec &spec, std::string *error)
+{
+    WireWriter w;
+    encodeJobSpec(w, spec);
+    Frame reply;
+    if (!roundTrip(MsgType::Submit, w.bytes(), MsgType::RSubmit,
+                   &reply, error))
+        return 0;
+    WireReader r(reply.payload);
+    uint64_t id = r.u64();
+    if (!r.ok() || id == 0) {
+        setError(error, "malformed submit response");
+        return 0;
+    }
+    return id;
+}
+
+bool
+JobClient::status(uint64_t job_id, JobStatus *out,
+                  std::string *error)
+{
+    WireWriter w;
+    w.u64(job_id);
+    Frame reply;
+    if (!roundTrip(MsgType::Status, w.bytes(), MsgType::RStatus,
+                   &reply, error))
+        return false;
+    WireReader r(reply.payload);
+    if (!decodeJobStatus(r, out)) {
+        setError(error, "malformed status response");
+        return false;
+    }
+    return true;
+}
+
+bool
+JobClient::result(uint64_t job_id, JobResult *out,
+                  std::string *error)
+{
+    WireWriter w;
+    w.u64(job_id);
+    Frame reply;
+    if (!roundTrip(MsgType::Result, w.bytes(), MsgType::RResult,
+                   &reply, error))
+        return false;
+    WireReader r(reply.payload);
+    if (!decodeJobResult(r, out)) {
+        setError(error, "malformed result response");
+        return false;
+    }
+    return true;
+}
+
+bool
+JobClient::cancel(uint64_t job_id, std::string *error)
+{
+    WireWriter w;
+    w.u64(job_id);
+    Frame reply;
+    if (!roundTrip(MsgType::Cancel, w.bytes(), MsgType::RCancel,
+                   &reply, error))
+        return false;
+    WireReader r(reply.payload);
+    return r.u32() != 0;
+}
+
+bool
+JobClient::list(std::vector<JobStatus> *out, std::string *error)
+{
+    Frame reply;
+    if (!roundTrip(MsgType::List, "", MsgType::RList, &reply, error))
+        return false;
+    WireReader r(reply.payload);
+    uint32_t n = r.u32();
+    out->clear();
+    for (uint32_t i = 0; i < n; ++i) {
+        JobStatus st;
+        if (!decodeJobStatus(r, &st)) {
+            setError(error, "malformed list response");
+            return false;
+        }
+        out->push_back(std::move(st));
+    }
+    return r.ok();
+}
+
+bool
+JobClient::shutdown(std::string *error)
+{
+    Frame reply;
+    return roundTrip(MsgType::Shutdown, "", MsgType::ROk, &reply,
+                     error);
+}
+
+} // namespace coldboot::serve

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Client side of the analysis-job protocol: a blocking connection
+ * that wraps each request/response round in a typed call. Used by
+ * coldboot-client, the smoke tests and the serve bench; thread-safe
+ * for one caller at a time per connection (the protocol is strictly
+ * request/response, so interleaving callers would corrupt framing -
+ * open one JobClient per thread instead).
+ */
+
+#ifndef COLDBOOT_SERVE_CLIENT_HH
+#define COLDBOOT_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace coldboot::serve
+{
+
+/** One connection to a coldboot-served daemon. */
+class JobClient
+{
+  public:
+    JobClient() = default;
+
+    JobClient(const JobClient &) = delete;
+    JobClient &operator=(const JobClient &) = delete;
+
+    ~JobClient();
+
+    /** Connect to @p addr:@p port. False with @p error set. */
+    bool connect(const std::string &addr, uint16_t port,
+                 std::string *error = nullptr);
+
+    /** Close the connection (idempotent). */
+    void close();
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Submit a job; returns the id (>= 1) or 0 with @p error set. */
+    uint64_t submit(const JobSpec &spec,
+                    std::string *error = nullptr);
+
+    /** Fetch a job's status. */
+    bool status(uint64_t job_id, JobStatus *out,
+                std::string *error = nullptr);
+
+    /** Block until the job is terminal and fetch its result. */
+    bool result(uint64_t job_id, JobResult *out,
+                std::string *error = nullptr);
+
+    /** Request cancellation; false (without error) when the job was
+     *  already terminal or unknown to the scheduler. */
+    bool cancel(uint64_t job_id, std::string *error = nullptr);
+
+    /** List every job the server retains. */
+    bool list(std::vector<JobStatus> *out,
+              std::string *error = nullptr);
+
+    /** Ask the daemon to shut down (it drains and exits). */
+    bool shutdown(std::string *error = nullptr);
+
+  private:
+    /** One request/response round; false with @p error set. */
+    bool roundTrip(MsgType req, const std::string &payload,
+                   MsgType expected, Frame *reply,
+                   std::string *error);
+
+    int fd_ = -1;
+};
+
+} // namespace coldboot::serve
+
+#endif // COLDBOOT_SERVE_CLIENT_HH

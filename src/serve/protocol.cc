@@ -1,0 +1,329 @@
+#include "serve/protocol.hh"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace coldboot::serve
+{
+
+namespace
+{
+
+/** send() the whole buffer, riding out EINTR and partial writes. */
+bool
+sendAll(int fd, const void *data, size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    size_t off = 0;
+    while (off < len) {
+        ssize_t n = ::send(fd, p + off, len - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** recv() exactly @p len bytes; false on EOF or error. */
+bool
+recvAll(int fd, void *data, size_t len)
+{
+    char *p = static_cast<char *>(data);
+    size_t off = 0;
+    while (off < len) {
+        ssize_t n = ::recv(fd, p + off, len - off, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+uint32_t
+loadU32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+}
+
+void
+storeU32(uint8_t *p, uint32_t v)
+{
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+    p[2] = static_cast<uint8_t>(v >> 16);
+    p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+} // anonymous namespace
+
+const char *
+jobKindName(JobKind kind)
+{
+    switch (kind) {
+    case JobKind::Attack:
+        return "attack";
+    case JobKind::Mine:
+        return "mine";
+    case JobKind::Descramble:
+        return "descramble";
+    }
+    return "unknown";
+}
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+    case JobState::Queued:
+        return "queued";
+    case JobState::Running:
+        return "running";
+    case JobState::Done:
+        return "done";
+    case JobState::Cancelled:
+        return "cancelled";
+    case JobState::Failed:
+        return "failed";
+    }
+    return "unknown";
+}
+
+bool
+jobStateTerminal(JobState state)
+{
+    return state == JobState::Done ||
+           state == JobState::Cancelled ||
+           state == JobState::Failed;
+}
+
+//
+// WireWriter / WireReader
+//
+
+void
+WireWriter::u32(uint32_t v)
+{
+    uint8_t b[4];
+    storeU32(b, v);
+    buf_.append(reinterpret_cast<const char *>(b), 4);
+}
+
+void
+WireWriter::u64(uint64_t v)
+{
+    u32(static_cast<uint32_t>(v));
+    u32(static_cast<uint32_t>(v >> 32));
+}
+
+void
+WireWriter::str(const std::string &s)
+{
+    u32(static_cast<uint32_t>(s.size()));
+    buf_.append(s);
+}
+
+uint32_t
+WireReader::u32()
+{
+    if (!ok_ || buf_.size() - off_ < 4) {
+        ok_ = false;
+        return 0;
+    }
+    uint32_t v = loadU32(
+        reinterpret_cast<const uint8_t *>(buf_.data()) + off_);
+    off_ += 4;
+    return v;
+}
+
+uint64_t
+WireReader::u64()
+{
+    uint64_t lo = u32();
+    uint64_t hi = u32();
+    return lo | hi << 32;
+}
+
+std::string
+WireReader::str()
+{
+    uint32_t len = u32();
+    if (!ok_ || buf_.size() - off_ < len) {
+        ok_ = false;
+        return "";
+    }
+    std::string s = buf_.substr(off_, len);
+    off_ += len;
+    return s;
+}
+
+//
+// Record codecs
+//
+
+void
+encodeJobSpec(WireWriter &w, const JobSpec &spec)
+{
+    w.u32(static_cast<uint32_t>(spec.kind));
+    w.str(spec.dump_path);
+    w.str(spec.out_path);
+    w.str(spec.client_id);
+    w.u64(spec.scan_limit_bytes);
+    w.u32(static_cast<uint32_t>(spec.key_sizes.size()));
+    for (crypto::AesKeySize ks : spec.key_sizes)
+        w.u32(static_cast<uint32_t>(ks));
+    w.u64(spec.top_n);
+}
+
+bool
+decodeJobSpec(WireReader &r, JobSpec *out)
+{
+    JobSpec spec;
+    uint32_t kind = r.u32();
+    if (kind > static_cast<uint32_t>(JobKind::Descramble))
+        return false;
+    spec.kind = static_cast<JobKind>(kind);
+    spec.dump_path = r.str();
+    spec.out_path = r.str();
+    spec.client_id = r.str();
+    spec.scan_limit_bytes = r.u64();
+    uint32_t n = r.u32();
+    if (!r.ok() || n > 16)
+        return false;
+    for (uint32_t i = 0; i < n; ++i) {
+        uint32_t ks = r.u32();
+        if (ks != 16 && ks != 24 && ks != 32)
+            return false;
+        spec.key_sizes.push_back(
+            static_cast<crypto::AesKeySize>(ks));
+    }
+    spec.top_n = r.u64();
+    if (!r.ok())
+        return false;
+    *out = std::move(spec);
+    return true;
+}
+
+void
+encodeJobStatus(WireWriter &w, const JobStatus &status)
+{
+    w.u64(status.job_id);
+    w.u32(static_cast<uint32_t>(status.kind));
+    w.u32(static_cast<uint32_t>(status.state));
+    w.str(status.stage);
+    w.str(status.client_id);
+    w.u64(status.done_units);
+    w.u64(status.total_units);
+    w.u64(status.elapsed_ms);
+    w.str(status.error);
+}
+
+bool
+decodeJobStatus(WireReader &r, JobStatus *out)
+{
+    JobStatus st;
+    st.job_id = r.u64();
+    uint32_t kind = r.u32();
+    uint32_t state = r.u32();
+    if (!r.ok() ||
+        kind > static_cast<uint32_t>(JobKind::Descramble) ||
+        state > static_cast<uint32_t>(JobState::Failed))
+        return false;
+    st.kind = static_cast<JobKind>(kind);
+    st.state = static_cast<JobState>(state);
+    st.stage = r.str();
+    st.client_id = r.str();
+    st.done_units = r.u64();
+    st.total_units = r.u64();
+    st.elapsed_ms = r.u64();
+    st.error = r.str();
+    if (!r.ok())
+        return false;
+    *out = std::move(st);
+    return true;
+}
+
+void
+encodeJobResult(WireWriter &w, const JobResult &result)
+{
+    w.u64(result.job_id);
+    w.u32(static_cast<uint32_t>(result.state));
+    w.str(result.text);
+    w.str(result.error);
+}
+
+bool
+decodeJobResult(WireReader &r, JobResult *out)
+{
+    JobResult res;
+    res.job_id = r.u64();
+    uint32_t state = r.u32();
+    if (!r.ok() || state > static_cast<uint32_t>(JobState::Failed))
+        return false;
+    res.state = static_cast<JobState>(state);
+    res.text = r.str();
+    res.error = r.str();
+    if (!r.ok())
+        return false;
+    *out = std::move(res);
+    return true;
+}
+
+//
+// Framed socket I/O
+//
+
+bool
+readFrame(int fd, Frame *out)
+{
+    uint8_t header[12];
+    if (!recvAll(fd, header, sizeof(header)))
+        return false;
+    uint32_t magic = loadU32(header);
+    uint32_t type = loadU32(header + 4);
+    uint32_t len = loadU32(header + 8);
+    if (magic != kFrameMagic || len > kMaxPayloadBytes)
+        return false;
+    std::string payload(len, '\0');
+    if (len > 0 && !recvAll(fd, payload.data(), len))
+        return false;
+    out->type = static_cast<MsgType>(type);
+    out->payload = std::move(payload);
+    return true;
+}
+
+bool
+writeFrame(int fd, MsgType type, const std::string &payload)
+{
+    if (payload.size() > kMaxPayloadBytes)
+        return false;
+    // One send() per frame: a header-only segment followed by the
+    // payload trips Nagle against delayed ACK on the peer, turning
+    // every loopback round-trip into ~40ms.
+    std::string frame(12 + payload.size(), '\0');
+    auto *header = reinterpret_cast<uint8_t *>(frame.data());
+    storeU32(header, kFrameMagic);
+    storeU32(header + 4, static_cast<uint32_t>(type));
+    storeU32(header + 8, static_cast<uint32_t>(payload.size()));
+    std::memcpy(frame.data() + 12, payload.data(), payload.size());
+    return sendAll(fd, frame.data(), frame.size());
+}
+
+bool
+writeError(int fd, const std::string &message)
+{
+    WireWriter w;
+    w.str(message);
+    return writeFrame(fd, MsgType::RError, w.bytes());
+}
+
+} // namespace coldboot::serve

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Wire protocol of the analysis-job service (coldboot-served).
+ *
+ * A deliberately tiny length-prefixed binary protocol over TCP - no
+ * HTTP machinery, no text parsing on the hot path, trivially
+ * auditable like the obs HTTP server it lives next to:
+ *
+ *   frame  := magic:u32 ("CBSV") type:u32 payload_len:u32 payload
+ *   ints   := little-endian fixed width
+ *   string := len:u32 bytes (UTF-8, no terminator)
+ *
+ * Requests carry a job spec or a job id; responses mirror them with
+ * status/result records. One request yields exactly one response;
+ * connections are persistent (any number of request/response rounds
+ * until either side closes). Frames are capped at kMaxPayloadBytes
+ * so a garbage or hostile peer cannot make the daemon allocate
+ * unboundedly.
+ *
+ * The payload schema is versioned by the magic alone: this protocol
+ * links into client and server from the same tree, and the daemon is
+ * not a stable public interface.
+ */
+
+#ifndef COLDBOOT_SERVE_PROTOCOL_HH
+#define COLDBOOT_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/aes.hh"
+
+namespace coldboot::serve
+{
+
+/** Frame magic: "CBSV" in LE byte order. */
+constexpr uint32_t kFrameMagic = 0x56534243u;
+
+/** Upper bound on a frame payload (1 MiB is generous: the largest
+ *  real payload is a job-list or a rendered result). */
+constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+
+/** Request/response frame types. */
+enum class MsgType : uint32_t
+{
+    // Requests.
+    Submit = 1,
+    Status = 2,
+    Result = 3, //!< blocks until the job is terminal
+    Cancel = 4,
+    List = 5,
+    Shutdown = 6,
+
+    // Responses.
+    RSubmit = 100,
+    RStatus = 101,
+    RResult = 102,
+    RCancel = 103,
+    RList = 104,
+    ROk = 105,
+    RError = 199,
+};
+
+/** Analysis kinds a job can run. */
+enum class JobKind : uint32_t
+{
+    Attack = 0,     //!< full pipeline: mine + search + pair
+    Mine = 1,       //!< scrambler-key mining only
+    Descramble = 2, //!< mine + write descrambled image
+};
+
+const char *jobKindName(JobKind kind);
+
+/** Lifecycle states of a job. */
+enum class JobState : uint32_t
+{
+    Queued = 0,
+    Running = 1,
+    Done = 2,
+    Cancelled = 3,
+    Failed = 4,
+};
+
+const char *jobStateName(JobState state);
+
+/** Whether @p state is terminal. */
+bool jobStateTerminal(JobState state);
+
+/** A job submission (the Submit payload). */
+struct JobSpec
+{
+    JobKind kind = JobKind::Attack;
+    /** Server-side path of the dump to analyse. */
+    std::string dump_path;
+    /** Output path (Descramble only). */
+    std::string out_path;
+    /** Client identity for fair-share scheduling ("" = anonymous). */
+    std::string client_id;
+    /** Mining scan limit override (0 = library default). */
+    uint64_t scan_limit_bytes = 0;
+    /** AES variants to search (Attack; empty = AES-256 only). */
+    std::vector<crypto::AesKeySize> key_sizes;
+    /** Keys to render (Mine; 0 = default 10). */
+    uint64_t top_n = 0;
+};
+
+/** A job status record (the RStatus payload, and RList entries). */
+struct JobStatus
+{
+    uint64_t job_id = 0;
+    JobKind kind = JobKind::Attack;
+    JobState state = JobState::Queued;
+    /** Current session stage ("mine", "search", ..., "queued"). */
+    std::string stage;
+    std::string client_id;
+    /** Umbrella progress (units as defined by the session). */
+    uint64_t done_units = 0;
+    uint64_t total_units = 0;
+    /** Wall-clock milliseconds spent stepping the session. */
+    uint64_t elapsed_ms = 0;
+    /** Failure message (Failed only). */
+    std::string error;
+};
+
+/** A finished job's outcome (the RResult payload). */
+struct JobResult
+{
+    uint64_t job_id = 0;
+    JobState state = JobState::Done;
+    /**
+     * Deterministic rendered result (attack/sessions.hh renderers) -
+     * byte-identical to the one-shot coldboot-tool output for the
+     * same dump and parameters.
+     */
+    std::string text;
+    /** Failure message (Failed only). */
+    std::string error;
+};
+
+//
+// Payload (de)serialization.
+//
+
+/** Append-only LE payload writer. */
+class WireWriter
+{
+  public:
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void str(const std::string &s);
+
+    const std::string &bytes() const { return buf_; }
+
+  private:
+    std::string buf_;
+};
+
+/** Bounds-checked LE payload reader: ok() goes (and stays) false on
+ *  any truncated or oversized read, never throwing. */
+class WireReader
+{
+  public:
+    explicit WireReader(const std::string &payload)
+        : buf_(payload)
+    {
+    }
+
+    uint32_t u32();
+    uint64_t u64();
+    std::string str();
+
+    /** False once any read ran past the payload. */
+    bool ok() const { return ok_; }
+    /** True when the whole payload was consumed exactly. */
+    bool atEnd() const { return ok_ && off_ == buf_.size(); }
+
+  private:
+    const std::string &buf_;
+    size_t off_ = 0;
+    bool ok_ = true;
+};
+
+void encodeJobSpec(WireWriter &w, const JobSpec &spec);
+bool decodeJobSpec(WireReader &r, JobSpec *out);
+void encodeJobStatus(WireWriter &w, const JobStatus &status);
+bool decodeJobStatus(WireReader &r, JobStatus *out);
+void encodeJobResult(WireWriter &w, const JobResult &result);
+bool decodeJobResult(WireReader &r, JobResult *out);
+
+//
+// Framed socket I/O.
+//
+
+/** One decoded frame. */
+struct Frame
+{
+    MsgType type = MsgType::RError;
+    std::string payload;
+};
+
+/**
+ * Read one frame from @p fd, riding out EINTR and short reads.
+ * Returns false on EOF, frame corruption (bad magic / oversized
+ * payload) or socket error; corruption is indistinguishable from a
+ * closed peer by design - the caller drops the connection either
+ * way.
+ */
+bool readFrame(int fd, Frame *out);
+
+/** Write one frame to @p fd; false on socket error. */
+bool writeFrame(int fd, MsgType type, const std::string &payload);
+
+/** writeFrame of an RError carrying @p message. */
+bool writeError(int fd, const std::string &message);
+
+} // namespace coldboot::serve
+
+#endif // COLDBOOT_SERVE_PROTOCOL_HH

@@ -1,0 +1,198 @@
+#include "serve/server.hh"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <mutex>
+#include <set>
+
+#include "common/logging.hh"
+#include "exec/thread_pool.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+
+namespace coldboot::serve
+{
+
+namespace
+{
+
+/**
+ * Live connection fds, so stop() can shut them down and unblock
+ * handlers parked in recv()/waitResult. File-scope because the set
+ * outlives no server: it tracks fds, which are process-global
+ * anyway.
+ */
+std::mutex g_conn_lock;
+std::set<int> g_conns;
+
+void
+trackConn(int fd)
+{
+    std::lock_guard<std::mutex> lk(g_conn_lock);
+    g_conns.insert(fd);
+}
+
+void
+untrackConn(int fd)
+{
+    std::lock_guard<std::mutex> lk(g_conn_lock);
+    g_conns.erase(fd);
+}
+
+void
+shutdownAllConns()
+{
+    std::lock_guard<std::mutex> lk(g_conn_lock);
+    for (int fd : g_conns)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+} // anonymous namespace
+
+JobServer::JobServer(ServerOptions opts)
+    : opts_(std::move(opts)), scheduler_(opts_.scheduler)
+{
+    if (opts_.handler_threads == 0)
+        opts_.handler_threads = 1;
+}
+
+JobServer::~JobServer()
+{
+    stop();
+}
+
+bool
+JobServer::start(std::string *error)
+{
+    if (running_)
+        return true;
+    if (!listener_.open(opts_.bind, error))
+        return false;
+    stopping_.store(false, std::memory_order_release);
+    handler_pool_ =
+        std::make_unique<exec::ThreadPool>(opts_.handler_threads);
+    loop_pool_ = std::make_unique<exec::ThreadPool>(1);
+    loop_pool_->submit([this] { acceptLoop(); });
+    running_ = true;
+    return true;
+}
+
+void
+JobServer::stop()
+{
+    if (!running_)
+        return;
+    stopping_.store(true, std::memory_order_release);
+    // Ordering matters: unblock accept(), join the accept loop, then
+    // drain the scheduler so blocked Result waits resolve, then cut
+    // any connection still parked in recv() and join the handlers.
+    listener_.shutdownListener();
+    loop_pool_.reset();
+    scheduler_.shutdown();
+    shutdownAllConns();
+    handler_pool_.reset();
+    listener_.close();
+    running_ = false;
+}
+
+void
+JobServer::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        int fd = listener_.acceptConnection();
+        if (fd < 0)
+            return; // listener shut down (or broke)
+        // Request/response protocol: never let Nagle batch frames.
+        int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        trackConn(fd);
+        handler_pool_->submit([this, fd] {
+            handleConnection(fd);
+            untrackConn(fd);
+            ::close(fd);
+        });
+    }
+}
+
+void
+JobServer::handleConnection(int fd)
+{
+    // Persistent connection: request/response rounds until the peer
+    // closes (or sends garbage, which reads as a close).
+    Frame frame;
+    while (!stopping_.load(std::memory_order_acquire) &&
+           readFrame(fd, &frame)) {
+        if (!handleFrame(fd, frame))
+            return;
+    }
+}
+
+bool
+JobServer::handleFrame(int fd, const Frame &frame)
+{
+    obs::ScopedSpan span("serve.request");
+    obs::StatRegistry::global()
+        .counter("serve.requests", "protocol requests handled")
+        .add(1);
+    WireReader r(frame.payload);
+    switch (frame.type) {
+    case MsgType::Submit: {
+        JobSpec spec;
+        if (!decodeJobSpec(r, &spec))
+            return writeError(fd, "malformed job spec");
+        std::string error;
+        uint64_t id = scheduler_.submit(spec, &error);
+        if (id == 0)
+            return writeError(fd, error);
+        WireWriter w;
+        w.u64(id);
+        return writeFrame(fd, MsgType::RSubmit, w.bytes());
+    }
+    case MsgType::Status: {
+        uint64_t id = r.u64();
+        auto st = scheduler_.status(id);
+        if (!st)
+            return writeError(fd, "no such job");
+        WireWriter w;
+        encodeJobStatus(w, *st);
+        return writeFrame(fd, MsgType::RStatus, w.bytes());
+    }
+    case MsgType::Result: {
+        uint64_t id = r.u64();
+        JobResult res;
+        // Blocks this handler until the job is terminal; other
+        // connections keep their own handler-pool workers.
+        if (!scheduler_.waitResult(id, &res))
+            return writeError(fd, "no such job");
+        WireWriter w;
+        encodeJobResult(w, res);
+        return writeFrame(fd, MsgType::RResult, w.bytes());
+    }
+    case MsgType::Cancel: {
+        uint64_t id = r.u64();
+        bool ok = scheduler_.cancel(id);
+        WireWriter w;
+        w.u32(ok ? 1 : 0);
+        return writeFrame(fd, MsgType::RCancel, w.bytes());
+    }
+    case MsgType::List: {
+        auto jobs = scheduler_.list();
+        WireWriter w;
+        w.u32(static_cast<uint32_t>(jobs.size()));
+        for (const auto &st : jobs)
+            encodeJobStatus(w, st);
+        return writeFrame(fd, MsgType::RList, w.bytes());
+    }
+    case MsgType::Shutdown: {
+        shutdown_flag_.store(true, std::memory_order_release);
+        return writeFrame(fd, MsgType::ROk, "");
+    }
+    default:
+        return writeError(fd, "unknown request type");
+    }
+}
+
+} // namespace coldboot::serve

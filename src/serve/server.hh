@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The analysis-job daemon's network front end.
+ *
+ * JobServer owns an obs::TcpListener and two exec::ThreadPools: a
+ * single-worker pool hosting the accept loop (the same shape as
+ * ObsHttpServer) and a small handler pool running one task per live
+ * connection, because Result requests block until their job is
+ * terminal - a client waiting on a slow attack must not stop other
+ * clients from submitting. Everything behind the socket is
+ * JobScheduler; the server only speaks the frame protocol.
+ *
+ * Like the obs HTTP server, binding defaults to 127.0.0.1: job
+ * results are recovered key material.
+ */
+
+#ifndef COLDBOOT_SERVE_SERVER_HH
+#define COLDBOOT_SERVE_SERVER_HH
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "obs/tcp_listener.hh"
+#include "serve/scheduler.hh"
+
+namespace coldboot::exec
+{
+class ThreadPool;
+} // namespace coldboot::exec
+
+namespace coldboot::serve
+{
+
+/** Server tuning. */
+struct ServerOptions
+{
+    obs::ServeSpec bind;
+    SchedulerOptions scheduler;
+    /** Concurrent client connections served. */
+    size_t handler_threads = 4;
+};
+
+/** The daemon: listener + connection handlers over a JobScheduler. */
+class JobServer
+{
+  public:
+    explicit JobServer(ServerOptions opts = {});
+
+    JobServer(const JobServer &) = delete;
+    JobServer &operator=(const JobServer &) = delete;
+
+    ~JobServer();
+
+    /**
+     * Bind, listen and launch the accept loop. False with @p error
+     * set when the socket cannot be bound (EADDRINUSE gets the
+     * dedicated actionable message from obs::TcpListener).
+     */
+    bool start(std::string *error = nullptr);
+
+    /**
+     * Stop accepting, drop live connections, drain the scheduler
+     * (cancelling running jobs) and join. Idempotent.
+     */
+    void stop();
+
+    /** Address actually bound (valid after a successful start()). */
+    const std::string &address() const { return listener_.address(); }
+
+    /** Port actually bound - resolves `port 0` requests. */
+    uint16_t port() const { return listener_.port(); }
+
+    /** The scheduler (tests drive it directly; the daemon polls). */
+    JobScheduler &scheduler() { return scheduler_; }
+
+    /** Whether a Shutdown request has been received. */
+    bool shutdownRequested() const
+    {
+        return shutdown_flag_.load(std::memory_order_acquire);
+    }
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+    /** Dispatch one request frame; false ends the connection. */
+    bool handleFrame(int fd, const Frame &frame);
+
+    ServerOptions opts_;
+    JobScheduler scheduler_;
+    obs::TcpListener listener_;
+    bool running_ = false;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> shutdown_flag_{false};
+    /** Single worker hosting the accept loop. */
+    std::unique_ptr<exec::ThreadPool> loop_pool_;
+    /** One task per live connection. */
+    std::unique_ptr<exec::ThreadPool> handler_pool_;
+};
+
+} // namespace coldboot::serve
+
+#endif // COLDBOOT_SERVE_SERVER_HH

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +21,7 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "attack/aes_search.hh"
@@ -27,6 +29,7 @@
 #include "common/rng.hh"
 #include "common/units.hh"
 #include "crypto/aes.hh"
+#include "exec/cancel.hh"
 #include "exec/dump_io.hh"
 #include "exec/thread_pool.hh"
 #include "memctrl/scrambler.hh"
@@ -568,6 +571,201 @@ TEST(ExecDeterminism, EnvThreadCountMatchesExplicitPools)
     EXPECT_EQ(env_pool.workerCount(), 7u);
     ThreadPool::ScopedGlobalOverride ov(env_pool);
     EXPECT_EQ(scanFingerprint(dump), reference);
+}
+
+//
+// Cooperative cancellation (exec/cancel.hh)
+//
+
+TEST(CancelToken, CheckpointThrowsOnlyOnceRaised)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_NO_THROW(token.checkpoint());
+    checkpointIfCancellable(&token); // still lowered
+    checkpointIfCancellable(nullptr); // opt-out path
+
+    token.requestCancel();
+    token.requestCancel(); // idempotent
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_THROW(token.checkpoint(), CancelledError);
+    EXPECT_THROW(checkpointIfCancellable(&token), CancelledError);
+    checkpointIfCancellable(nullptr); // null stays a no-op
+}
+
+TEST(CancelToken, MidScanCancelUnwindsParallelFanout)
+{
+    // Raise the token from inside one chunk of a parallel map: every
+    // later checkpoint (including the raising chunk's own) must
+    // unwind the whole fan-out as CancelledError, exactly like a
+    // workload exception.
+    for (unsigned w : {1u, 4u}) {
+        ThreadPool pool(w);
+        CancelToken token;
+        EXPECT_THROW(
+            parallelMapReduceChunks<int>(
+                0, 100000, 1000,
+                [&](const ChunkRange &c) {
+                    if (c.index == 3)
+                        token.requestCancel();
+                    checkpointIfCancellable(&token);
+                    return 1;
+                },
+                [](int &&, const ChunkRange &) {}, &pool),
+            CancelledError)
+            << "width " << w;
+    }
+}
+
+TEST(CancelToken, PreRaisedTokenAbortsAttackScans)
+{
+    std::vector<uint8_t> master;
+    auto dump = buildAttackDump(master);
+
+    attack::MinerParams miner_params;
+    miner_params.scan_limit_bytes = 0;
+    CancelToken mine_cancel;
+    mine_cancel.requestCancel();
+    miner_params.cancel = &mine_cancel;
+    EXPECT_THROW(attack::mineScramblerKeys(dump, miner_params),
+                 CancelledError);
+
+    miner_params.cancel = nullptr;
+    auto mined = attack::mineScramblerKeys(dump, miner_params);
+    ASSERT_FALSE(mined.empty());
+
+    attack::SearchParams search_params;
+    CancelToken search_cancel;
+    search_cancel.requestCancel();
+    search_params.cancel = &search_cancel;
+    EXPECT_THROW(
+        attack::searchAesKeyTables(dump, mined, search_params),
+        CancelledError);
+}
+
+TEST(CancelToken, UncancelledRunMatchesNoTokenRun)
+{
+    // A token that is never raised must not perturb results - the
+    // determinism contract treats cancellation as pure observation.
+    std::vector<uint8_t> master;
+    auto dump = buildAttackDump(master);
+
+    attack::MinerParams plain;
+    plain.scan_limit_bytes = 0;
+    auto expected = attack::mineScramblerKeys(dump, plain);
+
+    CancelToken token;
+    attack::MinerParams watched = plain;
+    watched.cancel = &token;
+    auto got = attack::mineScramblerKeys(dump, watched);
+
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].key, expected[i].key);
+        EXPECT_EQ(got[i].occurrences, expected[i].occurrences);
+        EXPECT_EQ(got[i].first_offset, expected[i].first_offset);
+    }
+}
+
+//
+// Buffered pread shim: short reads and EINTR (exec/dump_io.hh)
+//
+
+/** Counters steered by the function-pointer shim (no captures). */
+std::atomic<uint64_t> g_shim_calls{0};
+std::atomic<uint64_t> g_shim_eintr_left{0};
+std::atomic<uint64_t> g_shim_max_bytes{0};
+
+ssize_t
+flakyPread(int fd, void *buf, size_t count, off_t offset)
+{
+    g_shim_calls.fetch_add(1, std::memory_order_relaxed);
+    uint64_t left = g_shim_eintr_left.load(std::memory_order_relaxed);
+    while (left > 0) {
+        if (g_shim_eintr_left.compare_exchange_weak(left, left - 1)) {
+            errno = EINTR;
+            return -1;
+        }
+    }
+    uint64_t cap = g_shim_max_bytes.load(std::memory_order_relaxed);
+    if (cap > 0 && count > cap)
+        count = cap;
+    return pread(fd, buf, count, offset);
+}
+
+/** Installs flakyPread for one test; always restores real pread. */
+class PreadShimGuard
+{
+  public:
+    PreadShimGuard(uint64_t eintr_count, uint64_t max_bytes)
+    {
+        g_shim_calls.store(0);
+        g_shim_eintr_left.store(eintr_count);
+        g_shim_max_bytes.store(max_bytes);
+        detail::setPreadShimForTest(&flakyPread);
+    }
+
+    ~PreadShimGuard() { detail::setPreadShimForTest(nullptr); }
+};
+
+TEST(DumpSource, BufferedChunkRetriesThroughEintr)
+{
+    auto bytes = patternBytes(16 * 1024);
+    DumpSourceFile file(bytes);
+    auto src = openDumpSource(file.path, DumpBackend::Buffered);
+
+    PreadShimGuard shim(/*eintr_count=*/5, /*max_bytes=*/0);
+    ChunkBuffer buf;
+    auto view = src->chunk(4096, 2048, buf);
+    ASSERT_EQ(view.size(), 2048u);
+    EXPECT_EQ(std::memcmp(view.data(), bytes.data() + 4096, 2048), 0);
+    // 5 interrupted attempts plus at least one real read.
+    EXPECT_GE(g_shim_calls.load(), 6u);
+}
+
+TEST(DumpSource, BufferedChunkAssemblesShortReads)
+{
+    auto bytes = patternBytes(16 * 1024);
+    DumpSourceFile file(bytes);
+    auto src = openDumpSource(file.path, DumpBackend::Buffered);
+
+    // Every pread returns at most 96 bytes - an unaligned trickle, so
+    // the accumulation loop must stitch split lines back together.
+    PreadShimGuard shim(/*eintr_count=*/0, /*max_bytes=*/96);
+    ChunkBuffer buf;
+    auto view = src->chunk(128, 4096, buf);
+    ASSERT_EQ(view.size(), 4096u);
+    EXPECT_EQ(std::memcmp(view.data(), bytes.data() + 128, 4096), 0);
+    EXPECT_GE(g_shim_calls.load(), 4096u / 96u); // really trickled
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(view.data()) % 64, 0u);
+}
+
+TEST(DumpSource, BufferedChunkSurvivesEintrDuringShortReads)
+{
+    auto bytes = patternBytes(8 * 1024);
+    DumpSourceFile file(bytes);
+    auto src = openDumpSource(file.path, DumpBackend::Buffered);
+
+    PreadShimGuard shim(/*eintr_count=*/3, /*max_bytes=*/64);
+    ChunkBuffer buf;
+    auto view = src->chunk(0, 1024, buf);
+    ASSERT_EQ(view.size(), 1024u);
+    EXPECT_EQ(std::memcmp(view.data(), bytes.data(), 1024), 0);
+}
+
+TEST(DumpSource, ShimRestoreReturnsToRealPread)
+{
+    auto bytes = patternBytes(4096);
+    DumpSourceFile file(bytes);
+    auto src = openDumpSource(file.path, DumpBackend::Buffered);
+
+    { PreadShimGuard shim(0, 32); }
+    g_shim_calls.store(0);
+    ChunkBuffer buf;
+    auto view = src->chunk(0, 4096, buf);
+    ASSERT_EQ(view.size(), 4096u);
+    EXPECT_EQ(std::memcmp(view.data(), bytes.data(), 4096), 0);
+    EXPECT_EQ(g_shim_calls.load(), 0u); // shim really uninstalled
 }
 
 } // anonymous namespace

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * coldboot-client - command-line client of coldboot-served.
+ *
+ *   coldboot-client <addr:port> attack <dump.img>
+ *   coldboot-client <addr:port> mine <dump.img> [top_n]
+ *   coldboot-client <addr:port> descramble <dump.img> <out.img>
+ *   coldboot-client <addr:port> status <job_id>
+ *   coldboot-client <addr:port> cancel <job_id>
+ *   coldboot-client <addr:port> list
+ *   coldboot-client <addr:port> shutdown
+ *
+ * The analysis commands submit, then block for the result and print
+ * the server's deterministic rendering - byte-identical to the
+ * equivalent one-shot coldboot-tool output for the same dump.
+ * `--async` submits and prints only "job <id>" so a caller can poll
+ * status / issue a cancel; `--client-id` names the fair-share queue
+ * the job lands in.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/tcp_listener.hh"
+#include "serve/client.hh"
+
+using namespace coldboot;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: coldboot-client <addr:port> <command> [args]\n"
+        "commands:\n"
+        "  attack <dump.img>             full key-recovery pipeline\n"
+        "  mine <dump.img> [top_n]       scrambler-key mining\n"
+        "  descramble <dump.img> <out>   write descrambled image\n"
+        "  status <job_id>               one job's status\n"
+        "  cancel <job_id>               request cancellation\n"
+        "  list                          all jobs on the server\n"
+        "  shutdown                      ask the daemon to exit\n"
+        "flags (any position):\n"
+        "  --client-id <name>   fair-share queue identity\n"
+        "  --scan-limit-mib <n> mining scan limit override\n"
+        "  --async              submit only; print the job id\n");
+    return 2;
+}
+
+void
+printStatus(const serve::JobStatus &st)
+{
+    std::printf("job %llu %s %s stage=%s client='%s'",
+                static_cast<unsigned long long>(st.job_id),
+                serve::jobKindName(st.kind),
+                serve::jobStateName(st.state), st.stage.c_str(),
+                st.client_id.c_str());
+    if (st.total_units > 0) {
+        std::printf(" %llu/%llu units",
+                    static_cast<unsigned long long>(st.done_units),
+                    static_cast<unsigned long long>(st.total_units));
+    }
+    std::printf(" elapsed=%llums",
+                static_cast<unsigned long long>(st.elapsed_ms));
+    if (!st.error.empty())
+        std::printf(" error='%s'", st.error.c_str());
+    std::printf("\n");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string client_id;
+    uint64_t scan_limit_bytes = 0;
+    bool async = false;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--client-id") {
+            if (i + 1 >= argc)
+                return usage();
+            client_id = argv[++i];
+        } else if (arg == "--scan-limit-mib") {
+            if (i + 1 >= argc)
+                return usage();
+            scan_limit_bytes =
+                std::strtoull(argv[++i], nullptr, 10) << 20;
+        } else if (arg == "--async") {
+            async = true;
+        } else {
+            args.push_back(arg);
+        }
+    }
+    if (args.size() < 2)
+        return usage();
+
+    obs::ServeSpec endpoint;
+    std::string error;
+    if (!obs::parseServeSpec(args[0], &endpoint, &error) ||
+        endpoint.port == 0) {
+        std::fprintf(stderr, "bad endpoint '%s'%s%s\n",
+                     args[0].c_str(), error.empty() ? "" : ": ",
+                     error.c_str());
+        return usage();
+    }
+    const std::string &cmd = args[1];
+
+    serve::JobClient client;
+    if (!client.connect(endpoint.addr, endpoint.port, &error)) {
+        std::fprintf(stderr, "coldboot-client: %s\n", error.c_str());
+        return 3;
+    }
+
+    auto runJob = [&](serve::JobSpec spec) -> int {
+        spec.client_id = client_id;
+        spec.scan_limit_bytes = scan_limit_bytes;
+        uint64_t id = client.submit(spec, &error);
+        if (id == 0) {
+            std::fprintf(stderr, "submit failed: %s\n",
+                         error.c_str());
+            return 3;
+        }
+        if (async) {
+            std::printf("job %llu\n",
+                        static_cast<unsigned long long>(id));
+            return 0;
+        }
+        serve::JobResult res;
+        if (!client.result(id, &res, &error)) {
+            std::fprintf(stderr, "result failed: %s\n",
+                         error.c_str());
+            return 3;
+        }
+        if (res.state == serve::JobState::Failed) {
+            std::fprintf(stderr, "job %llu failed: %s\n",
+                         static_cast<unsigned long long>(id),
+                         res.error.c_str());
+            return 3;
+        }
+        if (res.state == serve::JobState::Cancelled) {
+            std::fprintf(stderr, "job %llu cancelled\n",
+                         static_cast<unsigned long long>(id));
+            return 4;
+        }
+        // The deterministic server rendering, verbatim.
+        std::fputs(res.text.c_str(), stdout);
+        return 0;
+    };
+
+    if (cmd == "attack") {
+        if (args.size() < 3)
+            return usage();
+        serve::JobSpec spec;
+        spec.kind = serve::JobKind::Attack;
+        spec.dump_path = args[2];
+        return runJob(spec);
+    }
+    if (cmd == "mine") {
+        if (args.size() < 3)
+            return usage();
+        serve::JobSpec spec;
+        spec.kind = serve::JobKind::Mine;
+        spec.dump_path = args[2];
+        if (args.size() > 3)
+            spec.top_n = std::strtoull(args[3].c_str(), nullptr, 10);
+        return runJob(spec);
+    }
+    if (cmd == "descramble") {
+        if (args.size() < 4)
+            return usage();
+        serve::JobSpec spec;
+        spec.kind = serve::JobKind::Descramble;
+        spec.dump_path = args[2];
+        spec.out_path = args[3];
+        return runJob(spec);
+    }
+    if (cmd == "status") {
+        if (args.size() < 3)
+            return usage();
+        uint64_t id = std::strtoull(args[2].c_str(), nullptr, 10);
+        serve::JobStatus st;
+        if (!client.status(id, &st, &error)) {
+            std::fprintf(stderr, "status failed: %s\n",
+                         error.c_str());
+            return 3;
+        }
+        printStatus(st);
+        return 0;
+    }
+    if (cmd == "cancel") {
+        if (args.size() < 3)
+            return usage();
+        uint64_t id = std::strtoull(args[2].c_str(), nullptr, 10);
+        if (!client.cancel(id, &error)) {
+            if (!error.empty()) {
+                std::fprintf(stderr, "cancel failed: %s\n",
+                             error.c_str());
+                return 3;
+            }
+            std::printf("job %llu already terminal\n",
+                        static_cast<unsigned long long>(id));
+            return 1;
+        }
+        std::printf("cancel requested for job %llu\n",
+                    static_cast<unsigned long long>(id));
+        return 0;
+    }
+    if (cmd == "list") {
+        std::vector<serve::JobStatus> jobs;
+        if (!client.list(&jobs, &error)) {
+            std::fprintf(stderr, "list failed: %s\n", error.c_str());
+            return 3;
+        }
+        for (const auto &st : jobs)
+            printStatus(st);
+        return 0;
+    }
+    if (cmd == "shutdown") {
+        if (!client.shutdown(&error)) {
+            std::fprintf(stderr, "shutdown failed: %s\n",
+                         error.c_str());
+            return 3;
+        }
+        std::printf("shutdown requested\n");
+        return 0;
+    }
+    return usage();
+}

@@ -35,6 +35,7 @@
 #include <unistd.h>
 
 #include "attack/attack_pipeline.hh"
+#include "attack/sessions.hh"
 #include "exec/dump_io.hh"
 #include "exec/thread_pool.hh"
 #include "common/hex.hh"
@@ -68,6 +69,7 @@ usage()
         " [mib] [seed] [--warm]\n"
         "  coldboot-tool attack <dump.img> [threads]\n"
         "  coldboot-tool mine <dump.img> [top_n]\n"
+        "  coldboot-tool descramble <dump.img> <out.img>\n"
         "  coldboot-tool info <dump.img>\n"
         "  coldboot-tool decrypt <volume.bin> <data_key_hex>"
         " <tweak_key_hex> <sector>\n"
@@ -257,6 +259,28 @@ cmdMine(int argc, char **argv)
     }
     std::printf("\n--- stats ---\n%s",
                 obs::StatRegistry::global().dumpText().c_str());
+    return 0;
+}
+
+int
+cmdDescramble(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    auto dump = exec::openDumpSource(argv[0], g_dump_backend);
+    // Same session object the analysis service drives, run to
+    // completion in-line - so service descramble results (image
+    // bytes, digest, rendering) are byte-identical to this command.
+    attack::DescrambleSession session(*dump, argv[1]);
+    try {
+        session.runToCompletion();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "descramble failed: %s\n", e.what());
+        return 1;
+    }
+    std::fputs(
+        attack::renderDescrambleResult(session.result()).c_str(),
+        stdout);
     return 0;
 }
 
@@ -474,6 +498,8 @@ main(int argc, char **argv)
         rc = cmdAttack(sub_argc, sub_argv);
     else if (cmd == "mine")
         rc = cmdMine(sub_argc, sub_argv);
+    else if (cmd == "descramble")
+        rc = cmdDescramble(sub_argc, sub_argv);
     else if (cmd == "info")
         rc = cmdInfo(sub_argc, sub_argv);
     else if (cmd == "decrypt")
