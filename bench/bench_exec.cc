@@ -33,6 +33,7 @@
 #include "memctrl/scrambler.hh"
 #include "obs/bench.hh"
 #include "platform/memory_image.hh"
+#include "simd/simd.hh"
 
 using namespace coldboot;
 
@@ -173,8 +174,50 @@ COLDBOOT_BENCH(exec_scaling)
                "(determinism contract)");
     ctx.report("exec_scaling.best_speedup", best_speedup,
                "best parallel speedup over the serial scan");
+
+    // SIMD on/off: the same serial scan with the kernel layer forced
+    // to the scalar oracle vs. the runtime-dispatched best backend.
+    // Results must stay byte-identical - the backends differ only in
+    // speed, never in what they mine.
+    std::printf("\n%8s %12s %10s\n", "simd", "seconds", "MiB/s");
+    double scalar_secs = 0.0;
+    double active_secs = 0.0;
+    bool simd_identical = true;
+    for (bool scalar : {true, false}) {
+        simd::ScopedBackend forced(
+            scalar ? simd::Backend::Scalar : simd::activeBackend());
+        exec::ThreadPool pool(1);
+        exec::ThreadPool::ScopedGlobalOverride ov(pool);
+        auto t0 = std::chrono::steady_clock::now();
+        std::string result = scanDump(dump);
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        if (result != reference)
+            simd_identical = false;
+        (scalar ? scalar_secs : active_secs) = secs;
+        double mib_s = secs > 0.0
+            ? static_cast<double>(dump_bytes) / (1 << 20) / secs
+            : 0.0;
+        std::printf("%8s %12.3f %10.1f\n",
+                    scalar ? "scalar"
+                           : simd::backendName(simd::activeBackend()),
+                    secs, mib_s);
+        ctx.report(std::string("exec_scaling.simd_") +
+                       (scalar ? "scalar" : "active") +
+                       ".mib_per_second",
+                   mib_s, "serial mining throughput, SIMD off/on");
+    }
+    ctx.report("exec_scaling.simd_speedup",
+               scalar_secs > 0.0 && active_secs > 0.0
+                   ? scalar_secs / active_secs
+                   : 0.0,
+               "dispatched backend vs. forced-scalar mining");
+    ctx.report("exec_scaling.simd_results_identical",
+               simd_identical ? 1.0 : 0.0,
+               "1 when scalar and vector scans mined identical keys");
     ctx.setBytesProcessed(
-        static_cast<uint64_t>(dump_bytes) * widths.size());
+        static_cast<uint64_t>(dump_bytes) * (widths.size() + 2));
 
     std::printf("\nExpected shape: near-linear scaling up to the "
                 "physical core count\n(single-core hosts pin every "

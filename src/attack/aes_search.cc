@@ -11,6 +11,7 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "attack/litmus.hh"
+#include "simd/simd.hh"
 #include "exec/thread_pool.hh"
 #include "obs/progress.hh"
 #include "obs/stats.hh"
@@ -62,8 +63,7 @@ void
 descramble(std::span<const uint8_t> raw,
            const std::array<uint8_t, 64> &key, uint8_t out[64])
 {
-    for (unsigned i = 0; i < 64; ++i)
-        out[i] = raw[i] ^ key[i];
+    simd::xorInto(out, raw.data(), key.data(), 64);
 }
 
 /**
@@ -321,15 +321,13 @@ reconstructAt(const exec::DumpSource &dump,
         auto raw = dump.chunk(b, 64, buf);
         for (const auto &mk : keys) {
             descramble(raw, mk.key, plain);
-            unsigned dist = 0;
-            for (uint64_t byte = lo; byte < hi; ++byte) {
-                dist += static_cast<unsigned>(std::popcount(
-                    static_cast<unsigned>(
-                        plain[byte - b] ^
-                        expanded[byte - table_off])));
-                if (dist > 8 * 64)
-                    break;
-            }
+            // Subrange compare of the overlap (at most 64 bytes, so
+            // the old "> 8 * 64 bits" early break could never fire).
+            unsigned dist = static_cast<unsigned>(
+                simd::hammingDistance(plain + (lo - b),
+                                      expanded.data() +
+                                          (lo - table_off),
+                                      hi - lo));
             best_dist = std::min(best_dist, dist);
             if (best_dist == 0)
                 break;
@@ -438,18 +436,22 @@ searchAesKeyTables(const exec::DumpSource &dump,
                     for (size_t ki = 0; ki < candidate_keys.size();
                          ++ki) {
                         ++out.attempts;
-                        uint32_t plain_words[16];
-                        unsigned weight = 0;
-                        for (unsigned i = 0; i < 16; ++i) {
-                            plain_words[i] =
-                                raw_words[i] ^ key_words[ki][i];
-                            weight += static_cast<unsigned>(
-                                std::popcount(plain_words[i]));
-                        }
                         // Entropy guard (plausibleScheduleEntropy):
-                        // rejects zero blocks, padding and text.
+                        // rejects zero blocks, padding and text. The
+                        // descrambled weight is popcount(raw ^ key) -
+                        // byte order cancels under XOR - so the
+                        // fused kernel screens candidates before any
+                        // plain words are materialized.
+                        unsigned weight = static_cast<unsigned>(
+                            simd::hammingDistance(
+                                raw.data(),
+                                candidate_keys[ki].key.data(), 64));
                         if (weight < 180 || weight > 332)
                             continue;
+                        uint32_t plain_words[16];
+                        for (unsigned i = 0; i < 16; ++i)
+                            plain_words[i] =
+                                raw_words[i] ^ key_words[ki][i];
                         auto hit = aesKeyLitmusWords(
                             plain_words, params.key_size,
                             params.litmus_max_bit_errors,

@@ -6,6 +6,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "simd/simd.hh"
 
 namespace coldboot::attack
 {
@@ -14,20 +15,16 @@ namespace
 {
 
 /**
- * Hamming distance with early exit once @p limit is exceeded.
+ * Hamming distance with early exit once @p limit is exceeded
+ * (exactly min(distance, limit + 1); tail bytes are counted).
  */
 unsigned
 boundedDistance(std::span<const uint8_t> a, std::span<const uint8_t> b,
                 unsigned limit)
 {
-    unsigned dist = 0;
-    for (size_t i = 0; i + 8 <= a.size(); i += 8) {
-        dist += static_cast<unsigned>(
-            popcount64(loadLE64(&a[i]) ^ loadLE64(&b[i])));
-        if (dist > limit)
-            return limit + 1;
-    }
-    return dist;
+    return static_cast<unsigned>(
+        simd::hammingDistanceBounded(a.data(), b.data(), a.size(),
+                                     limit));
 }
 
 } // anonymous namespace
@@ -125,11 +122,10 @@ void
 descrambleWithUniversalKey(platform::MemoryImage &image,
                            const std::array<uint8_t, 64> &key)
 {
-    for (size_t l = 0; l < image.lines(); ++l) {
-        auto line = image.lineMutable(l);
-        for (unsigned i = 0; i < 64; ++i)
-            line[i] ^= key[i];
-    }
+    // One flat repeat-key sweep over the whole-line prefix (any
+    // trailing partial line stays untouched, as before).
+    simd::xorRepeatKey64(image.bytesMutable().data(), key.data(),
+                         image.lines() * 64);
 }
 
 void
@@ -139,9 +135,7 @@ descrambleDdr3(platform::MemoryImage &image,
     cb_assert(keys.size() == 16, "descrambleDdr3: need 16 keys");
     for (size_t l = 0; l < image.lines(); ++l) {
         auto line = image.lineMutable(l);
-        const auto &key = keys[l % 16];
-        for (unsigned i = 0; i < 64; ++i)
-            line[i] ^= key[i];
+        simd::xorBytes(line.data(), keys[l % 16].data(), 64);
     }
 }
 

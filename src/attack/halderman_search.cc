@@ -8,6 +8,7 @@
 #include "exec/thread_pool.hh"
 #include "obs/progress.hh"
 #include "obs/trace.hh"
+#include "simd/simd.hh"
 
 namespace coldboot::attack
 {
@@ -46,8 +47,12 @@ haldermanSearch(const exec::DumpSource &image,
     uint64_t windows = (end - begin - sched_bytes) / params.step + 1;
 
     // Evaluate one candidate window against the plaintext bytes that
-    // follow it: expand incrementally, comparing each generated word
-    // and bailing once the error budget is exhausted.
+    // follow it. A short incremental screen rejects almost every
+    // window on its first generated words; survivors batch-expand
+    // the rest of the schedule (a pure function of the window) and
+    // compare it with the bounded Hamming kernel. Error accumulation
+    // is monotone, so accept/reject and the recorded bit_errors are
+    // byte-identical to the fully incremental walk.
     auto try_window = [&](std::span<const uint8_t> bytes,
                           uint64_t local_off, uint64_t abs_off,
                           std::vector<BaselineKey> &found) {
@@ -60,7 +65,10 @@ haldermanSearch(const exec::DumpSource &image,
         // Rolling window of the last nk words.
         uint32_t last[8];
         std::copy(window, window + nk, last);
-        for (unsigned i = nk; i < total_words; ++i) {
+        constexpr unsigned kScreenWords = 2;
+        unsigned screened =
+            std::min(total_words, nk + kScreenWords);
+        for (unsigned i = nk; i < screened; ++i) {
             uint32_t next =
                 aesScheduleStep(last[nk - 1], last[0], i, nk);
             uint32_t observed =
@@ -72,6 +80,21 @@ haldermanSearch(const exec::DumpSource &image,
             for (unsigned m = 0; m + 1 < nk; ++m)
                 last[m] = last[m + 1];
             last[nk - 1] = next;
+        }
+        if (screened < total_words) {
+            auto tail = aesScheduleContinue(
+                std::span<const uint32_t>(last, nk), screened,
+                total_words - screened, nk);
+            std::vector<uint8_t> pred(4 * tail.size());
+            for (size_t i = 0; i < tail.size(); ++i)
+                aesBytesFromWord(tail[i], &pred[4 * i]);
+            size_t budget = params.max_bit_errors - errors;
+            size_t rem = simd::hammingDistanceBounded(
+                &bytes[local_off + 4 * screened], pred.data(),
+                pred.size(), budget);
+            if (rem > budget)
+                return;
+            errors += static_cast<unsigned>(rem);
         }
 
         BaselineKey key;

@@ -7,6 +7,7 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "attack/litmus.hh"
+#include "simd/simd.hh"
 #include "exec/thread_pool.hh"
 #include "obs/progress.hh"
 #include "obs/stats.hh"
@@ -70,20 +71,17 @@ struct Cluster
 
 /**
  * Hamming distance with early exit once @p limit is exceeded
- * (returns limit + 1 in that case).
+ * (returns exactly min(distance, limit + 1) on every backend).
+ * The previous hand-rolled loop silently ignored non-multiple-of-8
+ * tails; the kernel counts every byte.
  */
 unsigned
 boundedDistance(std::span<const uint8_t> a, std::span<const uint8_t> b,
                 unsigned limit)
 {
-    unsigned dist = 0;
-    for (size_t i = 0; i + 8 <= a.size(); i += 8) {
-        dist += static_cast<unsigned>(
-            popcount64(loadLE64(&a[i]) ^ loadLE64(&b[i])));
-        if (dist > limit)
-            return limit + 1;
-    }
-    return dist;
+    return static_cast<unsigned>(
+        simd::hammingDistanceBounded(a.data(), b.data(), a.size(),
+                                     limit));
 }
 
 /** Litmus hits of one scan chunk, in ascending dump order. */

@@ -4,6 +4,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "simd/simd.hh"
 
 namespace coldboot::attack
 {
@@ -12,26 +13,10 @@ unsigned
 scramblerKeyLitmusScore(std::span<const uint8_t> block)
 {
     cb_assert(block.size() == 64, "litmus block must be 64 bytes");
-    unsigned errors = 0;
-    for (unsigned base = 0; base < 64; base += 16) {
-        const uint8_t *p = block.data() + base;
-        // Each 16-bit lane participates in up to three of the four
-        // Section III-B invariants; load all eight once instead of
-        // re-deriving the byte-pair offsets per equation.
-        const unsigned w0 = loadLE16(p + 0);
-        const unsigned w2 = loadLE16(p + 2);
-        const unsigned w4 = loadLE16(p + 4);
-        const unsigned w6 = loadLE16(p + 6);
-        const unsigned w8 = loadLE16(p + 8);
-        const unsigned w10 = loadLE16(p + 10);
-        const unsigned w12 = loadLE16(p + 12);
-        const unsigned w14 = loadLE16(p + 14);
-        errors += std::popcount((w2 ^ w4) ^ (w10 ^ w12));
-        errors += std::popcount((w0 ^ w6) ^ (w8 ^ w14));
-        errors += std::popcount((w0 ^ w4) ^ (w8 ^ w12));
-        errors += std::popcount((w0 ^ w2) ^ (w8 ^ w10));
-    }
-    return errors;
+    // The Section III-B invariant sweep is the hottest scan kernel;
+    // the dispatched version evaluates the same sixteen 16-bit
+    // equations (scalar backend transcribes them verbatim).
+    return simd::scramblerLitmusScore64(block.data());
 }
 
 bool
@@ -44,10 +29,7 @@ scramblerKeyLitmus(std::span<const uint8_t> block,
 bool
 isConstantBlock(std::span<const uint8_t> block)
 {
-    for (size_t i = 1; i < block.size(); ++i)
-        if (block[i] != block[0])
-            return false;
-    return true;
+    return simd::isConstant(block.data(), block.size());
 }
 
 bool

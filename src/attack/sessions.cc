@@ -14,6 +14,7 @@
 #include "obs/progress.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
+#include "simd/simd.hh"
 
 namespace coldboot::attack
 {
@@ -419,8 +420,9 @@ DescrambleSession::stageDescramble()
             dump_.prefetch(lo, len);
             auto bytes = dump_.chunk(lo, len, buf);
             std::vector<uint8_t> out(bytes.begin(), bytes.end());
-            for (size_t i = 0; i < out.size(); ++i)
-                out[i] ^= key[i & 63];
+            // Chunks are cut on 64-byte lines, so the repeat-key
+            // phase restarts at key[0] in every chunk.
+            simd::xorRepeatKey64(out.data(), key.data(), out.size());
             return out;
         },
         [&](std::vector<uint8_t> &&out, const exec::ChunkRange &) {

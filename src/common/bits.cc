@@ -1,9 +1,14 @@
 #include "common/bits.hh"
 
 #include "common/logging.hh"
+#include "simd/simd.hh"
 
 namespace coldboot
 {
+
+// The span-based helpers keep their length-check contract here and
+// forward the byte sweeps to the dispatched SIMD kernels (scalar on
+// hosts without vector backends; bit-identical either way).
 
 size_t
 hammingDistance(std::span<const uint8_t> a, std::span<const uint8_t> b)
@@ -11,25 +16,13 @@ hammingDistance(std::span<const uint8_t> a, std::span<const uint8_t> b)
     cb_assert(a.size() == b.size(),
               "hammingDistance: length mismatch %zu vs %zu",
               a.size(), b.size());
-    size_t dist = 0;
-    size_t i = 0;
-    for (; i + 8 <= a.size(); i += 8)
-        dist += popcount64(loadLE64(&a[i]) ^ loadLE64(&b[i]));
-    for (; i < a.size(); ++i)
-        dist += std::popcount(static_cast<unsigned>(a[i] ^ b[i]));
-    return dist;
+    return simd::hammingDistance(a.data(), b.data(), a.size());
 }
 
 size_t
 hammingWeight(std::span<const uint8_t> a)
 {
-    size_t weight = 0;
-    size_t i = 0;
-    for (; i + 8 <= a.size(); i += 8)
-        weight += popcount64(loadLE64(&a[i]));
-    for (; i < a.size(); ++i)
-        weight += std::popcount(static_cast<unsigned>(a[i]));
-    return weight;
+    return simd::hammingWeight(a.data(), a.size());
 }
 
 void
@@ -38,8 +31,7 @@ xorBytes(std::span<uint8_t> dst, std::span<const uint8_t> src)
     cb_assert(dst.size() == src.size(),
               "xorBytes: length mismatch %zu vs %zu",
               dst.size(), src.size());
-    for (size_t i = 0; i < dst.size(); ++i)
-        dst[i] ^= src[i];
+    simd::xorBytes(dst.data(), src.data(), dst.size());
 }
 
 } // namespace coldboot

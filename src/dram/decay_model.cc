@@ -1,9 +1,11 @@
 #include "dram/decay_model.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
 #include "obs/stats.hh"
+#include "simd/simd.hh"
 
 namespace coldboot::dram
 {
@@ -29,6 +31,26 @@ constexpr uint64_t stripeBits = 8192;
  * byte has inverted polarity relative to its stripe.
  */
 constexpr unsigned saltThreshold = 5; // ~2% of cells
+
+/**
+ * Ground-state value of byte @p i: the stripe polarity with the salt
+ * lanes inverted. Bits of one byte never straddle a stripe boundary
+ * (stripes are 1 KiB), so this matches groundStateBit() lane by lane.
+ */
+uint8_t
+groundByte(uint64_t ground_seed, uint64_t i)
+{
+    uint64_t stripe = (i * 8) / stripeBits;
+    uint8_t base = (stripe & 1) ? 0xff : 0x00;
+    uint64_t h = mix64(ground_seed ^ i);
+    uint8_t salt = 0;
+    for (unsigned lane = 0; lane < 8; ++lane) {
+        if (((h >> (8 * lane)) & 0xff) < saltThreshold)
+            salt |= static_cast<uint8_t>(1u << lane);
+    }
+    return base ^ salt;
+}
+
 } // anonymous namespace
 
 DecayModel::DecayModel(const DecayParams &params, uint64_t seed)
@@ -99,14 +121,18 @@ DecayModel::applyDecay(std::span<uint8_t> data, double seconds,
     uint64_t flips = 0;
 
     if (p >= 0.999999) {
-        // Effectively full decay; count flips against ground state.
-        for (uint64_t bit = 0; bit < total_bits; ++bit) {
-            bool cur = (data[bit / 8] >> (bit % 8)) & 1;
-            bool gnd = groundStateBit(bit);
-            if (cur != gnd)
-                ++flips;
+        // Effectively full decay: generate the ground pattern a
+        // cache-friendly chunk at a time and let the fused kernel
+        // count the visible flips while overwriting (identical to
+        // the old per-bit compare followed by decayToGround).
+        constexpr size_t kChunk = 4096;
+        uint8_t ground[kChunk];
+        for (size_t off = 0; off < data.size(); off += kChunk) {
+            size_t len = std::min(kChunk, data.size() - off);
+            for (size_t j = 0; j < len; ++j)
+                ground[j] = groundByte(ground_seed, off + j);
+            flips += simd::decayApplyGround(&data[off], ground, len);
         }
-        decayToGround(data);
         recordDecay(flips);
         return flips;
     }
@@ -141,17 +167,8 @@ DecayModel::applyDecay(std::span<uint8_t> data, double seconds,
 void
 DecayModel::decayToGround(std::span<uint8_t> data) const
 {
-    for (size_t i = 0; i < data.size(); ++i) {
-        uint64_t stripe = (static_cast<uint64_t>(i) * 8) / stripeBits;
-        uint8_t base = (stripe & 1) ? 0xff : 0x00;
-        uint64_t h = mix64(ground_seed ^ static_cast<uint64_t>(i));
-        uint8_t salt = 0;
-        for (unsigned lane = 0; lane < 8; ++lane) {
-            if (((h >> (8 * lane)) & 0xff) < saltThreshold)
-                salt |= static_cast<uint8_t>(1u << lane);
-        }
-        data[i] = base ^ salt;
-    }
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = groundByte(ground_seed, i);
 }
 
 } // namespace coldboot::dram

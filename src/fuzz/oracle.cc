@@ -16,6 +16,7 @@ allOracles()
         registerLitmusOracles(out);
         registerAttackOracles(out);
         registerIoOracles(out);
+        registerSimdOracles(out);
         return out;
     }();
     return registry;

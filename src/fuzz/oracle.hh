@@ -42,6 +42,9 @@
  *                             byte equality on mutated dump files
  *   parallel-fingerprint      mine/search/pipeline results are
  *                             byte-identical across worker counts
+ *   simd-vs-scalar            every usable SIMD kernel backend is
+ *                             bit-identical to the scalar reference
+ *                             on hostile lengths and alignments
  */
 
 #ifndef COLDBOOT_FUZZ_ORACLE_HH

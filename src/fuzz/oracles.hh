@@ -29,6 +29,9 @@ void registerAttackOracles(std::vector<const Oracle *> &out);
 /** dump-backend-equality. */
 void registerIoOracles(std::vector<const Oracle *> &out);
 
+/** simd-vs-scalar. */
+void registerSimdOracles(std::vector<const Oracle *> &out);
+
 } // namespace coldboot::fuzz
 
 #endif // COLDBOOT_FUZZ_ORACLES_HH

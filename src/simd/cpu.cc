@@ -1,0 +1,35 @@
+/**
+ * @file
+ * CPUID probing for the kernel dispatcher. Kept in its own
+ * translation unit so the per-ISA kernel files stay pure kernel
+ * code and non-x86 ports only have to revisit this switch.
+ */
+
+#include "simd/kernels.hh"
+
+namespace coldboot::simd::detail
+{
+
+bool
+cpuSupports(Backend b)
+{
+    switch (b) {
+    case Backend::Scalar:
+        return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case Backend::Sse2:
+        return __builtin_cpu_supports("sse2") != 0;
+    case Backend::Avx2:
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+    // NEON seam: an aarch64 port reports Backend::Neon support here
+    // (NEON is architectural on AArch64, so a plain `return true`).
+    case Backend::Sse2:
+    case Backend::Avx2:
+        return false;
+#endif
+    }
+    return false;
+}
+
+} // namespace coldboot::simd::detail

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Internal seams between the dispatcher (simd.cc) and the per-ISA
+ * kernel translation units. Each backend TU exposes one accessor
+ * returning its table, or nullptr when the backend is not compiled
+ * for this target (the accessor itself always links, so the
+ * dispatcher needs no preprocessor knowledge of the target).
+ */
+
+#ifndef COLDBOOT_SIMD_KERNELS_HH
+#define COLDBOOT_SIMD_KERNELS_HH
+
+#include "simd/simd.hh"
+
+namespace coldboot::simd::detail
+{
+
+/** The reference implementation; always available. */
+const Kernels &scalarKernels();
+
+/** SSE2 table, or nullptr on non-x86 builds (kernels_sse2.cc). */
+const Kernels *sse2Kernels();
+
+/** AVX2 table, or nullptr when not compiled (kernels_avx2.cc). */
+const Kernels *avx2Kernels();
+
+// NEON seam: an aarch64 port declares `const Kernels *neonKernels();`
+// here and adds a kernels_neon.cc TU; backendTable() in simd.cc then
+// maps Backend::Neon to it.
+
+/** True when this CPU can execute the backend's instructions. */
+bool cpuSupports(Backend b);
+
+} // namespace coldboot::simd::detail
+
+#endif // COLDBOOT_SIMD_KERNELS_HH

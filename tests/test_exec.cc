@@ -34,6 +34,7 @@
 #include "exec/thread_pool.hh"
 #include "memctrl/scrambler.hh"
 #include "platform/memory_image.hh"
+#include "simd/simd.hh"
 
 namespace coldboot::exec
 {
@@ -545,6 +546,46 @@ TEST(ExecDeterminism, MiningAndSearchIdenticalAcrossWidths)
 
     // The planted AES master key is actually recovered, not just
     // consistently missed.
+    EXPECT_NE(reference.find(std::string(
+                  reinterpret_cast<const char *>(master.data()),
+                  master.size())),
+              std::string::npos);
+}
+
+TEST(ExecDeterminism, FingerprintIdenticalAcrossSimdBackendsAndWidths)
+{
+    // The §15 cross-backend contract, enforced end to end: the full
+    // mine + search pipeline must produce byte-identical output under
+    // every usable SIMD backend at every pool width. Backends the
+    // host cannot run are skipped, not failed (the differential
+    // kernel tests in test_simd.cc cover whatever is usable).
+    std::vector<uint8_t> master;
+    auto dump = buildAttackDump(master);
+
+    std::string reference;
+    unsigned exercised = 0;
+    for (unsigned i = 0; i < simd::kBackendCount; ++i) {
+        auto be = static_cast<simd::Backend>(i);
+        if (!simd::backendUsable(be))
+            continue;
+        simd::ScopedBackend forced(be);
+        ASSERT_TRUE(forced.active());
+        ++exercised;
+        for (unsigned w : {1u, 4u}) {
+            ThreadPool pool(w);
+            ThreadPool::ScopedGlobalOverride ov(pool);
+            std::string fp = scanFingerprint(dump);
+            EXPECT_FALSE(fp.empty());
+            if (reference.empty())
+                reference = fp;
+            else
+                EXPECT_EQ(fp, reference)
+                    << simd::backendName(be) << " width " << w;
+        }
+    }
+    EXPECT_GE(exercised, 1u); // scalar is always usable
+
+    // Identical AND correct: the planted master key is in there.
     EXPECT_NE(reference.find(std::string(
                   reinterpret_cast<const char *>(master.data()),
                   master.size())),

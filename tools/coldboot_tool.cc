@@ -51,6 +51,7 @@
 #include "platform/coldboot.hh"
 #include "platform/machine.hh"
 #include "platform/workload.hh"
+#include "simd/simd.hh"
 #include "volume/veracrypt_volume.hh"
 
 using namespace coldboot;
@@ -96,6 +97,10 @@ usage()
         " cores)\n"
         "  --no-mmap             stream dumps with buffered reads\n"
         "                        instead of mmap\n"
+        "  --simd <backend>      force the kernel backend (avx2,\n"
+        "                        sse2 or scalar; default: best the\n"
+        "                        CPU supports); also via the\n"
+        "                        COLDBOOT_SIMD env var\n"
         "  --serve-obs <[addr:]port>\n"
         "                        serve live telemetry over HTTP\n"
         "                        (/metrics /stats /stats/series\n"
@@ -415,6 +420,29 @@ main(int argc, char **argv)
         }
         if (arg == "--no-mmap") {
             g_dump_backend = exec::DumpBackend::Buffered;
+            continue;
+        }
+        if (arg == "--simd") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--simd requires a backend "
+                                     "argument\n");
+                return usage();
+            }
+            auto backend = simd::parseBackend(argv[++i]);
+            if (!backend) {
+                std::fprintf(stderr,
+                             "--simd: unknown backend '%s' (want "
+                             "avx2, sse2 or scalar)\n",
+                             argv[i]);
+                return usage();
+            }
+            if (!simd::setBackend(*backend)) {
+                std::fprintf(stderr,
+                             "--simd: backend '%s' is not usable on "
+                             "this host\n",
+                             argv[i]);
+                return 2;
+            }
             continue;
         }
         if (arg == "--flight-record") {
